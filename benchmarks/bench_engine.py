@@ -1,0 +1,136 @@
+"""Experiments B4/B5: subcube synchronization and query processing.
+
+B4: synchronization cost vs bulk-load size — Section 7.2 argues sync "is
+not considered a performance bottleneck" because it rides along with bulk
+loads; the bench measures it and asserts it stays linear-ish.
+
+B5: query latency — monolithic reduced MO vs the subcube store, in both
+the synchronized and unsynchronized states.  The paper's claim is that
+subcube evaluation adds only "a few additional aggregations and one
+union"; the shape assertion is that store queries stay within a small
+factor of the monolithic ones and unsynchronized queries stay correct.
+"""
+
+import datetime as dt
+import time
+
+import pytest
+
+from repro.engine.queryproc import SubcubeQuery, query_store
+from repro.engine.store import SubcubeStore
+from repro.query.aggregation import aggregate
+from repro.query.algebra import mo_rows
+from repro.query.selection import select
+from repro.reduction.reducer import reduce_mo
+
+from conftest import BENCH_NOW, emit
+
+
+@pytest.fixture(scope="module")
+def loaded_store(clickstream_mo, clickstream_spec, clickstream_facts):
+    store = SubcubeStore(clickstream_mo, clickstream_spec)
+    store.load(clickstream_facts)
+    store.synchronize(BENCH_NOW)
+    return store
+
+
+@pytest.mark.parametrize("batch", [200, 800, 3200])
+def test_b4_sync_cost_vs_load_size(
+    benchmark, clickstream_mo, clickstream_spec, clickstream_facts, batch
+):
+    facts = clickstream_facts[:batch]
+
+    def load_and_sync():
+        store = SubcubeStore(clickstream_mo, clickstream_spec)
+        store.load(facts)
+        return store.synchronize(BENCH_NOW)
+
+    moved = benchmark.pedantic(load_and_sync, rounds=2, iterations=1)
+    emit(f"B4 sync after loading {batch}", [f"moved={sum(moved.values())}"])
+    assert sum(moved.values()) > 0
+
+
+def test_b4_resync_after_quiet_period_is_cheap(benchmark, loaded_store):
+    start = time.perf_counter()
+    moved = benchmark.pedantic(
+        loaded_store.synchronize,
+        args=(BENCH_NOW + dt.timedelta(days=1),),
+        rounds=1,
+        iterations=1,
+    )
+    elapsed = time.perf_counter() - start
+    emit(
+        "B4 one-day resync",
+        [f"moved={sum(moved.values())} elapsed={elapsed * 1000:.1f}ms"],
+    )
+    assert sum(moved.values()) <= loaded_store.total_facts()
+
+
+QUERY = SubcubeQuery(
+    "URL.domain_grp = '.com'", {"Time": "quarter", "URL": "domain_grp"}
+)
+
+
+def test_b5_monolithic_query(benchmark, clickstream_mo, clickstream_spec):
+    reduced = reduce_mo(clickstream_mo, clickstream_spec, BENCH_NOW)
+
+    def run():
+        return aggregate(
+            select(reduced, QUERY.predicate, BENCH_NOW),
+            dict(QUERY.granularity),
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.n_facts > 0
+
+
+def test_b5_store_query_synchronized(benchmark, loaded_store):
+    result = benchmark.pedantic(
+        query_store, args=(loaded_store, QUERY, BENCH_NOW), rounds=3, iterations=1
+    )
+    assert result.n_facts > 0
+
+
+def test_b5_store_query_unsynchronized(
+    benchmark, clickstream_mo, clickstream_spec, clickstream_facts
+):
+    stale = SubcubeStore(clickstream_mo, clickstream_spec)
+    stale.load(clickstream_facts)
+    stale.synchronize(BENCH_NOW - dt.timedelta(days=200))
+
+    result = benchmark.pedantic(
+        query_store,
+        args=(stale, QUERY, BENCH_NOW),
+        kwargs={"assume_synchronized": False},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.n_facts > 0
+
+
+def test_b5_all_three_agree(
+    benchmark, clickstream_mo, clickstream_spec, clickstream_facts, loaded_store
+):
+    reduced = benchmark.pedantic(
+        reduce_mo,
+        args=(clickstream_mo, clickstream_spec, BENCH_NOW),
+        rounds=1,
+        iterations=1,
+    )
+    monolithic = aggregate(
+        select(reduced, QUERY.predicate, BENCH_NOW), dict(QUERY.granularity)
+    )
+    synced = query_store(loaded_store, QUERY, BENCH_NOW)
+
+    stale = SubcubeStore(clickstream_mo, clickstream_spec)
+    stale.load(clickstream_facts)
+    stale.synchronize(BENCH_NOW - dt.timedelta(days=200))
+    lazy = query_store(stale, QUERY, BENCH_NOW, assume_synchronized=False)
+
+    def content(mo):
+        return sorted(
+            (row["Time"], row["URL"], row["Number_of"]) for row in mo_rows(mo)
+        )
+
+    assert content(monolithic) == content(synced) == content(lazy)
+    emit("B5 agreement", content(monolithic)[:6])

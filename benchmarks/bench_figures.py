@@ -1,0 +1,48 @@
+"""Experiment F1-F9 + T1/T2: regenerate every paper figure and table.
+
+Each benchmark times one figure's full regeneration from the engine and
+asserts the figure's headline content, so a semantics regression fails the
+bench even before anyone reads the numbers.
+"""
+
+import pytest
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.paper_example import build_paper_mo
+from repro.spec.parser import parse_action
+
+from conftest import emit
+
+
+def test_table_1_grammar(benchmark):
+    """T1: the Table 1 grammar — parse the paper's richest action."""
+    source = (
+        "p(a[Time.month, URL.domain] o[URL.domain_grp = '.com' AND "
+        "NOW - 12 months <= Time.month <= NOW - 6 months](O))"
+    )
+    action = benchmark(parse_action, source)
+    assert len(action.clist) == 2
+
+
+def test_table_2_example_mo(benchmark):
+    """T2: build the Appendix A MO from its Table 2 rows."""
+    mo = benchmark(build_paper_mo)
+    assert mo.n_facts == 7
+
+
+@pytest.mark.parametrize("number", sorted(ALL_FIGURES))
+def test_figure(benchmark, number):
+    figure = benchmark.pedantic(
+        ALL_FIGURES[number], rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert figure["figure"] == number
+    if number == 2:
+        assert figure["violations"], "Figure 2 must witness the violation"
+    if number == 3:
+        assert len(figure["snapshots"]["2000-11-05"]) == 4
+    if number == 5:
+        rows = {(r["Time"], r["URL"]): r["Dwell_time"] for r in figure["facts"]}
+        assert rows[("1999Q4", "cnn.com")] == 2489
+    if number == 9:
+        assert figure["answers_agree"]
+    emit(f"Figure {number}", [str(figure)[:160] + " ..."])

@@ -1,0 +1,124 @@
+"""Experiment B8: ablation of the varying-granularity query semantics.
+
+Compares the three selection approaches (conservative / liberal /
+weighted) and the three aggregation approaches (strict / LUB /
+availability) on the same reduced warehouse, asserting the containment
+and information-retention relationships the paper's Section 6 discussion
+predicts:
+
+* conservative answers are subsets of liberal answers;
+* weighted weights are 1 exactly on the conservative answer;
+* strict drops coarse facts, availability keeps everything, LUB keeps
+  everything at one (coarser) granularity.
+"""
+
+import pytest
+
+from repro.query.aggregation import AggregationApproach, aggregate
+from repro.query.compare import Approach
+from repro.query.selection import select, select_weighted
+from repro.reduction.reducer import reduce_mo
+
+from conftest import BENCH_NOW, emit
+
+# A week-level cutoff: month-granularity facts whose month straddles the
+# cutoff week are liberal-only, everything earlier is conservative.
+PREDICATE = "Time.week <= '2000W20'"
+
+
+@pytest.fixture(scope="module")
+def reduced(clickstream_mo, clickstream_spec):
+    return reduce_mo(clickstream_mo, clickstream_spec, BENCH_NOW)
+
+
+@pytest.mark.parametrize(
+    "approach", [Approach.CONSERVATIVE, Approach.LIBERAL]
+)
+def test_b8_selection_approaches(benchmark, reduced, approach):
+    result = benchmark.pedantic(
+        select, args=(reduced, PREDICATE, BENCH_NOW, approach), rounds=3, iterations=1
+    )
+    emit(f"B8 selection {approach.value}", [f"facts={result.n_facts}"])
+    assert result.n_facts > 0
+
+
+def test_b8_weighted_selection(benchmark, reduced):
+    result, weights = benchmark.pedantic(
+        select_weighted, args=(reduced, PREDICATE, BENCH_NOW), rounds=3, iterations=1
+    )
+    assert set(weights) == set(result.fact_ids)
+
+
+def test_b8_selection_containment(benchmark, reduced):
+    def run():
+        return (
+            select(reduced, PREDICATE, BENCH_NOW, Approach.CONSERVATIVE),
+            select(reduced, PREDICATE, BENCH_NOW, Approach.LIBERAL),
+            select_weighted(reduced, PREDICATE, BENCH_NOW)[1],
+        )
+
+    conservative, liberal, weights = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert conservative.fact_ids < liberal.fact_ids
+    assert set(weights) == set(liberal.fact_ids)
+    certain = {f for f, w in weights.items() if w == 1.0}
+    assert certain == set(conservative.fact_ids)
+    emit(
+        "B8 selection containment",
+        [
+            f"conservative={conservative.n_facts} "
+            f"liberal={liberal.n_facts} "
+            f"weighted(=1)={len(certain)}"
+        ],
+    )
+
+
+GRANULARITY = {"Time": "month", "URL": "domain"}
+
+
+@pytest.mark.parametrize(
+    "approach",
+    [
+        AggregationApproach.STRICT,
+        AggregationApproach.LUB,
+        AggregationApproach.AVAILABILITY,
+    ],
+)
+def test_b8_aggregation_approaches(benchmark, reduced, approach):
+    result = benchmark.pedantic(
+        aggregate, args=(reduced, GRANULARITY, approach), rounds=3, iterations=1
+    )
+    emit(
+        f"B8 aggregation {approach.value}",
+        [f"rows={result.n_facts} grans={sorted(set(result.granularity_histogram()))}"],
+    )
+    assert result.n_facts > 0
+
+
+def test_b8_aggregation_retention_shape(benchmark, reduced, clickstream_mo):
+    def run():
+        return (
+            aggregate(reduced, GRANULARITY, AggregationApproach.STRICT),
+            aggregate(reduced, GRANULARITY, AggregationApproach.LUB),
+            aggregate(reduced, GRANULARITY, AggregationApproach.AVAILABILITY),
+        )
+
+    strict, lub, availability = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = clickstream_mo.total("Number_of")
+    # Strict silently drops the coarse facts; the other two keep all data.
+    assert strict.total("Number_of") < total
+    assert lub.total("Number_of") == total
+    assert availability.total("Number_of") == total
+    # LUB answers at one uniform (coarser) granularity; availability mixes.
+    assert len(set(lub.granularity_histogram())) == 1
+    assert len(set(availability.granularity_histogram())) > 1
+    emit(
+        "B8 aggregation retention",
+        [
+            f"strict keeps {strict.total('Number_of')}/{total}",
+            f"lub granularities {sorted(set(lub.granularity_histogram()))}",
+            f"availability granularities "
+            f"{sorted(set(availability.granularity_histogram()))}",
+        ],
+    )

@@ -1,0 +1,70 @@
+"""Experiment B6: the SQLite star-schema backend.
+
+Times loading, SQL-side reduction, and GROUP-BY querying, and asserts the
+backend's storage profile matches the in-memory engine's — Section 7's
+point that the technique runs on standard warehouse technology.
+"""
+
+from repro.reduction.reducer import reduce_mo
+from repro.sql.loader import SqlWarehouse
+from repro.sql.query_sql import aggregate_rows, storage_profile
+from repro.sql.reducer_sql import reduce_warehouse
+
+from conftest import BENCH_NOW, emit
+
+
+def test_b6_load(benchmark, clickstream_mo):
+    warehouse = benchmark.pedantic(
+        SqlWarehouse.from_mo, args=(clickstream_mo,), rounds=2, iterations=1
+    )
+    assert warehouse.fact_count() == clickstream_mo.n_facts
+
+
+def test_b6_sql_reduction(benchmark, clickstream_mo, clickstream_spec):
+    def run():
+        warehouse = SqlWarehouse.from_mo(clickstream_mo)
+        reduce_warehouse(warehouse, clickstream_spec, BENCH_NOW)
+        return warehouse
+
+    warehouse = benchmark.pedantic(run, rounds=2, iterations=1)
+    profile = storage_profile(warehouse)
+    expected = reduce_mo(clickstream_mo, clickstream_spec, BENCH_NOW)
+    emit(
+        "B6 SQL reduction",
+        [
+            f"rows={profile['fact_rows']} sources={profile['source_facts']}",
+            f"histogram={profile['granularity_histogram']}",
+        ],
+    )
+    assert profile["fact_rows"] == expected.n_facts
+    assert profile["source_facts"] == clickstream_mo.n_facts
+
+
+def test_b6_sql_groupby_query(benchmark, clickstream_mo, clickstream_spec):
+    warehouse = SqlWarehouse.from_mo(
+        reduce_mo(clickstream_mo, clickstream_spec, BENCH_NOW)
+    )
+    rows = benchmark.pedantic(
+        aggregate_rows,
+        args=(warehouse, {"Time": "year", "URL": "domain_grp"}, BENCH_NOW),
+        rounds=5,
+        iterations=1,
+    )
+    emit("B6 SQL year/domain_grp rows", rows[:6])
+    total = sum(row["Number_of"] for row in rows)
+    assert total == clickstream_mo.n_facts
+
+
+def test_b6_sql_selective_query(benchmark, clickstream_mo, clickstream_spec):
+    warehouse = SqlWarehouse.from_mo(
+        reduce_mo(clickstream_mo, clickstream_spec, BENCH_NOW)
+    )
+    rows = benchmark.pedantic(
+        aggregate_rows,
+        args=(warehouse, {"Time": "quarter", "URL": "domain"}, BENCH_NOW),
+        kwargs={"predicate": "URL.domain_grp = '.com'"},
+        rounds=5,
+        iterations=1,
+    )
+    assert rows
+    assert all(row["URL"].endswith(".com") for row in rows)

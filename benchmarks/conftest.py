@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks double as experiment regenerators: each asserts the *shape* of
+the paper's claim (who wins, by roughly what factor) and records timings
+via pytest-benchmark.  Workload sizes are laptop-scale; the claims under
+test are relative, not absolute.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.spec.specification import ReductionSpecification
+from repro.workload import (
+    ClickstreamConfig,
+    build_clickstream_mo,
+    generate_clicks,
+    tiered_retention_actions,
+)
+
+BENCH_CONFIG = ClickstreamConfig(
+    start=dt.date(1999, 1, 1),
+    end=dt.date(2000, 12, 31),
+    domains_per_group=3,
+    urls_per_domain=3,
+    clicks_per_day=6,
+    seed=1234,
+)
+
+#: Evaluation time: two years after the stream starts.
+BENCH_NOW = dt.date(2001, 1, 15)
+
+
+@pytest.fixture(scope="session")
+def clickstream_mo():
+    return build_clickstream_mo(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def clickstream_spec(clickstream_mo):
+    return ReductionSpecification(
+        tiered_retention_actions(clickstream_mo, detail_months=3, month_years=2),
+        clickstream_mo.dimensions,
+    )
+
+
+@pytest.fixture(scope="session")
+def clickstream_facts(clickstream_mo):
+    mo = clickstream_mo
+    return [
+        (
+            fact_id,
+            dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+            {
+                name: mo.measure_value(fact_id, name)
+                for name in mo.schema.measure_names
+            },
+        )
+        for fact_id in sorted(mo.facts())
+    ]
+
+
+def emit(title: str, rows) -> None:
+    """Print an experiment's regenerated rows (visible with ``-s`` and in
+    the captured output of ``--benchmark-only`` runs)."""
+    print(f"\n== {title} ==")
+    for row in rows:
+        print("  ", row)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Beyond the core technique: the Section 8 extensions in action.
+
+The paper's conclusion proposes extending the framework to deletion of
+facts and to reduction in the number of dimensions and measures; it also
+names (but defers) a fourth, *disaggregated* query approach.  This demo
+exercises all of them on a click-stream workload, plus the explanation
+facility ("why is my data aggregated this way?").
+
+Run:  python examples/extensions_demo.py
+"""
+
+import datetime as dt
+
+from repro import (
+    DeletionAction,
+    ReductionSpecification,
+    aggregate_disaggregated,
+    drop_dimension,
+    drop_measure,
+    explain_mo,
+    reduce_mo,
+    reduce_with_deletion,
+    validate_mo,
+)
+from repro.spec.explain import describe_specification
+from repro.workload import (
+    ClickstreamConfig,
+    build_clickstream_mo,
+    tiered_retention_actions,
+)
+
+NOW = dt.date(2001, 1, 15)
+
+mo = build_clickstream_mo(
+    ClickstreamConfig(
+        start=dt.date(1999, 1, 1),
+        end=dt.date(2000, 12, 31),
+        domains_per_group=2,
+        urls_per_domain=2,
+        clicks_per_day=4,
+        seed=55,
+    )
+)
+spec = ReductionSpecification(
+    tiered_retention_actions(mo, detail_months=3, month_years=2),
+    mo.dimensions,
+)
+print(f"Workload: {mo.n_facts} clicks; integrity issues: {len(validate_mo(mo))}")
+print("Policy:")
+for line in describe_specification(spec):
+    print(f"  {line}")
+
+# ----------------------------------------------------------------------
+# 1. Deletion actions: age out 1998-and-older data entirely.
+# ----------------------------------------------------------------------
+
+purge = DeletionAction.parse(
+    mo.schema,
+    "a[Time.T, URL.T] o[Time.year <= NOW - 2 years]",
+    "purge_old",
+)
+plain = reduce_mo(mo, spec, NOW)
+with_deletion, deleted = reduce_with_deletion(mo, spec, [purge], NOW)
+print(
+    f"\n1. Deletion: aggregation alone keeps {plain.n_facts} facts; "
+    f"adding {purge.name!r} deletes {len(deleted)} sources and keeps "
+    f"{with_deletion.n_facts}."
+)
+
+# ----------------------------------------------------------------------
+# 2. Dimension and measure reduction.
+# ----------------------------------------------------------------------
+
+no_url = drop_dimension(plain, "URL")
+slim = drop_measure(no_url, "Datasize")
+print(
+    f"2. Dropping the URL dimension merges {plain.n_facts} facts into "
+    f"{no_url.n_facts}; dropping Datasize leaves measures "
+    f"{slim.schema.measure_names}."
+)
+
+# ----------------------------------------------------------------------
+# 3. Disaggregated querying: month-level answers from year-level data.
+# ----------------------------------------------------------------------
+
+rows = aggregate_disaggregated(plain, {"Time": "month", "URL": "domain_grp"})
+imprecise = [r for r in rows if max(r.imprecision.values()) > 0]
+print(
+    f"3. Disaggregated a[month, domain_grp]: {len(rows)} cells, of which "
+    f"{len(imprecise)} are estimates (imputed from coarser data)."
+)
+sample = imprecise[0]
+print(
+    f"   e.g. {sample.cell}: Number_of={sample.values['Number_of']:.1f} "
+    f"(imprecision {sample.imprecision['Number_of']:.0%})"
+)
+
+# ----------------------------------------------------------------------
+# 4. Explanations.
+# ----------------------------------------------------------------------
+
+print("\n4. Why is the data aggregated this way? (first 4 facts)")
+for explanation in explain_mo(plain, spec, NOW)[:4]:
+    print(f"   {explanation}")

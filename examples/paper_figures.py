@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper from the engine and print it.
+
+Run:  python examples/paper_figures.py [figure-number ...]
+"""
+
+import sys
+
+from repro.experiments.figures import ALL_FIGURES, render
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        try:
+            numbers = sorted({int(arg) for arg in argv})
+        except ValueError:
+            print(f"usage: {sys.argv[0]} [figure-number ...]")
+            return 2
+        unknown = [n for n in numbers if n not in ALL_FIGURES]
+        if unknown:
+            print(f"no such figures: {unknown}; available: {sorted(ALL_FIGURES)}")
+            return 2
+    else:
+        numbers = sorted(ALL_FIGURES)
+    for number in numbers:
+        print(render(ALL_FIGURES[number]()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

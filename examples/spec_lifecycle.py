@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The dynamics of a reduction specification (Sections 4.3 and 5).
+
+Walks through the paper's soundness machinery interactively:
+
+1. a shrinking action alone is rejected (Growing violation, Figure 2);
+2. inserted together with its catcher it is accepted;
+3. a crossing action is rejected (NonCrossing, the a2/a3 example);
+4. the NOW-relative action a7 is retired by first inserting the fixed a8
+   and then deleting a7 (the Section 5.1 deletion example);
+5. action classification (fixed / growing / shrinking, categories A-F).
+
+Run:  python examples/spec_lifecycle.py
+"""
+
+import datetime as dt
+
+from repro import (
+    Action,
+    ReductionSpecification,
+    SpecificationUpdateRejected,
+    classify_action,
+    reduce_mo,
+)
+from repro.experiments.paper_example import (
+    action_a1,
+    action_a2,
+    action_a3,
+    action_a7,
+    action_a8,
+    build_paper_mo,
+)
+
+mo = build_paper_mo()
+a1, a2 = action_a1(mo), action_a2(mo)
+
+# ----------------------------------------------------------------------
+# 1. A shrinking action alone violates Growing.
+# ----------------------------------------------------------------------
+
+print("1. Trying to install {a1} alone ...")
+empty = ReductionSpecification((), mo.dimensions)
+kept, violations = empty.try_insert([a1])
+print(f"   rejected with: {violations[0]}")
+assert kept is empty
+
+# ----------------------------------------------------------------------
+# 2. Atomic insertion of the pair succeeds.
+# ----------------------------------------------------------------------
+
+print("\n2. Inserting {a1, a2} as one set ...")
+spec = empty.insert([a1, a2])
+print(f"   accepted: {spec.action_names}")
+
+# ----------------------------------------------------------------------
+# 3. A crossing action is refused.
+# ----------------------------------------------------------------------
+
+print("\n3. Trying to insert the paper's crossing action a3 ...")
+a3 = action_a3(mo)
+try:
+    spec.insert([a3])
+except SpecificationUpdateRejected as exc:
+    print(f"   rejected: {exc}")
+
+# ----------------------------------------------------------------------
+# 4. Retiring a NOW-relative action (the a7/a8 example).
+# ----------------------------------------------------------------------
+
+print("\n4. Retiring the NOW-relative a7 after installing the fixed a8 ...")
+at = dt.date(2000, 12, 15)
+spec47 = ReductionSpecification((action_a7(mo),), mo.dimensions)
+reduced = reduce_mo(mo, spec47, at)
+print(f"   a7 has reduced the warehouse to {reduced.n_facts} facts")
+
+kept, problems = spec47.try_delete(["a7"], reduced, at)
+print(f"   deleting a7 now fails: {problems[0]}")
+
+spec478 = spec47.insert([action_a8(mo)])
+final = spec478.delete(["a7"], reduced, at)
+print(f"   after inserting a8, deletion succeeds: {final.action_names}")
+
+# ----------------------------------------------------------------------
+# 5. Classification (Section 5.3's categories).
+# ----------------------------------------------------------------------
+
+print("\n5. Action classification:")
+samples = {
+    "a1 (sliding window)": a1,
+    "a2 (open past)": a2,
+    "a8 (fixed)": action_a8(mo),
+    "equality on NOW": Action.parse(
+        mo.schema,
+        "a[Time.month, URL.domain] o[Time.month = NOW - 6 months]",
+        "eq_now",
+    ),
+}
+for label, action in samples.items():
+    result = classify_action(action)
+    print(
+        f"   {label:<22} -> {result.action_class.value:<9} "
+        f"(paper category {result.letter})"
+    )

@@ -1,0 +1,22 @@
+"""Comparison baselines for the storage/accuracy benchmarks.
+
+The paper positions specification-based *aggregation* against simpler
+retention schemes; these baselines implement the alternatives its related
+-work section discusses so the benchmark harness can compare:
+
+* :mod:`no_reduction` — keep everything (the status quo the paper argues
+  is unsustainable);
+* :mod:`vacuuming` — delete old detail outright (Skyt & Jensen [16]);
+* :mod:`view_expiry` — keep a fixed materialized aggregate view and
+  expire the base data feeding it (Garcia-Molina et al. [6]).
+"""
+
+from .no_reduction import NoReductionBaseline
+from .vacuuming import VacuumingBaseline
+from .view_expiry import ViewExpiryBaseline
+
+__all__ = [
+    "NoReductionBaseline",
+    "VacuumingBaseline",
+    "ViewExpiryBaseline",
+]

@@ -1,0 +1,29 @@
+"""Baseline: no reduction at all — the warehouse keeps every detail fact."""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..core.mo import MultidimensionalObject
+
+
+class NoReductionBaseline:
+    """Keep everything; storage grows linearly with load."""
+
+    name = "no-reduction"
+
+    def __init__(self, mo: MultidimensionalObject) -> None:
+        self._mo = mo
+
+    @property
+    def mo(self) -> MultidimensionalObject:
+        return self._mo
+
+    def advance_to(self, now: _dt.date) -> MultidimensionalObject:
+        return self._mo
+
+    def fact_count(self) -> int:
+        return self._mo.n_facts
+
+    def total(self, measure: str):
+        return self._mo.total(measure)

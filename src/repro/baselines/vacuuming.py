@@ -1,0 +1,62 @@
+"""Baseline: deletion-based vacuuming (the paper's reference [16]).
+
+Facts older than a cutoff are physically deleted — maximal storage
+savings, but the high-level information is lost with them.  The storage
+benchmark contrasts this with specification-based aggregation, which
+keeps exact higher-level aggregates at a modest storage premium.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..core.mo import MultidimensionalObject
+from ..timedim.spans import TimeSpan
+
+
+class VacuumingBaseline:
+    """Delete every fact whose time value lies before ``NOW - horizon``."""
+
+    name = "vacuuming"
+
+    def __init__(
+        self,
+        mo: MultidimensionalObject,
+        time_dimension: str,
+        horizon: TimeSpan,
+    ) -> None:
+        self._mo = mo
+        self._time_dimension = time_dimension
+        self._horizon = horizon
+
+    @property
+    def mo(self) -> MultidimensionalObject:
+        return self._mo
+
+    def advance_to(self, now: _dt.date) -> MultidimensionalObject:
+        from ..timedim.calendar import day_value
+
+        cutoff = day_value(self._horizon.subtract_from(now))
+        dimension = self._mo.dimensions[self._time_dimension]
+        bottom = dimension.bottom_category
+        doomed = [
+            fact_id
+            for fact_id in self._mo.facts()
+            if dimension.try_ancestor_at(
+                self._mo.direct_value(fact_id, self._time_dimension), bottom
+            )
+            is not None
+            and dimension.ancestor_at(
+                self._mo.direct_value(fact_id, self._time_dimension), bottom
+            )
+            < cutoff
+        ]
+        for fact_id in doomed:
+            self._mo.delete_fact(fact_id)
+        return self._mo
+
+    def fact_count(self) -> int:
+        return self._mo.n_facts
+
+    def total(self, measure: str):
+        return self._mo.total(measure)

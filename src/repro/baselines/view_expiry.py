@@ -1,0 +1,99 @@
+"""Baseline: materialized-view expiry (Garcia-Molina et al., reference [6]).
+
+One fixed aggregate view (a chosen granularity) is maintained for all
+data; base facts older than a cutoff are expired (deleted) once their
+contribution is folded into the view.  Unlike the paper's technique the
+level of detail is fixed up-front and cannot vary with age.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Mapping
+
+from ..core.facts import Provenance, aggregate_fact_id
+from ..core.mo import MultidimensionalObject
+from ..timedim.spans import TimeSpan
+
+
+class ViewExpiryBaseline:
+    """Maintain ``a[view_granularity](O)`` and expire old base facts."""
+
+    name = "view-expiry"
+
+    def __init__(
+        self,
+        mo: MultidimensionalObject,
+        time_dimension: str,
+        horizon: TimeSpan,
+        view_granularity: Mapping[str, str],
+    ) -> None:
+        self._mo = mo
+        self._time_dimension = time_dimension
+        self._horizon = horizon
+        self._view_granularity = mo.schema.validate_granularity(
+            dict(view_granularity)
+        )
+
+    @property
+    def mo(self) -> MultidimensionalObject:
+        return self._mo
+
+    def advance_to(self, now: _dt.date) -> MultidimensionalObject:
+        from ..timedim.calendar import day_value
+
+        cutoff = day_value(self._horizon.subtract_from(now))
+        dimension = self._mo.dimensions[self._time_dimension]
+        bottom = dimension.bottom_category
+        names = self._mo.schema.dimension_names
+
+        expiring: dict[tuple[str, ...], list[str]] = {}
+        for fact_id in self._mo.facts():
+            direct = self._mo.direct_value(fact_id, self._time_dimension)
+            day = dimension.try_ancestor_at(direct, bottom)
+            if day is None or day >= cutoff:
+                continue
+            cell = []
+            for name, category in zip(names, self._view_granularity):
+                value = self._mo.characterizing_value(fact_id, name, category)
+                if value is None:
+                    value = self._mo.direct_value(fact_id, name)
+                cell.append(value)
+            expiring.setdefault(tuple(cell), []).append(fact_id)
+
+        for cell, members in expiring.items():
+            measures = {
+                name: self._mo.measures[name].aggregate_over(members)
+                for name in self._mo.schema.measure_names
+            }
+            provenance = Provenance()
+            for member in members:
+                provenance = provenance.merge(self._mo.provenance(member))
+                self._mo.delete_fact(member)
+            view_id = aggregate_fact_id(("view", *cell))
+            if view_id in self._mo:
+                merged = {
+                    name: self._mo.measures[name].aggregate(
+                        [self._mo.measure_value(view_id, name), measures[name]]
+                    )
+                    for name in self._mo.schema.measure_names
+                }
+                existing = self._mo.provenance(view_id)
+                self._mo.delete_fact(view_id)
+                self._mo.insert_aggregate_fact(
+                    view_id,
+                    dict(zip(names, cell)),
+                    merged,
+                    existing.merge(provenance),
+                )
+            else:
+                self._mo.insert_aggregate_fact(
+                    view_id, dict(zip(names, cell)), measures, provenance
+                )
+        return self._mo
+
+    def fact_count(self) -> int:
+        return self._mo.n_facts
+
+    def total(self, measure: str):
+        return self._mo.total(measure)

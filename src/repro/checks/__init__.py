@@ -1,0 +1,33 @@
+"""Semantic soundness checks: NonCrossing, Growing, and their prover."""
+
+from .classify import (
+    ActionClass,
+    Classification,
+    classify_action,
+    classify_profile,
+    is_growing_action,
+)
+from .growing import GrowingCheckViolation, check_growing, is_growing
+from .noncrossing import (
+    CrossingViolation,
+    check_noncrossing,
+    is_noncrossing,
+    noncrossing_pair,
+)
+from .prover import ProverConfig
+
+__all__ = [
+    "ActionClass",
+    "Classification",
+    "CrossingViolation",
+    "GrowingCheckViolation",
+    "ProverConfig",
+    "check_growing",
+    "check_noncrossing",
+    "classify_action",
+    "classify_profile",
+    "is_growing",
+    "is_growing_action",
+    "is_noncrossing",
+    "noncrossing_pair",
+]

@@ -1,0 +1,94 @@
+"""Classification of actions as fixed, growing, or shrinking (Section 4.3).
+
+The paper sorts action predicates into categories A–H by how their time
+boundaries move with ``NOW``:
+
+==========  =============================================  ==========
+categories  boundary shape                                  class
+==========  =============================================  ==========
+A           fixed boundaries only                           fixed
+B, C        one increasing/decreasing open boundary         growing
+D, E        one fixed + one moving-outward boundary         growing
+F, G, H     a boundary moving *inward* over time            shrinking
+==========  =============================================  ==========
+
+In the paper's (and our) term language, ``NOW - span`` bounds always move
+*forward* as time passes, so an upper bound built from it grows the
+selected set (B/D) while a lower bound shrinks it (F); the
+decreasing-lower / decreasing-upper shapes (C, E, G) and hence H are not
+expressible.  We still report the letter so diagnostics match the paper's
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..spec.action import Action
+from ..spec.ranges import ConjunctProfile, profiles_of
+
+_INF = float("inf")
+
+
+class ActionClass(enum.Enum):
+    """Whether an action's selected set is fixed, growing, or shrinking."""
+
+    FIXED = "fixed"
+    GROWING = "growing"
+    SHRINKING = "shrinking"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Class and paper letter-category of one conjunct."""
+
+    action_class: ActionClass
+    letter: str
+
+    @property
+    def is_shrinking(self) -> bool:
+        return self.action_class is ActionClass.SHRINKING
+
+
+def classify_profile(profile: ConjunctProfile) -> Classification:
+    """Classify one conjunct's range profile."""
+    window = profile.window
+    if profile.is_shrinking():
+        # An increasing lower boundary; with a moving upper bound as well
+        # the paper's closest letter is still F (H needs a *decreasing*
+        # upper bound, inexpressible here).
+        return Classification(ActionClass.SHRINKING, "F")
+    if not window.has_rel:
+        return Classification(ActionClass.FIXED, "A")
+    has_fixed_lower = window.abs_lo != -_INF
+    if window.rel_hi != _INF:
+        letter = "D" if has_fixed_lower else "B"
+        return Classification(ActionClass.GROWING, letter)
+    # A NOW-relative bound was seen but contributes no finite edge after
+    # tightening (e.g. it was subsumed); the selected set cannot shrink.
+    return Classification(ActionClass.GROWING, "B")
+
+
+def classify_action(action: Action) -> Classification:
+    """The weakest classification across the action's DNF conjuncts.
+
+    An action is shrinking as soon as *any* conjunct shrinks; it is fixed
+    only when every conjunct is.
+    """
+    results = [classify_profile(p) for p in profiles_of(action)]
+    if not results:
+        return Classification(ActionClass.FIXED, "A")
+    if any(r.action_class is ActionClass.SHRINKING for r in results):
+        return next(
+            r for r in results if r.action_class is ActionClass.SHRINKING
+        )
+    if any(r.action_class is ActionClass.GROWING for r in results):
+        return next(r for r in results if r.action_class is ActionClass.GROWING)
+    return results[0]
+
+
+def is_growing_action(action: Action) -> bool:
+    """Theorem 1's fast path: a non-shrinking action never endangers the
+    Growing property of a specification that already satisfies it."""
+    return classify_action(action).action_class is not ActionClass.SHRINKING

@@ -1,0 +1,301 @@
+"""A bounded decision procedure for specification predicates.
+
+The paper discharges its predicate satisfiability and implication checks
+to the PVS theorem prover (Sections 5.2–5.3).  This module substitutes a
+decision procedure specialized to the actual predicate fragment — after
+DNF splitting, conjunctions of per-dimension range atoms:
+
+* **time atoms** reduce, at each concrete evaluation time, to *exact*
+  day-ordinal intervals (:func:`repro.spec.ranges.window_at`);
+* **categorical atoms** ground to finite bottom-value regions against the
+  dimension instances (:func:`repro.spec.ranges.bottom_region`) — the
+  counterpart of the paper giving PVS "knowledge of the domain of the URL
+  dimension";
+* the time variable is handled by *bounded sampling*: properties are
+  verified exactly at every day of a horizon wide enough to contain all
+  absolute bounds, all NOW-offsets, and several calendar cycles.
+
+For the NOW-relative fragment the satisfiability pattern is eventually
+periodic in the evaluation time, so a multi-year horizon decides the
+paper's examples exactly; the horizon is configurable and recorded in the
+result for auditability.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.dimension import Dimension
+from ..errors import SpecSemanticsError
+from ..spec.ranges import (
+    ConjunctProfile,
+    bottom_region,
+    window_at,
+    windows_intersect,
+)
+
+_INF = float("inf")
+
+#: Default evaluation-time reference when no absolute bound anchors one.
+DEFAULT_REFERENCE = _dt.date(2001, 1, 1)
+
+#: Default number of years sampled around the anchor.
+DEFAULT_HORIZON_YEARS = 4
+
+#: Cap on enumerated categorical product cells in coverage checks.
+DEFAULT_REGION_CAP = 50_000
+
+
+@dataclass
+class ProverConfig:
+    """Tunables of the bounded decision procedure."""
+
+    reference: _dt.date = DEFAULT_REFERENCE
+    horizon_years: int = DEFAULT_HORIZON_YEARS
+    region_cap: int = DEFAULT_REGION_CAP
+    sample_step_days: int = 1
+
+
+def sample_times(
+    profiles: Sequence[ConjunctProfile], config: ProverConfig
+) -> list[_dt.date]:
+    """The evaluation times at which properties are verified exactly.
+
+    The horizon spans all absolute day bounds found in the profiles,
+    padded by the largest NOW-offset plus one year on each side, and is at
+    least ``horizon_years`` wide around the reference date.
+    """
+    abs_days: list[float] = []
+    max_offset = 0.0
+    for profile in profiles:
+        window = profile.window
+        for bound in (window.abs_lo, window.abs_hi):
+            if bound not in (-_INF, _INF):
+                abs_days.append(bound)
+        for bound in (window.rel_lo, window.rel_hi):
+            if bound not in (-_INF, _INF):
+                max_offset = max(max_offset, abs(bound))
+    pad = int(max_offset) + 366
+    ref = config.reference.toordinal()
+    half = (config.horizon_years * 366) // 2
+    lo = ref - half
+    hi = ref + half
+    if abs_days:
+        lo = min(lo, int(min(abs_days)) - pad)
+        hi = max(hi, int(max(abs_days)) + pad)
+    step = max(1, config.sample_step_days)
+    return [
+        _dt.date.fromordinal(day) for day in range(lo, hi + 1, step)
+    ]
+
+
+def time_independent(profile: ConjunctProfile) -> bool:
+    """Whether the conjunct's time atoms are free of the NOW variable."""
+    return not profile.window.has_rel and not profile.shrinking_edges
+
+
+# ----------------------------------------------------------------------
+# Categorical reasoning
+# ----------------------------------------------------------------------
+
+def categorical_regions(
+    profile: ConjunctProfile,
+    dimensions: Mapping[str, Dimension] | None,
+) -> dict[str, frozenset[str] | None]:
+    """Grounded bottom-value region per non-time dimension.
+
+    ``None`` means unconstrained.  Without a dimension instance a
+    constrained dimension cannot be grounded, which the callers treat
+    conservatively (assume overlap; refuse coverage).
+    """
+    from ..spec.action import is_time_dimension_type
+
+    regions: dict[str, frozenset[str] | None] = {}
+    for name in profile.action.schema.dimension_names:
+        if name == profile.time_dimension or is_time_dimension_type(
+            profile.action.schema.dimension_type(name)
+        ):
+            continue
+        constraints = profile.categorical_for(name)
+        if not constraints:
+            regions[name] = None
+            continue
+        if dimensions is None or name not in dimensions:
+            regions[name] = _SYMBOLIC
+            continue
+        regions[name] = bottom_region(profile, dimensions[name])
+    return regions
+
+
+class _Symbolic(frozenset):
+    """Marker: a constrained region that could not be grounded."""
+
+
+_SYMBOLIC = _Symbolic()
+
+
+def regions_overlap(
+    a: Mapping[str, frozenset[str] | None],
+    b: Mapping[str, frozenset[str] | None],
+) -> bool:
+    """Could some bottom cell satisfy both categorical regions?
+
+    Sound over-approximation: ungrounded (symbolic) regions count as
+    overlapping.
+    """
+    for name in set(a) | set(b):
+        ra = a.get(name)
+        rb = b.get(name)
+        if isinstance(ra, _Symbolic) or isinstance(rb, _Symbolic):
+            continue
+        if ra is None or rb is None:
+            continue
+        if not (ra & rb):
+            return False
+        if not ra or not rb:
+            return False
+    return True
+
+
+def enumerate_region_product(
+    regions: Mapping[str, frozenset[str] | None],
+    dimensions: Mapping[str, Dimension] | None,
+    cap: int,
+) -> list[dict[str, str]] | None:
+    """All bottom cells of the non-time region, or ``None`` when the
+    product cannot be enumerated (symbolic region or above *cap*)."""
+    names: list[str] = []
+    value_sets: list[Sequence[str]] = []
+    size = 1
+    for name, region in regions.items():
+        if isinstance(region, _Symbolic):
+            return None
+        if region is None:
+            if dimensions is None or name not in dimensions:
+                return None
+            region = dimensions[name].values(dimensions[name].bottom_category)
+        names.append(name)
+        values = sorted(region)
+        value_sets.append(values)
+        size *= max(1, len(values))
+        if size > cap:
+            return None
+        if not values:
+            return []
+    return [
+        dict(zip(names, combo)) for combo in itertools.product(*value_sets)
+    ]
+
+
+def cell_in_region(
+    cell: Mapping[str, str],
+    regions: Mapping[str, frozenset[str] | None],
+) -> bool:
+    """Does a bottom cell lie inside a categorical region?
+
+    Symbolic regions fail closed (the catcher cannot be *proved* to cover
+    the cell).
+    """
+    for name, region in regions.items():
+        if isinstance(region, _Symbolic):
+            return False
+        if region is None:
+            continue
+        if cell.get(name) not in region:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Satisfiability / overlap
+# ----------------------------------------------------------------------
+
+def profiles_overlap(
+    p1: ConjunctProfile,
+    p2: ConjunctProfile,
+    dimensions: Mapping[str, Dimension] | None = None,
+    config: ProverConfig | None = None,
+) -> bool:
+    """Decide ``exists t: Pred(p1, t) and Pred(p2, t) nonempty``.
+
+    Exact on the sampled horizon; errs on the side of ``True`` (overlap)
+    whenever grounding information is missing, which makes the NonCrossing
+    checker reject rather than accept in the unclear cases.
+    """
+    config = config or ProverConfig()
+    r1 = categorical_regions(p1, dimensions)
+    r2 = categorical_regions(p2, dimensions)
+    if not regions_overlap(r1, r2):
+        return False
+    if not p1.time_atoms and not p2.time_atoms:
+        return True
+    if time_independent(p1) and time_independent(p2):
+        # No NOW variable: one evaluation decides (line 3 of the paper's
+        # noncrossing algorithm).
+        t = config.reference
+        return windows_intersect(window_at(p1, t), window_at(p2, t))
+    for t in sample_times((p1, p2), config):
+        if windows_intersect(window_at(p1, t), window_at(p2, t)):
+            return True
+    return False
+
+
+def actions_overlap(
+    profiles_a: Iterable[ConjunctProfile],
+    profiles_b: Iterable[ConjunctProfile],
+    dimensions: Mapping[str, Dimension] | None = None,
+    config: ProverConfig | None = None,
+) -> bool:
+    """Overlap between two actions == overlap of any conjunct pair."""
+    list_b = list(profiles_b)
+    return any(
+        profiles_overlap(pa, pb, dimensions, config)
+        for pa in profiles_a
+        for pb in list_b
+    )
+
+
+# ----------------------------------------------------------------------
+# Interval-union coverage (used by the Growing check)
+# ----------------------------------------------------------------------
+
+def interval_covered(
+    target: tuple[float, float],
+    pieces: Iterable[tuple[float, float] | None],
+) -> bool:
+    """Is the day interval *target* contained in the union of *pieces*?"""
+    lo, hi = target
+    if lo > hi:
+        return True
+    concrete: list[tuple[float, float]] = []
+    for piece in pieces:
+        if piece is None:
+            return True
+        if piece[0] <= piece[1]:
+            concrete.append(piece)
+    concrete.sort()
+    cursor = lo
+    for p_lo, p_hi in concrete:
+        if p_lo > cursor:
+            return False
+        if p_hi >= cursor:
+            cursor = p_hi + 1
+            if cursor > hi:
+                return True
+    return cursor > hi
+
+
+def require_dimensions(
+    dimensions: Mapping[str, Dimension] | None, context: str
+) -> Mapping[str, Dimension]:
+    """Demand dimension instances for checks that must ground predicates."""
+    if dimensions is None:
+        raise SpecSemanticsError(
+            f"{context}: dimension instances are required to ground "
+            "categorical predicates (the finite-domain analogue of the "
+            "paper's PVS domain knowledge)"
+        )
+    return dimensions

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figures [N ...]``
+    Regenerate the paper's figures (all by default) and print them.
+
+``demo``
+    Run the quickstart scenario: build the paper's example MO, install
+    ``{a1, a2}``, and print the Figure 3 snapshots.
+
+``check SPEC_FILE --mo MO_FILE``
+    Validate a specification file (NonCrossing + Growing) against the
+    dimensions of an MO document; exit status 1 on violations.
+
+``reduce MO_FILE SPEC_FILE --at YYYY-MM-DD [-o OUT_FILE]``
+    Apply a reduction specification to a stored MO at a given date and
+    write the reduced MO (stdout by default).
+
+``stats MO_FILE``
+    Print fact counts, granularity histogram, and storage estimate.
+
+``explain MO_FILE SPEC_FILE --at YYYY-MM-DD``
+    For every fact: which action caused its aggregation level, which
+    source facts it stands for, and when it will next move.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import json
+import sys
+from typing import Sequence
+
+from .errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for all ``python -m repro`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Specification-based data reduction in dimensional data "
+            "warehouses (Skyt, Jensen & Pedersen, ICDE 2002)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("numbers", nargs="*", type=int)
+
+    sub.add_parser("demo", help="run the paper's running example")
+
+    check = sub.add_parser("check", help="validate a specification file")
+    check.add_argument("spec_file")
+    check.add_argument("--mo", required=True, dest="mo_file")
+
+    reduce_cmd = sub.add_parser("reduce", help="reduce a stored MO")
+    reduce_cmd.add_argument("mo_file")
+    reduce_cmd.add_argument("spec_file")
+    reduce_cmd.add_argument("--at", required=True)
+    reduce_cmd.add_argument("-o", "--output")
+
+    stats = sub.add_parser("stats", help="storage statistics of a stored MO")
+    stats.add_argument("mo_file")
+
+    explain = sub.add_parser(
+        "explain", help="explain why facts are aggregated the way they are"
+    )
+    explain.add_argument("mo_file")
+    explain.add_argument("spec_file")
+    explain.add_argument("--at", required=True)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    arguments = build_parser().parse_args(argv)
+    try:
+        if arguments.command == "figures":
+            return _figures(arguments.numbers)
+        if arguments.command == "demo":
+            return _demo()
+        if arguments.command == "check":
+            return _check(arguments.spec_file, arguments.mo_file)
+        if arguments.command == "reduce":
+            return _reduce(
+                arguments.mo_file,
+                arguments.spec_file,
+                arguments.at,
+                arguments.output,
+            )
+        if arguments.command == "stats":
+            return _stats(arguments.mo_file)
+        return _explain(arguments.mo_file, arguments.spec_file, arguments.at)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _figures(numbers: list[int]) -> int:
+    from .experiments.figures import ALL_FIGURES, render
+
+    wanted = sorted(set(numbers)) if numbers else sorted(ALL_FIGURES)
+    unknown = [n for n in wanted if n not in ALL_FIGURES]
+    if unknown:
+        print(f"error: no such figures {unknown}", file=sys.stderr)
+        return 2
+    for number in wanted:
+        print(render(ALL_FIGURES[number]()))
+        print()
+    return 0
+
+
+def _demo() -> int:
+    from .experiments.paper_example import (
+        SNAPSHOT_TIMES,
+        build_paper_mo,
+        paper_specification,
+    )
+    from .query.algebra import mo_rows
+    from .reduction.reducer import reduce_mo
+
+    mo = build_paper_mo()
+    specification = paper_specification(mo)
+    print(f"Example MO: {mo.n_facts} facts")
+    for action in specification:
+        print(f"  {action}")
+    for at in SNAPSHOT_TIMES:
+        reduced = reduce_mo(mo, specification, at)
+        print(f"\nreduced at {at}: {reduced.n_facts} facts")
+        for row in mo_rows(reduced):
+            print(f"  {row['Time']:<12} {row['URL']:<28} n={row['Number_of']}")
+    return 0
+
+
+def _check(spec_file: str, mo_file: str) -> int:
+    from .io import load_mo, load_specification
+
+    with open(mo_file) as stream:
+        mo = load_mo(stream)
+    with open(spec_file) as stream:
+        specification = load_specification(
+            stream, mo.schema, mo.dimensions, validate=False
+        )
+    violations = specification.violations()
+    if violations:
+        print(f"specification is NOT sound ({len(violations)} violations):")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(
+        f"specification is sound: {len(specification)} actions, "
+        "NonCrossing and Growing hold"
+    )
+    return 0
+
+
+def _reduce(mo_file: str, spec_file: str, at: str, output: str | None) -> int:
+    from .io import dump_mo, load_mo, load_specification
+    from .reduction.reducer import reduce_mo
+
+    when = dt.date.fromisoformat(at)
+    with open(mo_file) as stream:
+        mo = load_mo(stream)
+    with open(spec_file) as stream:
+        specification = load_specification(stream, mo.schema, mo.dimensions)
+    reduced = reduce_mo(mo, specification, when)
+    print(
+        f"reduced {mo.n_facts} facts to {reduced.n_facts} at {when}",
+        file=sys.stderr,
+    )
+    if output:
+        with open(output, "w") as stream:
+            dump_mo(reduced, stream)
+    else:
+        dump_mo(reduced, sys.stdout)
+        print()
+    return 0
+
+
+def _stats(mo_file: str) -> int:
+    from .experiments.metrics import estimated_fact_bytes
+    from .io import load_mo
+
+    with open(mo_file) as stream:
+        mo = load_mo(stream)
+    histogram = {
+        "/".join(granularity): count
+        for granularity, count in sorted(mo.granularity_histogram().items())
+    }
+    sources = sum(len(mo.provenance(f)) for f in mo.facts())
+    print(
+        json.dumps(
+            {
+                "facts": mo.n_facts,
+                "source_facts": sources,
+                "estimated_fact_bytes": estimated_fact_bytes(mo),
+                "granularities": histogram,
+                "measures": list(mo.schema.measure_names),
+            },
+            indent=1,
+        )
+    )
+    return 0
+
+
+def _explain(mo_file: str, spec_file: str, at: str) -> int:
+    from .io import load_mo, load_specification
+    from .spec.explain import describe_specification, explain_mo
+
+    when = dt.date.fromisoformat(at)
+    with open(mo_file) as stream:
+        mo = load_mo(stream)
+    with open(spec_file) as stream:
+        specification = load_specification(stream, mo.schema, mo.dimensions)
+    print("Policy:")
+    for line in describe_specification(specification):
+        print(f"  {line}")
+    print(f"\nFacts at {when}:")
+    for explanation in explain_mo(mo, specification, when):
+        print(f"  {explanation}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""The multidimensional data model of Section 3.
+
+Public surface: hierarchies, dimension types and instances, fact schemas,
+measures, multidimensional objects, and fluent builders.
+"""
+
+from .builder import (
+    MOBuilder,
+    dimension_from_rows,
+    dimension_type_from_chains,
+)
+from .dimension import ALL_VALUE, Dimension
+from .facts import FactDimensionRelation, Provenance, aggregate_fact_id
+from .hierarchy import TOP, Hierarchy, is_top
+from .measures import (
+    AggregateFunction,
+    COUNT,
+    MAX,
+    MIN,
+    Measure,
+    SUM,
+    register_aggregate,
+    resolve_aggregate,
+)
+from .mo import MultidimensionalObject, unknown_coordinates
+from .schema import DimensionType, FactSchema, MeasureType
+from .validate import ValidationIssue, is_valid_mo, validate_mo
+
+__all__ = [
+    "ALL_VALUE",
+    "AggregateFunction",
+    "COUNT",
+    "Dimension",
+    "DimensionType",
+    "FactDimensionRelation",
+    "FactSchema",
+    "Hierarchy",
+    "MAX",
+    "MIN",
+    "MOBuilder",
+    "Measure",
+    "MeasureType",
+    "MultidimensionalObject",
+    "Provenance",
+    "SUM",
+    "TOP",
+    "ValidationIssue",
+    "aggregate_fact_id",
+    "dimension_from_rows",
+    "dimension_type_from_chains",
+    "is_top",
+    "is_valid_mo",
+    "register_aggregate",
+    "resolve_aggregate",
+    "unknown_coordinates",
+    "validate_mo",
+]

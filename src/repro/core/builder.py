@@ -1,0 +1,149 @@
+"""Fluent builders for dimensions and multidimensional objects.
+
+The formal model is verbose to instantiate by hand; these builders let
+examples, tests, and workload generators construct MOs from the same kind
+of flat rows the paper's Table 2 uses (one row per bottom value with one
+column per category).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import DimensionError, SchemaError
+from .dimension import Dimension, Normalizer, SortKey
+from .hierarchy import TOP, Hierarchy
+from .measures import resolve_aggregate
+from .mo import MultidimensionalObject
+from .schema import DimensionType, FactSchema, MeasureType
+
+
+def dimension_type_from_chains(
+    name: str, chains: Sequence[Sequence[str]]
+) -> DimensionType:
+    """Build a dimension type from bottom-up category chains.
+
+    Each chain lists categories from finest to coarsest; all chains must
+    share the same bottom category.  The paper's Time type is two chains::
+
+        dimension_type_from_chains("Time", [
+            ["day", "month", "quarter", "year"],
+            ["day", "week"],
+        ])
+    """
+    if not chains:
+        raise SchemaError(f"dimension type {name!r} needs at least one chain")
+    bottoms = {chain[0] for chain in chains if chain}
+    if len(bottoms) != 1:
+        raise SchemaError(
+            f"dimension type {name!r}: all chains must start at the same "
+            f"bottom category; got {sorted(bottoms)!r}"
+        )
+    edges: dict[str, set[str]] = {}
+    for chain in chains:
+        for child, parent in zip(chain, chain[1:]):
+            edges.setdefault(child, set()).add(parent)
+        if chain:
+            edges.setdefault(chain[-1], set())
+    return DimensionType(name, Hierarchy(edges, next(iter(bottoms))))
+
+
+def dimension_from_rows(
+    dimension_type: DimensionType,
+    rows: Iterable[Mapping[str, str]],
+    sort_key: SortKey | None = None,
+    normalizer: Normalizer | None = None,
+) -> Dimension:
+    """Materialize a dimension from flat rows, one per bottom value.
+
+    Each row maps category names to the value at that category (like a row
+    of the paper's Time or URL dimension tables).  Rows may omit categories
+    on branches that do not apply; every mentioned category must exist.
+    Containment links are derived from co-occurrence within a row, using the
+    hierarchy's immediate-ancestor structure.
+    """
+    hierarchy = dimension_type.hierarchy
+    dimension = Dimension(dimension_type, sort_key, normalizer)
+    # Insert top-down so parents exist before children reference them.
+    order = [c for c in hierarchy if c != TOP]
+    ordered_categories = list(reversed(order))
+    materialized: set[tuple[str, str]] = set()
+    row_list = list(rows)
+    for row in row_list:
+        unknown = set(row) - set(hierarchy.categories)
+        if unknown:
+            raise DimensionError(
+                f"{dimension_type.name}: rows mention unknown categories "
+                f"{sorted(unknown)!r}"
+            )
+    for category in ordered_categories:
+        immediate = hierarchy.anc(category)
+        for row in row_list:
+            value = row.get(category)
+            if value is None:
+                continue
+            parents = [
+                row[parent_category]
+                for parent_category in immediate
+                if parent_category != TOP and parent_category in row
+            ]
+            key = (category, value)
+            if key in materialized:
+                # Merge any new parent links discovered in this row.
+                dimension.add_value(category, value, parents)
+                continue
+            dimension.add_value(category, value, parents)
+            materialized.add(key)
+    return dimension
+
+
+class MOBuilder:
+    """Assemble a :class:`MultidimensionalObject` step by step."""
+
+    def __init__(self, fact_type: str) -> None:
+        self._fact_type = fact_type
+        self._dimension_types: list[DimensionType] = []
+        self._dimensions: dict[str, Dimension] = {}
+        self._measure_types: list[MeasureType] = []
+        self._pending_facts: list[tuple[str, dict[str, str], dict[str, object]]] = []
+
+    def with_dimension(
+        self,
+        name: str,
+        chains: Sequence[Sequence[str]],
+        rows: Iterable[Mapping[str, str]],
+        sort_key: SortKey | None = None,
+    ) -> "MOBuilder":
+        dimension_type = dimension_type_from_chains(name, chains)
+        self._dimension_types.append(dimension_type)
+        self._dimensions[name] = dimension_from_rows(dimension_type, rows, sort_key)
+        return self
+
+    def with_prebuilt_dimension(self, dimension: Dimension) -> "MOBuilder":
+        self._dimension_types.append(dimension.dimension_type)
+        self._dimensions[dimension.name] = dimension
+        return self
+
+    def with_measure(self, name: str, aggregate: str = "sum") -> "MOBuilder":
+        self._measure_types.append(
+            MeasureType(name, resolve_aggregate(aggregate))
+        )
+        return self
+
+    def with_fact(
+        self,
+        fact_id: str,
+        coordinates: Mapping[str, str],
+        measures: Mapping[str, object],
+    ) -> "MOBuilder":
+        self._pending_facts.append((fact_id, dict(coordinates), dict(measures)))
+        return self
+
+    def build(self) -> MultidimensionalObject:
+        schema = FactSchema(
+            self._fact_type, self._dimension_types, self._measure_types
+        )
+        mo = MultidimensionalObject(schema, self._dimensions)
+        for fact_id, coordinates, measures in self._pending_facts:
+            mo.insert_fact(fact_id, coordinates, measures)
+        return mo

@@ -1,0 +1,316 @@
+"""Partial-order machinery for category-type hierarchies.
+
+The paper (Section 3) models each dimension type as a set of category types
+equipped with a partial order ``<=_T`` whose top element ``T_T`` contains a
+single value and whose bottom element ``_|_T`` is the finest granularity.
+This module implements that poset as an explicit DAG of *immediate
+containment* edges (a Hasse diagram) and derives everything else from it:
+
+* reflexive-transitive order ``le``,
+* immediate ancestors ``anc`` (the paper's ``Anc`` function),
+* linearity test (Section 3: "the hierarchy ... is linear if <=_T is total"),
+* greatest lower bounds ``glb`` (the paper's ``GLB_i``, Equation 33) and
+  least upper bounds ``lub`` (used by the LUB aggregation approach),
+* a lattice check (Definition 5 assumes a lattice; when the poset is not a
+  lattice we fall back to *any* lower bound, exactly as the paper allows).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import HierarchyError
+
+#: Name of the distinguished top category type, written ``T_T`` in the paper.
+TOP = "__top__"
+
+
+def is_top(category: str) -> bool:
+    """Return ``True`` when *category* is the distinguished top category."""
+    return category == TOP
+
+
+class Hierarchy:
+    """A poset of category-type names with unique top and bottom elements.
+
+    Parameters
+    ----------
+    edges:
+        Mapping from a category name to the set of its *immediate* ancestor
+        category names.  The top category :data:`TOP` is added automatically
+        as an ancestor of every maximal user category, so callers never name
+        it explicitly in *edges*.
+    bottom:
+        Name of the bottom category type (the finest granularity).
+
+    The paper requires every dimension type to have both a top and a bottom
+    element; this class enforces that and rejects cycles.
+    """
+
+    def __init__(self, edges: Mapping[str, Iterable[str]], bottom: str) -> None:
+        parents: dict[str, frozenset[str]] = {}
+        names: set[str] = {bottom}
+        for child, ancestors in edges.items():
+            ancestor_set = frozenset(ancestors)
+            if child == TOP:
+                raise HierarchyError("the top category cannot have ancestors")
+            if child in ancestor_set:
+                raise HierarchyError(f"category {child!r} cannot contain itself")
+            parents[child] = ancestor_set
+            names.add(child)
+            names.update(ancestor_set)
+        if TOP in names:
+            raise HierarchyError(
+                f"{TOP!r} is reserved; the top category is added automatically"
+            )
+        # Every category without an explicit ancestor is immediately below TOP.
+        for name in names:
+            if not parents.get(name):
+                parents[name] = frozenset({TOP})
+        parents[TOP] = frozenset()
+        names.add(TOP)
+
+        self._bottom = bottom
+        self._parents = parents
+        self._order = _topological_order(parents)
+        self._reach = _reachability(parents, self._order)
+        self._children: dict[str, frozenset[str]] = _invert(parents)
+
+        if bottom not in parents:
+            raise HierarchyError(f"bottom category {bottom!r} is not in the hierarchy")
+        not_above_bottom = [
+            name for name in names if name != bottom and not self.le(bottom, name)
+        ]
+        if not_above_bottom:
+            raise HierarchyError(
+                "every category must contain the bottom category; "
+                f"violated by {sorted(not_above_bottom)!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def bottom(self) -> str:
+        """The bottom (finest) category type, ``_|_T`` in the paper."""
+        return self._bottom
+
+    @property
+    def top(self) -> str:
+        """The top category type, ``T_T`` in the paper."""
+        return TOP
+
+    @property
+    def categories(self) -> frozenset[str]:
+        """All category-type names, including :data:`TOP`."""
+        return frozenset(self._parents)
+
+    @property
+    def user_categories(self) -> tuple[str, ...]:
+        """Categories except :data:`TOP`, ordered bottom-up."""
+        return tuple(c for c in self._order if c != TOP)
+
+    def __contains__(self, category: str) -> bool:
+        return category in self._parents
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
+
+    def anc(self, category: str) -> frozenset[str]:
+        """Immediate ancestors of *category* (the paper's ``Anc``)."""
+        self._require(category)
+        return self._parents[category]
+
+    def children(self, category: str) -> frozenset[str]:
+        """Immediate descendants of *category*."""
+        self._require(category)
+        return self._children.get(category, frozenset())
+
+    # ------------------------------------------------------------------
+    # Order queries
+    # ------------------------------------------------------------------
+
+    def le(self, low: str, high: str) -> bool:
+        """Return ``True`` when ``low <=_T high`` (reflexive)."""
+        self._require(low)
+        self._require(high)
+        return low == high or high in self._reach[low]
+
+    def lt(self, low: str, high: str) -> bool:
+        """Strict version of :meth:`le`."""
+        return low != high and self.le(low, high)
+
+    def comparable(self, a: str, b: str) -> bool:
+        """Return ``True`` when *a* and *b* are ordered either way."""
+        return self.le(a, b) or self.le(b, a)
+
+    def ancestors(self, category: str) -> frozenset[str]:
+        """All categories strictly above *category*."""
+        self._require(category)
+        return self._reach[category]
+
+    def descendants(self, category: str) -> frozenset[str]:
+        """All categories strictly below *category*."""
+        self._require(category)
+        return frozenset(c for c in self._parents if c != category and self.le(c, category))
+
+    def is_linear(self) -> bool:
+        """Return ``True`` when the order is total (Section 3's *linear*)."""
+        cats = list(self._parents)
+        return all(
+            self.comparable(a, b) for i, a in enumerate(cats) for b in cats[i + 1 :]
+        )
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+
+    def lower_bounds(self, categories: Iterable[str]) -> frozenset[str]:
+        """All categories that are ``<=`` every category in *categories*."""
+        cats = list(categories)
+        if not cats:
+            return frozenset(self._parents)
+        return frozenset(
+            c for c in self._parents if all(self.le(c, other) for other in cats)
+        )
+
+    def upper_bounds(self, categories: Iterable[str]) -> frozenset[str]:
+        """All categories that are ``>=`` every category in *categories*."""
+        cats = list(categories)
+        if not cats:
+            return frozenset(self._parents)
+        return frozenset(
+            c for c in self._parents if all(self.le(other, c) for other in cats)
+        )
+
+    def glb(self, categories: Iterable[str]) -> str:
+        """Greatest lower bound of *categories* (the paper's ``GLB_i``).
+
+        When the poset is a lattice this is the unique maximal lower bound
+        (Equation 33).  When it is not, the paper notes that "any lower bound
+        will do" because the bottom category always exists; in that case we
+        return a deterministic maximal lower bound (ties broken by the
+        topological order, bottom-most last, so the coarsest candidate wins).
+        """
+        bounds = self.lower_bounds(categories)
+        maximal = [
+            c for c in bounds if not any(self.lt(c, other) for other in bounds)
+        ]
+        if not maximal:  # pragma: no cover - bottom is always a lower bound
+            raise HierarchyError("no lower bound found; hierarchy has no bottom?")
+        maximal.sort(key=self._order.index)
+        return maximal[-1]
+
+    def lub(self, categories: Iterable[str]) -> str:
+        """Least upper bound of *categories* (dual of :meth:`glb`)."""
+        bounds = self.upper_bounds(categories)
+        minimal = [
+            c for c in bounds if not any(self.lt(other, c) for other in bounds)
+        ]
+        if not minimal:  # pragma: no cover - TOP is always an upper bound
+            raise HierarchyError("no upper bound found; hierarchy has no top?")
+        minimal.sort(key=self._order.index)
+        return minimal[0]
+
+    def is_lattice(self) -> bool:
+        """Return ``True`` when every pair has a unique GLB and LUB."""
+        cats = list(self._parents)
+        for i, a in enumerate(cats):
+            for b in cats[i + 1 :]:
+                lower = self.lower_bounds((a, b))
+                if len([c for c in lower if not any(self.lt(c, o) for o in lower)]) != 1:
+                    return False
+                upper = self.upper_bounds((a, b))
+                if len([c for c in upper if not any(self.lt(o, c) for o in upper)]) != 1:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def paths_to_top(self, category: str) -> list[tuple[str, ...]]:
+        """All maximal upward chains from *category* to :data:`TOP`.
+
+        Used for display and for enumerating the parallel branches of
+        non-linear hierarchies (e.g. day->week->TOP and
+        day->month->quarter->year->TOP in the paper's Time dimension).
+        """
+        self._require(category)
+        if category == TOP:
+            return [(TOP,)]
+        paths: list[tuple[str, ...]] = []
+        for parent in sorted(self._parents[category]):
+            for tail in self.paths_to_top(parent):
+                paths.append((category, *tail))
+        return paths
+
+    def _require(self, category: str) -> None:
+        if category not in self._parents:
+            raise HierarchyError(f"unknown category type {category!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        chains = " | ".join("<".join(p) for p in self.paths_to_top(self._bottom))
+        return f"Hierarchy({chains})"
+
+
+def _topological_order(parents: Mapping[str, frozenset[str]]) -> list[str]:
+    """Order categories bottom-up (finest first); raise on cycles."""
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(node: str, stack: tuple[str, ...]) -> None:
+        mark = state.get(node)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = " -> ".join((*stack, node))
+            raise HierarchyError(f"cycle in category hierarchy: {cycle}")
+        state[node] = 0
+        for parent in sorted(parents[node]):
+            visit(parent, (*stack, node))
+        state[node] = 1
+
+    for name in sorted(parents):
+        visit(name, ())
+
+    # Distance to TOP orders the poset bottom-up deterministically.
+    height: dict[str, int] = {}
+
+    def compute_height(node: str) -> int:
+        if node not in height:
+            ancestors = parents[node]
+            height[node] = (
+                0 if not ancestors else 1 + max(compute_height(p) for p in ancestors)
+            )
+        return height[node]
+
+    return sorted(parents, key=lambda n: (-compute_height(n), n))
+
+
+def _reachability(
+    parents: Mapping[str, frozenset[str]], order: list[str]
+) -> dict[str, frozenset[str]]:
+    """For each category, the set of all strict ancestors."""
+    reach: dict[str, frozenset[str]] = {}
+
+    def compute(node: str) -> frozenset[str]:
+        if node not in reach:
+            acc: set[str] = set()
+            for parent in parents[node]:
+                acc.add(parent)
+                acc.update(compute(parent))
+            reach[node] = frozenset(acc)
+        return reach[node]
+
+    for name in parents:
+        compute(name)
+    return reach
+
+
+def _invert(parents: Mapping[str, frozenset[str]]) -> dict[str, frozenset[str]]:
+    children: dict[str, set[str]] = {name: set() for name in parents}
+    for child, ancestors in parents.items():
+        for parent in ancestors:
+            children[parent].add(child)
+    return {name: frozenset(kids) for name, kids in children.items()}

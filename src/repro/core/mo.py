@@ -1,0 +1,266 @@
+"""The multidimensional object (MO) — the paper's central data structure.
+
+``O = (S, F, D, R, M)``: a fact schema, a set of facts, one dimension per
+dimension type, one fact-dimension relation per dimension, and a set of
+measures (Section 3).  The MO supports both user-level insertion (facts at
+bottom granularity) and the internal any-granularity insertion exploited by
+the reduction engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import FactError, MeasureError, QueryError, SchemaError
+from .dimension import ALL_VALUE, Dimension
+from .facts import FactDimensionRelation, Provenance
+from .hierarchy import TOP
+from .measures import Measure
+from .schema import FactSchema
+
+
+class MultidimensionalObject:
+    """An instance ``O = (S, F, D, R, M)`` of a fact schema."""
+
+    def __init__(
+        self,
+        schema: FactSchema,
+        dimensions: Mapping[str, Dimension],
+    ) -> None:
+        missing = set(schema.dimension_names) - set(dimensions)
+        if missing:
+            raise SchemaError(f"MO is missing dimensions {sorted(missing)!r}")
+        for name in schema.dimension_names:
+            if dimensions[name].dimension_type.name != name:
+                raise SchemaError(
+                    f"dimension instance {dimensions[name].name!r} bound to "
+                    f"schema dimension {name!r}"
+                )
+        self.schema = schema
+        self.dimensions: dict[str, Dimension] = {
+            name: dimensions[name] for name in schema.dimension_names
+        }
+        self.relations: dict[str, FactDimensionRelation] = {
+            name: FactDimensionRelation(name) for name in schema.dimension_names
+        }
+        self.measures: dict[str, Measure] = {
+            mt.name: Measure(mt.name, mt.aggregate)
+            for mt in schema.measure_types
+        }
+        self._facts: dict[str, Provenance] = {}
+
+    # ------------------------------------------------------------------
+    # Facts
+    # ------------------------------------------------------------------
+
+    @property
+    def fact_ids(self) -> frozenset[str]:
+        return frozenset(self._facts)
+
+    def facts(self) -> Iterator[str]:
+        return iter(self._facts)
+
+    @property
+    def n_facts(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, fact_id: str) -> bool:
+        return fact_id in self._facts
+
+    def provenance(self, fact_id: str) -> Provenance:
+        try:
+            return self._facts[fact_id]
+        except KeyError:
+            raise FactError(f"unknown fact {fact_id!r}") from None
+
+    def insert_fact(
+        self,
+        fact_id: str,
+        coordinates: Mapping[str, str],
+        measure_values: Mapping[str, object],
+    ) -> str:
+        """Insert a user fact: coordinates must be bottom-category values.
+
+        Unknown coordinates are not defaulted — the model disallows missing
+        values; callers wanting "unknown" must pass :data:`ALL_VALUE`
+        explicitly, which the paper sanctions via the pair ``(f, T)``.
+        """
+        return self._insert(fact_id, coordinates, measure_values, bottom_only=True)
+
+    def insert_aggregate_fact(
+        self,
+        fact_id: str,
+        coordinates: Mapping[str, str],
+        measure_values: Mapping[str, object],
+        provenance: Provenance | None = None,
+    ) -> str:
+        """Insert a fact at any granularity (reduction-engine internal)."""
+        return self._insert(
+            fact_id, coordinates, measure_values, bottom_only=False,
+            provenance=provenance,
+        )
+
+    def _insert(
+        self,
+        fact_id: str,
+        coordinates: Mapping[str, str],
+        measure_values: Mapping[str, object],
+        bottom_only: bool,
+        provenance: Provenance | None = None,
+    ) -> str:
+        if fact_id in self._facts:
+            raise FactError(f"fact {fact_id!r} already exists")
+        missing_dims = set(self.schema.dimension_names) - set(coordinates)
+        if missing_dims:
+            raise FactError(
+                f"fact {fact_id!r} lacks coordinates for {sorted(missing_dims)!r}; "
+                "the model disallows missing values"
+            )
+        missing_measures = set(self.schema.measure_names) - set(measure_values)
+        if missing_measures:
+            raise MeasureError(
+                f"fact {fact_id!r} lacks measures {sorted(missing_measures)!r}"
+            )
+        canonical: dict[str, str] = {}
+        for name in self.schema.dimension_names:
+            dimension = self.dimensions[name]
+            value = dimension.normalize_value(coordinates[name])
+            category = dimension.category_of(value)
+            if bottom_only and category not in (dimension.bottom_category, TOP):
+                raise FactError(
+                    f"fact {fact_id!r}: user facts map to bottom-category "
+                    f"values; {value!r} is in {category!r} of {name!r}"
+                )
+            canonical[name] = value
+        for name in self.schema.dimension_names:
+            self.relations[name].link(fact_id, canonical[name])
+        for name in self.schema.measure_names:
+            self.measures[name].set(fact_id, measure_values[name])
+        self._facts[fact_id] = provenance or Provenance.of(fact_id)
+        return fact_id
+
+    def delete_fact(self, fact_id: str) -> None:
+        if fact_id not in self._facts:
+            raise FactError(f"unknown fact {fact_id!r}")
+        for relation in self.relations.values():
+            relation.unlink(fact_id)
+        for measure in self.measures.values():
+            measure.discard(fact_id)
+        del self._facts[fact_id]
+
+    # ------------------------------------------------------------------
+    # Characterization and granularity
+    # ------------------------------------------------------------------
+
+    def direct_value(self, fact_id: str, dimension_name: str) -> str:
+        """The value *fact_id* maps to directly in *dimension_name*."""
+        return self.relations[dimension_name].value_of(fact_id)
+
+    def direct_cell(self, fact_id: str) -> tuple[str, ...]:
+        """The fact's direct values, ordered like the schema's dimensions."""
+        return tuple(
+            self.relations[name].value_of(fact_id)
+            for name in self.schema.dimension_names
+        )
+
+    def characterized_by(self, fact_id: str, dimension_name: str, value: str) -> bool:
+        """The paper's ``f ~> v``: direct or ancestor characterization."""
+        direct = self.direct_value(fact_id, dimension_name)
+        return self.dimensions[dimension_name].le_value(direct, value)
+
+    def characterizing_value(
+        self, fact_id: str, dimension_name: str, category: str
+    ) -> str | None:
+        """The value of *category* characterizing the fact, or ``None``.
+
+        ``None`` signals that the fact's data is too coarse (or on a
+        parallel branch) to characterize it at *category* — the situation
+        the query algebra's varying-granularity semantics must handle.
+        """
+        direct = self.direct_value(fact_id, dimension_name)
+        return self.dimensions[dimension_name].try_ancestor_at(direct, category)
+
+    def gran(self, fact_id: str) -> tuple[str, ...]:
+        """The fact's current granularity (the paper's ``Gran``, Eq. 10)."""
+        return tuple(
+            self.dimensions[name].category_of(self.relations[name].value_of(fact_id))
+            for name in self.schema.dimension_names
+        )
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+
+    def measure(self, name: str) -> Measure:
+        try:
+            return self.measures[name]
+        except KeyError:
+            raise QueryError(f"unknown measure {name!r}") from None
+
+    def measure_value(self, fact_id: str, measure_name: str) -> object:
+        return self.measure(measure_name)[fact_id]
+
+    def total(self, measure_name: str) -> object | None:
+        """Default-aggregate of a measure over all facts (None when empty)."""
+        measure = self.measure(measure_name)
+        if not self._facts:
+            return None
+        return measure.aggregate_over(self._facts)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def empty_like(self) -> "MultidimensionalObject":
+        """A fresh MO with the same schema and dimensions, no facts."""
+        return MultidimensionalObject(self.schema, self.dimensions)
+
+    def copy(self) -> "MultidimensionalObject":
+        clone = self.empty_like()
+        for fact_id, provenance in self._facts.items():
+            clone._facts[fact_id] = provenance
+        for name, relation in self.relations.items():
+            clone.relations[name] = relation.copy()
+        for name, measure in self.measures.items():
+            clone.measures[name] = measure.copy()
+        return clone
+
+    def restrict_to_facts(self, fact_ids: Iterable[str]) -> "MultidimensionalObject":
+        """The MO restricted to *fact_ids* (selection's F', R', M', Eq. 36)."""
+        keep = set(fact_ids)
+        unknown = keep - set(self._facts)
+        if unknown:
+            raise FactError(f"unknown facts {sorted(unknown)!r}")
+        out = self.empty_like()
+        for fact_id in keep:
+            coordinates = {
+                name: self.relations[name].value_of(fact_id)
+                for name in self.schema.dimension_names
+            }
+            values = {
+                name: self.measures[name][fact_id]
+                for name in self.schema.measure_names
+            }
+            out.insert_aggregate_fact(
+                fact_id, coordinates, values, self._facts[fact_id]
+            )
+        return out
+
+    def granularity_histogram(self) -> dict[tuple[str, ...], int]:
+        """Fact count per current granularity — handy for storage reports."""
+        histogram: dict[tuple[str, ...], int] = {}
+        for fact_id in self._facts:
+            g = self.gran(fact_id)
+            histogram[g] = histogram.get(g, 0) + 1
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MO({self.schema.fact_type}, facts={self.n_facts}, "
+            f"dims={list(self.schema.dimension_names)!r})"
+        )
+
+
+def unknown_coordinates(schema: FactSchema) -> dict[str, str]:
+    """Coordinates mapping every dimension to ``T`` (all-unknown fact)."""
+    return {name: ALL_VALUE for name in schema.dimension_names}

@@ -1,0 +1,129 @@
+"""Integrity validation for multidimensional objects.
+
+The model of Section 3 carries several invariants that builders and the
+reduction engine maintain by construction; this module re-checks them on
+any MO — the tool you run after deserializing a document from an
+untrusted source, or in CI after a custom loader:
+
+* every fact maps to exactly one existing value per dimension and has a
+  value for every measure;
+* every dimension value rolls up to exactly one ancestor in every
+  category above it (no ragged or ambiguous hierarchies);
+* provenance member sets of distinct facts do not overlap (each source
+  fact is accounted for exactly once);
+* measure values of SUM/COUNT measures are numeric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import DimensionError
+from .dimension import ALL_VALUE, Dimension
+from .hierarchy import TOP
+from .mo import MultidimensionalObject
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One detected integrity violation."""
+
+    kind: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+def validate_mo(mo: MultidimensionalObject) -> list[ValidationIssue]:
+    """All integrity issues of *mo* (empty list == valid)."""
+    return list(iter_issues(mo))
+
+
+def is_valid_mo(mo: MultidimensionalObject) -> bool:
+    """Whether *mo* has no integrity issues (short-circuits on the first)."""
+    return next(iter_issues(mo), None) is None
+
+
+def iter_issues(mo: MultidimensionalObject) -> Iterator[ValidationIssue]:
+    """Lazily yield every integrity issue of *mo*."""
+    yield from _dimension_issues(mo)
+    yield from _fact_issues(mo)
+    yield from _provenance_issues(mo)
+
+
+def _dimension_issues(mo: MultidimensionalObject) -> Iterator[ValidationIssue]:
+    for name, dimension in mo.dimensions.items():
+        hierarchy = dimension.dimension_type.hierarchy
+        for category in hierarchy.user_categories:
+            for value in dimension.values(category):
+                for ancestor_category in hierarchy.ancestors(category):
+                    if ancestor_category == TOP:
+                        continue
+                    try:
+                        ancestor = dimension.try_ancestor_at(
+                            value, ancestor_category
+                        )
+                    except DimensionError as exc:
+                        yield ValidationIssue(
+                            "ambiguous-rollup", f"{name}.{value}", str(exc)
+                        )
+                        continue
+                    if ancestor is None:
+                        yield ValidationIssue(
+                            "ragged-hierarchy",
+                            f"{name}.{value}",
+                            f"no ancestor at {ancestor_category!r}",
+                        )
+
+
+def _fact_issues(mo: MultidimensionalObject) -> Iterator[ValidationIssue]:
+    numeric_measures = [
+        mt.name
+        for mt in mo.schema.measure_types
+        if mt.aggregate.name in ("sum", "count")
+    ]
+    for fact_id in mo.facts():
+        for name in mo.schema.dimension_names:
+            dimension: Dimension = mo.dimensions[name]
+            try:
+                value = mo.direct_value(fact_id, name)
+            except Exception as exc:
+                yield ValidationIssue("missing-value", fact_id, str(exc))
+                continue
+            if value != ALL_VALUE and value not in dimension:
+                yield ValidationIssue(
+                    "unknown-value",
+                    fact_id,
+                    f"{name}={value!r} is not in the dimension",
+                )
+        for measure_name in mo.schema.measure_names:
+            try:
+                value = mo.measure_value(fact_id, measure_name)
+            except Exception as exc:
+                yield ValidationIssue("missing-measure", fact_id, str(exc))
+                continue
+            if measure_name in numeric_measures and not isinstance(
+                value, (int, float)
+            ):
+                yield ValidationIssue(
+                    "non-numeric-measure",
+                    fact_id,
+                    f"{measure_name}={value!r} under a SUM/COUNT aggregate",
+                )
+
+
+def _provenance_issues(mo: MultidimensionalObject) -> Iterator[ValidationIssue]:
+    owner: dict[str, str] = {}
+    for fact_id in mo.facts():
+        for member in mo.provenance(fact_id).members:
+            previous = owner.get(member)
+            if previous is not None and previous != fact_id:
+                yield ValidationIssue(
+                    "overlapping-provenance",
+                    member,
+                    f"claimed by both {previous!r} and {fact_id!r}",
+                )
+            owner[member] = fact_id

@@ -1,0 +1,38 @@
+"""The Section 7 implementation strategy: disjoint actions and subcubes."""
+
+from .disjoint import DisjointAction, disjoint_actions
+from .planner import CubePlanStep, QueryPlan, explain_plan
+from .queryproc import (
+    SubcubeQuery,
+    combine_subresults,
+    effective_content,
+    query_cube,
+    query_store,
+)
+from .store import SubcubeStore
+from .subcube import SubCube
+from .sync import (
+    MigrationEvent,
+    SyncScheduler,
+    flow_report,
+    significant_period_days,
+)
+
+__all__ = [
+    "CubePlanStep",
+    "DisjointAction",
+    "QueryPlan",
+    "explain_plan",
+    "MigrationEvent",
+    "SubCube",
+    "SubcubeQuery",
+    "SubcubeStore",
+    "SyncScheduler",
+    "combine_subresults",
+    "disjoint_actions",
+    "effective_content",
+    "flow_report",
+    "query_cube",
+    "query_store",
+    "significant_period_days",
+]

@@ -1,0 +1,187 @@
+"""Query processing over subcubes (Section 7.3).
+
+A query runs against each subcube separately (parallelizable; here
+sequential but independent), yielding subresults ``S_i`` that a final
+distributive aggregation combines — the two-step evaluation Figure 8
+illustrates.  In the *unsynchronized* state each subquery additionally
+pulls the cube's not-yet-migrated facts from its parent cubes by applying
+``a[G_i] o[P_i]`` over the cube and its parents first (Figure 9).
+
+Because the disjoint predicates partition the cell space at every
+evaluation time, the parent pull can never double-count a fact.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.facts import Provenance, aggregate_fact_id
+from ..core.mo import MultidimensionalObject
+from ..query.aggregation import AggregationApproach, aggregate
+from ..query.compare import Approach
+from ..query.selection import select
+from ..spec.predicate import satisfies
+from .store import SubcubeStore
+from .subcube import SubCube
+
+
+@dataclass(frozen=True)
+class SubcubeQuery:
+    """The canonical OLAP query ``a[granularity](o[predicate](O))``."""
+
+    predicate: str | None
+    granularity: Mapping[str, str]
+    approach: Approach = Approach.CONSERVATIVE
+    aggregation: AggregationApproach = AggregationApproach.AVAILABILITY
+
+
+def query_cube(
+    cube_mo: MultidimensionalObject,
+    query: SubcubeQuery,
+    now: _dt.date,
+) -> MultidimensionalObject:
+    """One subquery ``S_i = Q(K_i)``."""
+    current = cube_mo
+    if query.predicate is not None:
+        current = select(current, query.predicate, now, query.approach)
+    return aggregate(current, query.granularity, query.aggregation)
+
+
+def query_store(
+    store: SubcubeStore,
+    query: SubcubeQuery,
+    now: _dt.date,
+    assume_synchronized: bool = True,
+) -> MultidimensionalObject:
+    """Evaluate *query* over all subcubes and combine the subresults.
+
+    With ``assume_synchronized=False`` each cube's effective content is
+    first rebuilt as ``a[G_i](o[P_i](K_i union parents(K_i)))`` at the
+    current time, so queries stay correct between synchronizations.
+    """
+    subresults: list[MultidimensionalObject] = []
+    for definition in store.definitions:
+        cube = store.cube(definition.name)
+        if assume_synchronized:
+            effective = cube.mo
+        else:
+            effective = effective_content(store, cube, now)
+        subresults.append(query_cube(effective, query, now))
+    return combine_subresults(store, subresults, query, now)
+
+
+def effective_content(
+    store: SubcubeStore, cube: SubCube, now: _dt.date
+) -> MultidimensionalObject:
+    """``a[G_i](o[P_i](K_i union parents))`` — Figure 9's repair step.
+
+    Facts of the cube and of every parent cube that satisfy the cube's
+    disjoint predicate *now* are collected and rolled up to the cube's
+    granularity.  Disjointness guarantees each fact is claimed by exactly
+    one cube, so the union over cubes never double-counts.
+    """
+    definition = cube.definition
+    template = cube.mo.empty_like()
+    # The disjoint predicate was assembled from already-bound action
+    # predicates, so it can be evaluated directly; all its atoms reference
+    # categories at or above the granularities of the facts involved, so
+    # evaluation is exact (conservative == liberal).
+    predicate = definition.predicate
+    sources: list[MultidimensionalObject] = [cube.mo]
+    for parent_name in definition.parents:
+        sources.append(store.cube(parent_name).mo)
+    names = template.schema.dimension_names
+    for source in sources:
+        for fact_id in source.facts():
+            if not satisfies(source, fact_id, predicate, now):
+                continue
+            coordinates: dict[str, str] = {}
+            ok = True
+            for name, category in zip(names, definition.granularity):
+                value = source.dimensions[name].try_ancestor_at(
+                    source.direct_value(fact_id, name), category
+                )
+                if value is None:
+                    ok = False
+                    break
+                coordinates[name] = value
+            if not ok:
+                continue
+            _merge_fact(
+                template,
+                coordinates,
+                {
+                    name: source.measure_value(fact_id, name)
+                    for name in source.schema.measure_names
+                },
+                source.provenance(fact_id),
+            )
+    return template
+
+
+def combine_subresults(
+    store: SubcubeStore,
+    subresults: Sequence[MultidimensionalObject],
+    query: SubcubeQuery,
+    now: _dt.date,
+) -> MultidimensionalObject:
+    """The final combination step: union the ``S_i`` and aggregate once.
+
+    All warehouse aggregates are distributive (the model requires it), so
+    aggregating the subresults again "poses no complications", exactly as
+    Section 7.3 argues.
+    """
+    union = store.bottom_cube.mo.empty_like()
+    names = union.schema.dimension_names
+    for subresult in subresults:
+        for fact_id in subresult.facts():
+            coordinates = {
+                name: subresult.direct_value(fact_id, name) for name in names
+            }
+            _merge_fact(
+                union,
+                coordinates,
+                {
+                    name: subresult.measure_value(fact_id, name)
+                    for name in subresult.schema.measure_names
+                },
+                subresult.provenance(fact_id),
+            )
+    return aggregate(union, dict(query.granularity), query.aggregation)
+
+
+def _merge_fact(
+    mo: MultidimensionalObject,
+    coordinates: Mapping[str, str],
+    measures: Mapping[str, object],
+    provenance: Provenance,
+) -> None:
+    cell = tuple(
+        mo.dimensions[name].normalize_value(coordinates[name])
+        for name in mo.schema.dimension_names
+    )
+    fact_id = aggregate_fact_id(cell)
+    if fact_id in mo:
+        merged = {
+            name: mo.measures[name].aggregate(
+                [mo.measure_value(fact_id, name), measures[name]]
+            )
+            for name in mo.schema.measure_names
+        }
+        existing = mo.provenance(fact_id)
+        mo.delete_fact(fact_id)
+        mo.insert_aggregate_fact(
+            fact_id,
+            dict(zip(mo.schema.dimension_names, cell)),
+            merged,
+            existing.merge(provenance),
+        )
+    else:
+        mo.insert_aggregate_fact(
+            fact_id,
+            dict(zip(mo.schema.dimension_names, cell)),
+            dict(measures),
+            provenance,
+        )

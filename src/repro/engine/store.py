@@ -1,0 +1,253 @@
+"""The subcube store: Figure 6's architecture.
+
+New data enters the bottom-granularity cube; synchronization migrates
+facts between cubes as ``NOW`` advances (Section 7.2); queries run against
+all cubes and combine (Section 7.3, in :mod:`repro.engine.queryproc`).
+
+Fact-to-cube assignment uses the responsibility semantics directly: a
+fact belongs to the granularity group that is ``<=_V``-maximal among the
+actions whose (raw) predicate its cell satisfies — the same ``Cell``
+machinery as the monolithic reducer, which is what makes the store
+provably equivalent to ``reduce_mo`` (property-tested).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, Mapping
+
+from ..core.facts import Provenance
+from ..core.mo import MultidimensionalObject
+from ..errors import EngineError
+from ..spec.predicate import cell_satisfies
+from ..spec.specification import ReductionSpecification
+from .disjoint import DisjointAction, disjoint_actions
+from .subcube import SubCube
+
+
+class SubcubeStore:
+    """A warehouse physically organized as disjoint subcubes."""
+
+    def __init__(
+        self,
+        template: MultidimensionalObject,
+        specification: ReductionSpecification,
+    ) -> None:
+        self._template = template.empty_like()
+        self._specification = specification
+        self._definitions = disjoint_actions(specification)
+        self._cubes: dict[str, SubCube] = {
+            definition.name: SubCube(definition, self._template)
+            for definition in self._definitions
+        }
+        self._bottom_name = self._bottom_cube_name()
+        self.last_sync: _dt.date | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def specification(self) -> ReductionSpecification:
+        return self._specification
+
+    @property
+    def definitions(self) -> tuple[DisjointAction, ...]:
+        return self._definitions
+
+    @property
+    def cubes(self) -> dict[str, SubCube]:
+        return dict(self._cubes)
+
+    def cube(self, name: str) -> SubCube:
+        try:
+            return self._cubes[name]
+        except KeyError:
+            raise EngineError(f"no subcube named {name!r}") from None
+
+    @property
+    def bottom_cube(self) -> SubCube:
+        return self._cubes[self._bottom_name]
+
+    def total_facts(self) -> int:
+        return sum(cube.n_facts for cube in self._cubes.values())
+
+    def _bottom_cube_name(self) -> str:
+        bottom = self._template.schema.bottom_granularity()
+        for definition in self._definitions:
+            if definition.granularity == bottom:
+                return definition.name
+        raise EngineError("disjoint transformation produced no bottom cube")
+
+    # ------------------------------------------------------------------
+    # Loading and synchronization (Section 7.2)
+    # ------------------------------------------------------------------
+
+    def load(
+        self,
+        facts: Iterable[tuple[str, Mapping[str, str], Mapping[str, object]]],
+    ) -> int:
+        """Bulk-load user facts into the bottom cube (always the entry
+        point, per Section 7.2)."""
+        bottom = self.bottom_cube
+        count = 0
+        for fact_id, coordinates, measures in facts:
+            bottom.insert_at_granularity(
+                coordinates, measures, Provenance.of(fact_id)
+            )
+            count += 1
+        return count
+
+    def synchronize(self, now: _dt.date) -> dict[str, int]:
+        """Migrate facts so every cube holds exactly its cells at *now*.
+
+        Returns per-cube migration counts (facts moved *into* each cube).
+        Synchronization is idempotent at a fixed time and monotone for
+        Growing specifications: facts only ever move from finer cubes to
+        coarser ones.
+        """
+        if self.last_sync is not None and now < self.last_sync:
+            raise EngineError(
+                f"synchronization time moved backwards ({self.last_sync} -> {now})"
+            )
+        moved: dict[str, int] = {name: 0 for name in self._cubes}
+        dimensions = self._template.dimensions
+        names = self._template.schema.dimension_names
+        for cube in self._cubes.values():
+            mo = cube.mo
+            for fact_id in list(mo.facts()):
+                cell = dict(zip(names, mo.direct_cell(fact_id)))
+                target = self._target_cube(cell, now)
+                if target.name == cube.name:
+                    continue
+                coordinates = {
+                    name: _rollup(dimensions[name], cell[name], category)
+                    for name, category in zip(names, target.granularity)
+                }
+                measures = {
+                    measure: mo.measure_value(fact_id, measure)
+                    for measure in mo.schema.measure_names
+                }
+                provenance = mo.provenance(fact_id)
+                cube.remove(fact_id)
+                target.insert_at_granularity(coordinates, measures, provenance)
+                moved[target.name] += 1
+        self.last_sync = now
+        return moved
+
+    def _target_cube(self, cell: Mapping[str, str], now: _dt.date) -> SubCube:
+        """The cube responsible for a cell at *now*: the ``<=_V``-maximal
+        granularity among satisfied actions, else the bottom cube."""
+        schema = self._template.schema
+        dimensions = self._template.dimensions
+        best: tuple[str, ...] | None = None
+        for action in self._specification.actions:
+            if not cell_satisfies(dimensions, cell, action.predicate, now):
+                continue
+            if best is None or schema.le_granularity(best, action.cat()):
+                best = action.cat()
+            elif not schema.le_granularity(action.cat(), best):
+                raise EngineError(
+                    f"cell {dict(cell)!r} is claimed by incomparable "
+                    f"granularities {best!r} and {action.cat()!r}; the "
+                    "specification is crossing"
+                )
+        if best is None:
+            return self.bottom_cube
+        for definition in self._definitions:
+            if definition.granularity == best and not definition.is_residual:
+                return self._cubes[definition.name]
+        # A "useless" bottom-granularity action group merged into K0.
+        return self.bottom_cube
+
+    # ------------------------------------------------------------------
+    # Specification changes (the infrequent synchronization case)
+    # ------------------------------------------------------------------
+
+    def rebuild(
+        self, specification: ReductionSpecification, now: _dt.date
+    ) -> None:
+        """Re-derive the disjoint set after a specification change.
+
+        New cubes are created, all facts re-assigned (from *all* old
+        cubes, as Section 7.2 prescribes), and cubes that no longer exist
+        are dropped once empty.
+        """
+        old_cubes = self._cubes
+        self._specification = specification
+        self._definitions = disjoint_actions(specification)
+        self._cubes = {
+            definition.name: SubCube(definition, self._template)
+            for definition in self._definitions
+        }
+        self._bottom_name = self._bottom_cube_name()
+        names = self._template.schema.dimension_names
+        dimensions = self._template.dimensions
+        for cube in old_cubes.values():
+            mo = cube.mo
+            for fact_id in mo.facts():
+                cell = dict(zip(names, mo.direct_cell(fact_id)))
+                target = self._target_cube(cell, now)
+                if not self._template.schema.le_granularity(
+                    tuple(
+                        dimensions[name].category_of(cell[name])
+                        for name in names
+                    ),
+                    target.granularity,
+                ):
+                    raise EngineError(
+                        f"rebuild would disaggregate fact {fact_id!r}; the "
+                        "new specification violates irreversibility"
+                    )
+                coordinates = {
+                    name: _rollup(dimensions[name], cell[name], category)
+                    for name, category in zip(names, target.granularity)
+                }
+                measures = {
+                    measure: mo.measure_value(fact_id, measure)
+                    for measure in mo.schema.measure_names
+                }
+                target.insert_at_granularity(
+                    coordinates, measures, mo.provenance(fact_id)
+                )
+        self.last_sync = now
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def materialize(self) -> MultidimensionalObject:
+        """The union of all subcubes as one MO (for audits and tests)."""
+        union = self._template.empty_like()
+        for cube in self._cubes.values():
+            mo = cube.mo
+            for fact_id in mo.facts():
+                union.insert_aggregate_fact(
+                    fact_id,
+                    dict(
+                        zip(
+                            mo.schema.dimension_names,
+                            mo.direct_cell(fact_id),
+                        )
+                    ),
+                    {
+                        name: mo.measure_value(fact_id, name)
+                        for name in mo.schema.measure_names
+                    },
+                    mo.provenance(fact_id),
+                )
+        return union
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        shape = {name: cube.n_facts for name, cube in self._cubes.items()}
+        return f"SubcubeStore({shape})"
+
+
+def _rollup(dimension, value: str, category: str) -> str:
+    value = dimension.normalize_value(value)
+    ancestor = dimension.try_ancestor_at(value, category)
+    if ancestor is None:
+        raise EngineError(
+            f"{dimension.name}: cannot roll {value!r} up to {category!r}"
+        )
+    return ancestor

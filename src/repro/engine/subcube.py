@@ -1,0 +1,107 @@
+"""A physical subcube: one disjoint action's worth of facts.
+
+Each subcube is itself a small MO over the warehouse's dimensions, with a
+fixed target granularity and the disjoint predicate that describes (at any
+evaluation time) exactly which cells it owns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..core.facts import Provenance, aggregate_fact_id
+from ..core.mo import MultidimensionalObject
+from ..errors import EngineError
+from .disjoint import DisjointAction
+
+
+class SubCube:
+    """One subcube ``K_i`` of the Section 7 architecture."""
+
+    def __init__(
+        self,
+        definition: DisjointAction,
+        template: MultidimensionalObject,
+    ) -> None:
+        self.definition = definition
+        self._mo = template.empty_like()
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def granularity(self) -> tuple[str, ...]:
+        return self.definition.granularity
+
+    @property
+    def mo(self) -> MultidimensionalObject:
+        return self._mo
+
+    @property
+    def n_facts(self) -> int:
+        return self._mo.n_facts
+
+    def facts(self) -> Iterator[str]:
+        return self._mo.facts()
+
+    def insert_at_granularity(
+        self,
+        coordinates: Mapping[str, str],
+        measures: Mapping[str, object],
+        provenance: Provenance,
+    ) -> str:
+        """Insert (or merge into) the fact owning the given cell.
+
+        The cell must already be at the cube's granularity; a colliding
+        cell aggregates the measures — the "one final aggregation" step of
+        Section 7.2 when a cube has several parents.
+        """
+        mo = self._mo
+        schema = mo.schema
+        for name, category in zip(schema.dimension_names, self.granularity):
+            dimension = mo.dimensions[name]
+            value = dimension.normalize_value(coordinates[name])
+            if dimension.category_of(value) != category:
+                raise EngineError(
+                    f"{self.name}: value {value!r} of {name!r} is not at the "
+                    f"cube granularity {category!r}"
+                )
+        cell = tuple(
+            mo.dimensions[name].normalize_value(coordinates[name])
+            for name in schema.dimension_names
+        )
+        fact_id = aggregate_fact_id((self.name, *cell))
+        if fact_id in mo:
+            merged = {
+                measure_name: mo.measures[measure_name].aggregate(
+                    [mo.measure_value(fact_id, measure_name), measures[measure_name]]
+                )
+                for measure_name in schema.measure_names
+            }
+            existing_provenance = mo.provenance(fact_id)
+            mo.delete_fact(fact_id)
+            mo.insert_aggregate_fact(
+                fact_id,
+                dict(zip(schema.dimension_names, cell)),
+                merged,
+                existing_provenance.merge(provenance),
+            )
+        else:
+            mo.insert_aggregate_fact(
+                fact_id,
+                dict(zip(schema.dimension_names, cell)),
+                dict(measures),
+                provenance,
+            )
+        return fact_id
+
+    def remove(self, fact_id: str) -> None:
+        self._mo.delete_fact(fact_id)
+
+    def clear(self) -> None:
+        self._mo = self._mo.empty_like()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        granularity = "/".join(self.granularity)
+        return f"SubCube({self.name}, gran={granularity}, facts={self.n_facts})"

@@ -1,0 +1,108 @@
+"""Synchronization scheduling and data-flow reporting (Section 7.2).
+
+The store's :meth:`~repro.engine.store.SubcubeStore.synchronize` does the
+actual migration; this module adds the operational layer the paper
+sketches: when to synchronize (at bulk-load time and at least once per
+significant period — the second-lowest granularity at which NOW appears),
+and a migration report for observability (the content of Figure 7).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..spec.ranges import GRANULE_DAYS, profiles_of
+from ..timedim.granularity import DAY
+from .store import SubcubeStore
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One synchronization run's outcome."""
+
+    at: _dt.date
+    moved_into: Mapping[str, int]
+
+    @property
+    def total_moved(self) -> int:
+        return sum(self.moved_into.values())
+
+
+def significant_period_days(store: SubcubeStore) -> int:
+    """The paper's *significant time period* in days.
+
+    The granularity of the NOW variable in each action limits how often a
+    cube can get out of sync; synchronizing once per the finest such
+    granularity keeps cubes at most one parent-child level stale, which is
+    the assumption Section 7.2's simple migration relies on.
+    """
+    finest = None
+    for action in store.specification.actions:
+        for profile in profiles_of(action):
+            for atom in profile.time_atoms:
+                if not atom.is_now_relative():
+                    continue
+                days = GRANULE_DAYS.get(atom.ref.category, 1)
+                if finest is None or days < finest:
+                    finest = days
+    return finest if finest is not None else GRANULE_DAYS[DAY]
+
+
+@dataclass
+class SyncScheduler:
+    """Drives periodic synchronization of a store as the clock advances."""
+
+    store: SubcubeStore
+    period_days: int | None = None
+    events: list[MigrationEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.period_days is None:
+            self.period_days = significant_period_days(self.store)
+
+    def on_bulk_load(
+        self,
+        facts: Iterable[tuple[str, Mapping[str, str], Mapping[str, object]]],
+        now: _dt.date,
+    ) -> MigrationEvent:
+        """Load facts and synchronize immediately (the frequent case)."""
+        self.store.load(facts)
+        return self._sync(now)
+
+    def advance_to(self, now: _dt.date) -> list[MigrationEvent]:
+        """Advance the clock, synchronizing once per period on the way."""
+        events: list[MigrationEvent] = []
+        last = self.store.last_sync
+        period = self.period_days or 1
+        if last is None:
+            events.append(self._sync(now))
+            return events
+        current = last
+        while (now - current).days > period:
+            current = current + _dt.timedelta(days=period)
+            events.append(self._sync(current))
+        if current < now:
+            events.append(self._sync(now))
+        return events
+
+    def _sync(self, now: _dt.date) -> MigrationEvent:
+        moved = self.store.synchronize(now)
+        event = MigrationEvent(now, moved)
+        self.events.append(event)
+        return event
+
+
+def flow_report(store: SubcubeStore) -> dict[str, dict[str, object]]:
+    """A per-cube snapshot: granularity, fact count, parents (Figure 7)."""
+    report: dict[str, dict[str, object]] = {}
+    for definition in store.definitions:
+        cube = store.cube(definition.name)
+        report[definition.name] = {
+            "granularity": definition.granularity,
+            "facts": cube.n_facts,
+            "parents": definition.parents,
+            "members": definition.members,
+        }
+    return report

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A fact schema, dimension type, or hierarchy is malformed."""
+
+
+class HierarchyError(SchemaError):
+    """A category-type hierarchy violates the poset requirements."""
+
+
+class DimensionError(ReproError):
+    """A dimension instance is inconsistent with its dimension type."""
+
+
+class FactError(ReproError):
+    """A fact or fact-dimension relation violates the model's constraints."""
+
+
+class MeasureError(ReproError):
+    """A measure is missing values or uses a non-distributive aggregate."""
+
+
+class SpecSyntaxError(ReproError):
+    """An action specification does not conform to the Table 1 grammar."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class SpecSemanticsError(ReproError):
+    """An action specification is syntactically valid but semantically bad.
+
+    Examples: the ``Clist`` does not name exactly one category per dimension,
+    or a predicate constrains a category below the action's target category
+    (violating ``C_target <= C_pred``).
+    """
+
+
+class NonCrossingViolation(SpecSemanticsError):
+    """Two overlapping actions aggregate to crossing granularities."""
+
+
+class GrowingViolation(SpecSemanticsError):
+    """A specification would let a cell's aggregation level decrease."""
+
+
+class SpecificationUpdateRejected(ReproError):
+    """An insert/delete on a reduction specification was refused.
+
+    Per Definitions 3 and 4 of the paper, a rejected update leaves the
+    specification unchanged; this exception reports why.
+    """
+
+
+class QueryError(ReproError):
+    """A query references unknown dimensions, categories, or measures."""
+
+
+class EngineError(ReproError):
+    """The subcube engine detected an inconsistent store state."""
+
+
+class StorageError(ReproError):
+    """The relational (SQLite) backend failed to persist or load an MO."""

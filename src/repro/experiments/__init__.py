@@ -1,0 +1,54 @@
+"""Paper-example data, figure regenerators, and benchmark metrics."""
+
+from .figures import ALL_FIGURES, build_extended_mo, extended_specification, render
+from .metrics import (
+    FidelityReport,
+    StorageSnapshot,
+    estimated_fact_bytes,
+    fidelity,
+    snapshot,
+    storage_series,
+)
+from .paper_example import (
+    PAPER_DAYS,
+    PAPER_FACTS,
+    PAPER_URLS,
+    SNAPSHOT_TIMES,
+    action_a1,
+    action_a2,
+    action_a3,
+    action_a4,
+    action_a7,
+    action_a8,
+    build_paper_mo,
+    disjoint_actions,
+    growing_example_actions,
+    paper_specification,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "FidelityReport",
+    "PAPER_DAYS",
+    "PAPER_FACTS",
+    "PAPER_URLS",
+    "SNAPSHOT_TIMES",
+    "StorageSnapshot",
+    "action_a1",
+    "action_a2",
+    "action_a3",
+    "action_a4",
+    "action_a7",
+    "action_a8",
+    "build_extended_mo",
+    "build_paper_mo",
+    "disjoint_actions",
+    "estimated_fact_bytes",
+    "extended_specification",
+    "fidelity",
+    "growing_example_actions",
+    "paper_specification",
+    "render",
+    "snapshot",
+    "storage_series",
+]

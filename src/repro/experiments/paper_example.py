@@ -1,0 +1,200 @@
+"""The paper's running example: the ISP click-stream MO of Appendix A.
+
+Table 2's Time dimension, URL dimension, and Click fact table, plus every
+action specification the paper introduces (``a1``–``a8`` and the disjoint
+set ``a1'``–``a4'`` of Section 7.1), all under their paper names so tests
+and figure regenerators can reference them directly.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..core.builder import MOBuilder
+from ..core.mo import MultidimensionalObject
+from ..spec.action import Action
+from ..spec.specification import ReductionSpecification
+from ..timedim.builder import build_sparse_time_dimension
+
+#: The five days of the example's sparse Time dimension (Table 2).
+PAPER_DAYS = (
+    "1999/11/23",
+    "1999/12/4",
+    "1999/12/31",
+    "2000/1/4",
+    "2000/1/20",
+)
+
+#: URL dimension rows (Table 2); the long Amazon URL is abbreviated the
+#: way the paper's figures do.
+PAPER_URLS = (
+    {
+        "url": "http://www.cc.gatech.edu/",
+        "domain": "gatech.edu",
+        "domain_grp": ".edu",
+    },
+    {"url": "http://www.cnn.com/", "domain": "cnn.com", "domain_grp": ".com"},
+    {
+        "url": "http://www.cnn.com/health",
+        "domain": "cnn.com",
+        "domain_grp": ".com",
+    },
+    {
+        "url": "http://www.amazon.com/exec/obidos/tg/browse/",
+        "domain": "amazon.com",
+        "domain_grp": ".com",
+    },
+)
+
+#: Click facts: (id, day, url, number_of, dwell, delivery, datasize_kb).
+PAPER_FACTS = (
+    ("fact_0", "1999/11/23", "http://www.amazon.com/exec/obidos/tg/browse/", 1, 677, 2, 34),
+    ("fact_1", "1999/12/4", "http://www.cnn.com/health", 1, 2335, 5, 52),
+    ("fact_2", "1999/12/4", "http://www.cnn.com/", 1, 154, 2, 42),
+    ("fact_3", "1999/12/31", "http://www.amazon.com/exec/obidos/tg/browse/", 1, 12, 1, 34),
+    ("fact_4", "2000/1/4", "http://www.cnn.com/", 1, 654, 4, 47),
+    ("fact_5", "2000/1/4", "http://www.cnn.com/health", 1, 301, 6, 52),
+    ("fact_6", "2000/1/20", "http://www.cc.gatech.edu/", 1, 32, 1, 12),
+)
+
+#: The paper's three evaluation times for Figure 3.
+SNAPSHOT_TIMES = (
+    _dt.date(2000, 4, 5),
+    _dt.date(2000, 6, 5),
+    _dt.date(2000, 11, 5),
+)
+
+
+def build_paper_mo() -> MultidimensionalObject:
+    """The MO ``O = (S, F, D, R, M)`` of Appendix A."""
+    builder = (
+        MOBuilder("Click")
+        .with_prebuilt_dimension(build_sparse_time_dimension(PAPER_DAYS))
+        .with_dimension("URL", [["url", "domain", "domain_grp"]], PAPER_URLS)
+        .with_measure("Number_of")
+        .with_measure("Dwell_time")
+        .with_measure("Delivery_time")
+        .with_measure("Datasize")
+    )
+    for fact_id, day, url, number_of, dwell, delivery, datasize in PAPER_FACTS:
+        builder.with_fact(
+            fact_id,
+            {"Time": day, "URL": url},
+            {
+                "Number_of": number_of,
+                "Dwell_time": dwell,
+                "Delivery_time": delivery,
+                "Datasize": datasize,
+            },
+        )
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# The paper's action specifications
+# ----------------------------------------------------------------------
+
+_A1 = (
+    "p(a[Time.month, URL.domain] o[URL.domain_grp = '.com' AND "
+    "NOW - 12 months <= Time.month AND Time.month <= NOW - 6 months](O))"
+)
+_A2 = (
+    "p(a[Time.quarter, URL.domain] o[URL.domain_grp = '.com' AND "
+    "Time.quarter <= NOW - 4 quarters](O))"
+)
+_A3 = (
+    "p(a[Time.month, URL.domain_grp] o[URL.url = 'http://www.cnn.com/health'"
+    " AND Time.month <= '1999/12'](O))"
+)
+_A4 = (
+    "p(a[Time.week, URL.url] o[URL.url = 'http://www.cnn.com/health' AND "
+    "Time.month <= '1999/12'](O))"
+)
+_A7 = "p(a[Time.month, URL.domain] o[Time.month <= NOW - 12 months](O))"
+_A8 = "p(a[Time.month, URL.domain] o[Time.month <= '1999/12'](O))"
+
+# Section 5.3's worked growing-check example (Equations 24-26).
+_G1 = (
+    "p(a[Time.month, URL.domain] o[NOW - 4 years <= Time.year AND "
+    "Time.year <= NOW AND URL.T = T](O))"
+)
+_G2 = (
+    "p(a[Time.quarter, URL.domain] o[Time.year <= NOW - 4 years AND "
+    "URL.domain_grp = '.com'](O))"
+)
+_G3 = (
+    "p(a[Time.quarter, URL.domain_grp] o[Time.year <= NOW - 4 years AND "
+    "URL.domain_grp = '.edu'](O))"
+)
+
+# Section 7.1's disjoint actions a1'..a4' (Equations 41-44).
+_D1 = (
+    "p(a[Time.month, URL.domain] o[URL.domain_grp = '.com' AND "
+    "NOW - 4 quarters < Time.quarter AND Time.month <= NOW - 6 months](O))"
+)
+_D2 = _A2
+_D3 = (
+    "p(a[Time.week, URL.domain] o[URL.domain = 'gatech.edu' AND "
+    "Time.week <= NOW - 36 weeks](O))"
+)
+_D4 = (
+    "p(a[Time.day, URL.url] o[NOT (URL.domain_grp = '.com' AND "
+    "Time.month <= NOW - 6 months) AND NOT (URL.domain = 'gatech.edu' AND "
+    "Time.week <= NOW - 36 weeks)](O))"
+)
+
+
+def action_a1(mo: MultidimensionalObject) -> Action:
+    """Equation 4: .com facts between 6 and 12 months old -> (month, domain)."""
+    return Action.parse(mo.schema, _A1, "a1")
+
+
+def action_a2(mo: MultidimensionalObject) -> Action:
+    """Equation 5: .com facts older than 4 quarters -> (quarter, domain)."""
+    return Action.parse(mo.schema, _A2, "a2")
+
+
+def action_a3(mo: MultidimensionalObject) -> Action:
+    """Equation 15 — deliberately ill-formed (crosses ``a2``)."""
+    return Action.parse(mo.schema, _A3, "a3", enforce_evaluability=False)
+
+
+def action_a4(mo: MultidimensionalObject) -> Action:
+    """Equation 16 — aggregates into the parallel week branch."""
+    return Action.parse(mo.schema, _A4, "a4", enforce_evaluability=False)
+
+
+def action_a7(mo: MultidimensionalObject) -> Action:
+    """Equation 21: the NOW-relative action of the deletion example."""
+    return Action.parse(mo.schema, _A7, "a7")
+
+
+def action_a8(mo: MultidimensionalObject) -> Action:
+    """Equation 22: the fixed replacement that lets ``a7`` be deleted."""
+    return Action.parse(mo.schema, _A8, "a8")
+
+
+def growing_example_actions(mo: MultidimensionalObject) -> tuple[Action, ...]:
+    """Equations 24-26: the Section 5.3 growing-check rule set."""
+    return (
+        Action.parse(mo.schema, _G1, "g1"),
+        Action.parse(mo.schema, _G2, "g2"),
+        Action.parse(mo.schema, _G3, "g3"),
+    )
+
+
+def disjoint_actions(mo: MultidimensionalObject) -> tuple[Action, ...]:
+    """Equations 41-44: the disjoint set ``a1'``..``a4'`` of Section 7.1."""
+    return (
+        Action.parse(mo.schema, _D1, "a1p"),
+        Action.parse(mo.schema, _D2, "a2p"),
+        Action.parse(mo.schema, _D3, "a3p"),
+        Action.parse(mo.schema, _D4, "a4p"),
+    )
+
+
+def paper_specification(mo: MultidimensionalObject) -> ReductionSpecification:
+    """``V = ({a1, a2}, <=_V)`` — the specification behind Figures 2-5."""
+    return ReductionSpecification(
+        (action_a1(mo), action_a2(mo)), mo.dimensions
+    )

@@ -1,0 +1,178 @@
+"""JSON serialization for MOs and text serialization for specifications.
+
+Lets warehouses, dimensions, and reduction policies round-trip through
+files, which the CLI (:mod:`repro.cli`) builds on:
+
+* an MO serializes to one JSON document: dimension types (as chains),
+  dimension values (as parent-linked rows), measures (name + aggregate),
+  and facts (coordinates + measures + provenance);
+* a specification serializes to a text file with one action per line
+  (the Table 1 surface syntax round-trips through ``str(action)``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, TextIO
+
+from .core.dimension import ALL_VALUE, Dimension
+from .core.facts import Provenance
+from .core.hierarchy import Hierarchy
+from .core.measures import resolve_aggregate
+from .core.mo import MultidimensionalObject
+from .core.schema import DimensionType, FactSchema, MeasureType
+from .errors import StorageError
+from .spec.action import Action, is_time_dimension_type
+from .spec.specification import ReductionSpecification
+from .timedim.builder import time_normalizer, time_sort_key
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# MO -> dict -> MO
+# ----------------------------------------------------------------------
+
+def mo_to_dict(mo: MultidimensionalObject) -> dict:
+    """A JSON-serializable description of the complete MO."""
+    dimensions = {}
+    for name, dimension in mo.dimensions.items():
+        hierarchy = dimension.dimension_type.hierarchy
+        values = []
+        for category in hierarchy.user_categories:
+            for value in sorted(dimension.values(category)):
+                parents = sorted(
+                    p for p in dimension.parents(value) if p != ALL_VALUE
+                )
+                values.append(
+                    {"category": category, "value": value, "parents": parents}
+                )
+        dimensions[name] = {
+            "chains": [
+                list(path[:-1])  # strip TOP
+                for path in hierarchy.paths_to_top(hierarchy.bottom)
+            ],
+            "time_like": is_time_dimension_type(mo.schema.dimension_type(name)),
+            "values": values,
+        }
+    facts = []
+    for fact_id in sorted(mo.facts()):
+        facts.append(
+            {
+                "id": fact_id,
+                "coordinates": {
+                    name: mo.direct_value(fact_id, name)
+                    for name in mo.schema.dimension_names
+                },
+                "measures": {
+                    name: mo.measure_value(fact_id, name)
+                    for name in mo.schema.measure_names
+                },
+                "members": sorted(mo.provenance(fact_id).members),
+            }
+        )
+    return {
+        "format": FORMAT_VERSION,
+        "fact_type": mo.schema.fact_type,
+        "dimension_order": list(mo.schema.dimension_names),
+        "dimensions": dimensions,
+        "measures": [
+            {"name": mt.name, "aggregate": mt.aggregate.name}
+            for mt in mo.schema.measure_types
+        ],
+        "facts": facts,
+    }
+
+
+def mo_from_dict(document: Mapping) -> MultidimensionalObject:
+    """Rebuild an MO from :func:`mo_to_dict` output."""
+    if document.get("format") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported MO document format {document.get('format')!r}"
+        )
+    dimension_types: list[DimensionType] = []
+    dimensions: dict[str, Dimension] = {}
+    for name in document["dimension_order"]:
+        info = document["dimensions"][name]
+        edges: dict[str, set[str]] = {}
+        for chain in info["chains"]:
+            for child, parent in zip(chain, chain[1:]):
+                edges.setdefault(child, set()).add(parent)
+            if chain:
+                edges.setdefault(chain[-1], set())
+        bottom = info["chains"][0][0]
+        dimension_type = DimensionType(name, Hierarchy(edges, bottom))
+        dimension_types.append(dimension_type)
+        if info.get("time_like"):
+            dimension = Dimension(dimension_type, time_sort_key, time_normalizer)
+        else:
+            dimension = Dimension(dimension_type)
+        hierarchy = dimension_type.hierarchy
+        order = {c: i for i, c in enumerate(hierarchy)}
+        for row in sorted(
+            info["values"], key=lambda r: -order[r["category"]]
+        ):
+            dimension.add_value(row["category"], row["value"], row["parents"])
+        dimensions[name] = dimension
+
+    measure_types = [
+        MeasureType(m["name"], resolve_aggregate(m["aggregate"]))
+        for m in document["measures"]
+    ]
+    schema = FactSchema(document["fact_type"], dimension_types, measure_types)
+    mo = MultidimensionalObject(schema, dimensions)
+    for fact in document["facts"]:
+        mo.insert_aggregate_fact(
+            fact["id"],
+            fact["coordinates"],
+            fact["measures"],
+            Provenance(frozenset(fact.get("members", [fact["id"]]))),
+        )
+    return mo
+
+
+def dump_mo(mo: MultidimensionalObject, stream: TextIO) -> None:
+    """Write the MO as a JSON document to *stream*."""
+    json.dump(mo_to_dict(mo), stream, indent=1, sort_keys=True)
+
+
+def load_mo(stream: TextIO) -> MultidimensionalObject:
+    """Read an MO from a JSON document written by :func:`dump_mo`."""
+    return mo_from_dict(json.load(stream))
+
+
+# ----------------------------------------------------------------------
+# Specification <-> text
+# ----------------------------------------------------------------------
+
+def dump_specification(
+    specification: ReductionSpecification, stream: TextIO
+) -> None:
+    """One ``name: action`` line per action (comments start with ``#``)."""
+    for action in specification:
+        stream.write(f"{action}\n")
+
+
+def load_specification(
+    stream: TextIO,
+    schema: FactSchema,
+    dimensions: Mapping[str, Dimension] | None = None,
+    validate: bool = True,
+) -> ReductionSpecification:
+    """Parse a specification file written by :func:`dump_specification`.
+
+    Each non-comment line is ``[name:] p(a[...] o[...](O))``; names
+    default to ``action_N``.
+    """
+    actions: list[Action] = []
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name = None
+        head, sep, tail = line.partition(":")
+        if sep and "[" not in head and "(" not in head:
+            name = head.strip()
+            line = tail.strip()
+        actions.append(Action.parse(schema, line, name))
+    return ReductionSpecification(actions, dimensions, validate=validate)

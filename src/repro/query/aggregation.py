@@ -1,0 +1,215 @@
+"""The aggregate-formation operator (Section 6.3, Definition 6).
+
+``a[C1..Cn](O)`` aggregates facts to the categories ``C1..Cn``.  On
+reduced MOs some facts may only carry *coarser* values than requested; the
+*approach* decides how they are reflected:
+
+* ``AVAILABILITY`` (the paper's choice) — each fact aggregates to the
+  finest granularity that is at least the desired one *and* available for
+  it; coarse facts keep their own granularity (``Group_high``'s behaviour
+  in Figure 5);
+* ``STRICT`` — facts coarser than the desired granularity are dropped, so
+  the answer has exactly the requested granularity;
+* ``LUB`` — one common granularity for the whole answer: the least upper
+  bound of the desired granularity and all facts' available granularities.
+
+(The paper's fourth, *disaggregated*, approach imputes detail values and
+yields imprecise answers; it cites [13] for it and so do we — it is out of
+scope here, documented in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+from ..core.dimension import Dimension
+from ..core.facts import Provenance, aggregate_fact_id
+from ..core.hierarchy import TOP
+from ..core.mo import MultidimensionalObject
+from ..core.schema import FactSchema
+from ..errors import QueryError
+
+
+class AggregationApproach(enum.Enum):
+    """Varying-granularity handling of Section 6.3 (see module docs)."""
+
+    STRICT = "strict"
+    LUB = "lub"
+    AVAILABILITY = "availability"
+
+
+def aggregate(
+    mo: MultidimensionalObject,
+    granularity: Mapping[str, str],
+    approach: AggregationApproach = AggregationApproach.AVAILABILITY,
+) -> MultidimensionalObject:
+    """``a[C1..Cn](O)`` under the chosen varying-granularity approach.
+
+    The result's schema restricts each dimension type to the categories at
+    or above the requested one (the requested category becomes the new
+    bottom), per Definition 6.
+    """
+    requested = mo.schema.validate_granularity(granularity)
+    names = mo.schema.dimension_names
+
+    # Per-fact availability category and grouping value in each dimension.
+    per_fact: dict[str, tuple[str, ...]] = {}
+    availability_categories: dict[str, set[str]] = {name: set() for name in names}
+    for fact_id in mo.facts():
+        values: list[str] = []
+        skip = False
+        for name, category in zip(names, requested):
+            dimension = mo.dimensions[name]
+            direct = mo.direct_value(fact_id, name)
+            available_category, value = _finest_available(
+                dimension, direct, category
+            )
+            if (
+                approach is AggregationApproach.STRICT
+                and available_category != category
+            ):
+                skip = True
+                break
+            availability_categories[name].add(available_category)
+            values.append(value)
+        if not skip:
+            per_fact[fact_id] = tuple(values)
+
+    if approach is AggregationApproach.LUB:
+        lub_granularity = tuple(
+            mo.dimensions[name].dimension_type.hierarchy.lub(
+                availability_categories[name] | {category}
+            )
+            for name, category in zip(names, requested)
+        )
+        per_fact = {
+            fact_id: tuple(
+                mo.dimensions[name].ancestor_at(
+                    mo.direct_value(fact_id, name), category
+                )
+                for name, category in zip(names, lub_granularity)
+            )
+            for fact_id in per_fact
+        }
+
+    result = _result_mo(mo, requested)
+    groups: dict[tuple[str, ...], list[str]] = {}
+    for fact_id, cell in per_fact.items():
+        groups.setdefault(cell, []).append(fact_id)
+    for cell, members in groups.items():
+        coordinates = dict(zip(names, cell))
+        measures = {
+            name: mo.measures[name].aggregate_over(members)
+            for name in mo.schema.measure_names
+        }
+        provenance = Provenance()
+        for member in members:
+            provenance = provenance.merge(mo.provenance(member))
+        result.insert_aggregate_fact(
+            aggregate_fact_id(cell), coordinates, measures, provenance
+        )
+    return result
+
+
+def group_high(
+    mo: MultidimensionalObject,
+    cell: Mapping[str, str],
+    granularity: Mapping[str, str],
+) -> frozenset[str]:
+    """The paper's ``Group_high`` (Equation 38).
+
+    All facts characterized by every value of *cell* and mapped *directly*
+    to those cell values whose category exceeds the requested granularity.
+    The direct-mapping requirement is what stops a fact from landing in
+    several result groups.
+    """
+    requested = mo.schema.validate_granularity(granularity)
+    facts: set[str] = set()
+    for fact_id in mo.facts():
+        ok = True
+        for name, req_category in zip(mo.schema.dimension_names, requested):
+            value = cell.get(name)
+            if value is None:
+                raise QueryError(f"cell lacks a value for dimension {name!r}")
+            dimension = mo.dimensions[name]
+            value = dimension.normalize_value(value)
+            value_category = dimension.category_of(value)
+            if not dimension.dimension_type.hierarchy.le(req_category, value_category):
+                raise QueryError(
+                    f"Group_high cell value {value!r} is below the requested "
+                    f"category {req_category!r} in {name!r}"
+                )
+            if value_category == req_category:
+                if not mo.characterized_by(fact_id, name, value):
+                    ok = False
+                    break
+            else:
+                # Higher than requested: the fact must map directly to it.
+                if mo.direct_value(fact_id, name) != value:
+                    ok = False
+                    break
+        if ok:
+            facts.add(fact_id)
+    return frozenset(facts)
+
+
+def _finest_available(
+    dimension: Dimension, direct_value: str, category: str
+) -> tuple[str, str]:
+    """The finest category ``>= category`` at which the fact has a value,
+    with that value (the availability approach's per-fact granularity)."""
+    hierarchy = dimension.dimension_type.hierarchy
+    own = dimension.category_of(direct_value)
+    if own == category or hierarchy.le(own, category):
+        ancestor = dimension.try_ancestor_at(direct_value, category)
+        if ancestor is not None:
+            return category, ancestor
+    candidates: list[str] = []
+    for candidate in hierarchy:
+        if not hierarchy.le(category, candidate):
+            continue
+        if dimension.try_ancestor_at(direct_value, candidate) is not None:
+            candidates.append(candidate)
+    if not candidates:  # pragma: no cover - TOP is always reachable
+        raise QueryError(
+            f"{dimension.name}: no category >= {category!r} available for "
+            f"value {direct_value!r}"
+        )
+    minimal = [
+        c
+        for c in candidates
+        if not any(hierarchy.lt(other, c) for other in candidates)
+    ]
+    chosen = minimal[0]
+    return chosen, dimension.ancestor_at(direct_value, chosen)
+
+
+def _result_mo(
+    mo: MultidimensionalObject, requested: tuple[str, ...]
+) -> MultidimensionalObject:
+    """A fresh MO whose dimension types restrict to categories >= C_i."""
+    new_dimensions: dict[str, Dimension] = {}
+    dimension_types = []
+    for name, category in zip(mo.schema.dimension_names, requested):
+        dimension = mo.dimensions[name]
+        hierarchy = dimension.dimension_type.hierarchy
+        if category in (hierarchy.bottom, TOP):
+            # Bottom: nothing to restrict.  TOP: the model cannot express a
+            # dimension with only the top category, so the full dimension is
+            # kept and facts simply map to the ALL value.
+            new_dimensions[name] = dimension
+            dimension_types.append(dimension.dimension_type)
+            continue
+        keep = [
+            c
+            for c in hierarchy.user_categories
+            if hierarchy.le(category, c)
+        ]
+        sub = dimension.subdimension(keep)
+        new_dimensions[name] = sub
+        dimension_types.append(sub.dimension_type)
+    schema = FactSchema(
+        mo.schema.fact_type, dimension_types, mo.schema.measure_types
+    )
+    return MultidimensionalObject(schema, new_dimensions)

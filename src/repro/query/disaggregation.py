@@ -1,0 +1,187 @@
+"""The *disaggregated* aggregation approach (Section 6.3's fourth option).
+
+The paper lists four ways to handle facts that are coarser than the
+requested granularity and implements three, deferring the fourth to
+Pedersen et al. [13]: *disaggregate* coarse facts down to the requested
+granularity, "yielding imprecise answers".  This module implements it as
+the natural extension:
+
+* a coarse fact's measure values are distributed over the requested-level
+  cells it covers — uniformly by default, or proportionally to weights
+  supplied by the caller (e.g. last year's distribution);
+* every result row carries an **imprecision** score: the fraction of its
+  value that came from disaggregation rather than exact data.
+
+SUM/COUNT measures distribute; MIN/MAX cannot be meaningfully split, so
+each covered cell receives the coarse bound unchanged (still a correct
+bound, just loose) and the imprecision score flags it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..core.dimension import ALL_VALUE, Dimension
+from ..core.mo import MultidimensionalObject
+from ..errors import QueryError
+
+#: Optional caller-supplied allocation weights:
+#: (dimension_name, coarse_value, fine_value) -> non-negative weight.
+AllocationWeights = Callable[[str, str, str], float]
+
+
+@dataclass(frozen=True)
+class DisaggregatedRow:
+    """One result cell of a disaggregated aggregation."""
+
+    cell: tuple[str, ...]
+    values: Mapping[str, float]
+    #: Per-measure fraction of the value that was imputed (0.0 == exact).
+    imprecision: Mapping[str, float]
+
+
+def aggregate_disaggregated(
+    mo: MultidimensionalObject,
+    granularity: Mapping[str, str],
+    weights: AllocationWeights | None = None,
+) -> list[DisaggregatedRow]:
+    """``a[C1..Cn](O)`` with coarse facts split down to the requested
+    granularity.
+
+    Returns rows sorted by cell.  The grand totals of SUM measures are
+    preserved exactly (allocation only moves value between cells); the
+    per-cell values are estimates wherever ``imprecision > 0``.
+    """
+    requested = mo.schema.validate_granularity(dict(granularity))
+    names = mo.schema.dimension_names
+    sums: dict[tuple[str, ...], dict[str, float]] = {}
+    imputed: dict[tuple[str, ...], dict[str, float]] = {}
+
+    for fact_id in mo.facts():
+        portions = _allocate(mo, fact_id, names, requested, weights)
+        exact = len(portions) == 1 and portions[0][1] == 1.0
+        for cell, fraction in portions:
+            cell_sums = sums.setdefault(
+                cell, {m: 0.0 for m in mo.schema.measure_names}
+            )
+            cell_imputed = imputed.setdefault(
+                cell, {m: 0.0 for m in mo.schema.measure_names}
+            )
+            for measure_name in mo.schema.measure_names:
+                aggregate_name = mo.schema.measure_type(
+                    measure_name
+                ).aggregate.name
+                value = float(mo.measure_value(fact_id, measure_name))
+                if aggregate_name in ("sum", "count"):
+                    share = value * fraction
+                    cell_sums[measure_name] += share
+                    if not exact:
+                        cell_imputed[measure_name] += share
+                elif aggregate_name == "min":
+                    cell_sums[measure_name] = (
+                        value
+                        if cell_sums[measure_name] == 0.0
+                        else min(cell_sums[measure_name], value)
+                    )
+                    if not exact:
+                        cell_imputed[measure_name] = cell_sums[measure_name]
+                else:  # max
+                    cell_sums[measure_name] = max(
+                        cell_sums[measure_name], value
+                    )
+                    if not exact:
+                        cell_imputed[measure_name] = cell_sums[measure_name]
+
+    rows: list[DisaggregatedRow] = []
+    for cell in sorted(sums):
+        values = sums[cell]
+        rows.append(
+            DisaggregatedRow(
+                cell=cell,
+                values=dict(values),
+                imprecision={
+                    m: (imputed[cell][m] / values[m]) if values[m] else 0.0
+                    for m in values
+                },
+            )
+        )
+    return rows
+
+
+def _allocate(
+    mo: MultidimensionalObject,
+    fact_id: str,
+    names: tuple[str, ...],
+    requested: tuple[str, ...],
+    weights: AllocationWeights | None,
+) -> list[tuple[tuple[str, ...], float]]:
+    """The requested-level cells a fact covers, with allocation fractions.
+
+    A fact fine enough in every dimension yields one cell with fraction
+    1.0; a coarse fact yields the product of its per-dimension drill-down
+    sets with multiplicative fractions.
+    """
+    per_dimension: list[list[tuple[str, float]]] = []
+    for name, category in zip(names, requested):
+        dimension = mo.dimensions[name]
+        direct = mo.direct_value(fact_id, name)
+        ancestor = dimension.try_ancestor_at(direct, category)
+        if ancestor is not None:
+            per_dimension.append([(ancestor, 1.0)])
+            continue
+        fine_values = _downset(dimension, direct, category)
+        if not fine_values:
+            raise QueryError(
+                f"fact {fact_id!r} cannot be disaggregated to "
+                f"{name}.{category}: no covered values"
+            )
+        per_dimension.append(
+            _fractions(name, direct, sorted(fine_values), weights)
+        )
+
+    cells: list[tuple[tuple[str, ...], float]] = [((), 1.0)]
+    for options in per_dimension:
+        cells = [
+            ((*cell, value), fraction * share)
+            for cell, fraction in cells
+            for value, share in options
+        ]
+    return cells
+
+
+def _downset(
+    dimension: Dimension, value: str, category: str
+) -> frozenset[str]:
+    own = dimension.category_of(value)
+    hierarchy = dimension.dimension_type.hierarchy
+    if hierarchy.lt(category, own) or value == ALL_VALUE:
+        return dimension.descendants_at(value, category)
+    # Parallel branch (e.g. a week value asked at month level): go through
+    # the common refinement.
+    glb = hierarchy.glb({own, category})
+    covered: set[str] = set()
+    for fine in dimension.descendants_at(value, glb):
+        ancestor = dimension.try_ancestor_at(fine, category)
+        if ancestor is not None:
+            covered.add(ancestor)
+    return frozenset(covered)
+
+
+def _fractions(
+    name: str,
+    coarse: str,
+    fine_values: list[str],
+    weights: AllocationWeights | None,
+) -> list[tuple[str, float]]:
+    if weights is None:
+        share = 1.0 / len(fine_values)
+        return [(value, share) for value in fine_values]
+    raw = [max(0.0, weights(name, coarse, value)) for value in fine_values]
+    total = sum(raw)
+    if total <= 0.0:
+        share = 1.0 / len(fine_values)
+        return [(value, share) for value in fine_values]
+    return [
+        (value, weight / total) for value, weight in zip(fine_values, raw)
+    ]

@@ -1,0 +1,85 @@
+"""The selection operator over reduced MOs (Section 6.1, Equation 36).
+
+``o[p](O)`` restricts the fact set to facts characterized by values on
+which the predicate evaluates to true.  With reduced data the predicate's
+category may be unavailable for some facts; the *approach* decides what
+happens then:
+
+* ``CONSERVATIVE`` (the paper's choice) — only facts *known* to satisfy;
+* ``LIBERAL`` — all facts that *might* satisfy;
+* ``WEIGHTED`` — the liberal answer with a certainty weight per fact
+  (:func:`select_weighted`).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from typing import TYPE_CHECKING
+
+from ..core.mo import MultidimensionalObject
+from .compare import Approach
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..spec.ast import Predicate
+
+
+def bind_query_predicate(
+    mo: MultidimensionalObject, predicate: "Predicate | str"
+) -> "Predicate":
+    """Parse/validate a query predicate against the MO's schema."""
+    # Imported lazily: the spec package itself builds on this package's
+    # comparison semantics, so a module-level import would be circular.
+    from ..spec.action import _bind_predicate
+    from ..spec.parser import parse_predicate
+
+    if isinstance(predicate, str):
+        predicate = parse_predicate(predicate)
+    return _bind_predicate(mo.schema, predicate, "query")
+
+
+def select(
+    mo: MultidimensionalObject,
+    predicate: "Predicate | str",
+    now: _dt.date,
+    approach: Approach = Approach.CONSERVATIVE,
+) -> MultidimensionalObject:
+    """``o[p](O)``: the sub-MO of facts satisfying *predicate* at *now*.
+
+    Dimensions and schema stay the same; fact-dimension relations and
+    measures are restricted accordingly (Equation 36).
+    """
+    from ..spec.predicate import satisfies
+
+    bound = bind_query_predicate(mo, predicate)
+    keep = [
+        fact_id
+        for fact_id in mo.facts()
+        if satisfies(mo, fact_id, bound, now, approach)
+    ]
+    return mo.restrict_to_facts(keep)
+
+
+def select_weighted(
+    mo: MultidimensionalObject,
+    predicate: "Predicate | str",
+    now: _dt.date,
+) -> tuple[MultidimensionalObject, dict[str, float]]:
+    """The weighted approach: the liberal answer plus per-fact weights.
+
+    A fact's weight is the fraction of its possible detailed values that
+    satisfy the predicate (1.0 on the conservative answer); facts with
+    weight 0 are omitted.
+    """
+    from ..spec.predicate import satisfaction_weight
+
+    bound = bind_query_predicate(mo, predicate)
+    weights: dict[str, float] = {}
+    for fact_id in mo.facts():
+        def value_of(dimension_name: str, _fid: str = fact_id) -> str:
+            return mo.direct_value(_fid, dimension_name)
+
+        weight = satisfaction_weight(bound, value_of, mo.dimensions, now)
+        if weight > 0.0:
+            weights[fact_id] = weight
+    return mo.restrict_to_facts(weights), weights

@@ -1,0 +1,113 @@
+"""The paper's auxiliary reduction functions (Section 4.2).
+
+``Gran`` (Eq. 10) lives on the MO itself; this module adds ``Spec_gran``
+(Eq. 11), ``Cell`` (Eq. 12), and ``AggLevel_i`` (Eq. 13), all evaluated at
+a concrete time ``t`` with the NOW variable bound to it.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, Mapping
+
+from ..core.dimension import Dimension
+from ..core.mo import MultidimensionalObject
+from ..errors import SpecSemanticsError
+from ..spec.action import Action
+from ..spec.predicate import cell_satisfies, satisfies
+
+
+def spec_gran(
+    mo: MultidimensionalObject,
+    actions: Iterable[Action],
+    fact_id: str,
+    now: _dt.date,
+) -> set[tuple[str, ...]]:
+    """``Spec_gran(f, t)``: the granularities specified for the fact.
+
+    Contains ``Cat(a)`` for every action whose predicate the fact's direct
+    cell satisfies at *now*, plus the fact's own granularity (so the set
+    is never empty and the maximum can only move upward) — Equation 11.
+    """
+    granularities: set[tuple[str, ...]] = {mo.gran(fact_id)}
+    for action in actions:
+        if satisfies(mo, fact_id, action.predicate, now):
+            granularities.add(action.cat())
+    return granularities
+
+
+def cell(
+    mo: MultidimensionalObject,
+    actions: Iterable[Action],
+    fact_id: str,
+    now: _dt.date,
+) -> tuple[str, ...]:
+    """``Cell(f, t)``: the dimension values the fact aggregates to.
+
+    The maximum granularity of ``Spec_gran`` (Eq. 12); for each dimension
+    the fact's characterizing value at that category.  A NonCrossing
+    specification guarantees the maximum exists; an incomparable set is
+    reported as a semantic error.
+    """
+    granularities = spec_gran(mo, actions, fact_id, now)
+    try:
+        target = mo.schema.max_granularity(granularities)
+    except Exception as exc:  # incomparable => crossing specification
+        raise SpecSemanticsError(
+            f"Cell({fact_id!r}, {now}): specified granularities are not "
+            f"totally ordered ({sorted(granularities)!r}); the "
+            "specification is crossing"
+        ) from exc
+    values: list[str] = []
+    for name, category in zip(mo.schema.dimension_names, target):
+        value = mo.characterizing_value(fact_id, name, category)
+        if value is None:
+            raise SpecSemanticsError(
+                f"Cell({fact_id!r}, {now}): fact cannot be characterized at "
+                f"{name}.{category}"
+            )
+        values.append(value)
+    return tuple(values)
+
+
+def agg_level(
+    dimensions: Mapping[str, Dimension],
+    actions: Iterable[Action],
+    bottom_cell: Mapping[str, str],
+    now: _dt.date,
+    dimension_name: str,
+) -> str:
+    """``AggLevel_i(v1..vn, t)``: the maximum aggregation level specified
+    for a bottom-level cell in one dimension (Equation 13).
+
+    Returns the dimension's bottom category when no action selects the
+    cell.
+    """
+    dimension = dimensions[dimension_name]
+    hierarchy = dimension.dimension_type.hierarchy
+    best = dimension.bottom_category
+    for action in actions:
+        if cell_satisfies(dimensions, bottom_cell, action.predicate, now):
+            category = action.cat_i(dimension_name)
+            if hierarchy.le(best, category):
+                best = category
+            elif not hierarchy.le(category, best):
+                raise SpecSemanticsError(
+                    f"AggLevel_{dimension_name}: incomparable levels "
+                    f"{best!r} and {category!r}; specification is crossing"
+                )
+    return best
+
+
+def agg_levels(
+    dimensions: Mapping[str, Dimension],
+    actions: Iterable[Action],
+    bottom_cell: Mapping[str, str],
+    now: _dt.date,
+) -> dict[str, str]:
+    """``AggLevel_i`` for every dimension of the cell at once."""
+    action_list = list(actions)
+    return {
+        name: agg_level(dimensions, action_list, bottom_cell, now, name)
+        for name in bottom_cell
+    }

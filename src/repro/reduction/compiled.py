@@ -1,0 +1,182 @@
+"""Compiled reduction: set-based predicate evaluation for large MOs.
+
+``reduce_mo`` evaluates every action predicate on every fact by walking
+the predicate AST — simple and faithful, but interpretive.  At a fixed
+evaluation time all ``NOW`` terms are constants, so an atom's verdict
+depends only on the fact's direct value in one dimension.  This module
+exploits that:
+
+1. per (action, DNF conjunct, dimension): atom verdicts are cached per
+   *distinct direct value*, computed lazily on first encounter — facts
+   sharing a day or URL never re-evaluate an atom;
+2. per distinct direct cell: the ``<=_V``-maximal satisfied action gives
+   the target cell once (as in ``Cell``, Equation 12) and every fact with
+   that cell reuses it.
+
+The result is bit-for-bit identical to :func:`repro.reduction.reducer.reduce_mo`
+(property-tested) at a fraction of the cost on wide fact tables.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, Mapping
+
+from ..core.facts import Provenance, aggregate_fact_id
+from ..core.mo import MultidimensionalObject
+from ..errors import SpecSemanticsError
+from ..query.compare import atom_compare
+from ..spec.action import Action, resolve_terms
+from ..spec.specification import ReductionSpecification
+
+
+class CompiledAction:
+    """One action's predicate compiled against concrete dimensions."""
+
+    def __init__(
+        self,
+        action: Action,
+        dimensions: Mapping[str, object],
+        now: _dt.date,
+    ) -> None:
+        self.action = action
+        self.granularity = action.cat()
+        self._dimensions = dimensions
+        self._now = now
+        # One entry per DNF conjunct: dimension -> (atoms, resolved
+        # constants); per-value admission verdicts are cached on demand so
+        # the compile pass never scans values no fact references.
+        self._conjuncts: list[dict[str, list]] = []
+        self._verdicts: list[dict[str, dict[str, bool]]] = []
+        for atoms in action.conjuncts():
+            per_dimension: dict[str, list] = {}
+            for atom in atoms:
+                rights = resolve_terms(atom, now)
+                right = rights if atom.op == "in" else rights[0]
+                per_dimension.setdefault(atom.ref.dimension, []).append(
+                    (atom, right)
+                )
+            self._conjuncts.append(per_dimension)
+            self._verdicts.append({name: {} for name in per_dimension})
+
+    def satisfied_by(self, cell: Mapping[str, str]) -> bool:
+        """Does a fact with direct values *cell* satisfy the predicate?"""
+        for per_dimension, caches in zip(self._conjuncts, self._verdicts):
+            ok = True
+            for name, dim_atoms in per_dimension.items():
+                value = cell[name]
+                cache = caches[name]
+                verdict = cache.get(value)
+                if verdict is None:
+                    dimension = self._dimensions[name]
+                    verdict = all(
+                        atom_compare(
+                            dimension, value, atom.ref.category, atom.op, right
+                        )
+                        for atom, right in dim_atoms
+                    )
+                    cache[value] = verdict
+                if not verdict:
+                    ok = False
+                    break
+            if ok:
+                return True
+        return False
+
+
+def compile_specification(
+    mo: MultidimensionalObject,
+    specification: ReductionSpecification | Iterable[Action],
+    now: _dt.date,
+) -> list[CompiledAction]:
+    """Compile every action of the specification against *mo* at *now*."""
+    actions = (
+        list(specification.actions)
+        if isinstance(specification, ReductionSpecification)
+        else list(specification)
+    )
+    return [CompiledAction(action, mo.dimensions, now) for action in actions]
+
+
+def reduce_mo_compiled(
+    mo: MultidimensionalObject,
+    specification: ReductionSpecification | Iterable[Action],
+    now: _dt.date,
+) -> MultidimensionalObject:
+    """Drop-in replacement for ``reduce_mo`` using compiled predicates."""
+    compiled = compile_specification(mo, specification, now)
+    schema = mo.schema
+    names = schema.dimension_names
+
+    # Memoize Cell per distinct direct-value tuple: facts sharing a direct
+    # cell always land in the same target cell.
+    target_of: dict[tuple[str, ...], tuple[str, ...]] = {}
+    groups: dict[tuple[str, ...], list[str]] = {}
+    for fact_id in mo.facts():
+        direct = mo.direct_cell(fact_id)
+        target = target_of.get(direct)
+        if target is None:
+            target = _target_cell(mo, compiled, direct, names)
+            target_of[direct] = target
+        groups.setdefault(target, []).append(fact_id)
+
+    reduced = mo.empty_like()
+    for cell, members in groups.items():
+        coordinates = dict(zip(names, cell))
+        if len(members) == 1 and mo.direct_cell(members[0]) == cell:
+            original = members[0]
+            reduced.insert_aggregate_fact(
+                original,
+                coordinates,
+                {
+                    name: mo.measure_value(original, name)
+                    for name in schema.measure_names
+                },
+                mo.provenance(original),
+            )
+            continue
+        provenance = Provenance()
+        for member in members:
+            provenance = provenance.merge(mo.provenance(member))
+        measures = {
+            name: mo.measures[name].aggregate_over(members)
+            for name in schema.measure_names
+        }
+        reduced.insert_aggregate_fact(
+            aggregate_fact_id(cell), coordinates, measures, provenance
+        )
+    return reduced
+
+
+def _target_cell(
+    mo: MultidimensionalObject,
+    compiled: list[CompiledAction],
+    direct: tuple[str, ...],
+    names: tuple[str, ...],
+) -> tuple[str, ...]:
+    cell = dict(zip(names, direct))
+    best: tuple[str, ...] = tuple(
+        mo.dimensions[name].category_of(value)
+        for name, value in zip(names, direct)
+    )
+    schema = mo.schema
+    for candidate in compiled:
+        if not candidate.satisfied_by(cell):
+            continue
+        if schema.le_granularity(best, candidate.granularity):
+            best = candidate.granularity
+        elif not schema.le_granularity(candidate.granularity, best):
+            raise SpecSemanticsError(
+                f"cell {cell!r}: incomparable target granularities "
+                f"{best!r} and {candidate.granularity!r}; the specification "
+                "is crossing"
+            )
+    values = []
+    for name, category in zip(names, best):
+        ancestor = mo.dimensions[name].try_ancestor_at(cell[name], category)
+        if ancestor is None:
+            raise SpecSemanticsError(
+                f"cell {cell!r} cannot be characterized at {name}.{category}"
+            )
+        values.append(ancestor)
+    return tuple(values)

@@ -1,0 +1,165 @@
+"""Section 8's future-work extensions, implemented.
+
+The paper closes by proposing to extend the technique to (i) the deletion
+of facts and (ii) reduction in the number of dimensions and measures.
+This module provides both, staying inside the existing soundness story:
+
+* :class:`DeletionAction` wraps a reduction action whose firing *removes*
+  the selected facts instead of aggregating them.  Deletion is the limit
+  of aggregation (beyond the top granularity), so the ordering treats a
+  deletion action as ``>=_V`` every aggregation action, and the Growing
+  property generalizes naturally: once deleted, a fact can never be
+  required at any level again — so a deletion action must itself be
+  non-shrinking (a shrinking deletion could never be "caught").
+* :func:`drop_dimension` removes a dimension from an MO (the
+  dimensionality-reduction direction of the paper's reference [10]):
+  facts that become duplicates under the remaining dimensions merge with
+  their default aggregates.
+* :func:`drop_measure` removes a measure type and its values.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable
+
+from ..checks.classify import is_growing_action
+from ..core.facts import Provenance, aggregate_fact_id
+from ..core.mo import MultidimensionalObject
+from ..core.schema import FactSchema
+from ..errors import GrowingViolation, QueryError
+from ..spec.action import Action
+from ..spec.predicate import satisfies
+
+
+class DeletionAction:
+    """An action that deletes the facts its predicate selects.
+
+    The wrapped action's ``Clist`` is irrelevant to the outcome (deleted
+    is deleted); by convention it should name the top category of every
+    dimension, making the ``<=_V`` intuition ("deletion aggregates
+    highest") explicit.
+    """
+
+    def __init__(self, action: Action) -> None:
+        if not is_growing_action(action):
+            raise GrowingViolation(
+                f"deletion action {action.name!r} has a shrinking predicate; "
+                "deleted facts cannot be 'caught' by any other action"
+            )
+        self.action = action
+        self.name = action.name
+
+    @classmethod
+    def parse(cls, schema: FactSchema, source: str, name: str | None = None):
+        # The evaluability rule (Cat_i <= C_pred) guards re-evaluation on
+        # *aggregated* facts; deleted facts are gone, so a top-granularity
+        # Clist with finer predicates is fine here.
+        return cls(
+            Action.parse(schema, source, name, enforce_evaluability=False)
+        )
+
+    def selects(
+        self, mo: MultidimensionalObject, fact_id: str, now: _dt.date
+    ) -> bool:
+        return satisfies(mo, fact_id, self.action.predicate, now)
+
+    def __str__(self) -> str:
+        return f"DELETE {self.action}"
+
+
+def reduce_with_deletion(
+    mo: MultidimensionalObject,
+    specification,
+    deletions: Iterable[DeletionAction],
+    now: _dt.date,
+) -> tuple[MultidimensionalObject, frozenset[str]]:
+    """Apply deletions first, then the ordinary reduction.
+
+    Returns ``(reduced_mo, deleted_source_fact_ids)``.  Deletion wins over
+    aggregation (it is the ``<=_V``-largest response), mirroring how the
+    maximum granularity wins in ``Cell``.
+    """
+    from .reducer import reduce_mo
+
+    deletion_list = list(deletions)
+    survivors = []
+    deleted_sources: set[str] = set()
+    for fact_id in mo.facts():
+        if any(d.selects(mo, fact_id, now) for d in deletion_list):
+            deleted_sources.update(mo.provenance(fact_id).members)
+        else:
+            survivors.append(fact_id)
+    trimmed = mo.restrict_to_facts(survivors)
+    return reduce_mo(trimmed, specification, now), frozenset(deleted_sources)
+
+
+def drop_dimension(
+    mo: MultidimensionalObject, dimension_name: str
+) -> MultidimensionalObject:
+    """Remove *dimension_name* entirely, merging newly-identical facts.
+
+    Unlike projection (which keeps the fact set), dropping a dimension is
+    a *reduction*: facts that now share a cell merge via the default
+    aggregates, shrinking storage — the [10]-style dimensionality
+    reduction the paper contrasts itself with.
+    """
+    if dimension_name not in mo.schema.dimension_names:
+        raise QueryError(f"unknown dimension {dimension_name!r}")
+    keep = [n for n in mo.schema.dimension_names if n != dimension_name]
+    if not keep:
+        raise QueryError("cannot drop the last dimension")
+    schema = FactSchema(
+        mo.schema.fact_type,
+        [mo.schema.dimension_type(n) for n in keep],
+        mo.schema.measure_types,
+    )
+    out = MultidimensionalObject(
+        schema, {n: mo.dimensions[n] for n in keep}
+    )
+    groups: dict[tuple[str, ...], list[str]] = {}
+    for fact_id in mo.facts():
+        cell = tuple(mo.direct_value(fact_id, n) for n in keep)
+        groups.setdefault(cell, []).append(fact_id)
+    for cell, members in groups.items():
+        coordinates = dict(zip(keep, cell))
+        measures = {
+            name: mo.measures[name].aggregate_over(members)
+            for name in mo.schema.measure_names
+        }
+        provenance = Provenance()
+        for member in members:
+            provenance = provenance.merge(mo.provenance(member))
+        fact_id = (
+            members[0] if len(members) == 1 else aggregate_fact_id(cell)
+        )
+        out.insert_aggregate_fact(fact_id, coordinates, measures, provenance)
+    return out
+
+
+def drop_measure(
+    mo: MultidimensionalObject, measure_name: str
+) -> MultidimensionalObject:
+    """Remove one measure type; the fact set is unchanged."""
+    if measure_name not in mo.schema.measure_names:
+        raise QueryError(f"unknown measure {measure_name!r}")
+    keep = [m for m in mo.schema.measure_names if m != measure_name]
+    if not keep:
+        raise QueryError("cannot drop the last measure")
+    schema = FactSchema(
+        mo.schema.fact_type,
+        mo.schema.dimension_types,
+        [mo.schema.measure_type(m) for m in keep],
+    )
+    out = MultidimensionalObject(schema, mo.dimensions)
+    for fact_id in mo.facts():
+        out.insert_aggregate_fact(
+            fact_id,
+            {
+                name: mo.direct_value(fact_id, name)
+                for name in mo.schema.dimension_names
+            },
+            {name: mo.measure_value(fact_id, name) for name in keep},
+            mo.provenance(fact_id),
+        )
+    return out

@@ -1,0 +1,80 @@
+"""The data-reduction specification language (Section 4) and dynamics."""
+
+from .action import Action, is_time_dimension_type, resolve_terms
+from .ast import (
+    ActionSyntax,
+    And,
+    Atom,
+    CategoryRef,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjunction,
+    disjunction,
+)
+from .dnf import dnf_predicate, negate, to_dnf, to_nnf
+from .explain import (
+    FactExplanation,
+    describe_action,
+    describe_specification,
+    explain_fact,
+    explain_mo,
+)
+from .parser import parse_action, parse_clist, parse_predicate
+from .predicate import (
+    cell_satisfies,
+    evaluate,
+    satisfaction_weight,
+    satisfies,
+)
+from .ranges import (
+    ConjunctProfile,
+    DayWindow,
+    bottom_region,
+    profile_conjunct,
+    profiles_of,
+    window_at,
+)
+from .specification import ReductionSpecification
+
+__all__ = [
+    "Action",
+    "ActionSyntax",
+    "And",
+    "Atom",
+    "CategoryRef",
+    "ConjunctProfile",
+    "DayWindow",
+    "FactExplanation",
+    "FalsePredicate",
+    "Not",
+    "Or",
+    "Predicate",
+    "ReductionSpecification",
+    "TruePredicate",
+    "bottom_region",
+    "cell_satisfies",
+    "conjunction",
+    "disjunction",
+    "describe_action",
+    "describe_specification",
+    "dnf_predicate",
+    "evaluate",
+    "explain_fact",
+    "explain_mo",
+    "is_time_dimension_type",
+    "negate",
+    "parse_action",
+    "parse_clist",
+    "parse_predicate",
+    "profile_conjunct",
+    "profiles_of",
+    "resolve_terms",
+    "satisfaction_weight",
+    "satisfies",
+    "to_dnf",
+    "to_nnf",
+    "window_at",
+]

@@ -1,0 +1,127 @@
+"""Disjunctive-normal-form conversion for specification predicates.
+
+Section 5.3's pre-processing step requires every predicate in disjunctive
+normal form and splits each action into one action per disjunct, after
+which each predicate is a conjunction of range predicates over the
+dimensions.  This module implements the logical part: negation push-down,
+AND-over-OR distribution, and extraction of the conjunct lists.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecSemanticsError
+from .ast import (
+    And,
+    Atom,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjunction,
+    disjunction,
+)
+
+_NEGATED_OP = {
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+    "=": "!=",
+    "!=": "=",
+}
+
+
+def negate(predicate: Predicate) -> Predicate:
+    """Push one negation inward (NNF step)."""
+    if isinstance(predicate, TruePredicate):
+        return FalsePredicate()
+    if isinstance(predicate, FalsePredicate):
+        return TruePredicate()
+    if isinstance(predicate, Not):
+        return predicate.operand
+    if isinstance(predicate, And):
+        return disjunction([negate(p) for p in predicate.operands])
+    if isinstance(predicate, Or):
+        return conjunction([negate(p) for p in predicate.operands])
+    if isinstance(predicate, Atom):
+        if predicate.op == "in":
+            # NOT (x IN {a, b}) == x != a AND x != b
+            return conjunction(
+                [Atom(predicate.ref, "!=", (term,)) for term in predicate.terms]
+            )
+        return Atom(predicate.ref, _NEGATED_OP[predicate.op], predicate.terms)
+    raise SpecSemanticsError(f"cannot negate {predicate!r}")
+
+
+def to_nnf(predicate: Predicate) -> Predicate:
+    """Negation normal form: NOT appears nowhere (atoms absorb it)."""
+    if isinstance(predicate, Not):
+        return to_nnf(negate(predicate.operand))
+    if isinstance(predicate, And):
+        return conjunction([to_nnf(p) for p in predicate.operands])
+    if isinstance(predicate, Or):
+        return disjunction([to_nnf(p) for p in predicate.operands])
+    return predicate
+
+
+def to_dnf(predicate: Predicate) -> list[tuple[Atom, ...]]:
+    """The DNF as a list of conjuncts (each a tuple of atoms).
+
+    ``[]`` encodes FALSE; ``[()]`` encodes TRUE (one empty conjunct).
+    Duplicate atoms within a conjunct and duplicate conjuncts collapse.
+    """
+    nnf = to_nnf(predicate)
+    conjuncts = _dnf(nnf)
+    seen: set[tuple[Atom, ...]] = set()
+    out: list[tuple[Atom, ...]] = []
+    for conjunct in conjuncts:
+        unique_atoms: list[Atom] = []
+        for atom in conjunct:
+            if atom not in unique_atoms:
+                unique_atoms.append(atom)
+        key = tuple(unique_atoms)
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+    # TRUE absorbs everything else.
+    if any(not conjunct for conjunct in out):
+        return [()]
+    return out
+
+
+def _dnf(predicate: Predicate) -> list[tuple[Atom, ...]]:
+    if isinstance(predicate, TruePredicate):
+        return [()]
+    if isinstance(predicate, FalsePredicate):
+        return []
+    if isinstance(predicate, Atom):
+        return [(predicate,)]
+    if isinstance(predicate, Or):
+        out: list[tuple[Atom, ...]] = []
+        for operand in predicate.operands:
+            out.extend(_dnf(operand))
+        return out
+    if isinstance(predicate, And):
+        product: list[tuple[Atom, ...]] = [()]
+        for operand in predicate.operands:
+            parts = _dnf(operand)
+            product = [
+                existing + new for existing in product for new in parts
+            ]
+            if not product:
+                return []
+        return product
+    raise SpecSemanticsError(f"predicate not in NNF: {predicate!r}")
+
+
+def dnf_predicate(predicate: Predicate) -> Predicate:
+    """The predicate rebuilt in DNF shape (for display and round-trips)."""
+    conjuncts = to_dnf(predicate)
+    if not conjuncts:
+        return FalsePredicate()
+    parts = [
+        conjunction(list(atoms)) if atoms else TruePredicate()
+        for atoms in conjuncts
+    ]
+    return disjunction(parts)

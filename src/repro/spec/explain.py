@@ -1,0 +1,145 @@
+"""Explanations: *why* is the data aggregated the way it is?
+
+Section 4 requires that "for any fact in a reduced MO, it is important to
+be able to determine the specific action that caused the fact to be
+aggregated to its current level, e.g., to communicate to users why data
+is aggregated the way it is."  This module produces those explanations:
+
+* per fact: the responsible action (or none), its classification, and
+  when the fact will next move (the earliest future time at which a
+  higher-granularity action claims its cell);
+* per specification: a plain-language summary of each action's effect.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from ..core.mo import MultidimensionalObject
+from .action import Action
+from .predicate import satisfies
+from .specification import ReductionSpecification
+
+
+@dataclass(frozen=True)
+class FactExplanation:
+    """Why one fact is at its current level, and what happens next."""
+
+    fact_id: str
+    granularity: tuple[str, ...]
+    cell: tuple[str, ...]
+    responsible: str | None
+    source_facts: tuple[str, ...]
+    next_move: _dt.date | None
+    next_granularity: tuple[str, ...] | None
+
+    def __str__(self) -> str:
+        where = "/".join(self.cell)
+        who = self.responsible or "no action (original granularity)"
+        future = (
+            f"; will move to {'/'.join(self.next_granularity)} on "
+            f"{self.next_move}"
+            if self.next_move
+            else "; no further aggregation scheduled"
+        )
+        return (
+            f"{self.fact_id} @ {where} "
+            f"[{'/'.join(self.granularity)}] — caused by {who}"
+            f" (stands for {len(self.source_facts)} source facts){future}"
+        )
+
+
+def explain_fact(
+    mo: MultidimensionalObject,
+    specification: ReductionSpecification,
+    fact_id: str,
+    now: _dt.date,
+    lookahead_days: int = 1100,
+) -> FactExplanation:
+    """Explain one fact's aggregation state at *now*.
+
+    The next-move prediction scans forward day by day (bounded by
+    *lookahead_days*) for the first time a strictly higher granularity
+    claims the fact — exact, since predicates are decidable per day.
+    """
+    from ..reduction.reducer import responsible_action
+
+    schema = mo.schema
+    action = responsible_action(mo, specification, fact_id, now)
+    gran = mo.gran(fact_id)
+    next_move: _dt.date | None = None
+    next_granularity: tuple[str, ...] | None = None
+    for offset in range(1, lookahead_days + 1):
+        future = now + _dt.timedelta(days=offset)
+        best: tuple[str, ...] | None = None
+        for candidate in specification.actions:
+            if not schema.le_granularity(gran, candidate.cat()):
+                continue
+            if candidate.cat() == gran:
+                continue
+            if satisfies(mo, fact_id, candidate.predicate, future):
+                if best is None or schema.le_granularity(best, candidate.cat()):
+                    best = candidate.cat()
+        if best is not None:
+            next_move = future
+            next_granularity = best
+            break
+    return FactExplanation(
+        fact_id=fact_id,
+        granularity=gran,
+        cell=mo.direct_cell(fact_id),
+        responsible=action.name if action else None,
+        source_facts=tuple(sorted(mo.provenance(fact_id).members)),
+        next_move=next_move,
+        next_granularity=next_granularity,
+    )
+
+
+def explain_mo(
+    mo: MultidimensionalObject,
+    specification: ReductionSpecification,
+    now: _dt.date,
+    lookahead_days: int = 1100,
+) -> list[FactExplanation]:
+    """Explanations for every fact, sorted by fact id."""
+    return [
+        explain_fact(mo, specification, fact_id, now, lookahead_days)
+        for fact_id in sorted(mo.facts())
+    ]
+
+
+def describe_action(action: Action) -> str:
+    """A one-line plain-language description of an action."""
+    # Imported lazily: the checks package validates Action objects, so a
+    # module-level import here would be circular.
+    from ..checks.classify import classify_action
+
+    classification = classify_action(action)
+    target = ", ".join(
+        action.schema.dimension_type(name).qualify(category)
+        for name, category in zip(
+            action.schema.dimension_names, action.granularity
+        )
+    )
+    return (
+        f"{action.name}: aggregate facts matching [{action.predicate}] "
+        f"to ({target}) — {classification.action_class.value} "
+        f"(category {classification.letter})"
+    )
+
+
+def describe_specification(
+    specification: ReductionSpecification,
+) -> list[str]:
+    """Plain-language lines for every action, ``<=_V``-coarsest last."""
+    actions = sorted(
+        specification.actions,
+        key=lambda a: sum(
+            len(
+                a.schema.dimension_type(name).hierarchy.descendants(category)
+            )
+            for name, category in zip(a.schema.dimension_names, a.granularity)
+        ),
+    )
+    return [describe_action(action) for action in actions]

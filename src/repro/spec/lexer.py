@@ -1,0 +1,143 @@
+"""Tokenizer for the action-specification surface syntax.
+
+The concrete syntax follows Table 1 with a few ASCII conveniences:
+
+* the aggregation and selection operators are written ``a[...]`` and
+  ``o[...]`` (the paper's alpha and sigma); the Greek letters are accepted
+  too;
+* dimension values and absolute time literals are quoted strings
+  (``'.com'``, ``'1999/12'``) so that values containing dots or slashes
+  never collide with ``Dimension.category`` references;
+* ``NOW - 12 months`` spells a NOW-relative term; the span unit may be any
+  singular/plural time-unit word;
+* keywords (``AND``, ``OR``, ``NOT``, ``IN``, ``TRUE``, ``FALSE``, ``NOW``)
+  are case-insensitive.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import SpecSyntaxError
+
+KEYWORDS = {"AND", "OR", "NOT", "IN", "TRUE", "FALSE", "NOW", "P", "A", "O"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<number>\d+)
+  | (?P<op><=|>=|!=|<>|<|>|=)
+  | (?P<punct>[()\[\]{},.+\-])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<greek>[ασ])          # alpha, sigma
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its kind, text, and source position."""
+
+    kind: str  # 'string' | 'number' | 'op' | 'punct' | 'ident' | 'keyword'
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_punct(self, char: str) -> bool:
+        return self.kind == "punct" and self.text == char
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, raising :class:`SpecSyntaxError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if not match:
+            raise SpecSyntaxError(
+                f"unexpected character {source[position]!r}", position
+            )
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ws":
+            continue
+        if kind == "string":
+            body = text[1:-1].replace("\\'", "'").replace("\\\\", "\\")
+            tokens.append(Token("string", body, match.start()))
+        elif kind == "greek":
+            mapped = "a" if text == "α" else "o"
+            tokens.append(Token("keyword", mapped.upper(), match.start()))
+        elif kind == "ident":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, match.start()))
+            else:
+                tokens.append(Token("ident", text, match.start()))
+        elif kind == "op":
+            canonical = "!=" if text == "<>" else text
+            tokens.append(Token("op", canonical, match.start()))
+        else:
+            tokens.append(Token(kind or "punct", text, match.start()))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over the token list with one-token lookahead."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Token | None:
+        index = self.index + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SpecSyntaxError("unexpected end of input", len(self.source))
+        self.index += 1
+        return token
+
+    def expect_punct(self, char: str) -> Token:
+        token = self.next()
+        if not token.is_punct(char):
+            raise SpecSyntaxError(
+                f"expected {char!r}, found {token.text!r}", token.position
+            )
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.next()
+        if not token.is_keyword(word):
+            raise SpecSyntaxError(
+                f"expected {word!r}, found {token.text!r}", token.position
+            )
+        return token
+
+    def expect_ident(self) -> Token:
+        token = self.next()
+        if token.kind not in ("ident", "keyword"):
+            raise SpecSyntaxError(
+                f"expected an identifier, found {token.text!r}", token.position
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    def require_end(self) -> None:
+        if not self.at_end():
+            token = self.tokens[self.index]
+            raise SpecSyntaxError(
+                f"trailing input starting at {token.text!r}", token.position
+            )

@@ -1,0 +1,291 @@
+"""Recursive-descent parser for the Table 1 action grammar.
+
+Entry points:
+
+* :func:`parse_action` — a full ``p(a[Clist] o[Pexp](O))`` action (the
+  ``p( ... (O))`` wrapper is optional, so ``a[...] o[...]`` also parses);
+* :func:`parse_predicate` — a bare ``Pexp``;
+* :func:`parse_clist` — a bare ``Clist``.
+
+Comparison chains (``tt1 <= Time.month <= tt2``) expand into conjunctions,
+matching the paper's stated convention.  The bare identifier ``T`` in term
+position denotes the top value ``T`` (Gray et al.'s ``ALL``), so the
+paper's ``URL.T = T`` predicate (Equation 24) is written ``URL.T = T``.
+"""
+
+from __future__ import annotations
+
+from ..core.dimension import ALL_VALUE
+from ..core.hierarchy import TOP
+from ..errors import SpecSyntaxError
+from ..timedim.now import NowRelative
+from ..timedim.spans import TimeSpan
+from ..timedim.granularity import parse_time_unit
+from .ast import (
+    ActionSyntax,
+    Atom,
+    CategoryRef,
+    FalsePredicate,
+    Not,
+    Predicate,
+    TruePredicate,
+    conjunction,
+    disjunction,
+)
+from .lexer import TokenStream
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def parse_action(source: str) -> ActionSyntax:
+    """Parse one action specification."""
+    stream = TokenStream(source)
+    wrapped = False
+    token = stream.peek()
+    if token is not None and token.is_keyword("P"):
+        stream.next()
+        stream.expect_punct("(")
+        wrapped = True
+    stream.expect_keyword("A")
+    stream.expect_punct("[")
+    clist = _parse_clist(stream)
+    stream.expect_punct("]")
+    stream.expect_keyword("O")
+    stream.expect_punct("[")
+    predicate = _parse_predicate(stream)
+    stream.expect_punct("]")
+    token = stream.peek()
+    if token is not None and token.is_punct("("):
+        stream.next()
+        stream.expect_keyword("O")
+        stream.expect_punct(")")
+    if wrapped:
+        stream.expect_punct(")")
+    stream.require_end()
+    return ActionSyntax(tuple(clist), predicate)
+
+
+def parse_predicate(source: str) -> Predicate:
+    """Parse a bare ``Pexp`` predicate expression."""
+    stream = TokenStream(source)
+    predicate = _parse_predicate(stream)
+    stream.require_end()
+    return predicate
+
+
+def parse_clist(source: str) -> tuple[CategoryRef, ...]:
+    """Parse a bare ``Clist`` of Dimension.category references."""
+    stream = TokenStream(source)
+    refs = _parse_clist(stream)
+    stream.require_end()
+    return tuple(refs)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+def _parse_clist(stream: TokenStream) -> list[CategoryRef]:
+    refs = [_parse_category_ref(stream)]
+    while True:
+        token = stream.peek()
+        if token is None or not token.is_punct(","):
+            break
+        stream.next()
+        refs.append(_parse_category_ref(stream))
+    return refs
+
+
+def _parse_category_ref(stream: TokenStream) -> CategoryRef:
+    dimension = stream.expect_ident()
+    stream.expect_punct(".")
+    category = stream.expect_ident()
+    name = category.text
+    if name == "T":
+        name = TOP
+    return CategoryRef(dimension.text, name)
+
+
+def _parse_predicate(stream: TokenStream) -> Predicate:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> Predicate:
+    parts = [_parse_and(stream)]
+    while True:
+        token = stream.peek()
+        if token is None or not token.is_keyword("OR"):
+            break
+        stream.next()
+        parts.append(_parse_and(stream))
+    return disjunction(parts) if len(parts) > 1 else parts[0]
+
+
+def _parse_and(stream: TokenStream) -> Predicate:
+    parts = [_parse_unary(stream)]
+    while True:
+        token = stream.peek()
+        if token is None or not token.is_keyword("AND"):
+            break
+        stream.next()
+        parts.append(_parse_unary(stream))
+    return conjunction(parts) if len(parts) > 1 else parts[0]
+
+
+def _parse_unary(stream: TokenStream) -> Predicate:
+    token = stream.peek()
+    if token is None:
+        raise SpecSyntaxError("unexpected end of predicate")
+    if token.is_keyword("NOT"):
+        stream.next()
+        return Not(_parse_unary(stream))
+    if token.is_punct("("):
+        stream.next()
+        inner = _parse_predicate(stream)
+        stream.expect_punct(")")
+        return inner
+    if token.is_keyword("TRUE"):
+        stream.next()
+        return TruePredicate()
+    if token.is_keyword("FALSE"):
+        stream.next()
+        return FalsePredicate()
+    return _parse_chain(stream)
+
+
+class _Operand:
+    """Either a category reference or a term, prior to normalization."""
+
+    __slots__ = ("ref", "term", "position")
+
+    def __init__(self, ref: CategoryRef | None, term, position: int) -> None:
+        self.ref = ref
+        self.term = term
+        self.position = position
+
+
+def _parse_chain(stream: TokenStream) -> Predicate:
+    first = _parse_operand(stream)
+    token = stream.peek()
+    if token is not None and token.is_keyword("IN"):
+        stream.next()
+        if first.ref is None:
+            raise SpecSyntaxError(
+                "the left side of IN must be a Dimension.category reference",
+                first.position,
+            )
+        terms = _parse_term_set(stream)
+        return Atom(first.ref, "in", tuple(terms))
+
+    operands = [first]
+    ops: list[str] = []
+    while True:
+        token = stream.peek()
+        if token is None or token.kind != "op":
+            break
+        ops.append(stream.next().text)
+        operands.append(_parse_operand(stream))
+    if not ops:
+        raise SpecSyntaxError(
+            "expected a comparison operator", first.position
+        )
+    atoms = [
+        _normalize_comparison(operands[i], ops[i], operands[i + 1])
+        for i in range(len(ops))
+    ]
+    return conjunction(atoms) if len(atoms) > 1 else atoms[0]
+
+
+def _normalize_comparison(left: _Operand, op: str, right: _Operand) -> Atom:
+    if left.ref is not None and right.ref is not None:
+        raise SpecSyntaxError(
+            "comparisons relate a category to a value, not two categories",
+            left.position,
+        )
+    if left.ref is None and right.ref is None:
+        raise SpecSyntaxError(
+            "comparisons must mention a Dimension.category reference",
+            left.position,
+        )
+    if left.ref is not None:
+        return Atom(left.ref, op, (right.term,))
+    return Atom(right.ref, _FLIP[op], (left.term,))
+
+
+def _parse_operand(stream: TokenStream) -> _Operand:
+    token = stream.peek()
+    if token is None:
+        raise SpecSyntaxError("unexpected end of predicate")
+    if token.is_keyword("NOW"):
+        return _Operand(None, _parse_now(stream), token.position)
+    if token.kind == "string":
+        stream.next()
+        return _Operand(None, token.text, token.position)
+    if token.kind == "ident" and token.text == "T":
+        next_token = stream.peek(1)
+        if next_token is None or not next_token.is_punct("."):
+            stream.next()
+            return _Operand(None, ALL_VALUE, token.position)
+    if token.kind in ("ident", "keyword"):
+        next_token = stream.peek(1)
+        if next_token is not None and next_token.is_punct("."):
+            return _Operand(_parse_category_ref(stream), None, token.position)
+    raise SpecSyntaxError(
+        f"expected a value or Dimension.category, found {token.text!r}",
+        token.position,
+    )
+
+
+def _parse_now(stream: TokenStream) -> NowRelative:
+    now_token = stream.next()
+    assert now_token.is_keyword("NOW")
+    token = stream.peek()
+    if token is None or not (token.is_punct("+") or token.is_punct("-")):
+        return NowRelative()
+    sign = -1 if stream.next().text == "-" else 1
+    return NowRelative(sign, _parse_span(stream))
+
+
+def _parse_span(stream: TokenStream) -> TimeSpan:
+    number = stream.next()
+    if number.kind != "number":
+        raise SpecSyntaxError(
+            f"expected a span count after NOW offset, found {number.text!r}",
+            number.position,
+        )
+    unit = stream.next()
+    if unit.kind not in ("ident", "keyword"):
+        raise SpecSyntaxError(
+            f"expected a time unit, found {unit.text!r}", unit.position
+        )
+    return TimeSpan(int(number.text), parse_time_unit(unit.text))
+
+
+def _parse_term_set(stream: TokenStream) -> list:
+    stream.expect_punct("{")
+    terms = [_parse_set_member(stream)]
+    while True:
+        token = stream.peek()
+        if token is None or not token.is_punct(","):
+            break
+        stream.next()
+        terms.append(_parse_set_member(stream))
+    stream.expect_punct("}")
+    return terms
+
+
+def _parse_set_member(stream: TokenStream):
+    token = stream.peek()
+    if token is None:
+        raise SpecSyntaxError("unexpected end of set")
+    if token.is_keyword("NOW"):
+        return _parse_now(stream)
+    if token.kind == "string":
+        stream.next()
+        return token.text
+    if token.kind == "ident" and token.text == "T":
+        stream.next()
+        return ALL_VALUE
+    raise SpecSyntaxError(
+        f"expected a value in set, found {token.text!r}", token.position
+    )

@@ -1,0 +1,176 @@
+"""Predicate evaluation over facts and cells (the paper's ``Pred``).
+
+Evaluation binds ``NOW`` to the evaluation time ``t`` (Equation 9) and
+compares each atom against the fact's (or cell's) value in the relevant
+dimension using the Definition 5 varying-granularity semantics, so that
+predicates remain evaluable on already-aggregated facts — the property the
+``Cat_i(a) <=_Ti C_pred`` well-formedness rule exists to guarantee.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Callable, Mapping
+
+from ..core.dimension import Dimension
+from ..core.mo import MultidimensionalObject
+from ..errors import SpecSemanticsError
+from ..query.compare import Approach, atom_compare, atom_result
+from .ast import And, Atom, FalsePredicate, Not, Or, Predicate, TruePredicate
+from .action import resolve_terms
+
+ValueLookup = Callable[[str], str]
+
+
+def satisfies(
+    mo: MultidimensionalObject,
+    fact_id: str,
+    predicate: Predicate,
+    now: _dt.date,
+    approach: Approach = Approach.CONSERVATIVE,
+) -> bool:
+    """Does *fact_id*'s direct cell satisfy *predicate* at time *now*?"""
+
+    def value_of(dimension_name: str) -> str:
+        return mo.direct_value(fact_id, dimension_name)
+
+    return evaluate(predicate, value_of, mo.dimensions, now, approach)
+
+
+def cell_satisfies(
+    dimensions: Mapping[str, Dimension],
+    cell: Mapping[str, str],
+    predicate: Predicate,
+    now: _dt.date,
+    approach: Approach = Approach.CONSERVATIVE,
+) -> bool:
+    """Does a cell of dimension values satisfy *predicate* at *now*?
+
+    This is the membership test of the paper's ``Pred(a, t)`` (Equation 9)
+    for a concrete cell; cells may mix granularities.
+    """
+
+    def value_of(dimension_name: str) -> str:
+        try:
+            return cell[dimension_name]
+        except KeyError:
+            raise SpecSemanticsError(
+                f"cell lacks a value for dimension {dimension_name!r}"
+            ) from None
+
+    return evaluate(predicate, value_of, dimensions, now, approach)
+
+
+def evaluate(
+    predicate: Predicate,
+    value_of: ValueLookup,
+    dimensions: Mapping[str, Dimension],
+    now: _dt.date,
+    approach: Approach = Approach.CONSERVATIVE,
+) -> bool:
+    """Recursive predicate evaluation under the chosen approach.
+
+    Negation swaps the conservative and liberal readings (what certainly
+    satisfies ``NOT p`` is what cannot possibly satisfy ``p``), which keeps
+    ``conservative => liberal`` for every predicate, not just atoms.
+    """
+    if isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, FalsePredicate):
+        return False
+    if isinstance(predicate, Atom):
+        return _atom(predicate, value_of, dimensions, now, approach)
+    if isinstance(predicate, Not):
+        flipped = _dual(approach)
+        return not evaluate(predicate.operand, value_of, dimensions, now, flipped)
+    if isinstance(predicate, And):
+        return all(
+            evaluate(p, value_of, dimensions, now, approach)
+            for p in predicate.operands
+        )
+    if isinstance(predicate, Or):
+        return any(
+            evaluate(p, value_of, dimensions, now, approach)
+            for p in predicate.operands
+        )
+    raise SpecSemanticsError(f"cannot evaluate {predicate!r}")
+
+
+def satisfaction_weight(
+    predicate: Predicate,
+    value_of: ValueLookup,
+    dimensions: Mapping[str, Dimension],
+    now: _dt.date,
+) -> float:
+    """The weighted-approach weight of a predicate for one fact.
+
+    Atoms contribute their Definition 5 satisfying fraction; conjunction
+    multiplies (dimensions vary independently), disjunction takes the
+    maximum, and negation complements.  The paper leaves the weighted
+    approach informal; this is the standard possibilistic reading and it
+    preserves ``weight == 1`` on the conservative answer and ``weight > 0``
+    on the liberal one for NOT-free predicates.
+    """
+    if isinstance(predicate, TruePredicate):
+        return 1.0
+    if isinstance(predicate, FalsePredicate):
+        return 0.0
+    if isinstance(predicate, Atom):
+        dimension = dimensions[predicate.ref.dimension]
+        rights = resolve_terms(predicate, now)
+        right = rights if predicate.op == "in" else rights[0]
+        return atom_result(
+            dimension,
+            value_of(predicate.ref.dimension),
+            predicate.ref.category,
+            predicate.op,
+            right,
+        ).weight
+    if isinstance(predicate, Not):
+        return 1.0 - satisfaction_weight(
+            predicate.operand, value_of, dimensions, now
+        )
+    if isinstance(predicate, And):
+        weight = 1.0
+        for part in predicate.operands:
+            weight *= satisfaction_weight(part, value_of, dimensions, now)
+        return weight
+    if isinstance(predicate, Or):
+        return max(
+            satisfaction_weight(part, value_of, dimensions, now)
+            for part in predicate.operands
+        )
+    raise SpecSemanticsError(f"cannot weigh {predicate!r}")
+
+
+def _atom(
+    atom: Atom,
+    value_of: ValueLookup,
+    dimensions: Mapping[str, Dimension],
+    now: _dt.date,
+    approach: Approach,
+) -> bool:
+    try:
+        dimension = dimensions[atom.ref.dimension]
+    except KeyError:
+        raise SpecSemanticsError(
+            f"predicate mentions unknown dimension {atom.ref.dimension!r}"
+        ) from None
+    rights = resolve_terms(atom, now)
+    right: str | tuple[str, ...] = rights if atom.op == "in" else rights[0]
+    return atom_compare(
+        dimension,
+        value_of(atom.ref.dimension),
+        atom.ref.category,
+        atom.op,
+        right,
+        approach,
+    )
+
+
+def _dual(approach: Approach) -> Approach:
+    if approach is Approach.CONSERVATIVE:
+        return Approach.LIBERAL
+    if approach is Approach.LIBERAL:
+        return Approach.CONSERVATIVE
+    return approach

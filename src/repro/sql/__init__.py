@@ -1,0 +1,21 @@
+"""The relational (SQLite star-schema) backend — Section 7 on standard
+data warehouse technology."""
+
+from .ddl import all_ddls, fact_table_ddl, sql_ident
+from .loader import SqlWarehouse, encode_sort_key
+from .predicate_sql import predicate_to_sql
+from .query_sql import aggregate_rows, select_fact_ids, storage_profile
+from .reducer_sql import reduce_warehouse
+
+__all__ = [
+    "SqlWarehouse",
+    "aggregate_rows",
+    "all_ddls",
+    "encode_sort_key",
+    "fact_table_ddl",
+    "predicate_to_sql",
+    "reduce_warehouse",
+    "select_fact_ids",
+    "sql_ident",
+    "storage_profile",
+]

@@ -1,0 +1,93 @@
+"""Star-schema DDL for the SQLite backend.
+
+One warehouse database holds:
+
+* ``facts`` — one row per fact: the direct dimension value *and its
+  category* per dimension (reduced facts live in the same table at coarser
+  values, exactly as Section 7's strategy needs), all measures, and
+  provenance bookkeeping;
+* per dimension ``<dim>_anc`` / ``<dim>_desc`` — closure tables mapping
+  every value to its ancestor (resp. descendants) at every reachable
+  category, with sort keys.  These are what make both predicate evaluation
+  and GROUP-BY reduction expressible in plain SQL.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.schema import FactSchema
+from ..errors import StorageError
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def sql_ident(name: str) -> str:
+    """Validate *name* as a safe SQL identifier fragment."""
+    if not _IDENT_RE.match(name):
+        raise StorageError(
+            f"{name!r} is not usable as a SQL identifier; rename the "
+            "dimension/measure or load via the in-memory engine"
+        )
+    return name
+
+
+def fact_table_ddl(schema: FactSchema) -> str:
+    """CREATE TABLE for the fact table of *schema*."""
+    columns = ["fact_id TEXT PRIMARY KEY", "n_members INTEGER NOT NULL"]
+    for name in schema.dimension_names:
+        ident = sql_ident(name)
+        columns.append(f"d_{ident} TEXT NOT NULL")
+        columns.append(f"c_{ident} TEXT NOT NULL")
+    for name in schema.measure_names:
+        columns.append(f"m_{sql_ident(name)} NUMERIC NOT NULL")
+    body = ",\n    ".join(columns)
+    return f"CREATE TABLE facts (\n    {body}\n)"
+
+
+def closure_ddls(schema: FactSchema) -> list[str]:
+    """CREATE statements for the ancestor/descendant closure tables."""
+    statements: list[str] = []
+    for name in schema.dimension_names:
+        ident = sql_ident(name)
+        statements.append(
+            f"CREATE TABLE {ident}_anc (\n"
+            "    value TEXT NOT NULL,\n"
+            "    category TEXT NOT NULL,\n"
+            "    ancestor TEXT NOT NULL,\n"
+            "    ancestor_key TEXT NOT NULL,\n"
+            "    PRIMARY KEY (value, category)\n"
+            ")"
+        )
+        statements.append(
+            f"CREATE TABLE {ident}_desc (\n"
+            "    value TEXT NOT NULL,\n"
+            "    category TEXT NOT NULL,\n"
+            "    descendant TEXT NOT NULL,\n"
+            "    descendant_key TEXT NOT NULL,\n"
+            "    PRIMARY KEY (value, category, descendant)\n"
+            ")"
+        )
+        statements.append(
+            f"CREATE INDEX {ident}_desc_by_value ON {ident}_desc (value, category)"
+        )
+    return statements
+
+
+def index_ddls(schema: FactSchema) -> list[str]:
+    """CREATE INDEX statements for the fact table's dimension columns."""
+    statements = []
+    for name in schema.dimension_names:
+        ident = sql_ident(name)
+        statements.append(
+            f"CREATE INDEX facts_by_{ident} ON facts (d_{ident})"
+        )
+        statements.append(
+            f"CREATE INDEX facts_by_{ident}_cat ON facts (c_{ident})"
+        )
+    return statements
+
+
+def all_ddls(schema: FactSchema) -> list[str]:
+    """Every DDL statement needed for a fresh warehouse database."""
+    return [fact_table_ddl(schema), *closure_ddls(schema), *index_ddls(schema)]

@@ -1,0 +1,202 @@
+"""Loading MOs into SQLite star schemas and back.
+
+:class:`SqlWarehouse` owns a SQLite connection plus the in-memory
+dimension instances (the SQL generators need the hierarchies and domains;
+only *facts* live in SQL, mirroring the paper's observation that facts are
+95% of warehouse storage).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Mapping
+
+from ..core.dimension import Dimension
+from ..core.facts import Provenance
+from ..core.hierarchy import TOP
+from ..core.mo import MultidimensionalObject
+from ..errors import StorageError
+from .ddl import all_ddls, sql_ident
+
+
+def encode_sort_key(key: object) -> str:
+    """Encode a sort key so SQLite TEXT order equals the key order.
+
+    Integer keys (time ordinals) are zero-padded; string keys pass
+    through.  Keys of one category are homogeneous, so mixed encodings
+    never get compared.
+    """
+    if isinstance(key, bool):  # pragma: no cover - defensive
+        raise StorageError("boolean sort keys are not supported")
+    if isinstance(key, int):
+        if key < 0:
+            raise StorageError("negative sort keys are not supported")
+        return f"{key:020d}"
+    if isinstance(key, float):
+        return f"{int(key):020d}"
+    return str(key)
+
+
+class SqlWarehouse:
+    """A star-schema warehouse in SQLite."""
+
+    def __init__(
+        self,
+        mo_template: MultidimensionalObject,
+        path: str = ":memory:",
+    ) -> None:
+        self.schema = mo_template.schema
+        self.dimensions: dict[str, Dimension] = dict(mo_template.dimensions)
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA foreign_keys = ON")
+        for ddl in all_ddls(self.schema):
+            self.connection.execute(ddl)
+        self._load_closures()
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_mo(
+        cls, mo: MultidimensionalObject, path: str = ":memory:"
+    ) -> "SqlWarehouse":
+        warehouse = cls(mo, path)
+        warehouse.insert_facts(
+            (
+                fact_id,
+                dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+                {
+                    name: mo.measure_value(fact_id, name)
+                    for name in mo.schema.measure_names
+                },
+                len(mo.provenance(fact_id)),
+            )
+            for fact_id in mo.facts()
+        )
+        return warehouse
+
+    def _load_closures(self) -> None:
+        for name in self.schema.dimension_names:
+            ident = sql_ident(name)
+            dimension = self.dimensions[name]
+            hierarchy = dimension.dimension_type.hierarchy
+            anc_rows: list[tuple[str, str, str, str]] = []
+            desc_rows: list[tuple[str, str, str, str]] = []
+            for value in dimension.all_values():
+                own = dimension.category_of(value)
+                for category in hierarchy:
+                    if category == TOP:
+                        continue
+                    if hierarchy.le(own, category):
+                        ancestor = dimension.try_ancestor_at(value, category)
+                        if ancestor is not None:
+                            anc_rows.append(
+                                (
+                                    value,
+                                    category,
+                                    ancestor,
+                                    encode_sort_key(
+                                        dimension.sort_value(category, ancestor)
+                                    ),
+                                )
+                            )
+                    if hierarchy.le(category, own) and own != TOP:
+                        for descendant in dimension.descendants_at(
+                            value, category
+                        ) if category != own else (value,):
+                            desc_rows.append(
+                                (
+                                    value,
+                                    category,
+                                    descendant,
+                                    encode_sort_key(
+                                        dimension.sort_value(category, descendant)
+                                    ),
+                                )
+                            )
+            self.connection.executemany(
+                f"INSERT OR REPLACE INTO {ident}_anc VALUES (?, ?, ?, ?)",
+                anc_rows,
+            )
+            self.connection.executemany(
+                f"INSERT OR REPLACE INTO {ident}_desc VALUES (?, ?, ?, ?)",
+                desc_rows,
+            )
+
+    # ------------------------------------------------------------------
+    # Facts
+    # ------------------------------------------------------------------
+
+    def insert_facts(
+        self,
+        facts: Iterable[
+            tuple[str, Mapping[str, str], Mapping[str, object], int]
+        ],
+    ) -> int:
+        """Insert fact rows: (id, coordinates, measures, member count)."""
+        names = self.schema.dimension_names
+        measures = self.schema.measure_names
+        columns = (
+            ["fact_id", "n_members"]
+            + [f"d_{sql_ident(n)}" for n in names]
+            + [f"c_{sql_ident(n)}" for n in names]
+            + [f"m_{sql_ident(m)}" for m in measures]
+        )
+        placeholders = ", ".join("?" for _ in columns)
+        statement = (
+            f"INSERT INTO facts ({', '.join(columns)}) VALUES ({placeholders})"
+        )
+        rows = []
+        for fact_id, coordinates, measure_values, n_members in facts:
+            values = [fact_id, n_members]
+            categories = []
+            for name in names:
+                dimension = self.dimensions[name]
+                value = dimension.normalize_value(coordinates[name])
+                values.append(value)
+                categories.append(dimension.category_of(value))
+            values.extend(categories)
+            values.extend(measure_values[m] for m in measures)
+            rows.append(tuple(values))
+        self.connection.executemany(statement, rows)
+        self.connection.commit()
+        return len(rows)
+
+    def fact_count(self) -> int:
+        (count,) = self.connection.execute(
+            "SELECT COUNT(*) FROM facts"
+        ).fetchone()
+        return count
+
+    def to_mo(self, template: MultidimensionalObject) -> MultidimensionalObject:
+        """Materialize the fact table back into an MO (for parity tests)."""
+        mo = template.empty_like()
+        names = self.schema.dimension_names
+        measures = self.schema.measure_names
+        select_columns = (
+            ["fact_id", "n_members"]
+            + [f"d_{sql_ident(n)}" for n in names]
+            + [f"m_{sql_ident(m)}" for m in measures]
+        )
+        cursor = self.connection.execute(
+            f"SELECT {', '.join(select_columns)} FROM facts"
+        )
+        for row in cursor:
+            fact_id = row[0]
+            coordinates = dict(zip(names, row[2 : 2 + len(names)]))
+            measure_values = dict(zip(measures, row[2 + len(names) :]))
+            mo.insert_aggregate_fact(
+                fact_id, coordinates, measure_values, Provenance.of(fact_id)
+            )
+        return mo
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqlWarehouse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

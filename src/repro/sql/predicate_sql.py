@@ -1,0 +1,264 @@
+"""Translation of specification predicates to SQL (conservative semantics).
+
+Each atom compiles to a disjunction over the *possible categories of the
+fact's direct value*: for fact values that roll up to the atom's category
+the ancestor-closure row is compared directly; for coarser or parallel
+values the Definition 5 drill-down conditions are expressed against the
+descendant-closure table (all-below-min for ``<``, none-above-max for
+``<=``, containment plus cardinality for ``=``/``in``).  Constants are
+resolved in Python at translation time — including ``NOW``-terms, so a
+translated predicate is specific to one evaluation time, exactly like the
+paper's synchronization queries.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..core.dimension import ALL_VALUE, Dimension
+from ..core.hierarchy import TOP
+from ..errors import StorageError
+from ..spec.action import resolve_terms
+from ..spec.ast import (
+    And,
+    Atom,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from .ddl import sql_ident
+from .loader import SqlWarehouse, encode_sort_key
+
+_OP_SQL = {"<": "<", "<=": "<=", ">": ">", ">=": ">=", "=": "=", "!=": "<>"}
+
+
+def predicate_to_sql(
+    warehouse: SqlWarehouse, predicate: Predicate, now: _dt.date
+) -> tuple[str, list[object]]:
+    """A WHERE-clause fragment (over table alias ``facts``) plus params."""
+    if isinstance(predicate, TruePredicate):
+        return "1 = 1", []
+    if isinstance(predicate, FalsePredicate):
+        return "0 = 1", []
+    if isinstance(predicate, Not):
+        inner, params = predicate_to_sql(warehouse, predicate.operand, now)
+        return f"NOT ({inner})", params
+    if isinstance(predicate, And):
+        parts, params = _join(warehouse, predicate.operands, now)
+        return "(" + " AND ".join(parts) + ")", params
+    if isinstance(predicate, Or):
+        parts, params = _join(warehouse, predicate.operands, now)
+        return "(" + " OR ".join(parts) + ")", params
+    if isinstance(predicate, Atom):
+        return _atom_to_sql(warehouse, predicate, now)
+    raise StorageError(f"cannot translate predicate {predicate!r}")
+
+
+def _join(warehouse, operands, now):
+    parts: list[str] = []
+    params: list[object] = []
+    for operand in operands:
+        sql, sub_params = predicate_to_sql(warehouse, operand, now)
+        parts.append(sql)
+        params.extend(sub_params)
+    return parts, params
+
+
+def _atom_to_sql(
+    warehouse: SqlWarehouse, atom: Atom, now: _dt.date
+) -> tuple[str, list[object]]:
+    name = atom.ref.dimension
+    ident = sql_ident(name)
+    dimension = warehouse.dimensions[name]
+    category = atom.ref.category
+    rights = resolve_terms(atom, now)
+
+    if category == TOP:
+        # ``URL.T op T``: decided entirely in Python.
+        ok = _top_atom(atom.op, rights)
+        return ("1 = 1", []) if ok else ("0 = 1", [])
+
+    hierarchy = dimension.dimension_type.hierarchy
+    branches: list[str] = []
+    params: list[object] = []
+    for fact_category in hierarchy.user_categories:
+        if hierarchy.le(fact_category, category):
+            sql, sub = _rollup_branch(ident, fact_category, category, atom.op, rights, dimension)
+        else:
+            sql, sub = _drilldown_branch(
+                ident, dimension, fact_category, category, atom.op, rights
+            )
+        if sql is not None:
+            branches.append(sql)
+            params.extend(sub)
+    if not branches:
+        return "0 = 1", []
+    return "(" + " OR ".join(branches) + ")", params
+
+
+def _top_atom(op: str, rights: tuple[str, ...]) -> bool:
+    if op == "in":
+        return ALL_VALUE in rights
+    if op == "=":
+        return rights[0] == ALL_VALUE
+    if op == "!=":
+        return rights[0] != ALL_VALUE
+    raise StorageError(f"order comparison {op!r} on a top category")
+
+
+def _rollup_branch(
+    ident: str,
+    fact_category: str,
+    category: str,
+    op: str,
+    rights: tuple[str, ...],
+    dimension: Dimension,
+) -> tuple[str | None, list[object]]:
+    """Fact value rolls up to the atom's category: compare the ancestor."""
+    anc = (
+        f"SELECT 1 FROM {ident}_anc a WHERE a.value = facts.d_{ident} "
+        f"AND a.category = ?"
+    )
+    params: list[object] = [fact_category, category]
+    if op == "in":
+        marks = ", ".join("?" for _ in rights)
+        condition = f"{anc} AND a.ancestor IN ({marks})"
+        params.extend(rights)
+    elif op in ("=", "!="):
+        condition = f"{anc} AND a.ancestor {_OP_SQL[op]} ?"
+        params.append(rights[0])
+    else:
+        key = encode_sort_key(dimension.sort_value(category, _canon(dimension, category, rights[0])))
+        condition = f"{anc} AND a.ancestor_key {_OP_SQL[op]} ?"
+        params.append(key)
+    return (
+        f"(facts.c_{ident} = ? AND EXISTS ({condition}))",
+        params,
+    )
+
+
+def _drilldown_branch(
+    ident: str,
+    dimension: Dimension,
+    fact_category: str,
+    category: str,
+    op: str,
+    rights: tuple[str, ...],
+) -> tuple[str | None, list[object]]:
+    """Fact value is coarser/parallel: Definition 5 via the desc closure."""
+    hierarchy = dimension.dimension_type.hierarchy
+    glb = hierarchy.glb({fact_category, category})
+    extents = [_drill_extent(dimension, value, category, glb) for value in rights]
+    if any(extent is None for extent in extents):
+        return None, []  # conservatively false for this fact category
+
+    desc = (
+        f"SELECT 1 FROM {ident}_desc x WHERE x.value = facts.d_{ident} "
+        f"AND x.category = ?"
+    )
+    nonempty = f"EXISTS ({desc})"
+    params: list[object] = [fact_category]
+
+    if op in ("<", "<=", ">", ">="):
+        min_key, max_key, _members = extents[0]
+        if op == "<":
+            condition = f"{nonempty} AND NOT EXISTS ({desc} AND x.descendant_key >= ?)"
+            bound = min_key
+        elif op == "<=":
+            condition = f"{nonempty} AND NOT EXISTS ({desc} AND x.descendant_key > ?)"
+            bound = max_key
+        elif op == ">":
+            condition = f"{nonempty} AND NOT EXISTS ({desc} AND x.descendant_key <= ?)"
+            bound = max_key
+        else:
+            condition = f"{nonempty} AND NOT EXISTS ({desc} AND x.descendant_key < ?)"
+            bound = min_key
+        params.extend([glb, glb, bound])
+        return f"(facts.c_{ident} = ? AND {condition})", params
+
+    if op == "in":
+        union: set[str] = set()
+        for extent in extents:
+            if not extent[2]:
+                return None, []  # unenumerable constant: conservative false
+            union.update(extent[2])
+        members: frozenset[str] | set[str] = union
+    else:
+        members = extents[0][2]
+    if not members:
+        return None, []  # unenumerable constant: conservative false
+    marks = ", ".join("?" for _ in members)
+    member_list = sorted(members)
+    if op in ("=", "in"):
+        inside = (
+            f"{nonempty} AND NOT EXISTS ({desc} AND x.descendant NOT IN ({marks}))"
+        )
+        params.extend([glb, glb])
+        params.extend(member_list)
+        if op == "=":
+            # Exact set equality: containment + cardinality.
+            count = (
+                f"(SELECT COUNT(*) FROM {ident}_desc x WHERE "
+                f"x.value = facts.d_{ident} AND x.category = ?) = ?"
+            )
+            params.extend([glb, len(member_list)])
+            inside = f"{inside} AND {count}"
+        return f"(facts.c_{ident} = ? AND {inside})", params
+    # op == "!=": some descendant outside, or the sets provably differ.
+    outside = f"EXISTS ({desc} AND x.descendant NOT IN ({marks}))"
+    count_differs = (
+        f"(SELECT COUNT(*) FROM {ident}_desc x WHERE "
+        f"x.value = facts.d_{ident} AND x.category = ?) <> ?"
+    )
+    params.extend([glb])
+    params.extend(member_list)
+    params.extend([glb, len(member_list)])
+    return (
+        f"(facts.c_{ident} = ? AND ({outside} OR {count_differs}))",
+        params,
+    )
+
+
+def _drill_extent(
+    dimension: Dimension, value: str, category: str, glb: str
+) -> tuple[str, str, frozenset[str]] | None:
+    """(min_key, max_key, members) of the constant at the GLB category."""
+    from ..timedim.calendar import first_day, last_day, ordinal, parse_value, value_at
+    from ..timedim.granularity import is_time_category
+
+    if value in dimension and dimension.category_of(value) == category:
+        if category == glb:
+            members = frozenset({value})
+        else:
+            members = dimension.descendants_at(value, glb)
+        if not members:
+            return None
+        keys = sorted(
+            encode_sort_key(dimension.sort_value(glb, v)) for v in members
+        )
+        return keys[0], keys[-1], members
+    if category == glb:
+        if is_time_category(category):
+            value = parse_value(category, value)
+        key = encode_sort_key(dimension.sort_value(glb, value))
+        return key, key, frozenset({value})
+    if is_time_category(category) and is_time_category(glb):
+        lo = first_day(category, value)
+        hi = last_day(category, value)
+        min_key = encode_sort_key(ordinal(glb, value_at(lo, glb)))
+        max_key = encode_sort_key(ordinal(glb, value_at(hi, glb)))
+        # Members cannot be enumerated exactly without materialization; the
+        # order branches use only the keys, =/in callers get None.
+        return min_key, max_key, frozenset()
+    return None
+
+
+def _canon(dimension: Dimension, category: str, value: str) -> str:
+    from ..timedim.calendar import parse_value
+    from ..timedim.granularity import is_time_category
+
+    if is_time_category(category):
+        return parse_value(category, value)
+    return value

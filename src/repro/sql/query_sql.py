@@ -1,0 +1,156 @@
+"""OLAP queries over the SQLite star schema.
+
+``select_fact_ids`` is selection under the conservative approach (the
+predicate translation of :mod:`repro.sql.predicate_sql`); ``aggregate_rows``
+is aggregate formation under the availability approach: the grouping value
+per dimension is the fact's ancestor at the finest category at or above
+the requested one — a ``COALESCE`` chain over the ancestor closure, ending
+at the ALL value (matching the in-memory operator on parallel branches).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Mapping, Sequence
+
+from ..core.dimension import ALL_VALUE
+from ..errors import StorageError
+from ..spec.ast import Predicate
+from ..spec.parser import parse_predicate
+from .ddl import sql_ident
+from .loader import SqlWarehouse
+from .predicate_sql import predicate_to_sql
+
+
+def _bound(warehouse: SqlWarehouse, predicate: Predicate | str) -> Predicate:
+    from ..spec.action import _bind_predicate
+
+    if isinstance(predicate, str):
+        predicate = parse_predicate(predicate)
+    return _bind_predicate(warehouse.schema, predicate, "sql-query")
+
+
+def select_fact_ids(
+    warehouse: SqlWarehouse,
+    predicate: Predicate | str,
+    now: _dt.date,
+) -> list[str]:
+    """Conservative selection: ids of facts known to satisfy *predicate*."""
+    where_sql, params = predicate_to_sql(warehouse, _bound(warehouse, predicate), now)
+    cursor = warehouse.connection.execute(
+        f"SELECT fact_id FROM facts WHERE {where_sql} ORDER BY fact_id",
+        params,
+    )
+    return [row[0] for row in cursor]
+
+
+def _availability_expr(
+    warehouse: SqlWarehouse, dimension_name: str, category: str
+) -> str:
+    """The availability-approach grouping expression for one dimension."""
+    ident = sql_ident(dimension_name)
+    dimension = warehouse.dimensions[dimension_name]
+    hierarchy = dimension.dimension_type.hierarchy
+    chain: list[str] = []
+    ordered = [
+        c for c in hierarchy.user_categories if hierarchy.le(category, c)
+    ]
+    for candidate in ordered:
+        chain.append(
+            f"(SELECT a.ancestor FROM {ident}_anc a "
+            f"WHERE a.value = facts.d_{ident} AND a.category = '{candidate}')"
+        )
+    chain.append(f"'{ALL_VALUE}'")
+    return "COALESCE(" + ", ".join(chain) + ")"
+
+
+_AGG_SQL = {"sum": "SUM", "count": "SUM", "min": "MIN", "max": "MAX"}
+
+
+def aggregate_rows(
+    warehouse: SqlWarehouse,
+    granularity: Mapping[str, str],
+    now: _dt.date,
+    predicate: Predicate | str | None = None,
+    measures: Sequence[str] | None = None,
+) -> list[dict[str, object]]:
+    """``a[granularity](o[predicate](O))`` as one GROUP BY query.
+
+    Returns report rows sorted by the grouping values.
+    """
+    schema = warehouse.schema
+    requested = schema.validate_granularity(dict(granularity))
+    if measures is None:
+        measures = list(schema.measure_names)
+    unknown = set(measures) - set(schema.measure_names)
+    if unknown:
+        raise StorageError(f"unknown measures {sorted(unknown)!r}")
+
+    group_exprs = [
+        _availability_expr(warehouse, name, category)
+        for name, category in zip(schema.dimension_names, requested)
+    ]
+    measure_exprs = []
+    for name in measures:
+        aggregate = schema.measure_type(name).aggregate.name
+        function = _AGG_SQL.get(aggregate)
+        if function is None:
+            raise StorageError(f"aggregate {aggregate!r} has no SQL translation")
+        measure_exprs.append(f"{function}(facts.m_{sql_ident(name)})")
+
+    params: list[object] = []
+    where_clause = ""
+    if predicate is not None:
+        where_sql, params = predicate_to_sql(
+            warehouse, _bound(warehouse, predicate), now
+        )
+        where_clause = f" WHERE {where_sql}"
+
+    select_list = ", ".join(
+        [
+            f"{expr} AS g_{sql_ident(name)}"
+            for expr, name in zip(group_exprs, schema.dimension_names)
+        ]
+        + [
+            f"{expr} AS v_{sql_ident(name)}"
+            for expr, name in zip(measure_exprs, measures)
+        ]
+    )
+    sql = (
+        f"SELECT {select_list} FROM facts{where_clause} "
+        f"GROUP BY {', '.join(group_exprs)} "
+        f"ORDER BY {', '.join(group_exprs)}"
+    )
+    cursor = warehouse.connection.execute(sql, params)
+    rows: list[dict[str, object]] = []
+    for record in cursor:
+        row: dict[str, object] = {}
+        for index, name in enumerate(schema.dimension_names):
+            row[name] = record[index]
+        offset = len(schema.dimension_names)
+        for index, name in enumerate(measures):
+            row[name] = record[offset + index]
+        rows.append(row)
+    return rows
+
+
+def storage_profile(warehouse: SqlWarehouse) -> dict[str, object]:
+    """Fact count, member count, and per-granularity histogram."""
+    connection = warehouse.connection
+    (facts, members) = connection.execute(
+        "SELECT COUNT(*), COALESCE(SUM(n_members), 0) FROM facts"
+    ).fetchone()
+    category_columns = ", ".join(
+        f"c_{sql_ident(name)}" for name in warehouse.schema.dimension_names
+    )
+    histogram: dict[tuple[str, ...], int] = {}
+    for row in connection.execute(
+        f"SELECT {category_columns}, COUNT(*) FROM facts "
+        f"GROUP BY {category_columns}"
+    ):
+        histogram[tuple(row[:-1])] = row[-1]
+    return {
+        "fact_rows": facts,
+        "source_facts": members,
+        "granularity_histogram": histogram,
+    }

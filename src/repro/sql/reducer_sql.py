@@ -1,0 +1,247 @@
+"""Specification-driven reduction as SQL (Section 7's strategy in practice).
+
+``reduce_warehouse`` runs Definition 2 inside SQLite:
+
+1. every action's predicate is translated to SQL at the current time and
+   facts are *assigned* to the ``<=_V``-maximal action selecting them
+   (ascending processing order makes the last write win, which is correct
+   because overlapping actions are comparable in a NonCrossing set);
+2. per action, one ``GROUP BY`` over the ancestor closure aggregates the
+   assigned facts to the target granularity (``SUM``/``MIN``/``MAX`` —
+   the distributive defaults);
+3. the assigned detail rows are deleted and the aggregates inserted —
+   the physical deletion that realizes the storage gain.
+
+Fact ids of aggregates are deterministic cell ids; parity with the
+in-memory engine is at cell/measure level (ids of untouched singleton
+facts may differ), which the test suite checks.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable
+
+from ..errors import StorageError
+from ..spec.action import Action
+from ..spec.specification import ReductionSpecification
+from .ddl import sql_ident
+from .loader import SqlWarehouse
+from .predicate_sql import predicate_to_sql
+
+_AGG_SQL = {"sum": "SUM", "count": "SUM", "min": "MIN", "max": "MAX"}
+
+
+def reduce_warehouse(
+    warehouse: SqlWarehouse,
+    specification: ReductionSpecification | Iterable[Action],
+    now: _dt.date,
+) -> dict[str, int]:
+    """Apply the reduction in place; returns per-action fact counts moved."""
+    actions = (
+        list(specification.actions)
+        if isinstance(specification, ReductionSpecification)
+        else list(specification)
+    )
+    schema = warehouse.schema
+    connection = warehouse.connection
+
+    ordered = sorted(actions, key=lambda a: _height(warehouse, a))
+    connection.execute("DROP TABLE IF EXISTS temp.assign")
+    connection.execute(
+        "CREATE TEMP TABLE assign (fact_id TEXT PRIMARY KEY, action_idx INTEGER)"
+    )
+
+    for index, action in enumerate(ordered):
+        where_sql, params = predicate_to_sql(warehouse, action.predicate, now)
+        guard_sql, guard_params = _granularity_guard(warehouse, action)
+        connection.execute(
+            "INSERT OR REPLACE INTO assign "
+            "SELECT fact_id, ? FROM facts "
+            f"WHERE {where_sql} AND {guard_sql}",
+            [index, *params, *guard_params],
+        )
+
+    moved: dict[str, int] = {}
+    for index, action in enumerate(ordered):
+        moved[action.name] = _apply_action(warehouse, action, index)
+    connection.execute("DROP TABLE IF EXISTS temp.assign")
+    _merge_duplicate_cells(warehouse)
+    connection.commit()
+    return moved
+
+
+def _merge_duplicate_cells(warehouse: SqlWarehouse) -> None:
+    """Coalesce facts sharing one cell, as Definition 2's grouping does.
+
+    Distinct facts can share identical dimension values (two clicks on the
+    same URL the same day); the reduced object has exactly one fact per
+    cell, so such duplicates merge even when no action selected them.
+    """
+    connection = warehouse.connection
+    schema = warehouse.schema
+    dim_columns = [f"d_{sql_ident(n)}" for n in schema.dimension_names]
+    cat_columns = [f"c_{sql_ident(n)}" for n in schema.dimension_names]
+    group_by = ", ".join(dim_columns)
+    duplicates = connection.execute(
+        f"SELECT {group_by} FROM facts GROUP BY {group_by} "
+        "HAVING COUNT(*) > 1"
+    ).fetchall()
+    if not duplicates:
+        return
+    measure_columns = [f"m_{sql_ident(m)}" for m in schema.measure_names]
+    for cell in duplicates:
+        where = " AND ".join(f"{col} = ?" for col in dim_columns)
+        rows = connection.execute(
+            f"SELECT n_members, {', '.join(cat_columns + measure_columns)} "
+            f"FROM facts WHERE {where}",
+            list(cell),
+        ).fetchall()
+        n_members = sum(row[0] for row in rows)
+        categories = rows[0][1 : 1 + len(cat_columns)]
+        merged: list[object] = []
+        for offset, measure_name in enumerate(schema.measure_names):
+            aggregate = schema.measure_type(measure_name).aggregate
+            merged.append(
+                aggregate(row[1 + len(cat_columns) + offset] for row in rows)
+            )
+        connection.execute(f"DELETE FROM facts WHERE {where}", list(cell))
+        fact_id = "agg|" + "|".join(cell)
+        columns = (
+            ["fact_id", "n_members"] + dim_columns + cat_columns + measure_columns
+        )
+        marks = ", ".join("?" for _ in columns)
+        connection.execute(
+            f"INSERT INTO facts ({', '.join(columns)}) VALUES ({marks})",
+            [fact_id, n_members, *cell, *categories, *merged],
+        )
+
+
+def _height(warehouse: SqlWarehouse, action: Action) -> tuple:
+    total = 0
+    for name, category in zip(
+        warehouse.schema.dimension_names, action.cat()
+    ):
+        hierarchy = warehouse.dimensions[name].dimension_type.hierarchy
+        total += len(hierarchy.descendants(category))
+    return (total, action.cat())
+
+
+def _granularity_guard(
+    warehouse: SqlWarehouse, action: Action
+) -> tuple[str, list[object]]:
+    """Only facts whose current granularity is <= the action's target can
+    be (re)aggregated by it."""
+    parts: list[str] = []
+    params: list[object] = []
+    for name, category in zip(warehouse.schema.dimension_names, action.cat()):
+        ident = sql_ident(name)
+        hierarchy = warehouse.dimensions[name].dimension_type.hierarchy
+        allowed = sorted(
+            c for c in hierarchy.user_categories if hierarchy.le(c, category)
+        )
+        marks = ", ".join("?" for _ in allowed)
+        parts.append(f"facts.c_{ident} IN ({marks})")
+        params.extend(allowed)
+    return "(" + " AND ".join(parts) + ")", params
+
+
+def _apply_action(
+    warehouse: SqlWarehouse, action: Action, index: int
+) -> int:
+    connection = warehouse.connection
+    schema = warehouse.schema
+    (count,) = connection.execute(
+        "SELECT COUNT(*) FROM assign WHERE action_idx = ?", [index]
+    ).fetchone()
+    if count == 0:
+        return 0
+
+    joins: list[str] = []
+    cell_exprs: list[str] = []
+    params: list[object] = []
+    for name, category in zip(schema.dimension_names, action.cat()):
+        ident = sql_ident(name)
+        alias = f"anc_{ident}"
+        joins.append(
+            f"JOIN {ident}_anc {alias} ON {alias}.value = facts.d_{ident} "
+            f"AND {alias}.category = ?"
+        )
+        params.append(category)
+        cell_exprs.append(f"{alias}.ancestor")
+    measure_exprs = []
+    for measure_type in schema.measure_types:
+        function = _AGG_SQL.get(measure_type.aggregate.name)
+        if function is None:
+            raise StorageError(
+                f"aggregate {measure_type.aggregate.name!r} has no SQL "
+                "translation"
+            )
+        measure_exprs.append(
+            f"{function}(facts.m_{sql_ident(measure_type.name)})"
+        )
+
+    cell_id = " || '|' || ".join(cell_exprs)
+    dim_aliases = [
+        f"{expr} AS d_{sql_ident(name)}"
+        for expr, name in zip(cell_exprs, schema.dimension_names)
+    ]
+    cat_aliases = [
+        f"'{category}' AS c_{sql_ident(name)}"
+        for category, name in zip(action.cat(), schema.dimension_names)
+    ]
+    measure_aliases = [
+        f"{expr} AS m_{sql_ident(name)}"
+        for expr, name in zip(measure_exprs, schema.measure_names)
+    ]
+    select_sql = (
+        f"SELECT 'agg|' || {cell_id} AS fact_id, "
+        "SUM(facts.n_members) AS n_members, "
+        + ", ".join(dim_aliases + cat_aliases + measure_aliases)
+        + " FROM facts JOIN assign ON assign.fact_id = facts.fact_id "
+        + " ".join(joins)
+        + " WHERE assign.action_idx = ? GROUP BY "
+        + ", ".join(cell_exprs)
+    )
+    connection.execute("DROP TABLE IF EXISTS temp.agg_rows")
+    columns = (
+        ["fact_id", "n_members"]
+        + [f"d_{sql_ident(n)}" for n in schema.dimension_names]
+        + [f"c_{sql_ident(n)}" for n in schema.dimension_names]
+        + [f"m_{sql_ident(m)}" for m in schema.measure_names]
+    )
+    connection.execute(
+        f"CREATE TEMP TABLE agg_rows AS {select_sql}",
+        [*params, index],
+    )
+    connection.execute(
+        "DELETE FROM facts WHERE fact_id IN "
+        "(SELECT fact_id FROM assign WHERE action_idx = ?)",
+        [index],
+    )
+    # A cell may coincide with an already-materialized aggregate from an
+    # earlier reduction run; merge instead of violating the primary key.
+    placeholders = ", ".join(columns)
+    connection.execute(
+        f"INSERT INTO facts ({placeholders}) "
+        f"SELECT {placeholders} FROM agg_rows WHERE true "
+        "ON CONFLICT(fact_id) DO UPDATE SET "
+        + "n_members = facts.n_members + excluded.n_members, "
+        + ", ".join(
+            _merge_expr(schema, m) for m in schema.measure_names
+        )
+    )
+    connection.execute("DROP TABLE IF EXISTS temp.agg_rows")
+    return count
+
+
+def _merge_expr(schema, measure_name: str) -> str:
+    ident = sql_ident(measure_name)
+    aggregate = schema.measure_type(measure_name).aggregate.name
+    if aggregate in ("sum", "count"):
+        return f"m_{ident} = facts.m_{ident} + excluded.m_{ident}"
+    if aggregate == "min":
+        return f"m_{ident} = MIN(facts.m_{ident}, excluded.m_{ident})"
+    if aggregate == "max":
+        return f"m_{ident} = MAX(facts.m_{ident}, excluded.m_{ident})"
+    raise StorageError(f"aggregate {aggregate!r} has no SQL merge")

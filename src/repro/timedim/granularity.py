@@ -1,0 +1,71 @@
+"""Time granularities of the paper's Time dimension.
+
+The paper's Time dimension type has the non-linear hierarchy::
+
+    day < month < quarter < year < T      and      day < week < T
+
+so ``week`` sits on a parallel branch — the source of the interesting
+varying-granularity cases in Sections 4.3 and 6.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import SchemaError
+
+DAY = "day"
+WEEK = "week"
+MONTH = "month"
+QUARTER = "quarter"
+YEAR = "year"
+
+#: Category chains of the standard Time dimension type (finest first).
+TIME_CHAINS: tuple[tuple[str, ...], ...] = (
+    (DAY, MONTH, QUARTER, YEAR),
+    (DAY, WEEK),
+)
+
+#: All time category names, finest first along the calendar branch.
+TIME_CATEGORIES: tuple[str, ...] = (DAY, WEEK, MONTH, QUARTER, YEAR)
+
+
+class TimeUnit(enum.Enum):
+    """Units usable in time spans (``2 days``, ``4 quarters``, ...)."""
+
+    DAYS = DAY
+    WEEKS = WEEK
+    MONTHS = MONTH
+    QUARTERS = QUARTER
+    YEARS = YEAR
+
+    @property
+    def category(self) -> str:
+        return self.value
+
+
+_UNIT_ALIASES = {
+    "day": TimeUnit.DAYS,
+    "days": TimeUnit.DAYS,
+    "week": TimeUnit.WEEKS,
+    "weeks": TimeUnit.WEEKS,
+    "month": TimeUnit.MONTHS,
+    "months": TimeUnit.MONTHS,
+    "quarter": TimeUnit.QUARTERS,
+    "quarters": TimeUnit.QUARTERS,
+    "year": TimeUnit.YEARS,
+    "years": TimeUnit.YEARS,
+}
+
+
+def parse_time_unit(text: str) -> TimeUnit:
+    """Parse a time-unit word (singular or plural, case-insensitive)."""
+    try:
+        return _UNIT_ALIASES[text.strip().lower()]
+    except KeyError:
+        raise SchemaError(f"unknown time unit {text!r}") from None
+
+
+def is_time_category(category: str) -> bool:
+    """Whether *category* is one of the five standard time categories."""
+    return category in TIME_CATEGORIES

@@ -1,0 +1,100 @@
+"""The ``NOW`` variable and time-typed expressions (``tt`` in Table 1).
+
+A time term is either an absolute value of some time category or a
+``NOW +/- span`` expression.  Following Clifford et al. [4] (the paper's
+reference for dynamic actions), ``NOW`` is bound to the evaluation time
+``t``; a ``NOW``-relative term evaluated *at category c* denotes the
+``c``-value containing the shifted date.  This rule reproduces every
+worked example in the paper (e.g. at ``t = 2000/11/5``,
+``NOW - 4 quarters`` at category ``quarter`` is ``1999Q4``).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from ..errors import SpecSyntaxError
+from .calendar import parse_value, value_at
+from .spans import TimeSpan
+
+
+@dataclass(frozen=True)
+class TimeTerm:
+    """Base class for time-typed terms."""
+
+    def evaluate(self, now: _dt.date, category: str) -> str:
+        raise NotImplementedError
+
+    @property
+    def is_now_relative(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AbsoluteTime(TimeTerm):
+    """A literal time value, e.g. ``1999/12`` at category ``month``."""
+
+    category: str
+    value: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "value", parse_value(self.category, self.value)
+        )
+
+    def evaluate(self, now: _dt.date, category: str) -> str:
+        if category != self.category:
+            raise SpecSyntaxError(
+                f"time literal {self.value!r} has category {self.category!r}, "
+                f"but the predicate compares at {category!r}"
+            )
+        return self.value
+
+    @property
+    def is_now_relative(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class NowRelative(TimeTerm):
+    """``NOW - span`` or ``NOW + span`` (``NOW`` itself has a zero span)."""
+
+    sign: int = 0  # -1, 0, or +1
+    span: TimeSpan | None = None
+
+    def __post_init__(self) -> None:
+        if self.sign not in (-1, 0, 1):
+            raise SpecSyntaxError(f"invalid NOW offset sign {self.sign!r}")
+        if (self.sign == 0) != (self.span is None):
+            raise SpecSyntaxError("NOW offset needs both a sign and a span")
+
+    def shifted_date(self, now: _dt.date) -> _dt.date:
+        if self.span is None:
+            return now
+        return self.span.shift(now, self.sign)
+
+    def evaluate(self, now: _dt.date, category: str) -> str:
+        return value_at(self.shifted_date(now), category)
+
+    @property
+    def is_now_relative(self) -> bool:
+        return True
+
+    def offset_days(self) -> int:
+        """Signed day-scale estimate of the offset (ordering heuristic)."""
+        if self.span is None:
+            return 0
+        return self.sign * self.span.approximate_days()
+
+    def __str__(self) -> str:
+        if self.span is None:
+            return "NOW"
+        op = "-" if self.sign < 0 else "+"
+        return f"NOW {op} {self.span}"
+
+
+NOW = NowRelative()

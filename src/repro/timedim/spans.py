@@ -1,0 +1,72 @@
+"""Unanchored time spans (the paper's set ``S``: ``2 days``, ``3 years``).
+
+Spans appear in ``NOW``-relative predicate bounds (``NOW - 6 months``).
+Arithmetic follows calendar conventions: months/quarters/years shift by
+whole months with day-of-month clamping, weeks/days shift by exact days.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from dataclasses import dataclass
+
+from ..errors import SpecSyntaxError
+from .calendar import add_months
+from .granularity import TimeUnit, parse_time_unit
+
+_SPAN_RE = re.compile(r"^\s*(\d+)\s*([A-Za-z]+)\s*$")
+
+
+@dataclass(frozen=True, order=False)
+class TimeSpan:
+    """``count`` units of ``unit`` (always non-negative)."""
+
+    count: int
+    unit: TimeUnit
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise SpecSyntaxError(f"negative time span: {self.count}")
+
+    @staticmethod
+    def parse(text: str) -> "TimeSpan":
+        match = _SPAN_RE.match(text)
+        if not match:
+            raise SpecSyntaxError(f"not a time span: {text!r}")
+        return TimeSpan(int(match.group(1)), parse_time_unit(match.group(2)))
+
+    def subtract_from(self, date: _dt.date) -> _dt.date:
+        """``date - span`` under calendar arithmetic."""
+        return self.shift(date, -1)
+
+    def add_to(self, date: _dt.date) -> _dt.date:
+        """``date + span`` under calendar arithmetic."""
+        return self.shift(date, +1)
+
+    def shift(self, date: _dt.date, sign: int) -> _dt.date:
+        amount = sign * self.count
+        if self.unit is TimeUnit.DAYS:
+            return date + _dt.timedelta(days=amount)
+        if self.unit is TimeUnit.WEEKS:
+            return date + _dt.timedelta(weeks=amount)
+        if self.unit is TimeUnit.MONTHS:
+            return add_months(date, amount)
+        if self.unit is TimeUnit.QUARTERS:
+            return add_months(date, 3 * amount)
+        return add_months(date, 12 * amount)  # YEARS
+
+    def approximate_days(self) -> int:
+        """A monotone day-scale estimate, used only for ordering heuristics."""
+        per_unit = {
+            TimeUnit.DAYS: 1,
+            TimeUnit.WEEKS: 7,
+            TimeUnit.MONTHS: 30,
+            TimeUnit.QUARTERS: 91,
+            TimeUnit.YEARS: 365,
+        }
+        return self.count * per_unit[self.unit]
+
+    def __str__(self) -> str:
+        noun = self.unit.category if self.count == 1 else self.unit.category + "s"
+        return f"{self.count} {noun}"

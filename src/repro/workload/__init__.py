@@ -1,0 +1,31 @@
+"""Synthetic workload generators (click-stream, retail)."""
+
+from .clickstream import (
+    ClickstreamConfig,
+    build_clickstream_mo,
+    build_url_dimension,
+    generate_clicks,
+    tiered_retention_actions,
+)
+from .retail import (
+    RetailConfig,
+    build_retail_mo,
+    generate_sales,
+    introduction_policy_actions,
+)
+from .rng import make_rng, weighted_choice, zipf_weights
+
+__all__ = [
+    "ClickstreamConfig",
+    "RetailConfig",
+    "build_clickstream_mo",
+    "build_retail_mo",
+    "build_url_dimension",
+    "generate_clicks",
+    "generate_sales",
+    "introduction_policy_actions",
+    "make_rng",
+    "tiered_retention_actions",
+    "weighted_choice",
+    "zipf_weights",
+]

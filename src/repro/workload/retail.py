@@ -1,0 +1,149 @@
+"""A retail-sales workload — the paper's other motivating line of business.
+
+Schema: Sales facts over a Time dimension, a Product dimension
+(sku < category < department), and a Store dimension
+(store < city < region).  The introduction's example policy — "sums of
+sales aggregated from the daily to the monthly level when between six
+months and three years old, and further to the yearly level when more
+than three years old" — is provided as a ready-made action set.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.builder import MOBuilder, dimension_from_rows, dimension_type_from_chains
+from ..core.dimension import Dimension
+from ..core.mo import MultidimensionalObject
+from ..timedim.builder import build_time_dimension
+from ..timedim.calendar import day_value, iter_days
+from .rng import make_rng, weighted_choice, zipf_weights
+
+DEPARTMENTS = ("grocery", "electronics", "apparel")
+REGIONS = ("north", "south")
+
+
+@dataclass(frozen=True)
+class RetailConfig:
+    """Knobs of the synthetic retail-sales workload."""
+
+    start: _dt.date = _dt.date(1998, 1, 1)
+    end: _dt.date = _dt.date(2000, 12, 31)
+    categories_per_department: int = 3
+    skus_per_category: int = 5
+    cities_per_region: int = 2
+    stores_per_city: int = 2
+    sales_per_day: int = 15
+    seed: int = 7
+
+
+def build_product_dimension(config: RetailConfig) -> Dimension:
+    """A Product dimension with sku < category < department."""
+    rows = list(_product_rows(config))
+    dimension_type = dimension_type_from_chains(
+        "Product", [["sku", "category", "department"]]
+    )
+    return dimension_from_rows(dimension_type, rows)
+
+
+def _product_rows(config: RetailConfig) -> Iterator[dict[str, str]]:
+    for department in DEPARTMENTS:
+        for c in range(config.categories_per_department):
+            category = f"{department}/cat{c}"
+            for s in range(config.skus_per_category):
+                yield {
+                    "sku": f"{category}/sku{s}",
+                    "category": category,
+                    "department": department,
+                }
+
+
+def build_store_dimension(config: RetailConfig) -> Dimension:
+    """A Store dimension with store < city < region."""
+    rows = list(_store_rows(config))
+    dimension_type = dimension_type_from_chains(
+        "Store", [["store", "city", "region"]]
+    )
+    return dimension_from_rows(dimension_type, rows)
+
+
+def _store_rows(config: RetailConfig) -> Iterator[dict[str, str]]:
+    for region in REGIONS:
+        for c in range(config.cities_per_region):
+            city = f"{region}-city{c}"
+            for s in range(config.stores_per_city):
+                yield {
+                    "store": f"{city}/store{s}",
+                    "city": city,
+                    "region": region,
+                }
+
+
+def build_retail_mo(config: RetailConfig | None = None) -> MultidimensionalObject:
+    """A complete retail Sales MO: dimensions, schema, and facts."""
+    config = config or RetailConfig()
+    builder = (
+        MOBuilder("Sale")
+        .with_prebuilt_dimension(build_time_dimension(config.start, config.end))
+        .with_prebuilt_dimension(build_product_dimension(config))
+        .with_prebuilt_dimension(build_store_dimension(config))
+        .with_measure("Quantity")
+        .with_measure("Revenue")
+    )
+    for fact_id, coordinates, measures in generate_sales(config):
+        builder.with_fact(fact_id, coordinates, measures)
+    return builder.build()
+
+
+def generate_sales(
+    config: RetailConfig | None = None,
+) -> Iterator[tuple[str, dict[str, str], dict[str, object]]]:
+    """Sales facts as ``(id, coordinates, measures)`` triples."""
+    config = config or RetailConfig()
+    rng = make_rng(config.seed)
+    skus = [row["sku"] for row in _product_rows(config)]
+    stores = [row["store"] for row in _store_rows(config)]
+    sku_weights = zipf_weights(len(skus), 1.05)
+    counter = 0
+    for date in iter_days(config.start, config.end):
+        day = day_value(date)
+        for _ in range(config.sales_per_day):
+            yield (
+                f"sale_{counter}",
+                {
+                    "Time": day,
+                    "Product": weighted_choice(rng, skus, sku_weights),
+                    "Store": stores[rng.randrange(len(stores))],
+                },
+                {
+                    "Quantity": rng.randint(1, 5),
+                    "Revenue": rng.randint(1, 500),
+                },
+            )
+            counter += 1
+
+
+def introduction_policy_actions(mo: MultidimensionalObject) -> list:
+    """The Section 1 example policy, bound to the retail schema.
+
+    Sales aggregate daily -> monthly when 6 months to 3 years old, and
+    monthly -> yearly past 3 years (keeping product category and store
+    city at the middle tier, department and region at the top tier).
+    """
+    from ..spec.action import Action
+
+    monthly = Action.parse(
+        mo.schema,
+        "a[Time.month, Product.category, Store.city] "
+        "o[NOW - 3 years <= Time.month AND Time.month <= NOW - 6 months]",
+        "monthly_tier",
+    )
+    yearly = Action.parse(
+        mo.schema,
+        "a[Time.year, Product.department, Store.region] "
+        "o[Time.year <= NOW - 3 years]",
+        "yearly_tier",
+    )
+    return [monthly, yearly]

@@ -1,0 +1,42 @@
+"""Deterministic randomness helpers for workload generation.
+
+All generators take explicit seeds so that examples, tests, and benchmarks
+are reproducible run-to-run (and so that workload shape — not sampling
+noise — drives the benchmark numbers).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+def make_rng(seed: int) -> random.Random:
+    """A dedicated deterministic RNG for one generator instance."""
+    return random.Random(seed)
+
+
+def zipf_weights(n: int, skew: float = 1.1) -> list[float]:
+    """Zipf-like popularity weights for *n* items (rank 1 most popular).
+
+    Click-stream URL popularity is famously heavy-tailed; a Zipf exponent
+    around 1 reproduces the qualitative shape.
+    """
+    if n <= 0:
+        raise ValueError("need at least one item")
+    weights = [1.0 / (rank**skew) for rank in range(1, n + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def weighted_choice(
+    rng: random.Random, items: Sequence, weights: Sequence[float]
+):
+    """One draw from *items* under *weights* (cumulative scan)."""
+    target = rng.random()
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if target <= cumulative:
+            return item
+    return items[-1]

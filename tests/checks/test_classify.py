@@ -1,0 +1,85 @@
+"""Unit tests for fixed/growing/shrinking classification (Section 4.3)."""
+
+import pytest
+
+from repro.checks.classify import (
+    ActionClass,
+    classify_action,
+    is_growing_action,
+)
+from repro.experiments.paper_example import (
+    action_a1,
+    action_a2,
+    action_a7,
+    action_a8,
+    build_paper_mo,
+)
+from repro.spec.action import Action
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+def classify(mo, source: str):
+    return classify_action(Action.parse(mo.schema, source))
+
+
+class TestCategories:
+    def test_fixed_a8(self, mo):
+        result = classify_action(action_a8(mo))
+        assert result.action_class is ActionClass.FIXED
+        assert result.letter == "A"
+
+    def test_growing_upper_bound_a2(self, mo):
+        result = classify_action(action_a2(mo))
+        assert result.action_class is ActionClass.GROWING
+        assert result.letter == "B"
+
+    def test_growing_a7(self, mo):
+        assert classify_action(action_a7(mo)).action_class is ActionClass.GROWING
+
+    def test_shrinking_a1(self, mo):
+        result = classify_action(action_a1(mo))
+        assert result.action_class is ActionClass.SHRINKING
+        assert result.letter == "F"
+
+    def test_category_d_fixed_lower_moving_upper(self, mo):
+        result = classify(
+            mo,
+            "a[Time.month, URL.domain] o['1999/01' <= Time.month AND "
+            "Time.month <= NOW - 6 months]",
+        )
+        assert result.action_class is ActionClass.GROWING
+        assert result.letter == "D"
+
+    def test_no_time_predicate_is_fixed(self, mo):
+        result = classify(
+            mo, "a[Time.month, URL.domain] o[URL.domain_grp = '.com']"
+        )
+        assert result.action_class is ActionClass.FIXED
+
+    def test_now_equality_shrinks(self, mo):
+        result = classify(
+            mo, "a[Time.month, URL.domain] o[Time.month = NOW - 6 months]"
+        )
+        assert result.action_class is ActionClass.SHRINKING
+
+    def test_now_strict_lower_shrinks(self, mo):
+        result = classify(
+            mo, "a[Time.month, URL.domain] o[Time.month > NOW - 12 months]"
+        )
+        assert result.action_class is ActionClass.SHRINKING
+
+    def test_disjunction_takes_weakest(self, mo):
+        result = classify(
+            mo,
+            "a[Time.month, URL.domain] o[Time.month <= '1999/12' OR "
+            "NOW - 12 months <= Time.month]",
+        )
+        assert result.action_class is ActionClass.SHRINKING
+
+    def test_theorem_1_fast_path(self, mo):
+        assert is_growing_action(action_a2(mo))
+        assert not is_growing_action(action_a1(mo))

@@ -1,0 +1,70 @@
+"""Shared fixtures: the paper's example MO, specification, and workloads."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    action_a1,
+    action_a2,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.reduction import reduce_mo
+from repro.workload import ClickstreamConfig, build_clickstream_mo
+
+
+@pytest.fixture
+def paper_mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def paper_spec(paper_mo):
+    return paper_specification(paper_mo)
+
+
+@pytest.fixture
+def a1(paper_mo):
+    return action_a1(paper_mo)
+
+
+@pytest.fixture
+def a2(paper_mo):
+    return action_a2(paper_mo)
+
+
+@pytest.fixture
+def t_final():
+    return SNAPSHOT_TIMES[-1]  # 2000/11/5
+
+
+@pytest.fixture
+def reduced_final(paper_mo, paper_spec, t_final):
+    return reduce_mo(paper_mo, paper_spec, t_final)
+
+
+@pytest.fixture(scope="session")
+def small_clickstream():
+    config = ClickstreamConfig(
+        start=dt.date(2000, 1, 1),
+        end=dt.date(2000, 6, 30),
+        domains_per_group=2,
+        urls_per_domain=2,
+        clicks_per_day=3,
+        seed=11,
+    )
+    return build_clickstream_mo(config)
+
+
+def cells_of(mo):
+    """Sorted direct cells of an MO — granularity-level content equality."""
+    return sorted(mo.direct_cell(f) for f in mo.facts())
+
+
+def measure_map(mo, measure):
+    """cell -> measure value, for content comparisons."""
+    return {mo.direct_cell(f): mo.measure_value(f, measure) for f in mo.facts()}

@@ -1,0 +1,99 @@
+"""Unit tests for the dimension and MO builders."""
+
+import pytest
+
+from repro.core.builder import (
+    MOBuilder,
+    dimension_from_rows,
+    dimension_type_from_chains,
+)
+from repro.errors import DimensionError, SchemaError
+
+
+class TestDimensionTypeFromChains:
+    def test_single_chain(self):
+        dimension_type = dimension_type_from_chains("URL", [["url", "domain"]])
+        assert dimension_type.bottom == "url"
+        assert dimension_type.le("url", "domain")
+
+    def test_parallel_chains_share_bottom(self):
+        dimension_type = dimension_type_from_chains(
+            "Time", [["day", "month"], ["day", "week"]]
+        )
+        assert dimension_type.hierarchy.anc("day") == {"month", "week"}
+
+    def test_mismatched_bottoms_rejected(self):
+        with pytest.raises(SchemaError, match="same.*bottom"):
+            dimension_type_from_chains("X", [["a", "b"], ["c", "b"]])
+
+    def test_empty_chains_rejected(self):
+        with pytest.raises(SchemaError):
+            dimension_type_from_chains("X", [])
+
+
+class TestDimensionFromRows:
+    def test_rows_build_links(self):
+        dimension_type = dimension_type_from_chains(
+            "URL", [["url", "domain", "domain_grp"]]
+        )
+        dimension = dimension_from_rows(
+            dimension_type,
+            [
+                {"url": "a.com/x", "domain": "a.com", "domain_grp": ".com"},
+                {"url": "a.com/y", "domain": "a.com", "domain_grp": ".com"},
+            ],
+        )
+        assert dimension.ancestor_at("a.com/x", "domain_grp") == ".com"
+        assert dimension.descendants_at("a.com", "url") == {"a.com/x", "a.com/y"}
+
+    def test_unknown_category_in_row_rejected(self):
+        dimension_type = dimension_type_from_chains("URL", [["url", "domain"]])
+        with pytest.raises(DimensionError, match="unknown categories"):
+            dimension_from_rows(dimension_type, [{"url": "x", "tld": "com"}])
+
+    def test_partial_rows_allowed(self):
+        dimension_type = dimension_type_from_chains(
+            "Time", [["day", "month"], ["day", "week"]]
+        )
+        dimension = dimension_from_rows(
+            dimension_type,
+            [{"day": "d1", "month": "m1"}],  # no week column
+        )
+        assert dimension.try_ancestor_at("d1", "week") is None
+        assert dimension.ancestor_at("d1", "month") == "m1"
+
+
+class TestMOBuilder:
+    def test_full_build(self):
+        mo = (
+            MOBuilder("F")
+            .with_dimension(
+                "D", [["low", "high"]], [{"low": "l1", "high": "h1"}]
+            )
+            .with_measure("m")
+            .with_fact("f1", {"D": "l1"}, {"m": 5})
+            .build()
+        )
+        assert mo.n_facts == 1
+        assert mo.total("m") == 5
+
+    def test_measure_aggregate_selection(self):
+        mo = (
+            MOBuilder("F")
+            .with_dimension("D", [["low"]], [{"low": "l1"}])
+            .with_measure("peak", aggregate="max")
+            .with_fact("f1", {"D": "l1"}, {"peak": 5})
+            .with_fact("f2", {"D": "l1"}, {"peak": 9})
+            .build()
+        )
+        assert mo.total("peak") == 9
+
+    def test_build_validates_facts(self):
+        builder = (
+            MOBuilder("F")
+            .with_dimension("D", [["low"]], [{"low": "l1"}])
+            .with_measure("m")
+            .with_fact("f1", {"D": "nope"}, {"m": 1})
+        )
+        with pytest.raises(DimensionError):
+            builder.build()

@@ -1,0 +1,93 @@
+"""Unit tests for fact-dimension relations and provenance."""
+
+import pytest
+
+from repro.core.facts import (
+    FactDimensionRelation,
+    Provenance,
+    aggregate_fact_id,
+)
+from repro.errors import FactError
+
+
+class TestFactDimensionRelation:
+    def test_link_and_lookup(self):
+        relation = FactDimensionRelation("Time")
+        relation.link("f1", "1999/12/04")
+        assert relation.value_of("f1") == "1999/12/04"
+        assert "f1" in relation
+        assert len(relation) == 1
+
+    def test_relink_same_value_idempotent(self):
+        relation = FactDimensionRelation("Time")
+        relation.link("f1", "v")
+        relation.link("f1", "v")
+        assert len(relation) == 1
+
+    def test_relink_different_value_rejected(self):
+        relation = FactDimensionRelation("Time")
+        relation.link("f1", "v1")
+        with pytest.raises(FactError, match="one value per dimension"):
+            relation.link("f1", "v2")
+
+    def test_missing_fact(self):
+        relation = FactDimensionRelation("Time")
+        with pytest.raises(FactError, match="no value"):
+            relation.value_of("ghost")
+
+    def test_unlink_idempotent(self):
+        relation = FactDimensionRelation("Time")
+        relation.link("f1", "v")
+        relation.unlink("f1")
+        relation.unlink("f1")
+        assert "f1" not in relation
+
+    def test_copy_is_independent(self):
+        relation = FactDimensionRelation("Time")
+        relation.link("f1", "v")
+        clone = relation.copy()
+        clone.link("f2", "w")
+        assert "f2" not in relation
+
+    def test_items_iteration(self):
+        relation = FactDimensionRelation("Time")
+        relation.link("f1", "a")
+        relation.link("f2", "b")
+        assert dict(relation.items()) == {"f1": "a", "f2": "b"}
+
+
+class TestProvenance:
+    def test_of_single_fact(self):
+        provenance = Provenance.of("f1")
+        assert provenance.members == {"f1"}
+        assert len(provenance) == 1
+
+    def test_merge(self):
+        merged = Provenance.of("f1").merge(Provenance.of("f2"))
+        assert merged.members == {"f1", "f2"}
+
+    def test_merge_is_union(self):
+        a = Provenance(frozenset({"f1", "f2"}))
+        b = Provenance(frozenset({"f2", "f3"}))
+        assert a.merge(b).members == {"f1", "f2", "f3"}
+
+    def test_empty_default(self):
+        assert len(Provenance()) == 0
+
+    def test_frozen(self):
+        provenance = Provenance.of("f1")
+        with pytest.raises(Exception):
+            provenance.members = frozenset()
+
+
+class TestAggregateFactId:
+    def test_tuple_form(self):
+        assert aggregate_fact_id(("1999Q4", "cnn.com")) == "agg|1999Q4|cnn.com"
+
+    def test_mapping_form_sorted(self):
+        fact_id = aggregate_fact_id({"URL": "cnn.com", "Time": "1999Q4"})
+        assert fact_id == "agg|Time=1999Q4|URL=cnn.com"
+
+    def test_deterministic(self):
+        assert aggregate_fact_id(("a", "b")) == aggregate_fact_id(("a", "b"))
+        assert aggregate_fact_id(("a", "b")) != aggregate_fact_id(("b", "a"))

@@ -1,0 +1,179 @@
+"""Unit tests for the category-type poset machinery."""
+
+import pytest
+
+from repro.core.hierarchy import TOP, Hierarchy, is_top
+from repro.errors import HierarchyError
+
+
+@pytest.fixture
+def time_hierarchy():
+    return Hierarchy(
+        {
+            "day": {"month", "week"},
+            "month": {"quarter"},
+            "quarter": {"year"},
+            "year": set(),
+            "week": set(),
+        },
+        bottom="day",
+    )
+
+
+@pytest.fixture
+def linear_hierarchy():
+    return Hierarchy(
+        {"url": {"domain"}, "domain": {"domain_grp"}, "domain_grp": set()},
+        bottom="url",
+    )
+
+
+class TestConstruction:
+    def test_top_added_automatically(self, linear_hierarchy):
+        assert TOP in linear_hierarchy.categories
+        assert linear_hierarchy.top == TOP
+
+    def test_bottom_preserved(self, linear_hierarchy):
+        assert linear_hierarchy.bottom == "url"
+
+    def test_is_top_helper(self):
+        assert is_top(TOP)
+        assert not is_top("day")
+
+    def test_single_category(self):
+        hierarchy = Hierarchy({"only": set()}, bottom="only")
+        assert hierarchy.le("only", TOP)
+        assert hierarchy.user_categories == ("only",)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(HierarchyError, match="cycle"):
+            Hierarchy({"a": {"b"}, "b": {"a"}}, bottom="a")
+
+    def test_self_containment_rejected(self):
+        with pytest.raises(HierarchyError, match="contain itself"):
+            Hierarchy({"a": {"a"}}, bottom="a")
+
+    def test_reserved_top_name_rejected(self):
+        with pytest.raises(HierarchyError, match="reserved"):
+            Hierarchy({"a": {TOP}}, bottom="a")
+
+    def test_unknown_bottom_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy({"a": set()}, bottom="zzz")
+
+    def test_disconnected_bottom_rejected(self):
+        # "b" does not contain the bottom "a".
+        with pytest.raises(HierarchyError, match="bottom"):
+            Hierarchy({"a": set(), "b": set()}, bottom="a")
+
+
+class TestOrder:
+    def test_le_reflexive(self, time_hierarchy):
+        for category in time_hierarchy.categories:
+            assert time_hierarchy.le(category, category)
+
+    def test_le_transitive_chain(self, time_hierarchy):
+        assert time_hierarchy.le("day", "quarter")
+        assert time_hierarchy.le("day", "year")
+        assert time_hierarchy.le("month", TOP)
+
+    def test_parallel_branches_incomparable(self, time_hierarchy):
+        assert not time_hierarchy.le("week", "month")
+        assert not time_hierarchy.le("month", "week")
+        assert not time_hierarchy.comparable("week", "quarter")
+
+    def test_lt_strict(self, time_hierarchy):
+        assert time_hierarchy.lt("day", "month")
+        assert not time_hierarchy.lt("day", "day")
+
+    def test_unknown_category_raises(self, time_hierarchy):
+        with pytest.raises(HierarchyError, match="unknown"):
+            time_hierarchy.le("day", "fortnight")
+
+    def test_anc_immediate_only(self, time_hierarchy):
+        assert time_hierarchy.anc("day") == {"month", "week"}
+        assert time_hierarchy.anc("month") == {"quarter"}
+        assert time_hierarchy.anc("week") == {TOP}
+        assert time_hierarchy.anc("year") == {TOP}
+
+    def test_children_inverse_of_anc(self, time_hierarchy):
+        assert time_hierarchy.children("month") == {"day"}
+        assert time_hierarchy.children(TOP) == {"week", "year"}
+
+    def test_ancestors_all_strict(self, time_hierarchy):
+        assert time_hierarchy.ancestors("day") == {
+            "week",
+            "month",
+            "quarter",
+            "year",
+            TOP,
+        }
+
+    def test_descendants_all_strict(self, time_hierarchy):
+        assert time_hierarchy.descendants("quarter") == {"day", "month"}
+
+
+class TestLinearity:
+    def test_time_hierarchy_not_linear(self, time_hierarchy):
+        assert not time_hierarchy.is_linear()
+
+    def test_url_hierarchy_linear(self, linear_hierarchy):
+        assert linear_hierarchy.is_linear()
+
+
+class TestBounds:
+    def test_glb_of_parallel_is_day(self, time_hierarchy):
+        assert time_hierarchy.glb({"week", "quarter"}) == "day"
+        assert time_hierarchy.glb({"week", "month"}) == "day"
+
+    def test_glb_of_comparable_is_lower(self, time_hierarchy):
+        assert time_hierarchy.glb({"month", "year"}) == "month"
+
+    def test_glb_singleton(self, time_hierarchy):
+        assert time_hierarchy.glb({"quarter"}) == "quarter"
+
+    def test_lub_of_parallel_is_top(self, time_hierarchy):
+        assert time_hierarchy.lub({"week", "month"}) == TOP
+
+    def test_lub_of_comparable_is_higher(self, time_hierarchy):
+        assert time_hierarchy.lub({"day", "quarter"}) == "quarter"
+
+    def test_lower_upper_bounds_sets(self, time_hierarchy):
+        assert time_hierarchy.lower_bounds({"week", "month"}) == {"day"}
+        assert "year" in time_hierarchy.upper_bounds({"month"})
+
+    def test_lattice_checks(self, time_hierarchy, linear_hierarchy):
+        assert time_hierarchy.is_lattice()
+        assert linear_hierarchy.is_lattice()
+
+    def test_non_lattice_detected(self):
+        # Two parallel middles with two parallel uppers: day has two
+        # incomparable maximal lower bounds for {p, q}? Construct the
+        # classic N5-like shape: a < {x, y} and {x, y} < {p, q}.
+        hierarchy = Hierarchy(
+            {
+                "a": {"x", "y"},
+                "x": {"p", "q"},
+                "y": {"p", "q"},
+                "p": set(),
+                "q": set(),
+            },
+            bottom="a",
+        )
+        assert not hierarchy.is_lattice()
+        # glb still returns a deterministic lower bound.
+        assert hierarchy.glb({"p", "q"}) in {"x", "y"}
+
+
+class TestPaths:
+    def test_paths_to_top(self, time_hierarchy):
+        paths = {p for p in time_hierarchy.paths_to_top("day")}
+        assert ("day", "month", "quarter", "year", TOP) in paths
+        assert ("day", "week", TOP) in paths
+        assert len(paths) == 2
+
+    def test_iteration_is_bottom_up(self, time_hierarchy):
+        order = list(time_hierarchy)
+        assert order[0] == "day"
+        assert order[-1] == TOP
+        assert order.index("month") < order.index("quarter")

@@ -1,0 +1,168 @@
+"""Unit tests for multidimensional objects."""
+
+import pytest
+
+from repro.core.dimension import ALL_VALUE
+from repro.errors import FactError, MeasureError, QueryError
+from repro.experiments.paper_example import build_paper_mo
+from repro.core.mo import unknown_coordinates
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+class TestInsertion:
+    def test_fact_count(self, mo):
+        assert mo.n_facts == 7
+
+    def test_duplicate_id_rejected(self, mo):
+        with pytest.raises(FactError, match="already exists"):
+            mo.insert_fact(
+                "fact_0",
+                {"Time": "1999/11/23", "URL": "http://www.cnn.com/"},
+                {
+                    "Number_of": 1,
+                    "Dwell_time": 1,
+                    "Delivery_time": 1,
+                    "Datasize": 1,
+                },
+            )
+
+    def test_missing_dimension_rejected(self, mo):
+        with pytest.raises(FactError, match="disallows missing values"):
+            mo.insert_fact(
+                "new",
+                {"Time": "1999/11/23"},
+                {
+                    "Number_of": 1,
+                    "Dwell_time": 1,
+                    "Delivery_time": 1,
+                    "Datasize": 1,
+                },
+            )
+
+    def test_missing_measure_rejected(self, mo):
+        with pytest.raises(MeasureError, match="lacks measures"):
+            mo.insert_fact(
+                "new",
+                {"Time": "1999/11/23", "URL": "http://www.cnn.com/"},
+                {"Number_of": 1},
+            )
+
+    def test_user_fact_must_be_bottom(self, mo):
+        with pytest.raises(FactError, match="bottom-category"):
+            mo.insert_fact(
+                "new",
+                {"Time": "1999/11", "URL": "http://www.cnn.com/"},
+                {
+                    "Number_of": 1,
+                    "Dwell_time": 1,
+                    "Delivery_time": 1,
+                    "Datasize": 1,
+                },
+            )
+
+    def test_unknown_fact_allowed_via_all(self, mo):
+        mo.insert_fact(
+            "mystery",
+            {"Time": ALL_VALUE, "URL": ALL_VALUE},
+            {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1},
+        )
+        assert mo.direct_value("mystery", "Time") == ALL_VALUE
+
+    def test_unknown_coordinates_helper(self, mo):
+        coords = unknown_coordinates(mo.schema)
+        assert coords == {"Time": ALL_VALUE, "URL": ALL_VALUE}
+
+    def test_aggregate_insert_any_category(self, mo):
+        mo.insert_aggregate_fact(
+            "agg_x",
+            {"Time": "1999Q4", "URL": "cnn.com"},
+            {"Number_of": 2, "Dwell_time": 5, "Delivery_time": 5, "Datasize": 5},
+        )
+        assert mo.gran("agg_x") == ("quarter", "domain")
+
+    def test_insert_normalizes_time_values(self, mo):
+        mo.insert_fact(
+            "padded",
+            {"Time": "1999/12/4", "URL": "http://www.cnn.com/"},
+            {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1},
+        )
+        assert mo.direct_value("padded", "Time") == "1999/12/04"
+
+
+class TestCharacterization:
+    def test_direct_cell(self, mo):
+        assert mo.direct_cell("fact_1") == (
+            "1999/12/04",
+            "http://www.cnn.com/health",
+        )
+
+    def test_characterized_by_ancestors(self, mo):
+        assert mo.characterized_by("fact_1", "URL", "cnn.com")
+        assert mo.characterized_by("fact_1", "URL", ".com")
+        assert mo.characterized_by("fact_1", "Time", "1999Q4")
+        assert not mo.characterized_by("fact_1", "URL", ".edu")
+
+    def test_characterizing_value(self, mo):
+        assert mo.characterizing_value("fact_1", "Time", "month") == "1999/12"
+        assert mo.characterizing_value("fact_1", "Time", "week") == "1999W48"
+
+    def test_characterizing_value_none_when_coarser(self, mo):
+        mo.insert_aggregate_fact(
+            "agg_q",
+            {"Time": "1999Q4", "URL": "cnn.com"},
+            {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1},
+        )
+        assert mo.characterizing_value("agg_q", "Time", "month") is None
+
+    def test_gran(self, mo):
+        assert mo.gran("fact_0") == ("day", "url")
+
+
+class TestMeasuresAndTotals:
+    def test_measure_value(self, mo):
+        assert mo.measure_value("fact_1", "Dwell_time") == 2335
+
+    def test_total(self, mo):
+        assert mo.total("Number_of") == 7
+        assert mo.total("Dwell_time") == 4165
+
+    def test_total_empty_mo_is_none(self, mo):
+        assert mo.empty_like().total("Number_of") is None
+
+    def test_unknown_measure(self, mo):
+        with pytest.raises(QueryError):
+            mo.measure("Nope")
+
+
+class TestStructure:
+    def test_delete_fact(self, mo):
+        mo.delete_fact("fact_6")
+        assert mo.n_facts == 6
+        assert "fact_6" not in mo
+        with pytest.raises(FactError):
+            mo.delete_fact("fact_6")
+
+    def test_copy_independent(self, mo):
+        clone = mo.copy()
+        clone.delete_fact("fact_0")
+        assert "fact_0" in mo
+        assert clone.n_facts == 6
+
+    def test_restrict_to_facts(self, mo):
+        sub = mo.restrict_to_facts(["fact_1", "fact_2"])
+        assert sub.fact_ids == {"fact_1", "fact_2"}
+        assert sub.total("Dwell_time") == 2335 + 154
+
+    def test_restrict_unknown_fact_raises(self, mo):
+        with pytest.raises(FactError):
+            mo.restrict_to_facts(["ghost"])
+
+    def test_granularity_histogram(self, mo):
+        assert mo.granularity_histogram() == {("day", "url"): 7}
+
+    def test_provenance_starts_as_self(self, mo):
+        assert mo.provenance("fact_3").members == {"fact_3"}

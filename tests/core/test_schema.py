@@ -1,0 +1,135 @@
+"""Unit tests for fact schemas, dimension types, and measure types."""
+
+import pytest
+
+from repro.core.builder import dimension_type_from_chains
+from repro.core.hierarchy import TOP
+from repro.core.measures import AVG, SUM, resolve_aggregate
+from repro.core.schema import DimensionType, FactSchema, MeasureType
+from repro.errors import SchemaError
+from repro.timedim.builder import time_dimension_type
+
+
+@pytest.fixture
+def schema():
+    time = time_dimension_type()
+    url = dimension_type_from_chains("URL", [["url", "domain", "domain_grp"]])
+    return FactSchema(
+        "Click",
+        [time, url],
+        [MeasureType("Number_of"), MeasureType("Dwell_time")],
+    )
+
+
+class TestDimensionType:
+    def test_qualify(self):
+        url = dimension_type_from_chains("URL", [["url", "domain"]])
+        assert url.qualify("domain") == "URL.domain"
+        assert url.qualify(TOP) == "URL.T"
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            DimensionType("Has.Dot", time_dimension_type().hierarchy)
+
+    def test_le_delegates_to_hierarchy(self):
+        time = time_dimension_type()
+        assert time.le("day", "year")
+        assert not time.le("week", "month")
+
+    def test_linearity(self):
+        time = time_dimension_type()
+        url = dimension_type_from_chains("URL", [["url", "domain"]])
+        assert not time.is_linear()
+        assert url.is_linear()
+
+
+class TestMeasureType:
+    def test_default_aggregate_is_sum(self):
+        assert MeasureType("m").aggregate.name == "sum"
+
+    def test_non_distributive_rejected(self):
+        with pytest.raises(SchemaError, match="distributive"):
+            MeasureType("m", AVG)
+
+    def test_min_max_allowed(self):
+        assert MeasureType("m", resolve_aggregate("min")).aggregate.name == "min"
+        assert MeasureType("m", resolve_aggregate("max")).aggregate.name == "max"
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(SchemaError):
+            MeasureType("", SUM)
+
+
+class TestFactSchema:
+    def test_dimension_names_ordered(self, schema):
+        assert schema.dimension_names == ("Time", "URL")
+
+    def test_duplicate_dimension_rejected(self):
+        time = time_dimension_type()
+        with pytest.raises(SchemaError, match="duplicate"):
+            FactSchema("F", [time, time], [MeasureType("m")])
+
+    def test_duplicate_measure_rejected(self):
+        time = time_dimension_type()
+        with pytest.raises(SchemaError, match="duplicate"):
+            FactSchema("F", [time], [MeasureType("m"), MeasureType("m")])
+
+    def test_no_dimensions_rejected(self):
+        with pytest.raises(SchemaError):
+            FactSchema("F", [], [MeasureType("m")])
+
+    def test_lookup(self, schema):
+        assert schema.dimension_type("URL").name == "URL"
+        assert schema.measure_type("Number_of").name == "Number_of"
+        with pytest.raises(SchemaError):
+            schema.dimension_type("Nope")
+        with pytest.raises(SchemaError):
+            schema.measure_type("Nope")
+
+    def test_dimension_index(self, schema):
+        assert schema.dimension_index("Time") == 0
+        assert schema.dimension_index("URL") == 1
+
+    def test_bottom_and_top_granularities(self, schema):
+        assert schema.bottom_granularity() == ("day", "url")
+        assert schema.top_granularity() == (TOP, TOP)
+
+
+class TestGranularityOrder:
+    def test_validate_granularity(self, schema):
+        assert schema.validate_granularity(
+            {"Time": "month", "URL": "domain"}
+        ) == ("month", "domain")
+
+    def test_validate_rejects_missing_dimension(self, schema):
+        with pytest.raises(SchemaError, match="every dimension"):
+            schema.validate_granularity({"Time": "month"})
+
+    def test_validate_rejects_extra_dimension(self, schema):
+        with pytest.raises(SchemaError, match="every dimension"):
+            schema.validate_granularity(
+                {"Time": "month", "URL": "domain", "X": "y"}
+            )
+
+    def test_validate_rejects_unknown_category(self, schema):
+        with pytest.raises(SchemaError, match="no category"):
+            schema.validate_granularity({"Time": "fortnight", "URL": "domain"})
+
+    def test_le_granularity_componentwise(self, schema):
+        assert schema.le_granularity(("day", "url"), ("month", "domain"))
+        assert not schema.le_granularity(("month", "url"), ("day", "domain"))
+
+    def test_le_granularity_incomparable_components(self, schema):
+        assert not schema.le_granularity(("week", "url"), ("month", "url"))
+
+    def test_max_granularity(self, schema):
+        grans = [("day", "url"), ("month", "domain"), ("quarter", "domain")]
+        assert schema.max_granularity(grans) == ("quarter", "domain")
+
+    def test_max_granularity_incomparable_raises(self, schema):
+        with pytest.raises(SchemaError, match="incomparable"):
+            schema.max_granularity([("week", "url"), ("month", "url")])
+
+    def test_max_granularity_empty_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.max_granularity([])

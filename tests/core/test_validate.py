@@ -1,0 +1,89 @@
+"""Unit tests for the MO integrity validator."""
+
+import pytest
+
+from repro.core.validate import is_valid_mo, validate_mo
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.reduction.reducer import reduce_mo
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+class TestHealthyObjects:
+    def test_paper_mo_valid(self, mo):
+        assert validate_mo(mo) == []
+        assert is_valid_mo(mo)
+
+    def test_reduced_mo_valid(self, mo):
+        reduced = reduce_mo(mo, paper_specification(mo), SNAPSHOT_TIMES[-1])
+        assert is_valid_mo(reduced)
+
+    def test_empty_mo_valid(self, mo):
+        assert is_valid_mo(mo.empty_like())
+
+
+class TestDetection:
+    def test_ragged_hierarchy_detected(self):
+        from repro.core.builder import (
+            MOBuilder,
+            dimension_from_rows,
+            dimension_type_from_chains,
+        )
+
+        dimension_type = dimension_type_from_chains(
+            "D", [["low", "mid", "high"]]
+        )
+        # A low value with no mid parent: ragged.
+        dimension = dimension_from_rows(
+            dimension_type,
+            [
+                {"low": "l1", "mid": "m1", "high": "h1"},
+                {"low": "orphan"},
+            ],
+        )
+        mo = (
+            MOBuilder("F")
+            .with_prebuilt_dimension(dimension)
+            .with_measure("m")
+            .build()
+        )
+        issues = validate_mo(mo)
+        assert any(issue.kind == "ragged-hierarchy" for issue in issues)
+        assert any("orphan" in issue.subject for issue in issues)
+
+    def test_non_numeric_sum_measure_detected(self, mo):
+        mo.measures["Dwell_time"].set("fact_0", "soon")
+        issues = validate_mo(mo)
+        assert any(issue.kind == "non-numeric-measure" for issue in issues)
+
+    def test_overlapping_provenance_detected(self, mo):
+        from repro.core.facts import Provenance
+
+        mo.insert_aggregate_fact(
+            "dupe",
+            {"Time": "1999Q4", "URL": "cnn.com"},
+            {
+                "Number_of": 1,
+                "Dwell_time": 1,
+                "Delivery_time": 1,
+                "Datasize": 1,
+            },
+            Provenance(frozenset({"fact_0"})),  # fact_0 claims itself too
+        )
+        issues = validate_mo(mo)
+        assert any(issue.kind == "overlapping-provenance" for issue in issues)
+
+    def test_issue_str(self, mo):
+        mo.measures["Dwell_time"].set("fact_0", "oops")
+        (issue,) = [
+            i for i in validate_mo(mo) if i.kind == "non-numeric-measure"
+        ]
+        assert "fact_0" in str(issue)
+        assert "non-numeric-measure" in str(issue)

@@ -1,0 +1,104 @@
+"""Unit tests for the disjoint-action transformation (Section 7.1)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.disjoint import disjoint_actions
+from repro.experiments.figures import build_extended_mo, extended_specification
+from repro.experiments.paper_example import build_paper_mo, paper_specification
+from repro.spec.predicate import satisfies
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def spec(mo):
+    return paper_specification(mo)
+
+
+class TestShape:
+    def test_paper_spec_yields_three_cubes(self, spec):
+        cubes = disjoint_actions(spec)
+        granularities = {c.name: c.granularity for c in cubes}
+        assert granularities == {
+            "K0": ("day", "url"),
+            "K1": ("month", "domain"),
+            "K2": ("quarter", "domain"),
+        }
+
+    def test_residual_cube_marked(self, spec):
+        cubes = disjoint_actions(spec)
+        assert cubes[0].is_residual
+        assert not cubes[1].is_residual
+        assert cubes[1].members == ("a1",)
+        assert cubes[2].members == ("a2",)
+
+    def test_parents_follow_granularity_order(self, spec):
+        cubes = {c.name: c for c in disjoint_actions(spec)}
+        assert cubes["K0"].parents == ()
+        assert cubes["K1"].parents == ("K0",)
+        assert set(cubes["K2"].parents) == {"K0", "K1"}
+
+    def test_extended_spec_week_cube(self):
+        mo = build_extended_mo()
+        cubes = disjoint_actions(extended_specification(mo))
+        granularities = sorted(c.granularity for c in cubes)
+        assert ("week", "domain") in granularities
+        week_cube = next(
+            c for c in cubes if c.granularity == ("week", "domain")
+        )
+        # Week and month cubes are granularity-incomparable: no parent edge.
+        month_cube = next(
+            c for c in cubes if c.granularity == ("month", "domain")
+        )
+        assert month_cube.name not in week_cube.parents
+        assert week_cube.parents == ("K0",)
+
+
+class TestPartition:
+    @pytest.mark.parametrize(
+        "at",
+        [dt.date(2000, 4, 5), dt.date(2000, 6, 5), dt.date(2000, 11, 5)],
+    )
+    def test_every_bottom_cell_in_exactly_one_cube(self, mo, spec, at):
+        cubes = disjoint_actions(spec)
+        for fact_id in mo.facts():
+            owners = [
+                cube.name
+                for cube in cubes
+                if satisfies(mo, fact_id, cube.predicate, at)
+            ]
+            assert len(owners) == 1, (fact_id, at, owners)
+
+    def test_partition_matches_responsibility(self, mo, spec):
+        from repro.reduction.auxiliary import cell as cell_of
+
+        at = dt.date(2000, 11, 5)
+        cubes = disjoint_actions(spec)
+        by_granularity = {c.granularity: c.name for c in cubes}
+        for fact_id in mo.facts():
+            target = cell_of(mo, list(spec.actions), fact_id, at)
+            target_granularity = tuple(
+                mo.dimensions[name].category_of(value)
+                for name, value in zip(mo.schema.dimension_names, target)
+            )
+            (owner,) = [
+                cube.name
+                for cube in cubes
+                if satisfies(mo, fact_id, cube.predicate, at)
+            ]
+            assert owner == by_granularity[target_granularity]
+
+
+class TestErrors:
+    def test_empty_specification_rejected(self, mo):
+        from repro.errors import EngineError
+        from repro.spec.specification import ReductionSpecification
+
+        empty = ReductionSpecification((), mo.dimensions)
+        with pytest.raises(EngineError):
+            disjoint_actions(empty)

@@ -1,0 +1,114 @@
+"""Unit tests for query processing over subcubes (Section 7.3)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.queryproc import (
+    SubcubeQuery,
+    effective_content,
+    query_store,
+)
+from repro.engine.store import SubcubeStore
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.query.aggregation import aggregate
+from repro.query.algebra import mo_rows
+from repro.query.selection import select
+from repro.reduction.reducer import reduce_mo
+
+
+def facts_of(mo):
+    return [
+        (
+            fact_id,
+            dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+            {
+                name: mo.measure_value(fact_id, name)
+                for name in mo.schema.measure_names
+            },
+        )
+        for fact_id in sorted(mo.facts())
+    ]
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def store(mo):
+    store = SubcubeStore(mo, paper_specification(mo))
+    store.load(facts_of(mo))
+    return store
+
+
+def monolithic_answer(mo, spec, query, at):
+    reduced = reduce_mo(mo, spec, at)
+    selected = (
+        select(reduced, query.predicate, at)
+        if query.predicate
+        else reduced
+    )
+    return aggregate(selected, dict(query.granularity), query.aggregation)
+
+
+QUERIES = [
+    SubcubeQuery(None, {"Time": "year", "URL": "domain_grp"}),
+    SubcubeQuery("URL.domain_grp = '.com'", {"Time": "quarter", "URL": "domain"}),
+    SubcubeQuery("Time.year = '2000'", {"Time": "month", "URL": "domain_grp"}),
+]
+
+
+class TestSynchronizedQueries:
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("at", SNAPSHOT_TIMES)
+    def test_matches_monolithic(self, mo, store, query, at):
+        store.synchronize(at)
+        expected = monolithic_answer(mo, store.specification, query, at)
+        actual = query_store(store, query, at)
+        assert _content(actual) == _content(expected)
+
+
+class TestUnsynchronizedQueries:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_stale_store_still_answers_correctly(self, mo, store, query):
+        store.synchronize(SNAPSHOT_TIMES[0])  # everything still in K0
+        at = SNAPSHOT_TIMES[2]
+        expected = monolithic_answer(mo, store.specification, query, at)
+        actual = query_store(store, query, at, assume_synchronized=False)
+        assert _content(actual) == _content(expected)
+
+    def test_effective_content_pulls_from_parents(self, store):
+        store.synchronize(SNAPSHOT_TIMES[1])  # K1 holds the month facts
+        at = SNAPSHOT_TIMES[2]
+        quarter_cube = store.cube("K2")
+        assert quarter_cube.n_facts == 0  # stale
+        effective = effective_content(store, quarter_cube, at)
+        assert sorted(effective.direct_cell(f) for f in effective.facts()) == [
+            ("1999Q4", "amazon.com"),
+            ("1999Q4", "cnn.com"),
+        ]
+
+    def test_no_double_counting(self, mo, store):
+        store.synchronize(SNAPSHOT_TIMES[1])
+        at = SNAPSHOT_TIMES[2]
+        query = SubcubeQuery(None, {"Time": "year", "URL": "domain_grp"})
+        result = query_store(store, query, at, assume_synchronized=False)
+        assert result.total("Number_of") == 7
+
+
+def _content(mo):
+    return sorted(
+        (
+            row["Time"],
+            row["URL"],
+            row["Number_of"],
+            row["Dwell_time"],
+        )
+        for row in mo_rows(mo)
+    )

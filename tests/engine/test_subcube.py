@@ -1,0 +1,94 @@
+"""Unit tests for the SubCube container."""
+
+import pytest
+
+from repro.core.facts import Provenance
+from repro.engine.disjoint import disjoint_actions
+from repro.engine.subcube import SubCube
+from repro.errors import EngineError
+from repro.experiments.paper_example import (
+    build_paper_mo,
+    paper_specification,
+)
+
+
+@pytest.fixture
+def cubes():
+    mo = build_paper_mo()
+    definitions = disjoint_actions(paper_specification(mo))
+    return mo, {d.name: SubCube(d, mo) for d in definitions}
+
+
+MEASURES = {
+    "Number_of": 1,
+    "Dwell_time": 10,
+    "Delivery_time": 1,
+    "Datasize": 5,
+}
+
+
+class TestInsertion:
+    def test_insert_at_cube_granularity(self, cubes):
+        _, by_name = cubes
+        k1 = by_name["K1"]
+        fact_id = k1.insert_at_granularity(
+            {"Time": "1999/12", "URL": "cnn.com"}, MEASURES, Provenance.of("x")
+        )
+        assert k1.n_facts == 1
+        assert k1.mo.gran(fact_id) == ("month", "domain")
+
+    def test_wrong_granularity_rejected(self, cubes):
+        _, by_name = cubes
+        k1 = by_name["K1"]
+        with pytest.raises(EngineError, match="not at the cube granularity"):
+            k1.insert_at_granularity(
+                {"Time": "1999/12/04", "URL": "cnn.com"},
+                MEASURES,
+                Provenance.of("x"),
+            )
+
+    def test_colliding_cells_merge(self, cubes):
+        _, by_name = cubes
+        k1 = by_name["K1"]
+        k1.insert_at_granularity(
+            {"Time": "1999/12", "URL": "cnn.com"}, MEASURES, Provenance.of("x")
+        )
+        fact_id = k1.insert_at_granularity(
+            {"Time": "1999/12", "URL": "cnn.com"}, MEASURES, Provenance.of("y")
+        )
+        assert k1.n_facts == 1
+        assert k1.mo.measure_value(fact_id, "Dwell_time") == 20
+        assert k1.mo.provenance(fact_id).members == {"x", "y"}
+
+    def test_values_normalized(self, cubes):
+        _, by_name = cubes
+        k1 = by_name["K1"]
+        fact_id = k1.insert_at_granularity(
+            {"Time": "1999/12", "URL": "cnn.com"}, MEASURES, Provenance.of("x")
+        )
+        assert k1.mo.direct_value(fact_id, "Time") == "1999/12"
+
+
+class TestLifecycle:
+    def test_remove(self, cubes):
+        _, by_name = cubes
+        k1 = by_name["K1"]
+        fact_id = k1.insert_at_granularity(
+            {"Time": "1999/12", "URL": "cnn.com"}, MEASURES, Provenance.of("x")
+        )
+        k1.remove(fact_id)
+        assert k1.n_facts == 0
+
+    def test_clear(self, cubes):
+        _, by_name = cubes
+        k2 = by_name["K2"]
+        k2.insert_at_granularity(
+            {"Time": "1999Q4", "URL": "cnn.com"}, MEASURES, Provenance.of("x")
+        )
+        k2.clear()
+        assert k2.n_facts == 0
+
+    def test_definition_exposed(self, cubes):
+        _, by_name = cubes
+        assert by_name["K2"].granularity == ("quarter", "domain")
+        assert by_name["K0"].definition.is_residual

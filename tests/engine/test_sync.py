@@ -1,0 +1,99 @@
+"""Unit tests for synchronization scheduling (Section 7.2)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.store import SubcubeStore
+from repro.engine.sync import (
+    SyncScheduler,
+    flow_report,
+    significant_period_days,
+)
+from repro.experiments.paper_example import (
+    build_paper_mo,
+    paper_specification,
+)
+
+
+def facts_of(mo):
+    return [
+        (
+            fact_id,
+            dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+            {
+                name: mo.measure_value(fact_id, name)
+                for name in mo.schema.measure_names
+            },
+        )
+        for fact_id in sorted(mo.facts())
+    ]
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def store(mo):
+    return SubcubeStore(mo, paper_specification(mo))
+
+
+class TestSignificantPeriod:
+    def test_paper_spec_finest_now_granularity_is_month(self, store):
+        # a1 uses NOW at month level, a2 at quarter level: month wins.
+        assert significant_period_days(store) == 31
+
+    def test_defaults_to_daily_without_now(self, mo):
+        from repro.spec.action import Action
+        from repro.spec.specification import ReductionSpecification
+
+        fixed = ReductionSpecification(
+            (
+                Action.parse(
+                    mo.schema,
+                    "a[Time.month, URL.domain] o[Time.month <= '1999/12']",
+                    "fixed",
+                ),
+            ),
+            mo.dimensions,
+        )
+        assert significant_period_days(SubcubeStore(mo, fixed)) == 1
+
+
+class TestScheduler:
+    def test_bulk_load_syncs_immediately(self, mo, store):
+        scheduler = SyncScheduler(store)
+        event = scheduler.on_bulk_load(facts_of(mo), dt.date(2000, 6, 5))
+        assert store.last_sync == dt.date(2000, 6, 5)
+        assert event.total_moved == 4  # facts 0-3 into K1
+
+    def test_advance_inserts_periodic_syncs(self, mo, store):
+        scheduler = SyncScheduler(store, period_days=30)
+        scheduler.on_bulk_load(facts_of(mo), dt.date(2000, 6, 5))
+        events = scheduler.advance_to(dt.date(2000, 11, 5))
+        assert store.last_sync == dt.date(2000, 11, 5)
+        assert len(events) >= 5  # roughly monthly steps
+        assert scheduler.events[-1].at == dt.date(2000, 11, 5)
+
+    def test_periodic_sync_keeps_one_level_staleness(self, mo, store):
+        """With per-period syncs, facts move K0 -> K1 -> K2 step by step,
+        never needing to skip a level."""
+        scheduler = SyncScheduler(store, period_days=30)
+        scheduler.on_bulk_load(facts_of(mo), dt.date(2000, 4, 5))
+        scheduler.advance_to(dt.date(2000, 11, 5))
+        shape = {n: c.n_facts for n, c in store.cubes.items()}
+        assert shape == {"K0": 1, "K1": 1, "K2": 2}
+
+
+class TestFlowReport:
+    def test_report_structure(self, mo, store):
+        store.load(facts_of(mo))
+        store.synchronize(dt.date(2000, 11, 5))
+        report = flow_report(store)
+        assert set(report) == {"K0", "K1", "K2"}
+        assert report["K2"]["granularity"] == ("quarter", "domain")
+        assert report["K2"]["facts"] == 2
+        assert report["K1"]["parents"] == ("K0",)
+        assert report["K1"]["members"] == ("a1",)

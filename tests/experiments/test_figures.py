@@ -1,0 +1,133 @@
+"""Regression tests for every figure regenerator (F1-F9)."""
+
+import pytest
+
+from repro.experiments.figures import ALL_FIGURES, render
+
+
+@pytest.fixture(scope="module")
+def figures():
+    return {n: fn() for n, fn in ALL_FIGURES.items()}
+
+
+class TestFigure1:
+    def test_structure(self, figures):
+        fig = figures[1]
+        assert fig["fact_signature"] == [
+            "Number_of",
+            "Dwell_time",
+            "Delivery_time",
+            "Datasize",
+        ]
+        assert len(fig["facts"]) == 7
+        time_info = fig["dimensions"]["Time"]
+        assert any("week" in chain for chain in time_info["hierarchy"])
+
+
+class TestFigure2:
+    def test_violation_reported_for_a1_alone(self, figures):
+        fig = figures[2]
+        assert fig["violations"]
+
+    def test_valid_situation_monotone(self, figures):
+        fig = figures[2]
+        oct_grans = {row["fact"]: row["granularity"] for row in fig["facts_2000_10"]}
+        nov_rows = fig["facts_2000_11"]
+        # Every fact_0-descendant is at least as aggregated in November.
+        for row in nov_rows:
+            assert row["granularity"] in {
+                ("month", "domain"),
+                ("quarter", "domain"),
+                ("day", "url"),
+            }
+        assert len(nov_rows) <= len(oct_grans)
+
+
+class TestFigure3:
+    def test_snapshot_counts(self, figures):
+        snapshots = figures[3]["snapshots"]
+        assert len(snapshots["2000-04-05"]) == 7
+        assert len(snapshots["2000-06-05"]) == 6
+        assert len(snapshots["2000-11-05"]) == 4
+
+    def test_fact_12_measures(self, figures):
+        rows = figures[3]["snapshots"]["2000-06-05"]
+        merged = next(r for r in rows if r["members"] == ["fact_1", "fact_2"])
+        assert merged["measures"]["Dwell_time"] == 2489
+        assert merged["cell"] == ("1999/12", "cnn.com")
+
+    def test_final_snapshot_cells(self, figures):
+        rows = figures[3]["snapshots"]["2000-11-05"]
+        assert sorted(r["cell"] for r in rows) == [
+            ("1999Q4", "amazon.com"),
+            ("1999Q4", "cnn.com"),
+            ("2000/01", "cnn.com"),
+            ("2000/01/20", "http://www.cc.gatech.edu/"),
+        ]
+
+
+class TestFigure4:
+    def test_projection_rows(self, figures):
+        rows = figures[4]["facts"]
+        assert len(rows) == 4
+        assert all("Dwell_time" in row and "Number_of" in row for row in rows)
+        assert all("Delivery_time" not in row for row in rows)
+
+
+class TestFigure5:
+    def test_paper_measures(self, figures):
+        rows = {
+            (r["Time"], r["URL"]): r["Dwell_time"] for r in figures[5]["facts"]
+        }
+        assert rows == {
+            ("1999Q4", "amazon.com"): 689,
+            ("1999Q4", "cnn.com"): 2489,
+            ("2000/01", "cnn.com"): 955,
+            ("2000/01", "gatech.edu"): 32,
+        }
+
+
+class TestFigure6:
+    def test_architecture(self, figures):
+        fig = figures[6]
+        assert fig["bottom_cube"] == "K0"
+        assert set(fig["subcubes"]) == {"K0", "K1", "K2"}
+        assert len(fig["paper_disjoint_actions"]) == 4
+
+
+class TestFigure7:
+    def test_migration_into_quarter_cube(self, figures):
+        fig = figures[7]
+        assert fig["migrated_into"] == {"K3": 2}
+        after = fig["at_2001_01_05"]
+        quarter_cells = {tuple(row["cell"]) for row in after["K3"]}
+        assert ("2000Q1", "amazon.com") in quarter_cells
+        assert ("2000Q1", "cnn.com") in quarter_cells
+
+
+class TestFigure8:
+    def test_subresults_and_final(self, figures):
+        fig = figures[8]
+        assert len(fig["subresults"]) == 4
+        final = {(r["Time"], r["URL"]): r["Number_of"] for r in fig["final"]}
+        # The window '1999/06' < month <= '2000/05' conservatively covers
+        # the 1999Q4 aggregates and the 2000 month facts.
+        assert final[("2000/01", ".com")] == 3
+        assert final[("2000/05", ".com")] == 1
+
+
+class TestFigure9:
+    def test_unsynchronized_equals_synchronized(self, figures):
+        assert figures[9]["answers_agree"]
+
+    def test_effective_content_differs_from_stale(self, figures):
+        fig = figures[9]
+        assert fig["stale_month_cube"] != fig["effective_month_cube"]
+
+
+class TestRender:
+    def test_renders_all(self, figures):
+        for number, fig in figures.items():
+            text = render(fig)
+            assert text.startswith(f"=== Figure {number} ===")
+            assert len(text.splitlines()) > 3

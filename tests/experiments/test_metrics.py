@@ -1,0 +1,77 @@
+"""Unit tests for storage and fidelity metrics."""
+
+import datetime as dt
+
+import pytest
+
+from repro.experiments.metrics import (
+    estimated_fact_bytes,
+    fidelity,
+    snapshot,
+    storage_series,
+)
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.reduction.reducer import reduce_mo
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def reduced(mo):
+    return reduce_mo(mo, paper_specification(mo), SNAPSHOT_TIMES[-1])
+
+
+class TestStorage:
+    def test_bytes_proportional_to_facts(self, mo, reduced):
+        assert estimated_fact_bytes(reduced) < estimated_fact_bytes(mo)
+        ratio = estimated_fact_bytes(mo) / estimated_fact_bytes(reduced)
+        assert ratio == pytest.approx(7 / 4)
+
+    def test_snapshot_reduction_factor(self, mo, reduced):
+        at = SNAPSHOT_TIMES[-1]
+        before = snapshot(mo, at)
+        after = snapshot(reduced, at)
+        assert before.reduction_factor == 1.0
+        assert after.reduction_factor == pytest.approx(7 / 4)
+        assert after.source_facts == 7
+
+    def test_storage_series_rows(self, mo, reduced):
+        rows = storage_series(
+            [snapshot(mo, SNAPSHOT_TIMES[0]), snapshot(reduced, SNAPSHOT_TIMES[-1])]
+        )
+        assert rows[0]["facts"] == 7
+        assert rows[1]["facts"] == 4
+        assert rows[1]["reduction_factor"] == 1.75
+
+    def test_empty_mo_snapshot(self, mo):
+        empty = snapshot(mo.empty_like(), SNAPSHOT_TIMES[0])
+        assert empty.facts == 0
+        assert empty.reduction_factor == 1.0
+
+
+class TestFidelity:
+    def test_exact_at_coarse_granularity(self, mo, reduced):
+        report = fidelity(mo, reduced, {"Time": "year", "URL": "domain_grp"})
+        assert report.exact_fraction == 1.0
+        assert report.lost_rows == 0
+
+    def test_coarsened_at_fine_granularity(self, mo, reduced):
+        report = fidelity(mo, reduced, {"Time": "day", "URL": "url"})
+        assert report.lost_rows == 0
+        assert report.coarsened_rows > 0
+        assert report.answerable_fraction == 1.0
+
+    def test_loss_detected_after_deletion(self, mo, reduced):
+        butchered = reduced.copy()
+        victim = next(iter(butchered.facts()))
+        butchered.delete_fact(victim)
+        report = fidelity(mo, butchered, {"Time": "year", "URL": "domain_grp"})
+        assert report.lost_rows > 0
+        assert report.answerable_fraction < 1.0

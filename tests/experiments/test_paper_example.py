@@ -1,0 +1,83 @@
+"""Regression tests pinning the Appendix A data (Table 2)."""
+
+import pytest
+
+from repro.experiments.paper_example import (
+    PAPER_FACTS,
+    build_paper_mo,
+    disjoint_actions,
+    growing_example_actions,
+    paper_specification,
+)
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+class TestTable2:
+    def test_seven_facts(self, mo):
+        assert mo.n_facts == 7
+        assert {f for f in mo.facts()} == {f"fact_{i}" for i in range(7)}
+
+    def test_time_dimension_values(self, mo):
+        time = mo.dimensions["Time"]
+        assert time.values("day") == {
+            "1999/11/23",
+            "1999/12/04",
+            "1999/12/31",
+            "2000/01/04",
+            "2000/01/20",
+        }
+        assert time.values("week") == {
+            "1999W47",
+            "1999W48",
+            "1999W52",
+            "2000W01",
+            "2000W03",
+        }
+        assert time.values("month") == {"1999/11", "1999/12", "2000/01"}
+        assert time.values("quarter") == {"1999Q4", "2000Q1"}
+        assert time.values("year") == {"1999", "2000"}
+
+    def test_url_dimension_values(self, mo):
+        url = mo.dimensions["URL"]
+        assert url.values("domain") == {"cnn.com", "gatech.edu", "amazon.com"}
+        assert url.values("domain_grp") == {".com", ".edu"}
+        assert len(url.values("url")) == 4
+
+    def test_measures_match_table_2(self, mo):
+        expected = {row[0]: row[3:] for row in PAPER_FACTS}
+        for fact_id, (number_of, dwell, delivery, datasize) in expected.items():
+            assert mo.measure_value(fact_id, "Number_of") == number_of
+            assert mo.measure_value(fact_id, "Dwell_time") == dwell
+            assert mo.measure_value(fact_id, "Delivery_time") == delivery
+            assert mo.measure_value(fact_id, "Datasize") == datasize
+
+    def test_fact_dimension_relations(self, mo):
+        assert mo.direct_cell("fact_5") == (
+            "2000/01/04",
+            "http://www.cnn.com/health",
+        )
+        assert mo.characterized_by("fact_5", "URL", ".com")
+
+    def test_default_aggregates_are_sum(self, mo):
+        for measure_type in mo.schema.measure_types:
+            assert measure_type.aggregate.name == "sum"
+
+
+class TestActionSets:
+    def test_paper_specification_sound(self, mo):
+        assert paper_specification(mo).is_sound()
+
+    def test_growing_example_actions_parse(self, mo):
+        g1, g2, g3 = growing_example_actions(mo)
+        assert g1.cat() == ("month", "domain")
+        assert g2.cat() == ("quarter", "domain")
+        assert g3.cat() == ("quarter", "domain_grp")
+
+    def test_disjoint_actions_parse(self, mo):
+        actions = disjoint_actions(mo)
+        assert [a.name for a in actions] == ["a1p", "a2p", "a3p", "a4p"]
+        assert actions[3].cat() == ("day", "url")

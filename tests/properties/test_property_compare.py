@@ -1,0 +1,109 @@
+"""Property-based tests of the Definition 5 comparison semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.compare import weighted_compare
+from repro.timedim.builder import build_sparse_time_dimension
+
+from .strategies import sparse_days
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+OPS = ("<", "<=", ">", ">=", "=", "!=")
+CATEGORIES = ("day", "week", "month", "quarter", "year")
+
+
+@st.composite
+def dimension_and_values(draw):
+    days = draw(sparse_days(min_size=3, max_size=8))
+    dimension = build_sparse_time_dimension(days)
+    left_category = draw(st.sampled_from(CATEGORIES))
+    right_category = draw(st.sampled_from(CATEGORIES))
+    left = draw(st.sampled_from(sorted(dimension.values(left_category))))
+    right = draw(st.sampled_from(sorted(dimension.values(right_category))))
+    return dimension, left, right
+
+
+@SETTINGS
+@given(data=dimension_and_values(), op=st.sampled_from(OPS))
+def test_conservative_implies_liberal(data, op):
+    dimension, left, right = data
+    result = weighted_compare(dimension, left, op, right)
+    if result.conservative:
+        assert result.liberal
+
+
+@SETTINGS
+@given(data=dimension_and_values(), op=st.sampled_from(OPS))
+def test_weight_bounds(data, op):
+    dimension, left, right = data
+    result = weighted_compare(dimension, left, op, right)
+    assert 0.0 <= result.weight <= 1.0
+
+
+@SETTINGS
+@given(data=dimension_and_values(), op=st.sampled_from(OPS))
+def test_weight_one_implies_conservative_for_order_ops(data, op):
+    dimension, left, right = data
+    result = weighted_compare(dimension, left, op, right)
+    if op in ("<", "<=", ">", ">=") and result.weight == 1.0:
+        assert result.conservative
+
+
+@SETTINGS
+@given(data=dimension_and_values())
+def test_same_category_comparisons_are_classical(data):
+    dimension, left, _ = data
+    category = dimension.category_of(left)
+    for right in sorted(dimension.values(category)):
+        lk = dimension.sort_value(category, left)
+        rk = dimension.sort_value(category, right)
+        assert weighted_compare(dimension, left, "<", right).conservative == (
+            lk < rk
+        )
+        assert weighted_compare(dimension, left, "=", right).conservative == (
+            left == right
+        )
+
+
+@SETTINGS
+@given(data=dimension_and_values())
+def test_trichotomy_like_exclusion(data):
+    """< and > can never both hold conservatively."""
+    dimension, left, right = data
+    lt = weighted_compare(dimension, left, "<", right).conservative
+    gt = weighted_compare(dimension, left, ">", right).conservative
+    assert not (lt and gt)
+
+
+@SETTINGS
+@given(data=dimension_and_values())
+def test_strict_implies_reflexive(data):
+    dimension, left, right = data
+    if weighted_compare(dimension, left, "<", right).conservative:
+        assert weighted_compare(dimension, left, "<=", right).conservative
+    if weighted_compare(dimension, left, ">", right).conservative:
+        assert weighted_compare(dimension, left, ">=", right).conservative
+
+
+@SETTINGS
+@given(data=dimension_and_values())
+def test_equality_symmetric(data):
+    dimension, left, right = data
+    forward = weighted_compare(dimension, left, "=", right).conservative
+    backward = weighted_compare(dimension, right, "=", left).conservative
+    assert forward == backward
+
+
+@SETTINGS
+@given(data=dimension_and_values())
+def test_membership_matches_equality_for_singletons(data):
+    dimension, left, right = data
+    eq = weighted_compare(dimension, left, "=", right)
+    member = weighted_compare(dimension, left, "in", [right])
+    # "in {v}" uses the coverage test A <= B, equality additionally
+    # requires B <= A — so membership is implied by equality.
+    if eq.conservative:
+        assert member.conservative
+    assert member.weight >= eq.weight

@@ -1,0 +1,105 @@
+"""Property-based tests: DNF conversion preserves predicate semantics."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.action import _bind_predicate
+from repro.spec.ast import (
+    And,
+    Atom,
+    CategoryRef,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.spec.dnf import dnf_predicate, to_nnf
+from repro.spec.predicate import satisfies
+
+from .strategies import small_mos
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+NOW_T = dt.date(2000, 6, 15)
+
+
+def leaf_atoms(mo):
+    """A pool of concrete atoms valid for the MO's schema."""
+    url_dim = mo.dimensions["URL"]
+    time_dim = mo.dimensions["Time"]
+    atoms = []
+    for grp in sorted(url_dim.values("domain_grp")):
+        atoms.append(Atom(CategoryRef("URL", "domain_grp"), "=", (grp,)))
+    for domain in sorted(url_dim.values("domain"))[:2]:
+        atoms.append(Atom(CategoryRef("URL", "domain"), "!=", (domain,)))
+    months = sorted(time_dim.values("month"))
+    atoms.append(Atom(CategoryRef("Time", "month"), "<=", (months[0],)))
+    atoms.append(Atom(CategoryRef("Time", "month"), ">", (months[-1],)))
+    atoms.append(
+        Atom(CategoryRef("Time", "month"), "in", tuple(months[:2]))
+    )
+    return atoms
+
+
+@st.composite
+def predicates(draw, mo, depth: int = 3):
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from(leaf_atoms(mo)))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return Not(draw(predicates(mo, depth=depth - 1)))
+    left = draw(predicates(mo, depth=depth - 1))
+    right = draw(predicates(mo, depth=depth - 1))
+    if kind == "and":
+        return And((left, right))
+    return Or((left, right))
+
+
+@SETTINGS
+@given(data=st.data(), mo=small_mos())
+def test_dnf_equivalent_on_all_facts(data, mo):
+    predicate = _bind_predicate(
+        mo.schema, data.draw(predicates(mo)), "prop"
+    )
+    rebuilt = dnf_predicate(predicate)
+    for fact_id in mo.facts():
+        assert satisfies(mo, fact_id, predicate, NOW_T) == satisfies(
+            mo, fact_id, rebuilt, NOW_T
+        )
+
+
+@SETTINGS
+@given(data=st.data(), mo=small_mos())
+def test_nnf_equivalent_on_all_facts(data, mo):
+    predicate = _bind_predicate(
+        mo.schema, data.draw(predicates(mo)), "prop"
+    )
+    rebuilt = to_nnf(predicate)
+    for fact_id in mo.facts():
+        assert satisfies(mo, fact_id, predicate, NOW_T) == satisfies(
+            mo, fact_id, rebuilt, NOW_T
+        )
+
+
+@SETTINGS
+@given(data=st.data(), mo=small_mos())
+def test_double_negation_eliminated(data, mo):
+    predicate = _bind_predicate(
+        mo.schema, data.draw(predicates(mo)), "prop"
+    )
+    nnf = to_nnf(Not(Not(predicate)))
+    assert not _contains_not(nnf)
+
+
+def _contains_not(predicate):
+    if isinstance(predicate, Not):
+        return True
+    return any(_contains_not(child) for child in predicate.children())
+
+
+@SETTINGS
+@given(mo=small_mos())
+def test_tautology_selects_everything(mo):
+    predicate = TruePredicate()
+    assert all(satisfies(mo, f, predicate, NOW_T) for f in mo.facts())

@@ -1,0 +1,123 @@
+"""Property-based tests of the poset/lattice machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import TOP, Hierarchy
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+NAMES = [f"c{i}" for i in range(7)]
+
+
+@st.composite
+def hierarchies(draw):
+    """Random DAG hierarchies: layered names with random upward edges.
+
+    Layering (edges only point to strictly later names) guarantees
+    acyclicity; every name is reachable upward from c0 by construction.
+    """
+    size = draw(st.integers(min_value=1, max_value=6))
+    names = NAMES[:size]
+    edges: dict[str, set[str]] = {name: set() for name in names}
+    for i, child in enumerate(names[:-1]):
+        parents = draw(
+            st.lists(
+                st.sampled_from(names[i + 1 :]),
+                min_size=1,
+                max_size=min(3, size - i - 1),
+                unique=True,
+            )
+        )
+        edges[child] = set(parents)
+    # Every category must contain the bottom: graft unreachable names
+    # directly above it (still acyclic — edges only point rightward).
+    reachable = {names[0]}
+    frontier = [names[0]]
+    while frontier:
+        current = frontier.pop()
+        for parent in edges[current]:
+            if parent not in reachable:
+                reachable.add(parent)
+                frontier.append(parent)
+    for name in names[1:]:
+        if name not in reachable:
+            edges[names[0]].add(name)
+            reachable.add(name)
+    return Hierarchy(edges, bottom=names[0])
+
+
+@SETTINGS
+@given(hierarchy=hierarchies())
+def test_le_is_a_partial_order(hierarchy):
+    categories = list(hierarchy.categories)
+    for a in categories:
+        assert hierarchy.le(a, a)  # reflexive
+        for b in categories:
+            if hierarchy.le(a, b) and hierarchy.le(b, a):
+                assert a == b  # antisymmetric
+            for c in categories:
+                if hierarchy.le(a, b) and hierarchy.le(b, c):
+                    assert hierarchy.le(a, c)  # transitive
+
+
+@SETTINGS
+@given(hierarchy=hierarchies())
+def test_top_and_bottom_are_extremes(hierarchy):
+    for category in hierarchy.categories:
+        assert hierarchy.le(hierarchy.bottom, category)
+        assert hierarchy.le(category, TOP)
+
+
+@SETTINGS
+@given(hierarchy=hierarchies(), data=st.data())
+def test_glb_is_a_maximal_lower_bound(hierarchy, data):
+    categories = sorted(hierarchy.categories)
+    a = data.draw(st.sampled_from(categories))
+    b = data.draw(st.sampled_from(categories))
+    glb = hierarchy.glb({a, b})
+    assert hierarchy.le(glb, a)
+    assert hierarchy.le(glb, b)
+    for other in hierarchy.lower_bounds({a, b}):
+        # No lower bound sits strictly above the returned one.
+        assert not hierarchy.lt(glb, other)
+
+
+@SETTINGS
+@given(hierarchy=hierarchies(), data=st.data())
+def test_lub_is_a_minimal_upper_bound(hierarchy, data):
+    categories = sorted(hierarchy.categories)
+    a = data.draw(st.sampled_from(categories))
+    b = data.draw(st.sampled_from(categories))
+    lub = hierarchy.lub({a, b})
+    assert hierarchy.le(a, lub)
+    assert hierarchy.le(b, lub)
+    for other in hierarchy.upper_bounds({a, b}):
+        assert not hierarchy.lt(other, lub)
+
+
+@SETTINGS
+@given(hierarchy=hierarchies())
+def test_anc_matches_strict_order(hierarchy):
+    for category in hierarchy.categories:
+        for parent in hierarchy.anc(category):
+            assert hierarchy.lt(category, parent)
+        for child in hierarchy.children(category):
+            assert hierarchy.lt(child, category)
+
+
+@SETTINGS
+@given(hierarchy=hierarchies())
+def test_linear_hierarchies_are_lattices(hierarchy):
+    if hierarchy.is_linear():
+        assert hierarchy.is_lattice()
+
+
+@SETTINGS
+@given(hierarchy=hierarchies())
+def test_paths_to_top_are_chains(hierarchy):
+    for path in hierarchy.paths_to_top(hierarchy.bottom):
+        assert path[0] == hierarchy.bottom
+        assert path[-1] == TOP
+        for lower, higher in zip(path, path[1:]):
+            assert higher in hierarchy.anc(lower)

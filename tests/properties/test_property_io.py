@@ -1,0 +1,61 @@
+"""Property-based round-trip tests for serialization."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+
+from repro.io import mo_from_dict, mo_to_dict
+from repro.query.disaggregation import aggregate_disaggregated
+from repro.reduction.reducer import reduce_mo
+
+from .strategies import evaluation_times, mos_with_specs, small_mos
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+@SETTINGS
+@given(mo=small_mos())
+def test_mo_round_trip_preserves_content(mo):
+    back = mo_from_dict(mo_to_dict(mo))
+    assert back.fact_ids == mo.fact_ids
+    for fact_id in mo.facts():
+        assert back.direct_cell(fact_id) == mo.direct_cell(fact_id)
+    for measure in mo.schema.measure_names:
+        assert back.total(measure) == mo.total(measure)
+
+
+@SETTINGS
+@given(pair=mos_with_specs(), at=evaluation_times())
+def test_reduced_mo_round_trips(pair, at):
+    mo, spec = pair
+    reduced = reduce_mo(mo, spec, at)
+    back = mo_from_dict(mo_to_dict(reduced))
+    assert sorted(back.direct_cell(f) for f in back.facts()) == sorted(
+        reduced.direct_cell(f) for f in reduced.facts()
+    )
+    for fact_id in reduced.facts():
+        assert back.provenance(fact_id).members == reduced.provenance(
+            fact_id
+        ).members
+
+
+@SETTINGS
+@given(pair=mos_with_specs(), at=evaluation_times())
+def test_disaggregation_totals_preserved(pair, at):
+    mo, spec = pair
+    reduced = reduce_mo(mo, spec, at)
+    rows = aggregate_disaggregated(reduced, {"Time": "month", "URL": "domain"})
+    total = sum(row.values["Number_of"] for row in rows)
+    assert abs(total - mo.total("Number_of")) < 1e-6
+
+
+@SETTINGS
+@given(pair=mos_with_specs(), at=evaluation_times())
+def test_disaggregation_imprecision_bounds(pair, at):
+    mo, spec = pair
+    reduced = reduce_mo(mo, spec, at)
+    for row in aggregate_disaggregated(
+        reduced, {"Time": "month", "URL": "domain"}
+    ):
+        for score in row.imprecision.values():
+            assert -1e-9 <= score <= 1.0 + 1e-9

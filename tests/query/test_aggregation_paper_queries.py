@@ -1,0 +1,169 @@
+"""Aggregate formation over reduced MOs: Q4/Q5, Group_high, approaches."""
+
+import pytest
+
+from repro.core.dimension import ALL_VALUE
+from repro.core.hierarchy import TOP
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.query.aggregation import (
+    AggregationApproach,
+    aggregate,
+    group_high,
+)
+from repro.reduction.reducer import reduce_mo
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def reduced(mo):
+    return reduce_mo(mo, paper_specification(mo), SNAPSHOT_TIMES[-1])
+
+
+class TestGroupHighPaperValues:
+    GRANULARITY = {"Time": "month", "URL": "domain"}
+
+    def test_quarter_cell(self, reduced):
+        facts = group_high(
+            reduced, {"Time": "1999Q4", "URL": "amazon.com"}, self.GRANULARITY
+        )
+        assert len(facts) == 1
+        (fact,) = facts
+        assert reduced.provenance(fact).members == {"fact_0", "fact_3"}
+
+    def test_year_cell_empty(self, reduced):
+        assert (
+            group_high(
+                reduced, {"Time": "1999", "URL": "amazon.com"}, self.GRANULARITY
+            )
+            == frozenset()
+        )
+
+    def test_month_cell_catches_day_fact(self, reduced):
+        facts = group_high(
+            reduced, {"Time": "2000/1", "URL": "gatech.edu"}, self.GRANULARITY
+        )
+        assert facts == {"fact_6"}
+
+    def test_below_granularity_cell_rejected(self, reduced):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError, match="below the requested"):
+            group_high(
+                reduced,
+                {"Time": "1999/12/04", "URL": "cnn.com"},
+                self.GRANULARITY,
+            )
+
+
+class TestFigure5Availability:
+    def test_paper_result(self, reduced):
+        result = aggregate(reduced, {"Time": "month", "URL": "domain"})
+        rows = sorted(
+            (
+                result.direct_cell(f),
+                result.measure_value(f, "Number_of"),
+                result.measure_value(f, "Dwell_time"),
+            )
+            for f in result.facts()
+        )
+        assert rows == [
+            (("1999Q4", "amazon.com"), 2, 689),
+            (("1999Q4", "cnn.com"), 2, 2489),
+            (("2000/01", "cnn.com"), 2, 955),
+            (("2000/01", "gatech.edu"), 1, 32),
+        ]
+
+    def test_result_schema_bottom_is_requested(self, reduced):
+        result = aggregate(reduced, {"Time": "month", "URL": "domain"})
+        assert result.schema.dimension_type("Time").bottom == "month"
+        assert result.schema.dimension_type("URL").bottom == "domain"
+        assert "week" not in result.schema.dimension_type("Time").categories
+
+    def test_q4_year_domain_full_granularity(self, reduced):
+        result = aggregate(reduced, {"Time": "year", "URL": "domain"})
+        assert set(result.granularity_histogram()) == {("year", "domain")}
+        rows = {
+            result.direct_cell(f): result.measure_value(f, "Dwell_time")
+            for f in result.facts()
+        }
+        assert rows[("1999", "amazon.com")] == 689
+        assert rows[("2000", "cnn.com")] == 955
+
+
+class TestStrictAndLub:
+    def test_strict_drops_coarse_facts(self, reduced):
+        result = aggregate(
+            reduced,
+            {"Time": "month", "URL": "domain"},
+            AggregationApproach.STRICT,
+        )
+        cells = sorted(result.direct_cell(f) for f in result.facts())
+        assert cells == [("2000/01", "cnn.com"), ("2000/01", "gatech.edu")]
+
+    def test_lub_single_common_granularity(self, reduced):
+        result = aggregate(
+            reduced,
+            {"Time": "month", "URL": "domain"},
+            AggregationApproach.LUB,
+        )
+        assert set(result.granularity_histogram()) == {("quarter", "domain")}
+        totals = {
+            result.direct_cell(f): result.measure_value(f, "Number_of")
+            for f in result.facts()
+        }
+        assert totals[("2000Q1", "cnn.com")] == 2
+
+    def test_strict_equals_availability_on_uniform_data(self, mo):
+        availability = aggregate(mo, {"Time": "month", "URL": "domain"})
+        strict = aggregate(
+            mo, {"Time": "month", "URL": "domain"}, AggregationApproach.STRICT
+        )
+        assert sorted(
+            availability.direct_cell(f) for f in availability.facts()
+        ) == sorted(strict.direct_cell(f) for f in strict.facts())
+
+
+class TestEdgeCases:
+    def test_aggregate_to_top(self, mo):
+        result = aggregate(mo, {"Time": TOP, "URL": TOP})
+        assert result.n_facts == 1
+        (fact,) = result.facts()
+        assert result.direct_cell(fact) == (ALL_VALUE, ALL_VALUE)
+        assert result.measure_value(fact, "Number_of") == 7
+
+    def test_aggregate_to_bottom_is_identity_grouping(self, mo):
+        result = aggregate(mo, {"Time": "day", "URL": "url"})
+        assert result.n_facts == mo.n_facts
+        for measure in mo.schema.measure_names:
+            assert result.total(measure) == mo.total(measure)
+
+    def test_week_aggregation_on_reduced_data(self, reduced):
+        # Quarter facts cannot express weeks: availability pushes them to T.
+        result = aggregate(reduced, {"Time": "week", "URL": "domain"})
+        grans = set(result.granularity_histogram())
+        assert (TOP, "domain") in grans
+        assert ("week", "domain") in grans
+
+    def test_totals_always_preserved(self, reduced):
+        for granularity in (
+            {"Time": "month", "URL": "domain"},
+            {"Time": "year", "URL": "domain_grp"},
+            {"Time": TOP, "URL": "domain"},
+        ):
+            result = aggregate(reduced, granularity)
+            assert result.total("Dwell_time") == reduced.total("Dwell_time")
+
+    def test_provenance_flows_through(self, reduced):
+        result = aggregate(reduced, {"Time": "year", "URL": "domain_grp"})
+        members = {
+            m for f in result.facts() for m in result.provenance(f).members
+        }
+        assert members == {f"fact_{i}" for i in range(7)}

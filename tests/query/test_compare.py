@@ -1,0 +1,235 @@
+"""Unit tests for Definition 5 comparisons, incl. the paper's examples."""
+
+import pytest
+
+from repro.core.dimension import ALL_VALUE
+from repro.errors import QueryError
+from repro.experiments.paper_example import build_paper_mo
+from repro.query.compare import (
+    Approach,
+    atom_result,
+    common_category,
+    compare,
+    drill_down,
+    weighted_compare,
+)
+
+
+@pytest.fixture
+def time_dim():
+    return build_paper_mo().dimensions["Time"]
+
+
+@pytest.fixture
+def url_dim():
+    return build_paper_mo().dimensions["URL"]
+
+
+class TestDrillDown:
+    def test_own_category(self, time_dim):
+        assert drill_down(time_dim, "1999/12", "month") == {"1999/12"}
+
+    def test_quarter_to_days(self, time_dim):
+        assert drill_down(time_dim, "1999Q4", "day") == {
+            "1999/11/23",
+            "1999/12/04",
+            "1999/12/31",
+        }
+
+    def test_common_category_glb(self, time_dim):
+        assert common_category(time_dim, "1999Q4", ["1999W48"]) == "day"
+        assert common_category(time_dim, "1999Q4", ["1999/12"]) == "month"
+
+
+class TestPaperStrictComparison:
+    def test_1999q4_lt_1999w48_false(self, time_dim):
+        """The paper's worked example: 1999/12/31 is not < 1999/12/4."""
+        assert not compare(time_dim, "1999Q4", "<", "1999W48")
+
+    def test_1999q4_lt_2000w1_true(self, time_dim):
+        """The paper: 'had the expression been 1999Q4 < 2000W1, TRUE'."""
+        assert compare(time_dim, "1999Q4", "<", "2000W01")
+
+
+class TestPaperMembership:
+    def test_quarter_in_week_range_true(self, time_dim):
+        """1999Q4 in {1999W39..2000W1} drills down to covered days."""
+        weeks = ["1999W47", "1999W48", "1999W52", "2000W01"]
+        assert compare(time_dim, "1999Q4", "in", weeks)
+
+    def test_quarter_in_smaller_week_range_false(self, time_dim):
+        """1999Q4 in {1999W39..1999W51} misses 1999/12/31."""
+        weeks = ["1999W47", "1999W48"]
+        assert not compare(time_dim, "1999Q4", "in", weeks)
+
+
+class TestReflexiveOperators:
+    def test_le_same_value_through_drilldown(self, time_dim):
+        assert compare(time_dim, "1999/12", "<=", "1999Q4")
+
+    def test_le_upper_envelope(self, time_dim):
+        # Every day of 1999Q4 is <= some day of month 1999/12.
+        assert compare(time_dim, "1999Q4", "<=", "1999/12")
+        # ... but not <= month 1999/11 (1999/12/31 exceeds it).
+        assert not compare(time_dim, "1999Q4", "<=", "1999/11")
+
+    def test_ge(self, time_dim):
+        assert compare(time_dim, "1999Q4", ">=", "1999/11")
+        assert not compare(time_dim, "1999Q4", ">=", "1999/12")
+
+
+class TestEquality:
+    def test_equal_same_category(self, url_dim):
+        assert compare(url_dim, "cnn.com", "=", "cnn.com")
+        assert not compare(url_dim, "cnn.com", "=", "amazon.com")
+
+    def test_cross_category_equality_via_identical_drilldown(self, time_dim):
+        # Quarter 2000Q1 and month 2000/01 both cover exactly the two
+        # materialized January days in the sparse dimension.
+        assert compare(time_dim, "2000Q1", "=", "2000/01")
+
+    def test_cross_category_equality_fails_on_superset(self, time_dim):
+        assert not compare(time_dim, "1999Q4", "=", "1999/12")
+
+    def test_inequality(self, time_dim):
+        assert compare(time_dim, "1999Q4", "!=", "1999/12")
+        assert not compare(time_dim, "2000Q1", "!=", "2000/01")
+
+
+class TestApproaches:
+    def test_conservative_implies_liberal(self, time_dim):
+        for op in ("<", "<=", ">", ">=", "=", "!="):
+            for left in ("1999Q4", "1999/12", "1999W48"):
+                for right in ("1999/11", "1999/12", "2000/01"):
+                    result = weighted_compare(time_dim, left, op, right)
+                    if result.conservative:
+                        assert result.liberal, (op, left, right)
+
+    def test_weight_bounds(self, time_dim):
+        result = weighted_compare(time_dim, "1999Q4", "<=", "1999/11")
+        assert 0.0 <= result.weight <= 1.0
+
+    def test_partial_weight(self, time_dim):
+        # GLB(quarter, month) = month: one of 1999Q4's two materialized
+        # months (1999/11, 1999/12) is <= 1999/11.
+        result = weighted_compare(time_dim, "1999Q4", "<=", "1999/11")
+        assert result.weight == pytest.approx(1 / 2)
+        assert result.liberal
+        assert not result.conservative
+
+    def test_liberal_via_compare(self, time_dim):
+        assert compare(time_dim, "1999Q4", "<=", "1999/11", Approach.LIBERAL)
+        assert not compare(
+            time_dim, "1999Q4", "<=", "1999/11", Approach.CONSERVATIVE
+        )
+
+
+class TestAtomResult:
+    def test_rollup_path(self, time_dim):
+        result = atom_result(time_dim, "1999/12/04", "month", "<=", "1999/12")
+        assert result.conservative and result.liberal
+
+    def test_unmaterialized_constant(self, time_dim):
+        # Month 1999/10 holds no materialized days, yet ordering works.
+        result = atom_result(time_dim, "1999/11/23", "month", ">", "1999/10")
+        assert result.conservative
+
+    def test_all_value_never_certain(self, time_dim):
+        result = atom_result(time_dim, ALL_VALUE, "month", "<=", "1999/12")
+        assert not result.conservative
+        assert result.liberal
+
+    def test_parallel_branch_drilldown(self, time_dim):
+        # Week-granularity value vs a month constant: GLB is day.
+        result = atom_result(time_dim, "1999W48", "month", "=", "1999/12")
+        assert not result.conservative  # 1999/12 also contains 1999/12/31
+        assert result.liberal
+
+    def test_unmaterialized_month_constant_on_parallel_branch(self, time_dim):
+        # Constant month 1999/10 is not in the sparse dimension; the
+        # arithmetic day-range extent must still decide the comparison.
+        result = atom_result(time_dim, "1999W48", "month", ">", "1999/10")
+        assert result.conservative
+
+
+class TestErrors:
+    def test_unknown_operator(self, time_dim):
+        with pytest.raises(QueryError, match="unknown comparison"):
+            compare(time_dim, "1999Q4", "~", "1999/12")
+
+    def test_in_needs_sequence(self, time_dim):
+        with pytest.raises(QueryError):
+            compare(time_dim, "1999Q4", "in", "1999/12")
+
+    def test_order_op_needs_single_value(self, time_dim):
+        with pytest.raises(QueryError):
+            compare(time_dim, "1999Q4", "<", ["1999/12", "2000/01"])
+
+
+class TestValuesSatisfying:
+    """``values_satisfying`` enumerates a category's satisfying values —
+    the building block of the paper's Pred(a, t) cell sets."""
+
+    def test_order_predicate(self, time_dim):
+        from repro.query.compare import values_satisfying
+
+        months = values_satisfying(time_dim, "month", "<=", "1999/12")
+        assert months == {"1999/11", "1999/12"}
+
+    def test_liberal_widens(self, time_dim):
+        from repro.query.compare import values_satisfying
+
+        conservative = values_satisfying(time_dim, "quarter", "<=", "1999/11")
+        liberal = values_satisfying(
+            time_dim, "quarter", "<=", "1999/11", Approach.LIBERAL
+        )
+        assert conservative < liberal
+        assert "1999Q4" in liberal
+
+
+class TestDayWindowAlgebra:
+    def test_certainly_disjoint_absolute(self):
+        from repro.spec.ranges import DayWindow
+
+        a = DayWindow(abs_lo=0.0, abs_hi=10.0)
+        b = DayWindow(abs_lo=20.0, abs_hi=30.0)
+        assert a.certainly_disjoint(b)
+        c = DayWindow(abs_lo=5.0, abs_hi=25.0)
+        assert not a.certainly_disjoint(c)
+
+    def test_certainly_disjoint_relative(self):
+        from repro.spec.ranges import DayWindow
+
+        recent = DayWindow(rel_lo=-10.0, rel_hi=0.0)
+        ancient = DayWindow(rel_lo=-900.0, rel_hi=-700.0)
+        assert recent.certainly_disjoint(ancient)
+
+    def test_mixed_never_certainly_disjoint(self):
+        from repro.spec.ranges import DayWindow
+
+        absolute = DayWindow(abs_lo=0.0, abs_hi=10.0)
+        relative = DayWindow(rel_lo=-900.0, rel_hi=-700.0)
+        assert not absolute.certainly_disjoint(relative)
+
+    def test_empty_window_disjoint_from_anything(self):
+        from repro.spec.ranges import DayWindow
+
+        empty = DayWindow(abs_lo=10.0, abs_hi=0.0)
+        assert empty.abs_empty()
+        assert empty.certainly_disjoint(DayWindow())
+
+    def test_time_empty_profile(self):
+        import datetime as dt
+
+        from repro.experiments.paper_example import build_paper_mo
+        from repro.spec.action import Action
+        from repro.spec.ranges import profiles_of
+
+        mo = build_paper_mo()
+        action = Action.parse(
+            mo.schema,
+            "a[Time.day, URL.url] o[Time.month <= '1999/06' AND "
+            "Time.month >= '1999/09']",
+        )
+        (profile,) = profiles_of(action)
+        assert profile.time_empty()

@@ -1,0 +1,112 @@
+"""Unit tests for the disaggregated aggregation approach."""
+
+import pytest
+
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.query.disaggregation import aggregate_disaggregated
+from repro.reduction.reducer import reduce_mo
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def reduced(mo):
+    return reduce_mo(mo, paper_specification(mo), SNAPSHOT_TIMES[-1])
+
+
+class TestExactData:
+    def test_fine_data_has_zero_imprecision(self, mo):
+        rows = aggregate_disaggregated(mo, {"Time": "month", "URL": "domain"})
+        assert all(
+            all(score == 0.0 for score in row.imprecision.values())
+            for row in rows
+        )
+
+    def test_matches_availability_on_fine_data(self, mo):
+        from repro.query.aggregation import aggregate
+
+        exact = aggregate(mo, {"Time": "month", "URL": "domain"})
+        expected = {
+            exact.direct_cell(f): exact.measure_value(f, "Dwell_time")
+            for f in exact.facts()
+        }
+        rows = aggregate_disaggregated(mo, {"Time": "month", "URL": "domain"})
+        actual = {row.cell: row.values["Dwell_time"] for row in rows}
+        assert actual == pytest.approx(expected)
+
+
+class TestCoarseData:
+    def test_requested_granularity_everywhere(self, reduced):
+        rows = aggregate_disaggregated(
+            reduced, {"Time": "month", "URL": "domain"}
+        )
+        months = {row.cell[0] for row in rows}
+        # The 1999Q4 aggregates split into their materialized months.
+        assert {"1999/11", "1999/12", "2000/01"} <= months
+        assert "1999Q4" not in months
+
+    def test_uniform_allocation(self, reduced):
+        rows = aggregate_disaggregated(
+            reduced, {"Time": "month", "URL": "domain"}
+        )
+        by_cell = {row.cell: row for row in rows}
+        # fact_03 (amazon, dwell 689) splits evenly over 2 months.
+        nov = by_cell[("1999/11", "amazon.com")]
+        dec = by_cell[("1999/12", "amazon.com")]
+        assert nov.values["Dwell_time"] == pytest.approx(689 / 2)
+        assert dec.values["Dwell_time"] == pytest.approx(689 / 2)
+        assert nov.imprecision["Dwell_time"] == pytest.approx(1.0)
+
+    def test_sum_totals_preserved(self, reduced, mo):
+        rows = aggregate_disaggregated(
+            reduced, {"Time": "month", "URL": "domain"}
+        )
+        total = sum(row.values["Dwell_time"] for row in rows)
+        assert total == pytest.approx(mo.total("Dwell_time"))
+
+    def test_weighted_allocation(self, reduced):
+        def weights(dimension, coarse, fine):
+            # Put all of 1999Q4 into December.
+            if dimension == "Time" and fine == "1999/12":
+                return 3.0
+            if dimension == "Time":
+                return 0.0
+            return 1.0
+
+        rows = aggregate_disaggregated(
+            reduced, {"Time": "month", "URL": "domain"}, weights
+        )
+        by_cell = {row.cell: row for row in rows}
+        assert by_cell[("1999/12", "amazon.com")].values[
+            "Dwell_time"
+        ] == pytest.approx(689)
+        assert ("1999/11", "amazon.com") not in by_cell or by_cell[
+            ("1999/11", "amazon.com")
+        ].values["Dwell_time"] == pytest.approx(0.0)
+
+    def test_degenerate_weights_fall_back_to_uniform(self, reduced):
+        rows = aggregate_disaggregated(
+            reduced,
+            {"Time": "month", "URL": "domain"},
+            lambda *_: 0.0,
+        )
+        by_cell = {row.cell: row for row in rows}
+        assert by_cell[("1999/11", "amazon.com")].values[
+            "Dwell_time"
+        ] == pytest.approx(689 / 2)
+
+    def test_exact_rows_stay_exact(self, reduced):
+        rows = aggregate_disaggregated(
+            reduced, {"Time": "month", "URL": "domain"}
+        )
+        by_cell = {row.cell: row for row in rows}
+        jan = by_cell[("2000/01", "cnn.com")]
+        assert jan.values["Dwell_time"] == pytest.approx(955)
+        assert jan.imprecision["Dwell_time"] == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for the projection operator (Figure 4)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.query.projection import project
+from repro.reduction.reducer import reduce_mo
+
+
+@pytest.fixture
+def reduced():
+    mo = build_paper_mo()
+    return reduce_mo(mo, paper_specification(mo), SNAPSHOT_TIMES[-1])
+
+
+class TestFigure4:
+    def test_paper_projection(self, reduced):
+        projected = project(reduced, ["URL"], ["Number_of", "Dwell_time"])
+        assert projected.schema.dimension_names == ("URL",)
+        assert projected.schema.measure_names == ("Number_of", "Dwell_time")
+        # The fact set is unchanged (no duplicate merging).
+        assert projected.n_facts == reduced.n_facts
+        values = sorted(
+            (projected.direct_value(f, "URL"), projected.measure_value(f, "Dwell_time"))
+            for f in projected.facts()
+        )
+        assert values == [
+            ("amazon.com", 689),
+            ("cnn.com", 955),
+            ("cnn.com", 2489),
+            ("http://www.cc.gatech.edu/", 32),
+        ]
+
+    def test_duplicate_cells_not_merged(self, reduced):
+        projected = project(reduced, ["URL"])
+        urls = [projected.direct_value(f, "URL") for f in projected.facts()]
+        assert urls.count("cnn.com") == 2
+
+
+class TestValidation:
+    def test_measures_default_to_all(self, reduced):
+        projected = project(reduced, ["Time"])
+        assert projected.schema.measure_names == reduced.schema.measure_names
+
+    def test_unknown_dimension(self, reduced):
+        with pytest.raises(QueryError, match="unknown dimensions"):
+            project(reduced, ["Geo"])
+
+    def test_unknown_measure(self, reduced):
+        with pytest.raises(QueryError, match="unknown measures"):
+            project(reduced, ["URL"], ["Profit"])
+
+    def test_empty_dimension_list(self, reduced):
+        with pytest.raises(QueryError, match="at least one dimension"):
+            project(reduced, [])
+
+    def test_order_follows_schema(self, reduced):
+        projected = project(reduced, ["URL", "Time"])
+        assert projected.schema.dimension_names == ("Time", "URL")
+
+    def test_provenance_preserved(self, reduced):
+        projected = project(reduced, ["URL"])
+        total = sum(len(projected.provenance(f)) for f in projected.facts())
+        assert total == 7

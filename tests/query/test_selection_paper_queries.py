@@ -1,0 +1,102 @@
+"""Selection over reduced MOs: the paper's Q1-Q3 and the three approaches."""
+
+import datetime as dt
+
+import pytest
+
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.query.compare import Approach
+from repro.query.selection import select, select_weighted
+from repro.reduction.reducer import reduce_mo
+
+NOW_T = SNAPSHOT_TIMES[-1]
+
+
+@pytest.fixture
+def reduced():
+    mo = build_paper_mo()
+    return reduce_mo(mo, paper_specification(mo), NOW_T)
+
+
+class TestPaperQueries:
+    def test_q1_quarter_selection_unaffected(self, reduced):
+        """Q1 = o[Time.quarter <= 1999Q3]: evaluable everywhere, empty here."""
+        assert select(reduced, "Time.quarter <= '1999Q3'", NOW_T).n_facts == 0
+        # The complementary quarter query returns everything, showing the
+        # predicate is evaluable on all granularities present.
+        assert (
+            select(reduced, "Time.quarter >= '1999Q3'", NOW_T).n_facts
+            == reduced.n_facts
+        )
+
+    def test_q2_month_conservative_excludes_quarter_facts(self, reduced):
+        """Q2 = o[Time.month <= 1999/10]: 1999Q4 facts only partly satisfy
+        it, so the conservative answer omits them."""
+        assert select(reduced, "Time.month <= '1999/10'", NOW_T).n_facts == 0
+
+    def test_q2_wider_month_bound_includes_quarters(self, reduced):
+        result = select(reduced, "Time.month <= '1999/12'", NOW_T)
+        cells = sorted(result.direct_cell(f) for f in result.facts())
+        assert cells == [("1999Q4", "amazon.com"), ("1999Q4", "cnn.com")]
+
+    def test_q3_week_selection(self, reduced):
+        """Q3 = o[Time.week <= 1999W48]: comparison goes through days."""
+        assert select(reduced, "Time.week <= '1999W48'", NOW_T).n_facts == 0
+        wider = select(reduced, "Time.week <= '2000W01'", NOW_T)
+        assert {wider.direct_cell(f)[0] for f in wider.facts()} == {"1999Q4"}
+
+
+class TestApproaches:
+    def test_liberal_superset_of_conservative(self, reduced):
+        predicate = "Time.month = '1999/12'"
+        conservative = select(reduced, predicate, NOW_T)
+        liberal = select(reduced, predicate, NOW_T, Approach.LIBERAL)
+        assert conservative.fact_ids <= liberal.fact_ids
+        # The quarter facts *might* be December clicks.
+        assert liberal.n_facts == 2
+        assert conservative.n_facts == 0
+
+    def test_weighted_weights(self, reduced):
+        result, weights = select_weighted(reduced, "Time.month = '1999/12'", NOW_T)
+        assert set(weights) == set(result.fact_ids)
+        assert all(0.0 < w <= 1.0 for w in weights.values())
+        # Each 1999Q4 fact covers two materialized months; one matches.
+        assert all(w == pytest.approx(0.5) for w in weights.values())
+
+    def test_weight_one_on_exact_facts(self, reduced):
+        result, weights = select_weighted(
+            reduced, "URL.domain_grp = '.com'", NOW_T
+        )
+        assert all(w == 1.0 for w in weights.values())
+        assert result.n_facts == 3
+
+
+class TestStructure:
+    def test_selection_preserves_schema_and_dimensions(self, reduced):
+        result = select(reduced, "URL.domain = 'cnn.com'", NOW_T)
+        assert result.schema is reduced.schema
+        assert result.dimensions == reduced.dimensions
+
+    def test_selection_restricts_measures(self, reduced):
+        result = select(reduced, "URL.domain = 'cnn.com'", NOW_T)
+        assert result.total("Dwell_time") == 2489 + 955
+
+    def test_boolean_predicates(self, reduced):
+        result = select(
+            reduced,
+            "URL.domain = 'cnn.com' AND NOT Time.quarter = '1999Q4'",
+            NOW_T,
+        )
+        assert sorted(result.direct_cell(f) for f in result.facts()) == [
+            ("2000/01", "cnn.com")
+        ]
+
+    def test_unknown_dimension_rejected(self, reduced):
+        from repro.errors import SpecSemanticsError
+
+        with pytest.raises(SpecSemanticsError):
+            select(reduced, "Geo.city = 'x'", NOW_T)

@@ -1,0 +1,117 @@
+"""Regression tests pinning the Section 4.2 worked example values."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SpecSemanticsError
+from repro.experiments.paper_example import (
+    action_a1,
+    action_a2,
+    build_paper_mo,
+)
+from repro.reduction.auxiliary import agg_level, agg_levels, cell, spec_gran
+from repro.spec.action import Action
+
+NOW_T = dt.date(2000, 11, 5)
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def actions(mo):
+    return [action_a1(mo), action_a2(mo)]
+
+
+class TestSpecGran:
+    def test_fact_1_at_paper_time(self, mo, actions):
+        """The paper: Spec_gran(fact_1, 2000/11/5) = {(day,url),
+        (month,url)... } — with Cat(a1) = (month, domain)."""
+        assert spec_gran(mo, actions, "fact_1", NOW_T) == {
+            ("day", "url"),
+            ("month", "domain"),
+            ("quarter", "domain"),
+        }
+
+    def test_untouched_fact_keeps_own_granularity_only(self, mo, actions):
+        assert spec_gran(mo, actions, "fact_6", NOW_T) == {("day", "url")}
+
+    def test_always_contains_gran(self, mo, actions):
+        early = dt.date(2000, 1, 1)
+        for fact_id in mo.facts():
+            assert mo.gran(fact_id) in spec_gran(mo, actions, fact_id, early)
+
+
+class TestCell:
+    def test_fact_1_cell_at_paper_time(self, mo, actions):
+        """Cell(fact_1, 2000/11/5) = (1999Q4, cnn.com)."""
+        assert cell(mo, actions, "fact_1", NOW_T) == ("1999Q4", "cnn.com")
+
+    def test_fact_6_cell_unchanged(self, mo, actions):
+        assert cell(mo, actions, "fact_6", NOW_T) == (
+            "2000/01/20",
+            "http://www.cc.gatech.edu/",
+        )
+
+    def test_fact_4_cell_month_level(self, mo, actions):
+        assert cell(mo, actions, "fact_4", NOW_T) == ("2000/01", "cnn.com")
+
+    def test_crossing_specification_detected(self, mo):
+        month_grp = Action.parse(
+            mo.schema,
+            "a[Time.month, URL.domain_grp] o[URL.domain_grp = '.com']",
+            "mg",
+        )
+        quarter_url = Action.parse(
+            mo.schema,
+            "a[Time.quarter, URL.url] o[URL.domain_grp = '.com']",
+            "qu",
+        )
+        with pytest.raises(SpecSemanticsError, match="crossing"):
+            cell(mo, [month_grp, quarter_url], "fact_1", NOW_T)
+
+
+class TestAggLevel:
+    def test_selected_bottom_cell(self, mo, actions):
+        bottom_cell = {
+            "Time": "1999/12/04",
+            "URL": "http://www.cnn.com/health",
+        }
+        assert (
+            agg_level(mo.dimensions, actions, bottom_cell, NOW_T, "Time")
+            == "quarter"
+        )
+        assert (
+            agg_level(mo.dimensions, actions, bottom_cell, NOW_T, "URL")
+            == "domain"
+        )
+
+    def test_unselected_cell_stays_at_bottom(self, mo, actions):
+        bottom_cell = {
+            "Time": "2000/01/20",
+            "URL": "http://www.cc.gatech.edu/",
+        }
+        assert agg_levels(mo.dimensions, actions, bottom_cell, NOW_T) == {
+            "Time": "day",
+            "URL": "url",
+        }
+
+    def test_monotone_over_time(self, mo, actions):
+        bottom_cell = {
+            "Time": "1999/12/04",
+            "URL": "http://www.cnn.com/health",
+        }
+        hierarchy = mo.dimensions["Time"].dimension_type.hierarchy
+        previous = "day"
+        for at in (
+            dt.date(2000, 4, 5),
+            dt.date(2000, 6, 5),
+            dt.date(2000, 11, 5),
+            dt.date(2001, 6, 5),
+        ):
+            level = agg_level(mo.dimensions, actions, bottom_cell, at, "Time")
+            assert hierarchy.le(previous, level)
+            previous = level

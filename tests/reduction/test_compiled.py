@@ -1,0 +1,100 @@
+"""Equivalence tests: compiled reduction == interpreted reduction."""
+
+import datetime as dt
+
+import pytest
+
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.reduction.compiled import (
+    CompiledAction,
+    compile_specification,
+    reduce_mo_compiled,
+)
+from repro.reduction.reducer import reduce_mo
+from repro.spec.predicate import satisfies
+
+
+def content(mo):
+    return sorted(
+        (
+            mo.direct_cell(f),
+            tuple(mo.measure_value(f, m) for m in mo.schema.measure_names),
+            tuple(sorted(mo.provenance(f).members)),
+        )
+        for f in mo.facts()
+    )
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def spec(mo):
+    return paper_specification(mo)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("at", SNAPSHOT_TIMES)
+    def test_paper_example_all_snapshots(self, mo, spec, at):
+        assert content(reduce_mo_compiled(mo, spec, at)) == content(
+            reduce_mo(mo, spec, at)
+        )
+
+    def test_progressive_equivalence(self, mo, spec):
+        interpreted = mo
+        compiled = mo
+        for at in SNAPSHOT_TIMES:
+            interpreted = reduce_mo(interpreted, spec, at)
+            compiled = reduce_mo_compiled(compiled, spec, at)
+            assert content(compiled) == content(interpreted)
+
+    def test_compiled_filters_match_satisfies(self, mo, spec):
+        at = SNAPSHOT_TIMES[-1]
+        for action in spec.actions:
+            compiled = CompiledAction(action, mo.dimensions, at)
+            for fact_id in mo.facts():
+                cell = dict(
+                    zip(mo.schema.dimension_names, mo.direct_cell(fact_id))
+                )
+                assert compiled.satisfied_by(cell) == satisfies(
+                    mo, fact_id, action.predicate, at
+                ), (action.name, fact_id)
+
+    def test_compile_specification_roundtrip(self, mo, spec):
+        at = SNAPSHOT_TIMES[-1]
+        compiled = compile_specification(mo, spec, at)
+        assert [c.action.name for c in compiled] == ["a1", "a2"]
+
+    def test_memoization_of_duplicate_cells(self, mo, spec):
+        mo.insert_fact(
+            "twin",
+            {"Time": "1999/12/4", "URL": "http://www.cnn.com/health"},
+            {"Number_of": 1, "Dwell_time": 5, "Delivery_time": 1, "Datasize": 1},
+        )
+        at = SNAPSHOT_TIMES[-1]
+        assert content(reduce_mo_compiled(mo, spec, at)) == content(
+            reduce_mo(mo, spec, at)
+        )
+
+    def test_disjunctive_action(self, mo):
+        from repro.spec.action import Action
+        from repro.spec.specification import ReductionSpecification
+
+        either = Action.parse(
+            mo.schema,
+            "a[Time.month, URL.domain] o[(URL.domain_grp = '.com' AND "
+            "Time.month <= '1999/12') OR (URL.domain_grp = '.edu' AND "
+            "Time.month <= '2000/01')]",
+            "either",
+        )
+        spec = ReductionSpecification((either,), mo.dimensions)
+        at = dt.date(2001, 6, 1)
+        assert content(reduce_mo_compiled(mo, spec, at)) == content(
+            reduce_mo(mo, spec, at)
+        )

@@ -1,0 +1,119 @@
+"""Unit tests for the Section 8 future-work extensions."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import GrowingViolation, QueryError
+from repro.experiments.paper_example import (
+    build_paper_mo,
+    paper_specification,
+)
+from repro.reduction.extensions import (
+    DeletionAction,
+    drop_dimension,
+    drop_measure,
+    reduce_with_deletion,
+)
+
+NOW_T = dt.date(2000, 11, 5)
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+class TestDeletionAction:
+    def test_deletes_selected_facts(self, mo):
+        deletion = DeletionAction.parse(
+            mo.schema,
+            "a[Time.T, URL.T] o[URL.domain = 'gatech.edu']",
+            "purge_gatech",
+        )
+        reduced, deleted = reduce_with_deletion(
+            mo, paper_specification(mo), [deletion], NOW_T
+        )
+        assert deleted == {"fact_6"}
+        assert "fact_6" not in reduced
+        # The rest reduces exactly as without deletion.
+        assert reduced.total("Number_of") == 6
+
+    def test_deletion_wins_over_aggregation(self, mo):
+        deletion = DeletionAction.parse(
+            mo.schema,
+            "a[Time.T, URL.T] o[Time.year = '1999']",
+            "purge_1999",
+        )
+        reduced, deleted = reduce_with_deletion(
+            mo, paper_specification(mo), [deletion], NOW_T
+        )
+        assert deleted == {"fact_0", "fact_1", "fact_2", "fact_3"}
+        # No quarter aggregates remain: their sources were deleted first.
+        assert all(reduced.gran(f)[0] != "quarter" for f in reduced.facts())
+
+    def test_shrinking_deletion_rejected(self, mo):
+        with pytest.raises(GrowingViolation, match="shrinking"):
+            DeletionAction.parse(
+                mo.schema,
+                "a[Time.T, URL.T] o[NOW - 12 months <= Time.month]",
+                "bad_purge",
+            )
+
+    def test_growing_deletion_allowed(self, mo):
+        deletion = DeletionAction.parse(
+            mo.schema,
+            "a[Time.T, URL.T] o[Time.year <= NOW - 5 years]",
+            "age_out",
+        )
+        assert "DELETE" in str(deletion)
+
+
+class TestDropDimension:
+    def test_merges_duplicates(self, mo):
+        # Dropping URL leaves two facts sharing day 1999/12/04 and two
+        # sharing 2000/01/04.
+        out = drop_dimension(mo, "URL")
+        assert out.schema.dimension_names == ("Time",)
+        assert out.n_facts == 5
+        by_cell = {out.direct_cell(f): f for f in out.facts()}
+        merged = by_cell[("1999/12/04",)]
+        assert out.measure_value(merged, "Dwell_time") == 2335 + 154
+        assert out.provenance(merged).members == {"fact_1", "fact_2"}
+
+    def test_totals_preserved(self, mo):
+        out = drop_dimension(mo, "URL")
+        for measure in mo.schema.measure_names:
+            assert out.total(measure) == mo.total(measure)
+
+    def test_unique_facts_keep_identity(self, mo):
+        out = drop_dimension(mo, "URL")
+        assert "fact_6" in out
+
+    def test_unknown_dimension(self, mo):
+        with pytest.raises(QueryError):
+            drop_dimension(mo, "Geo")
+
+    def test_cannot_drop_last(self, mo):
+        once = drop_dimension(mo, "URL")
+        with pytest.raises(QueryError, match="last dimension"):
+            drop_dimension(once, "Time")
+
+
+class TestDropMeasure:
+    def test_removes_measure(self, mo):
+        out = drop_measure(mo, "Datasize")
+        assert "Datasize" not in out.schema.measure_names
+        assert out.n_facts == mo.n_facts
+        assert out.total("Dwell_time") == mo.total("Dwell_time")
+
+    def test_unknown_measure(self, mo):
+        with pytest.raises(QueryError):
+            drop_measure(mo, "Profit")
+
+    def test_cannot_drop_last(self, mo):
+        out = mo
+        for name in ("Datasize", "Delivery_time", "Dwell_time"):
+            out = drop_measure(out, name)
+        with pytest.raises(QueryError, match="last measure"):
+            drop_measure(out, "Number_of")

@@ -1,0 +1,144 @@
+"""Unit tests for bound actions: Cat functions, <=_V, validation."""
+
+import pytest
+
+from repro.errors import SpecSemanticsError
+from repro.experiments.paper_example import (
+    action_a1,
+    action_a2,
+    action_a3,
+    action_a4,
+    build_paper_mo,
+)
+from repro.spec.action import Action, is_time_dimension_type
+from repro.timedim.now import AbsoluteTime
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+class TestBinding:
+    def test_cat_functions(self, mo):
+        a2 = action_a2(mo)
+        assert a2.cat_i("Time") == "quarter"
+        assert a2.cat_i("URL") == "domain"
+        assert a2.cat() == ("quarter", "domain")
+
+    def test_time_literals_become_absolute_terms(self, mo):
+        action = Action.parse(
+            mo.schema, "a[Time.month, URL.url] o[Time.month <= '1999/12']"
+        )
+        (atom,) = action.atoms()
+        assert isinstance(atom.term, AbsoluteTime)
+        assert atom.term.value == "1999/12"
+
+    def test_unknown_dimension_rejected(self, mo):
+        with pytest.raises(SpecSemanticsError):
+            Action.parse(mo.schema, "a[Time.day, URL.url] o[Geo.city = 'x']")
+
+    def test_unknown_category_rejected(self, mo):
+        with pytest.raises(SpecSemanticsError, match="no category"):
+            Action.parse(
+                mo.schema, "a[Time.day, URL.url] o[Time.fortnight = '1']"
+            )
+
+    def test_clist_must_cover_all_dimensions(self, mo):
+        with pytest.raises(Exception, match="every dimension"):
+            Action.parse(mo.schema, "a[Time.month] o[TRUE]")
+
+    def test_clist_duplicate_dimension_rejected(self, mo):
+        with pytest.raises(SpecSemanticsError, match="twice"):
+            Action.parse(mo.schema, "a[Time.month, Time.quarter] o[TRUE]")
+
+    def test_now_on_non_time_dimension_rejected(self, mo):
+        with pytest.raises(SpecSemanticsError, match="non-time"):
+            Action.parse(
+                mo.schema, "a[Time.day, URL.url] o[URL.domain <= NOW - 6 months]"
+            )
+
+    def test_bad_time_literal_rejected(self, mo):
+        with pytest.raises(Exception):
+            Action.parse(
+                mo.schema, "a[Time.day, URL.url] o[Time.month <= 'June']"
+            )
+
+    def test_is_time_dimension_type(self, mo):
+        assert is_time_dimension_type(mo.schema.dimension_type("Time"))
+        assert not is_time_dimension_type(mo.schema.dimension_type("URL"))
+
+
+class TestEvaluabilityRule:
+    def test_paper_a3_violates(self, mo):
+        with pytest.raises(SpecSemanticsError, match="re-evaluated"):
+            Action.parse(
+                mo.schema,
+                "a[Time.month, URL.domain_grp] "
+                "o[URL.url = 'http://www.cnn.com/health']",
+            )
+
+    def test_paper_a4_violates_via_parallel_branch(self, mo):
+        with pytest.raises(SpecSemanticsError, match="re-evaluated"):
+            Action.parse(
+                mo.schema,
+                "a[Time.week, URL.url] o[Time.month <= '1999/12']",
+            )
+
+    def test_escape_hatch_for_demos(self, mo):
+        assert action_a3(mo).name == "a3"
+        assert action_a4(mo).name == "a4"
+
+    def test_predicate_at_target_category_is_fine(self, mo):
+        action = Action.parse(
+            mo.schema, "a[Time.month, URL.domain] o[Time.month <= '1999/12']"
+        )
+        assert action.cat_i("Time") == "month"
+
+
+class TestOrdering:
+    def test_paper_a1_le_a2(self, mo):
+        a1, a2 = action_a1(mo), action_a2(mo)
+        assert a1.le(a2)
+        assert not a2.le(a1)
+        assert a1.comparable(a2)
+
+    def test_reflexive(self, mo):
+        a1 = action_a1(mo)
+        assert a1.le(a1)
+
+    def test_incomparable_when_dimensions_disagree(self, mo):
+        week = Action.parse(mo.schema, "a[Time.week, URL.url] o[TRUE]")
+        month = Action.parse(mo.schema, "a[Time.month, URL.url] o[TRUE]")
+        assert not week.comparable(month)
+
+
+class TestNormalization:
+    def test_conjunctive_action_single(self, mo):
+        a1 = action_a1(mo)
+        (normalized,) = a1.normalize()
+        assert normalized.cat() == a1.cat()
+        assert len(normalized.conjuncts()) == 1
+
+    def test_disjunction_splits(self, mo):
+        action = Action.parse(
+            mo.schema,
+            "a[Time.month, URL.domain] o[URL.domain_grp = '.com' OR "
+            "URL.domain_grp = '.edu']",
+            "split_me",
+        )
+        parts = action.normalize()
+        assert [p.name for p in parts] == ["split_me#1", "split_me#2"]
+        assert all(p.cat() == action.cat() for p in parts)
+
+    def test_is_now_relative(self, mo):
+        assert action_a1(mo).is_now_relative()
+        fixed = Action.parse(
+            mo.schema, "a[Time.month, URL.domain] o[Time.month <= '1999/12']"
+        )
+        assert not fixed.is_now_relative()
+
+    def test_auto_names_unique(self, mo):
+        first = Action.parse(mo.schema, "a[Time.day, URL.url] o[TRUE]")
+        second = Action.parse(mo.schema, "a[Time.day, URL.url] o[TRUE]")
+        assert first.name != second.name

@@ -1,0 +1,121 @@
+"""Unit tests for negation push-down and DNF conversion."""
+
+from repro.spec.ast import And, Atom, FalsePredicate, Not, Or, TruePredicate
+from repro.spec.dnf import dnf_predicate, negate, to_dnf, to_nnf
+from repro.spec.parser import parse_predicate
+
+
+def atoms_of(source: str):
+    return to_dnf(parse_predicate(source))
+
+
+class TestNegate:
+    def test_constants(self):
+        assert isinstance(negate(TruePredicate()), FalsePredicate)
+        assert isinstance(negate(FalsePredicate()), TruePredicate)
+
+    def test_atom_ops_flip(self):
+        pairs = {
+            "<": ">=",
+            "<=": ">",
+            ">": "<=",
+            ">=": "<",
+            "=": "!=",
+            "!=": "=",
+        }
+        for op, flipped in pairs.items():
+            atom = parse_predicate(f"Time.year {op} '1999'")
+            assert negate(atom).op == flipped
+
+    def test_negated_membership_becomes_conjunction(self):
+        predicate = negate(parse_predicate("URL.domain IN {'a', 'b'}"))
+        assert isinstance(predicate, And)
+        assert all(atom.op == "!=" for atom in predicate.atoms())
+
+    def test_double_negation(self):
+        atom = parse_predicate("Time.year = '1999'")
+        assert negate(Not(atom)) is atom
+
+    def test_de_morgan(self):
+        predicate = parse_predicate(
+            "Time.year = '1999' AND URL.domain = 'cnn.com'"
+        )
+        negated = negate(predicate)
+        assert isinstance(negated, Or)
+        assert [a.op for a in negated.atoms()] == ["!=", "!="]
+
+
+class TestNNF:
+    def test_not_pushed_through_or(self):
+        predicate = parse_predicate(
+            "NOT (Time.year = '1999' OR URL.domain = 'cnn.com')"
+        )
+        nnf = to_nnf(predicate)
+        assert isinstance(nnf, And)
+        assert not any(isinstance(p, Not) for p in nnf.operands)
+
+    def test_nested_negations(self):
+        predicate = parse_predicate("NOT NOT Time.year = '1999'")
+        nnf = to_nnf(predicate)
+        assert isinstance(nnf, Atom)
+
+
+class TestDNF:
+    def test_atom_is_single_conjunct(self):
+        assert len(atoms_of("Time.year = '1999'")) == 1
+
+    def test_or_splits(self):
+        conjuncts = atoms_of("Time.year = '1999' OR Time.year = '2000'")
+        assert len(conjuncts) == 2
+        assert all(len(c) == 1 for c in conjuncts)
+
+    def test_and_over_or_distributes(self):
+        conjuncts = atoms_of(
+            "URL.domain_grp = '.com' AND "
+            "(Time.year = '1999' OR Time.year = '2000')"
+        )
+        assert len(conjuncts) == 2
+        assert all(len(c) == 2 for c in conjuncts)
+
+    def test_true_is_one_empty_conjunct(self):
+        assert to_dnf(TruePredicate()) == [()]
+
+    def test_false_is_no_conjuncts(self):
+        assert to_dnf(FalsePredicate()) == []
+
+    def test_true_absorbs(self):
+        assert to_dnf(parse_predicate("TRUE OR Time.year = '1999'")) == [()]
+
+    def test_duplicate_atoms_collapse(self):
+        conjuncts = atoms_of("Time.year = '1999' AND Time.year = '1999'")
+        assert len(conjuncts) == 1
+        assert len(conjuncts[0]) == 1
+
+    def test_duplicate_conjuncts_collapse(self):
+        conjuncts = atoms_of("Time.year = '1999' OR Time.year = '1999'")
+        assert len(conjuncts) == 1
+
+    def test_paper_residual_action_shape(self):
+        # The Section 7 residual predicate: a conjunction of two negated
+        # conjunctions distributes into four conjuncts.
+        source = (
+            "NOT (URL.domain_grp = '.com' AND Time.month <= NOW - 6 months) "
+            "AND NOT (URL.domain = 'gatech.edu' AND "
+            "Time.week <= NOW - 36 weeks)"
+        )
+        conjuncts = atoms_of(source)
+        assert len(conjuncts) == 4
+        assert all(len(c) == 2 for c in conjuncts)
+
+
+class TestDnfPredicate:
+    def test_rebuild_shape(self):
+        predicate = parse_predicate(
+            "URL.domain_grp = '.com' AND "
+            "(Time.year = '1999' OR Time.year = '2000')"
+        )
+        rebuilt = dnf_predicate(predicate)
+        assert isinstance(rebuilt, Or)
+
+    def test_false_rebuilds_to_false(self):
+        assert isinstance(dnf_predicate(FalsePredicate()), FalsePredicate)

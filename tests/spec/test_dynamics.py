@@ -1,0 +1,140 @@
+"""Unit tests for specification insert/delete (Definitions 3-4)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SpecificationUpdateRejected, SpecSemanticsError
+from repro.experiments.paper_example import (
+    action_a1,
+    action_a2,
+    action_a7,
+    action_a8,
+    build_paper_mo,
+)
+from repro.reduction import reduce_mo
+from repro.spec.action import Action
+from repro.spec.specification import ReductionSpecification
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+class TestConstruction:
+    def test_valid_specification(self, mo):
+        spec = ReductionSpecification(
+            (action_a1(mo), action_a2(mo)), mo.dimensions
+        )
+        assert spec.is_sound()
+        assert spec.action_names == ("a1", "a2")
+
+    def test_unsound_specification_rejected(self, mo):
+        with pytest.raises(SpecSemanticsError, match="not sound"):
+            ReductionSpecification((action_a1(mo),), mo.dimensions)
+
+    def test_validation_can_be_deferred(self, mo):
+        spec = ReductionSpecification(
+            (action_a1(mo),), mo.dimensions, validate=False
+        )
+        assert not spec.is_sound()
+
+    def test_duplicate_names_rejected(self, mo):
+        with pytest.raises(SpecSemanticsError, match="duplicate"):
+            ReductionSpecification(
+                (action_a2(mo), action_a2(mo)), mo.dimensions
+            )
+
+    def test_lookup_action(self, mo):
+        spec = ReductionSpecification((action_a2(mo),), mo.dimensions)
+        assert spec.action("a2").name == "a2"
+        with pytest.raises(SpecSemanticsError):
+            spec.action("nope")
+
+
+class TestInsert:
+    def test_insert_growing_action(self, mo):
+        spec = ReductionSpecification((action_a2(mo),), mo.dimensions)
+        bigger = spec.insert([action_a1(mo)])
+        assert set(bigger.action_names) == {"a1", "a2"}
+        assert len(spec) == 1  # original untouched
+
+    def test_insert_shrinking_alone_rejected(self, mo):
+        spec = ReductionSpecification((), mo.dimensions)
+        kept, violations = spec.try_insert([action_a1(mo)])
+        assert kept is spec
+        assert violations
+
+    def test_insert_pair_atomically(self, mo):
+        # a1 alone is invalid, but {a1, a2} inserted together is fine —
+        # "a set of actions can only be inserted if the consistency is
+        # retained after inserting the full action set".
+        spec = ReductionSpecification((), mo.dimensions)
+        bigger = spec.insert([action_a1(mo), action_a2(mo)])
+        assert set(bigger.action_names) == {"a1", "a2"}
+
+    def test_insert_crossing_rejected(self, mo):
+        spec = ReductionSpecification((action_a2(mo),), mo.dimensions)
+        crossing = Action.parse(
+            mo.schema,
+            "a[Time.month, URL.domain_grp] "
+            "o[URL.domain_grp = '.com' AND Time.month <= '1999/12']",
+            "crosser",
+        )
+        with pytest.raises(SpecificationUpdateRejected, match="insert rejected"):
+            spec.insert([crossing])
+
+
+class TestDelete:
+    def test_paper_a7_a8_example(self, mo):
+        """Section 5.1: a7 (NOW-relative) becomes deletable after a8."""
+        at = dt.date(2000, 12, 15)
+        spec = ReductionSpecification((action_a7(mo),), mo.dimensions)
+        spec = spec.insert([action_a8(mo)])
+        reduced = reduce_mo(mo, spec, at)
+        smaller = spec.delete(["a7"], reduced, at)
+        assert smaller.action_names == ("a8",)
+
+    def test_delete_responsible_action_rejected(self, mo):
+        at = dt.date(2000, 12, 15)
+        spec = ReductionSpecification((action_a7(mo),), mo.dimensions)
+        reduced = reduce_mo(mo, spec, at)
+        kept, problems = spec.try_delete(["a7"], reduced, at)
+        assert kept is spec
+        assert any("responsible" in p for p in problems)
+
+    def test_delete_unknown_action(self, mo):
+        spec = ReductionSpecification((action_a2(mo),), mo.dimensions)
+        kept, problems = spec.try_delete(["ghost"], mo, dt.date(2000, 1, 1))
+        assert kept is spec
+        assert any("unknown" in p for p in problems)
+
+    def test_delete_catcher_rejected_when_growing_breaks(self, mo):
+        # Deleting a2 would leave the shrinking a1 uncaught.
+        at = dt.date(2000, 11, 5)
+        spec = ReductionSpecification(
+            (action_a1(mo), action_a2(mo)), mo.dimensions
+        )
+        reduced = reduce_mo(mo, spec, at)
+        kept, problems = spec.try_delete(["a2"], reduced, at)
+        assert kept is spec
+        assert problems
+
+    def test_delete_all_or_nothing(self, mo):
+        at = dt.date(2000, 12, 15)
+        spec = ReductionSpecification((action_a7(mo),), mo.dimensions)
+        spec = spec.insert([action_a8(mo)])
+        reduced = reduce_mo(mo, spec, at)
+        # a8 is responsible for facts, so {a7, a8} cannot be deleted even
+        # though a7 alone could be.
+        kept, problems = spec.try_delete(["a7", "a8"], reduced, at)
+        assert kept is spec
+        assert problems
+
+    def test_delete_idle_action_on_empty_mo(self, mo):
+        at = dt.date(2000, 1, 1)
+        spec = ReductionSpecification((action_a2(mo),), mo.dimensions)
+        empty = mo.empty_like()
+        smaller = spec.delete(["a2"], empty, at)
+        assert len(smaller) == 0

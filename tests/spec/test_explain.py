@@ -1,0 +1,92 @@
+"""Unit tests for the explanation facilities."""
+
+import datetime as dt
+
+import pytest
+
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.reduction.reducer import reduce_mo
+from repro.spec.explain import (
+    describe_action,
+    describe_specification,
+    explain_fact,
+    explain_mo,
+)
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def spec(mo):
+    return paper_specification(mo)
+
+
+class TestExplainFact:
+    def test_quarter_fact_blames_a2(self, mo, spec):
+        at = SNAPSHOT_TIMES[-1]
+        reduced = reduce_mo(mo, spec, at)
+        quarter_fact = next(
+            f
+            for f in reduced.facts()
+            if reduced.direct_cell(f) == ("1999Q4", "cnn.com")
+        )
+        explanation = explain_fact(reduced, spec, quarter_fact, at)
+        assert explanation.responsible == "a2"
+        assert explanation.source_facts == ("fact_1", "fact_2")
+        # Quarter/domain is the top tier: nothing further scheduled.
+        assert explanation.next_move is None
+
+    def test_month_fact_predicts_quarter_move(self, mo, spec):
+        at = SNAPSHOT_TIMES[-1]
+        reduced = reduce_mo(mo, spec, at)
+        month_fact = next(
+            f
+            for f in reduced.facts()
+            if reduced.direct_cell(f) == ("2000/01", "cnn.com")
+        )
+        explanation = explain_fact(reduced, spec, month_fact, at)
+        assert explanation.responsible == "a1"
+        assert explanation.next_granularity == ("quarter", "domain")
+        # a2 claims 2000Q1 once NOW - 4 quarters reaches it: during 2001Q1.
+        assert explanation.next_move is not None
+        assert dt.date(2001, 1, 1) <= explanation.next_move <= dt.date(
+            2001, 3, 31
+        )
+
+    def test_untouched_fact(self, mo, spec):
+        at = SNAPSHOT_TIMES[-1]
+        reduced = reduce_mo(mo, spec, at)
+        explanation = explain_fact(reduced, spec, "fact_6", at)
+        assert explanation.responsible is None
+        # .edu facts are never selected by the .com-only specification.
+        assert explanation.next_move is None
+        assert "no action" in str(explanation)
+
+    def test_explain_mo_covers_everything(self, mo, spec):
+        at = SNAPSHOT_TIMES[-1]
+        reduced = reduce_mo(mo, spec, at)
+        explanations = explain_mo(reduced, spec, at)
+        assert len(explanations) == reduced.n_facts
+        assert [e.fact_id for e in explanations] == sorted(reduced.facts())
+
+
+class TestDescriptions:
+    def test_describe_action(self, mo, spec):
+        text = describe_action(spec.action("a1"))
+        assert "a1" in text
+        assert "Time.month" in text
+        assert "shrinking" in text
+        assert "category F" in text
+
+    def test_describe_specification_ordered(self, mo, spec):
+        lines = describe_specification(spec)
+        assert len(lines) == 2
+        assert lines[0].startswith("a1")  # finer tier first
+        assert lines[1].startswith("a2")

@@ -1,0 +1,72 @@
+"""Unit tests for the specification tokenizer."""
+
+import pytest
+
+from repro.errors import SpecSyntaxError
+from repro.spec.lexer import TokenStream, tokenize
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.text for t in tokenize("and OR Not in TRUE false now")]
+        assert kinds == ["AND", "OR", "NOT", "IN", "TRUE", "FALSE", "NOW"]
+
+    def test_identifiers(self):
+        tokens = tokenize("Time.month")
+        assert [t.kind for t in tokens] == ["ident", "punct", "ident"]
+
+    def test_strings_with_escapes(self):
+        (token,) = tokenize(r"'it\'s'")
+        assert token.kind == "string"
+        assert token.text == "it's"
+
+    def test_string_preserves_dots_and_slashes(self):
+        (token,) = tokenize("'http://www.cnn.com/health'")
+        assert token.text == "http://www.cnn.com/health"
+
+    def test_operators(self):
+        tokens = tokenize("<= >= != < > = <>")
+        assert [t.text for t in tokens] == ["<=", ">=", "!=", "<", ">", "=", "!="]
+
+    def test_numbers(self):
+        tokens = tokenize("NOW - 12 months")
+        assert [t.kind for t in tokens] == ["keyword", "punct", "number", "ident"]
+
+    def test_greek_letters_map_to_a_and_o(self):
+        tokens = tokenize("α[x.y] σ[TRUE]")
+        assert tokens[0].is_keyword("A")
+        assert tokens[6].is_keyword("O")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SpecSyntaxError, match="unexpected character"):
+            tokenize("Time.month ~ 'x'")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestTokenStream:
+    def test_peek_and_next(self):
+        stream = TokenStream("a b")
+        assert stream.peek().text.upper() == "A"
+        assert stream.next().text.upper() == "A"
+        assert stream.peek().text == "b"
+
+    def test_next_past_end_raises(self):
+        stream = TokenStream("")
+        with pytest.raises(SpecSyntaxError, match="end of input"):
+            stream.next()
+
+    def test_expect_punct(self):
+        stream = TokenStream("[")
+        stream.expect_punct("[")
+        with pytest.raises(SpecSyntaxError):
+            TokenStream("]").expect_punct("[")
+
+    def test_require_end(self):
+        stream = TokenStream("x y")
+        stream.next()
+        with pytest.raises(SpecSyntaxError, match="trailing input"):
+            stream.require_end()

@@ -1,0 +1,147 @@
+"""Unit tests for the Table 1 grammar parser."""
+
+import pytest
+
+from repro.core.dimension import ALL_VALUE
+from repro.core.hierarchy import TOP
+from repro.errors import SpecSyntaxError
+from repro.spec.ast import And, Atom, FalsePredicate, Not, Or, TruePredicate
+from repro.spec.parser import parse_action, parse_clist, parse_predicate
+from repro.timedim.now import NowRelative
+
+
+class TestClist:
+    def test_single(self):
+        (ref,) = parse_clist("Time.month")
+        assert ref.dimension == "Time"
+        assert ref.category == "month"
+
+    def test_multiple(self):
+        refs = parse_clist("Time.month, URL.domain")
+        assert [str(r) for r in refs] == ["Time.month", "URL.domain"]
+
+    def test_top_alias(self):
+        (ref,) = parse_clist("URL.T")
+        assert ref.category == TOP
+
+
+class TestPredicates:
+    def test_simple_comparison(self):
+        atom = parse_predicate("Time.month <= '1999/12'")
+        assert isinstance(atom, Atom)
+        assert atom.op == "<="
+        assert atom.term == "1999/12"
+
+    def test_flipped_comparison(self):
+        atom = parse_predicate("'1999/12' <= Time.month")
+        assert atom.op == ">="
+        assert str(atom.ref) == "Time.month"
+
+    def test_chain_expands_to_conjunction(self):
+        predicate = parse_predicate(
+            "NOW - 12 months <= Time.month <= NOW - 6 months"
+        )
+        assert isinstance(predicate, And)
+        ops = [atom.op for atom in predicate.atoms()]
+        assert ops == [">=", "<="]
+
+    def test_now_relative_term(self):
+        atom = parse_predicate("Time.month <= NOW - 6 months")
+        assert isinstance(atom.term, NowRelative)
+        assert atom.term.sign == -1
+
+    def test_bare_now(self):
+        atom = parse_predicate("Time.year <= NOW")
+        assert isinstance(atom.term, NowRelative)
+        assert atom.term.span is None
+
+    def test_membership(self):
+        atom = parse_predicate("URL.domain IN {'cnn.com', 'amazon.com'}")
+        assert atom.op == "in"
+        assert atom.terms == ("cnn.com", "amazon.com")
+
+    def test_top_value_literal(self):
+        atom = parse_predicate("URL.T = T")
+        assert atom.ref.category == TOP
+        assert atom.term == ALL_VALUE
+
+    def test_boolean_connectives(self):
+        predicate = parse_predicate(
+            "URL.domain_grp = '.com' AND (Time.year = '1999' OR NOT "
+            "Time.month = '2000/01')"
+        )
+        assert isinstance(predicate, And)
+        assert isinstance(predicate.operands[1], Or)
+        assert isinstance(predicate.operands[1].operands[1], Not)
+
+    def test_true_false(self):
+        assert isinstance(parse_predicate("TRUE"), TruePredicate)
+        assert isinstance(parse_predicate("FALSE"), FalsePredicate)
+
+    def test_precedence_and_binds_tighter(self):
+        predicate = parse_predicate(
+            "Time.year = '1999' OR Time.year = '2000' AND Time.month = '2000/01'"
+        )
+        assert isinstance(predicate, Or)
+        assert isinstance(predicate.operands[1], And)
+
+    def test_constant_folding(self):
+        assert isinstance(parse_predicate("TRUE OR FALSE AND FALSE"), TruePredicate)
+        assert isinstance(parse_predicate("TRUE AND FALSE"), FalsePredicate)
+
+    def test_two_categories_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="two categories"):
+            parse_predicate("Time.month <= Time.quarter")
+
+    def test_two_terms_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="must mention"):
+            parse_predicate("'a' = 'b'")
+
+    def test_missing_operator_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="comparison operator"):
+            parse_predicate("Time.month")
+
+    def test_in_requires_ref_on_left(self):
+        with pytest.raises(SpecSyntaxError, match="left side of IN"):
+            parse_predicate("'x' IN {'y'}")
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_predicate("URL.domain IN {}")
+
+
+class TestActions:
+    PAPER_A1 = (
+        "p(a[Time.month, URL.domain] o[URL.domain_grp = '.com' AND "
+        "NOW - 12 months <= Time.month <= NOW - 6 months](O))"
+    )
+
+    def test_paper_a1_parses(self):
+        action = parse_action(self.PAPER_A1)
+        assert [str(r) for r in action.clist] == ["Time.month", "URL.domain"]
+        assert len(list(action.predicate.atoms())) == 3
+
+    def test_wrapper_optional(self):
+        bare = parse_action("a[Time.month, URL.domain] o[TRUE]")
+        assert [str(r) for r in bare.clist] == ["Time.month", "URL.domain"]
+
+    def test_object_argument_optional(self):
+        with_obj = parse_action("a[Time.day, URL.url] o[TRUE](O)")
+        assert isinstance(with_obj.predicate, TruePredicate)
+
+    def test_greek_spelling(self):
+        action = parse_action("α[Time.day, URL.url] σ[TRUE]")
+        assert len(action.clist) == 2
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="trailing"):
+            parse_action("a[Time.day, URL.url] o[TRUE] garbage")
+
+    def test_unbalanced_wrapper_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_action("p(a[Time.day, URL.url] o[TRUE](O)")
+
+    def test_roundtrip_str_reparses(self):
+        action = parse_action(self.PAPER_A1)
+        again = parse_action(str(action))
+        assert str(again) == str(action)

@@ -1,0 +1,63 @@
+"""Fuzzing the lexer/parser: junk must fail cleanly, never crash."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecSyntaxError
+from repro.spec.lexer import tokenize
+from repro.spec.parser import parse_action, parse_predicate
+
+SETTINGS = settings(max_examples=150, deadline=None)
+
+TOKEN_SOUP = st.lists(
+    st.sampled_from(
+        [
+            "a", "o", "p", "(", ")", "[", "]", "{", "}", ",", ".",
+            "AND", "OR", "NOT", "IN", "TRUE", "FALSE", "NOW",
+            "<", "<=", ">", ">=", "=", "!=", "+", "-",
+            "Time", "URL", "month", "domain", "12", "months",
+            "'1999/12'", "'.com'", "T",
+        ]
+    ),
+    max_size=14,
+).map(" ".join)
+
+
+@SETTINGS
+@given(source=TOKEN_SOUP)
+def test_parse_predicate_fails_cleanly(source):
+    try:
+        parse_predicate(source)
+    except SpecSyntaxError:
+        pass  # expected for junk
+
+
+@SETTINGS
+@given(source=TOKEN_SOUP)
+def test_parse_action_fails_cleanly(source):
+    try:
+        parse_action(source)
+    except SpecSyntaxError:
+        pass
+
+
+@SETTINGS
+@given(source=st.text(max_size=40))
+def test_tokenizer_total_on_arbitrary_text(source):
+    try:
+        tokenize(source)
+    except SpecSyntaxError:
+        pass
+
+
+@SETTINGS
+@given(source=TOKEN_SOUP)
+def test_successful_parse_round_trips(source):
+    """Whatever parses must pretty-print to something that re-parses to
+    the same surface form."""
+    try:
+        predicate = parse_predicate(source)
+    except SpecSyntaxError:
+        return
+    again = parse_predicate(str(predicate))
+    assert str(again) == str(predicate)

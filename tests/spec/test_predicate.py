@@ -1,0 +1,174 @@
+"""Unit tests for predicate evaluation over facts and cells."""
+
+import datetime as dt
+
+import pytest
+
+from repro.query.compare import Approach
+from repro.spec.action import Action
+from repro.spec.parser import parse_predicate
+from repro.spec.predicate import (
+    cell_satisfies,
+    satisfaction_weight,
+    satisfies,
+)
+from repro.experiments.paper_example import build_paper_mo
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+NOW_T = dt.date(2000, 11, 5)
+
+
+def bound(mo, source: str):
+    action = Action.parse(
+        mo.schema, f"a[Time.day, URL.url] o[{source}]", enforce_evaluability=False
+    )
+    return action.predicate
+
+
+class TestFactSatisfaction:
+    def test_categorical_equality(self, mo):
+        predicate = bound(mo, "URL.domain_grp = '.com'")
+        assert satisfies(mo, "fact_1", predicate, NOW_T)
+        assert not satisfies(mo, "fact_6", predicate, NOW_T)
+
+    def test_time_window_paper_a1(self, mo):
+        predicate = bound(
+            mo,
+            "URL.domain_grp = '.com' AND NOW - 12 months <= Time.month "
+            "AND Time.month <= NOW - 6 months",
+        )
+        at = dt.date(2000, 6, 5)
+        selected = {f for f in mo.facts() if satisfies(mo, f, predicate, at)}
+        assert selected == {"fact_0", "fact_1", "fact_2", "fact_3"}
+
+    def test_membership(self, mo):
+        predicate = bound(mo, "URL.domain IN {'cnn.com', 'gatech.edu'}")
+        selected = {f for f in mo.facts() if satisfies(mo, f, predicate, NOW_T)}
+        assert selected == {"fact_1", "fact_2", "fact_4", "fact_5", "fact_6"}
+
+    def test_negation(self, mo):
+        predicate = bound(mo, "NOT URL.domain_grp = '.com'")
+        selected = {f for f in mo.facts() if satisfies(mo, f, predicate, NOW_T)}
+        assert selected == {"fact_6"}
+
+    def test_unmaterialized_now_constant(self, mo):
+        # At 2000/4/5 the bound NOW - 6 months denotes month 1999/10,
+        # which has no facts and is absent from the sparse dimension.
+        predicate = bound(mo, "Time.month <= NOW - 6 months")
+        at = dt.date(2000, 4, 5)
+        assert not any(satisfies(mo, f, predicate, at) for f in mo.facts())
+
+    def test_week_predicate(self, mo):
+        predicate = bound(mo, "Time.week = '1999W48'")
+        selected = {f for f in mo.facts() if satisfies(mo, f, predicate, NOW_T)}
+        assert selected == {"fact_1", "fact_2"}
+
+    def test_coarse_fact_conservative_false_liberal_true(self, mo):
+        mo.insert_aggregate_fact(
+            "agg_q",
+            {"Time": "1999Q4", "URL": "cnn.com"},
+            {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1},
+        )
+        predicate = bound(mo, "Time.month = '1999/12'")
+        assert not satisfies(mo, "agg_q", predicate, NOW_T)
+        assert satisfies(mo, "agg_q", predicate, NOW_T, Approach.LIBERAL)
+
+    def test_negation_swaps_conservative_liberal(self, mo):
+        mo.insert_aggregate_fact(
+            "agg_q",
+            {"Time": "1999Q4", "URL": "cnn.com"},
+            {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1},
+        )
+        # month = 1999/11 is *possible* for the quarter fact, so its
+        # negation cannot be conservatively asserted.
+        predicate = bound(mo, "NOT Time.month = '1999/11'")
+        assert not satisfies(mo, "agg_q", predicate, NOW_T)
+
+
+class TestCellSatisfaction:
+    def test_bottom_cell(self, mo):
+        predicate = bound(mo, "URL.domain_grp = '.com'")
+        cell = {"Time": "1999/12/04", "URL": "http://www.cnn.com/"}
+        assert cell_satisfies(mo.dimensions, cell, predicate, NOW_T)
+
+    def test_coarse_cell(self, mo):
+        predicate = bound(mo, "Time.quarter <= NOW - 4 quarters")
+        cell = {"Time": "1999Q4", "URL": "cnn.com"}
+        assert cell_satisfies(mo.dimensions, cell, predicate, NOW_T)
+
+    def test_missing_dimension_raises(self, mo):
+        from repro.errors import SpecSemanticsError
+
+        predicate = bound(mo, "URL.domain_grp = '.com'")
+        with pytest.raises(SpecSemanticsError, match="lacks a value"):
+            cell_satisfies(mo.dimensions, {"Time": "1999Q4"}, predicate, NOW_T)
+
+
+class TestWeights:
+    def value_of(self, mo, fact_id):
+        return lambda name: mo.direct_value(fact_id, name)
+
+    def test_exact_fact_weight_is_binary(self, mo):
+        predicate = bound(mo, "URL.domain_grp = '.com'")
+        weight = satisfaction_weight(
+            predicate, self.value_of(mo, "fact_1"), mo.dimensions, NOW_T
+        )
+        assert weight == 1.0
+
+    def test_partial_overlap_weight(self, mo):
+        mo.insert_aggregate_fact(
+            "agg_q",
+            {"Time": "1999Q4", "URL": "cnn.com"},
+            {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1},
+        )
+        # 1999Q4 has two materialized months (11, 12): one of two matches.
+        predicate = bound(mo, "Time.month = '1999/12'")
+        weight = satisfaction_weight(
+            predicate, self.value_of(mo, "agg_q"), mo.dimensions, NOW_T
+        )
+        assert weight == pytest.approx(0.5)
+
+    def test_conjunction_multiplies(self, mo):
+        mo.insert_aggregate_fact(
+            "agg_q",
+            {"Time": "1999Q4", "URL": "cnn.com"},
+            {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1},
+        )
+        predicate = bound(
+            mo, "Time.month = '1999/12' AND URL.domain_grp = '.com'"
+        )
+        weight = satisfaction_weight(
+            predicate, self.value_of(mo, "agg_q"), mo.dimensions, NOW_T
+        )
+        assert weight == pytest.approx(0.5)
+
+    def test_disjunction_takes_max(self, mo):
+        mo.insert_aggregate_fact(
+            "agg_q",
+            {"Time": "1999Q4", "URL": "cnn.com"},
+            {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1},
+        )
+        predicate = bound(
+            mo, "Time.month = '1999/12' OR URL.domain_grp = '.com'"
+        )
+        weight = satisfaction_weight(
+            predicate, self.value_of(mo, "agg_q"), mo.dimensions, NOW_T
+        )
+        assert weight == pytest.approx(1.0)
+
+    def test_negation_complements(self, mo):
+        mo.insert_aggregate_fact(
+            "agg_q",
+            {"Time": "1999Q4", "URL": "cnn.com"},
+            {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1},
+        )
+        predicate = bound(mo, "NOT Time.month = '1999/12'")
+        weight = satisfaction_weight(
+            predicate, self.value_of(mo, "agg_q"), mo.dimensions, NOW_T
+        )
+        assert weight == pytest.approx(0.5)

@@ -1,0 +1,160 @@
+"""Unit tests for range profiles and exact day windows."""
+
+import datetime as dt
+
+import pytest
+
+from repro.experiments.paper_example import (
+    action_a1,
+    action_a2,
+    build_paper_mo,
+)
+from repro.spec.action import Action
+from repro.spec.ranges import (
+    bottom_region,
+    profiles_of,
+    window_at,
+    window_contains,
+    windows_intersect,
+)
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+def day(y, m, d):
+    return float(dt.date(y, m, d).toordinal())
+
+
+class TestProfiles:
+    def test_a1_profile_shape(self, mo):
+        (profile,) = profiles_of(action_a1(mo))
+        assert profile.time_dimension == "Time"
+        assert len(profile.time_atoms) == 2
+        assert profile.is_shrinking()  # NOW-relative lower bound
+
+    def test_a2_profile_not_shrinking(self, mo):
+        (profile,) = profiles_of(action_a2(mo))
+        assert not profile.is_shrinking()
+        assert profile.window.has_rel
+
+    def test_fixed_profile(self, mo):
+        action = Action.parse(
+            mo.schema, "a[Time.month, URL.domain] o[Time.month <= '1999/12']"
+        )
+        (profile,) = profiles_of(action)
+        assert not profile.window.has_rel
+        assert profile.window.has_abs
+
+    def test_categorical_constraints_collected(self, mo):
+        (profile,) = profiles_of(action_a1(mo))
+        (constraint,) = profile.categorical_for("URL")
+        assert constraint.category == "domain_grp"
+        assert constraint.effective_allowed() == {".com"}
+
+    def test_disjunction_yields_multiple_profiles(self, mo):
+        action = Action.parse(
+            mo.schema,
+            "a[Time.month, URL.domain] o[URL.domain_grp = '.com' OR "
+            "URL.domain_grp = '.edu']",
+        )
+        assert len(profiles_of(action)) == 2
+
+
+class TestWindowAt:
+    def test_a1_window_at_paper_time(self, mo):
+        (profile,) = profiles_of(action_a1(mo))
+        lo, hi = window_at(profile, dt.date(2000, 11, 5))
+        # Months [1999/11 .. 2000/05].
+        assert lo == day(1999, 11, 1)
+        assert hi == day(2000, 5, 31)
+
+    def test_a2_window_at_paper_time(self, mo):
+        (profile,) = profiles_of(action_a2(mo))
+        lo, hi = window_at(profile, dt.date(2000, 11, 5))
+        assert lo == float("-inf")
+        assert hi == day(1999, 12, 31)  # quarters <= 1999Q4
+
+    def test_fixed_window_time_invariant(self, mo):
+        action = Action.parse(
+            mo.schema, "a[Time.month, URL.domain] o[Time.month = '1999/12']"
+        )
+        (profile,) = profiles_of(action)
+        w1 = window_at(profile, dt.date(2000, 1, 1))
+        w2 = window_at(profile, dt.date(2005, 1, 1))
+        assert w1 == w2 == (day(1999, 12, 1), day(1999, 12, 31))
+
+    def test_unconstrained_time_is_none(self, mo):
+        action = Action.parse(
+            mo.schema, "a[Time.day, URL.url] o[URL.domain_grp = '.com']"
+        )
+        (profile,) = profiles_of(action)
+        assert window_at(profile, dt.date(2000, 1, 1)) is None
+
+    def test_strict_bounds(self, mo):
+        action = Action.parse(
+            mo.schema,
+            "a[Time.day, URL.url] o['1999/12' < Time.month AND "
+            "Time.month < '2000/02']",
+        )
+        (profile,) = profiles_of(action)
+        lo, hi = window_at(profile, dt.date(2005, 1, 1))
+        assert lo == day(2000, 1, 1)
+        assert hi == day(2000, 1, 31)
+
+    def test_membership_hull(self, mo):
+        action = Action.parse(
+            mo.schema,
+            "a[Time.day, URL.url] o[Time.month IN {'1999/11', '2000/01'}]",
+        )
+        (profile,) = profiles_of(action)
+        lo, hi = window_at(profile, dt.date(2005, 1, 1))
+        assert lo == day(1999, 11, 1)
+        assert hi == day(2000, 1, 31)
+
+
+class TestWindowAlgebra:
+    def test_intersect(self):
+        assert windows_intersect((1.0, 5.0), (5.0, 9.0))
+        assert not windows_intersect((1.0, 4.0), (5.0, 9.0))
+        assert windows_intersect(None, (1.0, 2.0))
+        assert not windows_intersect((3.0, 2.0), None)  # empty
+
+    def test_contains(self):
+        assert window_contains((0.0, 10.0), (2.0, 3.0))
+        assert not window_contains((0.0, 10.0), (2.0, 11.0))
+        assert window_contains(None, (2.0, 3.0))
+        assert window_contains((0.0, 10.0), (5.0, 4.0))  # empty inner
+
+
+class TestBottomRegion:
+    def test_domain_grp_region(self, mo):
+        (profile,) = profiles_of(action_a1(mo))
+        region = bottom_region(profile, mo.dimensions["URL"])
+        assert region == {
+            "http://www.cnn.com/",
+            "http://www.cnn.com/health",
+            "http://www.amazon.com/exec/obidos/tg/browse/",
+        }
+
+    def test_unconstrained_region_is_none(self, mo):
+        (profile,) = profiles_of(action_a1(mo))
+        assert bottom_region(profile, mo.dimensions["Time"]) is None
+
+    def test_top_constraint_unconstrained(self, mo):
+        action = Action.parse(
+            mo.schema, "a[Time.month, URL.domain] o[URL.T = T]"
+        )
+        (profile,) = profiles_of(action)
+        assert bottom_region(profile, mo.dimensions["URL"]) is None
+
+    def test_exclusion_region(self, mo):
+        action = Action.parse(
+            mo.schema,
+            "a[Time.day, URL.url] o[NOT URL.domain_grp = '.com']",
+        )
+        (profile,) = profiles_of(action)
+        region = bottom_region(profile, mo.dimensions["URL"])
+        assert region == {"http://www.cc.gatech.edu/"}

@@ -1,0 +1,83 @@
+"""Unit tests for the SQLite star-schema loader."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.experiments.paper_example import build_paper_mo
+from repro.sql.ddl import all_ddls, sql_ident
+from repro.sql.loader import SqlWarehouse, encode_sort_key
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def warehouse(mo):
+    return SqlWarehouse.from_mo(mo)
+
+
+class TestDdl:
+    def test_identifier_validation(self):
+        assert sql_ident("Dwell_time") == "Dwell_time"
+        with pytest.raises(StorageError):
+            sql_ident("bad-name")
+        with pytest.raises(StorageError):
+            sql_ident("drop table; --")
+
+    def test_all_ddls_shape(self, mo):
+        statements = all_ddls(mo.schema)
+        creates = [s for s in statements if s.startswith("CREATE TABLE")]
+        # facts + (anc + desc) per dimension.
+        assert len(creates) == 1 + 2 * mo.schema.n_dimensions
+
+
+class TestEncodeSortKey:
+    def test_integers_zero_padded(self):
+        assert encode_sort_key(42) < encode_sort_key(1000)
+        assert encode_sort_key(999) < encode_sort_key(1000)
+
+    def test_strings_pass_through(self):
+        assert encode_sort_key("cnn.com") == "cnn.com"
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            encode_sort_key(-1)
+
+
+class TestLoading:
+    def test_fact_count(self, warehouse):
+        assert warehouse.fact_count() == 7
+
+    def test_closure_rows_present(self, warehouse):
+        (count,) = warehouse.connection.execute(
+            "SELECT COUNT(*) FROM Time_anc WHERE category = 'quarter'"
+        ).fetchone()
+        assert count > 0
+        (ancestor,) = warehouse.connection.execute(
+            "SELECT ancestor FROM Time_anc WHERE value = '1999/12/04' "
+            "AND category = 'quarter'"
+        ).fetchone()
+        assert ancestor == "1999Q4"
+
+    def test_descendant_closure(self, warehouse):
+        rows = warehouse.connection.execute(
+            "SELECT descendant FROM Time_desc WHERE value = '1999Q4' "
+            "AND category = 'day' ORDER BY descendant"
+        ).fetchall()
+        assert [r[0] for r in rows] == [
+            "1999/11/23",
+            "1999/12/04",
+            "1999/12/31",
+        ]
+
+    def test_roundtrip_to_mo(self, mo, warehouse):
+        back = warehouse.to_mo(mo)
+        assert back.fact_ids == mo.fact_ids
+        assert back.total("Dwell_time") == mo.total("Dwell_time")
+        assert back.direct_cell("fact_1") == mo.direct_cell("fact_1")
+
+    def test_context_manager(self, mo):
+        with SqlWarehouse.from_mo(mo) as warehouse:
+            assert warehouse.fact_count() == 7

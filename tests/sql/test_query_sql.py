@@ -1,0 +1,102 @@
+"""Unit tests for SQL aggregation queries (availability approach)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.dimension import ALL_VALUE
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.reduction.reducer import reduce_mo
+from repro.sql.loader import SqlWarehouse
+from repro.sql.query_sql import aggregate_rows
+
+NOW_T = SNAPSHOT_TIMES[-1]
+
+
+@pytest.fixture
+def reduced():
+    mo = build_paper_mo()
+    return reduce_mo(mo, paper_specification(mo), NOW_T)
+
+
+@pytest.fixture
+def warehouse(reduced):
+    return SqlWarehouse.from_mo(reduced)
+
+
+class TestAggregateRows:
+    def test_figure_5_from_sql(self, warehouse):
+        rows = aggregate_rows(
+            warehouse, {"Time": "month", "URL": "domain"}, NOW_T
+        )
+        assert [(r["Time"], r["URL"], r["Dwell_time"]) for r in rows] == [
+            ("1999Q4", "amazon.com", 689),
+            ("1999Q4", "cnn.com", 2489),
+            ("2000/01", "cnn.com", 955),
+            ("2000/01", "gatech.edu", 32),
+        ]
+
+    def test_with_predicate(self, warehouse):
+        rows = aggregate_rows(
+            warehouse,
+            {"Time": "year", "URL": "domain_grp"},
+            NOW_T,
+            predicate="URL.domain_grp = '.com'",
+        )
+        assert [(r["Time"], r["URL"], r["Number_of"]) for r in rows] == [
+            ("1999", ".com", 4),
+            ("2000", ".com", 2),
+        ]
+
+    def test_measure_subset(self, warehouse):
+        rows = aggregate_rows(
+            warehouse,
+            {"Time": "year", "URL": "domain_grp"},
+            NOW_T,
+            measures=["Number_of"],
+        )
+        assert all(set(r) == {"Time", "URL", "Number_of"} for r in rows)
+
+    def test_week_query_pushes_quarters_to_all(self, warehouse):
+        rows = aggregate_rows(
+            warehouse, {"Time": "week", "URL": "domain"}, NOW_T
+        )
+        times = {r["Time"] for r in rows}
+        assert ALL_VALUE in times  # quarter facts cannot express weeks
+
+    def test_matches_in_memory_availability(self, reduced, warehouse):
+        from repro.query.aggregation import aggregate
+
+        for granularity in (
+            {"Time": "month", "URL": "domain"},
+            {"Time": "year", "URL": "domain_grp"},
+            {"Time": "quarter", "URL": "domain"},
+        ):
+            expected_mo = aggregate(reduced, granularity)
+            expected = sorted(
+                (
+                    expected_mo.direct_cell(f),
+                    expected_mo.measure_value(f, "Dwell_time"),
+                )
+                for f in expected_mo.facts()
+            )
+            rows = aggregate_rows(warehouse, granularity, NOW_T)
+            actual = sorted(
+                ((r["Time"], r["URL"]), r["Dwell_time"]) for r in rows
+            )
+            assert actual == expected, granularity
+
+    def test_unknown_measure_rejected(self, warehouse):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError, match="unknown measures"):
+            aggregate_rows(
+                warehouse,
+                {"Time": "year", "URL": "domain_grp"},
+                NOW_T,
+                measures=["Profit"],
+            )

@@ -1,0 +1,111 @@
+"""Unit tests for the command-line interface."""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.paper_example import (
+    build_paper_mo,
+    paper_specification,
+)
+from repro.io import dump_mo, dump_specification
+
+
+@pytest.fixture
+def stored(tmp_path):
+    mo = build_paper_mo()
+    mo_file = tmp_path / "mo.json"
+    spec_file = tmp_path / "spec.txt"
+    with open(mo_file, "w") as stream:
+        dump_mo(mo, stream)
+    with open(spec_file, "w") as stream:
+        dump_specification(paper_specification(mo), stream)
+    return mo_file, spec_file
+
+
+class TestCheck:
+    def test_sound_spec(self, stored, capsys):
+        mo_file, spec_file = stored
+        assert main(["check", str(spec_file), "--mo", str(mo_file)]) == 0
+        assert "sound" in capsys.readouterr().out
+
+    def test_unsound_spec(self, stored, tmp_path, capsys):
+        mo_file, _ = stored
+        bad = tmp_path / "bad.txt"
+        bad.write_text(
+            "a1: a[Time.month, URL.domain] o[URL.domain_grp = '.com' AND "
+            "NOW - 12 months <= Time.month <= NOW - 6 months]\n"
+        )
+        assert main(["check", str(bad), "--mo", str(mo_file)]) == 1
+        assert "NOT sound" in capsys.readouterr().out
+
+    def test_missing_file(self, stored, capsys):
+        mo_file, _ = stored
+        assert main(["check", "/nonexistent", "--mo", str(mo_file)]) == 2
+
+
+class TestReduce:
+    def test_reduce_to_file(self, stored, tmp_path, capsys):
+        mo_file, spec_file = stored
+        out = tmp_path / "reduced.json"
+        code = main(
+            [
+                "reduce",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-11-05",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert len(document["facts"]) == 4
+
+    def test_reduce_to_stdout(self, stored, capsys):
+        mo_file, spec_file = stored
+        assert (
+            main(["reduce", str(mo_file), str(spec_file), "--at", "2000-06-05"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert json.loads(out)["fact_type"] == "Click"
+
+
+class TestStats:
+    def test_stats_output(self, stored, capsys):
+        mo_file, _ = stored
+        assert main(["stats", str(mo_file)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["facts"] == 7
+        assert document["granularities"] == {"day/url": 7}
+
+
+class TestExplain:
+    def test_explain_output(self, stored, capsys):
+        mo_file, spec_file = stored
+        code = main(
+            ["explain", str(mo_file), str(spec_file), "--at", "2000-11-05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Policy:" in out
+        assert "category F" in out  # a1's classification
+        assert "caused by" in out
+
+
+class TestFiguresAndDemo:
+    def test_one_figure(self, capsys):
+        assert main(["figures", "4"]) == 0
+        assert "=== Figure 4 ===" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "42"]) == 2
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "reduced at 2000-11-05: 4 facts" in out

@@ -1,0 +1,73 @@
+"""The exception hierarchy: catchability and error-path behaviour."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj in (
+                    errors.ReproError,
+                )
+
+    def test_hierarchy_error_is_schema_error(self):
+        assert issubclass(errors.HierarchyError, errors.SchemaError)
+
+    def test_crossing_and_growing_are_semantic_errors(self):
+        assert issubclass(errors.NonCrossingViolation, errors.SpecSemanticsError)
+        assert issubclass(errors.GrowingViolation, errors.SpecSemanticsError)
+
+    def test_syntax_error_carries_position(self):
+        exc = errors.SpecSyntaxError("bad token", position=17)
+        assert exc.position == 17
+        assert "position 17" in str(exc)
+
+    def test_syntax_error_without_position(self):
+        exc = errors.SpecSyntaxError("bad token")
+        assert exc.position is None
+        assert str(exc) == "bad token"
+
+
+class TestCatchability:
+    """One ``except ReproError`` must cover every library failure mode."""
+
+    def test_dimension_errors_catchable(self):
+        from repro.experiments.paper_example import build_paper_mo
+
+        mo = build_paper_mo()
+        with pytest.raises(errors.ReproError):
+            mo.dimensions["URL"].category_of("nope")
+
+    def test_parser_errors_catchable(self):
+        from repro.spec.parser import parse_predicate
+
+        with pytest.raises(errors.ReproError):
+            parse_predicate("Time.month ~ junk")
+
+    def test_schema_errors_catchable(self):
+        from repro.core.schema import FactSchema
+
+        with pytest.raises(errors.ReproError):
+            FactSchema("F", [], [])
+
+    def test_storage_errors_catchable(self):
+        from repro.sql.ddl import sql_ident
+
+        with pytest.raises(errors.ReproError):
+            sql_ident("no spaces allowed")
+
+    def test_update_rejections_catchable(self):
+        from repro.experiments.paper_example import (
+            action_a1,
+            build_paper_mo,
+        )
+        from repro.spec.specification import ReductionSpecification
+
+        mo = build_paper_mo()
+        spec = ReductionSpecification((), mo.dimensions)
+        with pytest.raises(errors.ReproError):
+            spec.insert([action_a1(mo)])

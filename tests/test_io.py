@@ -1,0 +1,121 @@
+"""Unit tests for MO/spec serialization."""
+
+import io as stdio
+
+import pytest
+
+from repro.errors import StorageError
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.io import (
+    dump_mo,
+    dump_specification,
+    load_mo,
+    load_specification,
+    mo_from_dict,
+    mo_to_dict,
+)
+from repro.reduction.reducer import reduce_mo
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+class TestMoRoundTrip:
+    def test_facts_survive(self, mo):
+        back = mo_from_dict(mo_to_dict(mo))
+        assert back.fact_ids == mo.fact_ids
+        for fact_id in mo.facts():
+            assert back.direct_cell(fact_id) == mo.direct_cell(fact_id)
+            for measure in mo.schema.measure_names:
+                assert back.measure_value(fact_id, measure) == mo.measure_value(
+                    fact_id, measure
+                )
+
+    def test_dimensions_survive(self, mo):
+        back = mo_from_dict(mo_to_dict(mo))
+        for name, dimension in mo.dimensions.items():
+            other = back.dimensions[name]
+            assert other.categories == dimension.categories
+            for category in dimension.dimension_type.hierarchy.user_categories:
+                assert other.values(category) == dimension.values(category)
+
+    def test_time_dimension_stays_time_like(self, mo):
+        back = mo_from_dict(mo_to_dict(mo))
+        # Normalization and temporal sort keys must survive the trip.
+        assert back.dimensions["Time"].normalize_value("1999/12/4") == "1999/12/04"
+        assert back.dimensions["Time"].sorted_values("day")[0] == "1999/11/23"
+
+    def test_reduced_mo_round_trips_with_provenance(self, mo):
+        reduced = reduce_mo(mo, paper_specification(mo), SNAPSHOT_TIMES[-1])
+        back = mo_from_dict(mo_to_dict(reduced))
+        for fact_id in reduced.facts():
+            assert back.provenance(fact_id).members == reduced.provenance(
+                fact_id
+            ).members
+
+    def test_reduction_commutes_with_serialization(self, mo):
+        spec = paper_specification(mo)
+        at = SNAPSHOT_TIMES[-1]
+        back = mo_from_dict(mo_to_dict(mo))
+        spec_back = paper_specification(back)
+        left = reduce_mo(mo, spec, at)
+        right = reduce_mo(back, spec_back, at)
+        assert sorted(left.direct_cell(f) for f in left.facts()) == sorted(
+            right.direct_cell(f) for f in right.facts()
+        )
+
+    def test_stream_round_trip(self, mo):
+        buffer = stdio.StringIO()
+        dump_mo(mo, buffer)
+        buffer.seek(0)
+        back = load_mo(buffer)
+        assert back.total("Dwell_time") == mo.total("Dwell_time")
+
+    def test_unsupported_format_rejected(self, mo):
+        document = mo_to_dict(mo)
+        document["format"] = 99
+        with pytest.raises(StorageError, match="unsupported"):
+            mo_from_dict(document)
+
+
+class TestSpecRoundTrip:
+    def test_actions_survive(self, mo):
+        spec = paper_specification(mo)
+        buffer = stdio.StringIO()
+        dump_specification(spec, buffer)
+        buffer.seek(0)
+        back = load_specification(buffer, mo.schema, mo.dimensions)
+        assert back.action_names == spec.action_names
+        for name in spec.action_names:
+            assert back.action(name).cat() == spec.action(name).cat()
+
+    def test_comments_and_blank_lines_ignored(self, mo):
+        text = (
+            "# retention policy\n"
+            "\n"
+            "keep_month: a[Time.month, URL.domain] "
+            "o[Time.month <= '1999/12']\n"
+        )
+        back = load_specification(
+            stdio.StringIO(text), mo.schema, mo.dimensions
+        )
+        assert back.action_names == ("keep_month",)
+
+    def test_reduction_agrees_after_round_trip(self, mo):
+        spec = paper_specification(mo)
+        buffer = stdio.StringIO()
+        dump_specification(spec, buffer)
+        buffer.seek(0)
+        back = load_specification(buffer, mo.schema, mo.dimensions)
+        at = SNAPSHOT_TIMES[-1]
+        left = reduce_mo(mo, spec, at)
+        right = reduce_mo(mo, back, at)
+        assert sorted(left.direct_cell(f) for f in left.facts()) == sorted(
+            right.direct_cell(f) for f in right.facts()
+        )

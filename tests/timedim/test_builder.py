@@ -1,0 +1,89 @@
+"""Unit tests for the Time dimension builders."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.hierarchy import TOP
+from repro.errors import DimensionError
+from repro.timedim.builder import (
+    build_sparse_time_dimension,
+    build_time_dimension,
+    day_row,
+    time_dimension_type,
+)
+
+
+class TestTimeDimensionType:
+    def test_categories(self):
+        time_type = time_dimension_type()
+        assert set(time_type.hierarchy.user_categories) == {
+            "day",
+            "week",
+            "month",
+            "quarter",
+            "year",
+        }
+
+    def test_paper_hierarchy_shape(self):
+        hierarchy = time_dimension_type().hierarchy
+        assert hierarchy.le("day", "week")
+        assert hierarchy.le("day", "year")
+        assert not hierarchy.comparable("week", "month")
+        assert hierarchy.anc("week") == {TOP}
+
+
+class TestDayRow:
+    def test_all_five_categories(self):
+        row = day_row(dt.date(1999, 12, 4))
+        assert row == {
+            "day": "1999/12/04",
+            "week": "1999W48",
+            "month": "1999/12",
+            "quarter": "1999Q4",
+            "year": "1999",
+        }
+
+
+class TestDenseBuilder:
+    def test_covers_range(self):
+        dimension = build_time_dimension("2000/1/1", "2000/1/31")
+        assert len(dimension.values("day")) == 31
+        assert dimension.values("month") == {"2000/01"}
+        # ISO weeks of January 2000 include 1999W52.
+        assert "1999W52" in dimension.values("week")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(DimensionError, match="empty time range"):
+            build_time_dimension("2000/2/1", "2000/1/1")
+
+    def test_every_day_rolls_up_everywhere(self):
+        dimension = build_time_dimension("1999/12/25", "2000/1/7")
+        for day in dimension.values("day"):
+            for category in ("week", "month", "quarter", "year"):
+                assert dimension.try_ancestor_at(day, category) is not None
+
+    def test_custom_name(self):
+        dimension = build_time_dimension("2000/1/1", "2000/1/2", name="When")
+        assert dimension.name == "When"
+
+
+class TestSparseBuilder:
+    def test_paper_dimension(self):
+        dimension = build_sparse_time_dimension(
+            ["1999/11/23", "1999/12/4", "1999/12/31", "2000/1/4", "2000/1/20"]
+        )
+        assert dimension.values("quarter") == {"1999Q4", "2000Q1"}
+        assert dimension.descendants_at("1999Q4", "day") == {
+            "1999/11/23",
+            "1999/12/04",
+            "1999/12/31",
+        }
+
+    def test_accepts_date_objects(self):
+        dimension = build_sparse_time_dimension([dt.date(2000, 1, 4)])
+        assert dimension.values("day") == {"2000/01/04"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            build_sparse_time_dimension([])

@@ -1,0 +1,146 @@
+"""Unit tests for calendar encodings, parsing, ordinals, and extents."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import DimensionError
+from repro.timedim.calendar import (
+    add_months,
+    day_value,
+    display,
+    first_day,
+    iter_days,
+    last_day,
+    month_value,
+    ordinal,
+    parse_day,
+    parse_value,
+    quarter_value,
+    value_at,
+    week_value,
+    year_value,
+)
+
+
+class TestEncoding:
+    def test_day(self):
+        assert day_value(dt.date(2000, 1, 4)) == "2000/01/04"
+
+    def test_week_iso(self):
+        # The paper's week assignments are ISO weeks.
+        assert week_value(dt.date(1999, 11, 23)) == "1999W47"
+        assert week_value(dt.date(1999, 12, 4)) == "1999W48"
+        assert week_value(dt.date(1999, 12, 31)) == "1999W52"
+        assert week_value(dt.date(2000, 1, 4)) == "2000W01"
+        assert week_value(dt.date(2000, 1, 20)) == "2000W03"
+
+    def test_week_crosses_calendar_year(self):
+        # Jan 1-2 of 2000 belong to ISO week 1999W52.
+        assert week_value(dt.date(2000, 1, 1)) == "1999W52"
+
+    def test_month_quarter_year(self):
+        date = dt.date(1999, 11, 23)
+        assert month_value(date) == "1999/11"
+        assert quarter_value(date) == "1999Q4"
+        assert year_value(date) == "1999"
+
+    def test_value_at_dispatch(self):
+        date = dt.date(2000, 5, 7)
+        assert value_at(date, "day") == "2000/05/07"
+        assert value_at(date, "quarter") == "2000Q2"
+
+    def test_value_at_bad_category(self):
+        with pytest.raises(DimensionError, match="not a time category"):
+            value_at(dt.date(2000, 1, 1), "fortnight")
+
+
+class TestParsing:
+    def test_parse_day_paper_style(self):
+        assert parse_day("1999/12/4") == dt.date(1999, 12, 4)
+        assert parse_day("1999/12/04") == dt.date(1999, 12, 4)
+
+    def test_parse_value_normalizes(self):
+        assert parse_value("day", "2000/1/4") == "2000/01/04"
+        assert parse_value("week", "2000W1") == "2000W01"
+        assert parse_value("month", "2000/1") == "2000/01"
+        assert parse_value("quarter", "1999Q4") == "1999Q4"
+        assert parse_value("year", "1999") == "1999"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(DimensionError):
+            parse_value("day", "1999-12-04")
+        with pytest.raises(DimensionError):
+            parse_value("month", "1999/13")
+        with pytest.raises(DimensionError):
+            parse_value("week", "1999W54")
+        with pytest.raises(DimensionError):
+            parse_value("quarter", "1999Q5")
+
+    def test_display_paper_style(self):
+        assert display("day", "2000/01/04") == "2000/1/4"
+        assert display("month", "2000/01") == "2000/1"
+        assert display("week", "2000W01") == "2000W1"
+        assert display("quarter", "1999Q4") == "1999Q4"
+
+
+class TestOrdinals:
+    def test_day_ordinal_matches_toordinal(self):
+        assert ordinal("day", "2000/01/04") == dt.date(2000, 1, 4).toordinal()
+
+    def test_month_ordinal_monotone(self):
+        assert ordinal("month", "1999/12") < ordinal("month", "2000/01")
+
+    def test_quarter_ordinal_monotone(self):
+        assert ordinal("quarter", "1999Q4") < ordinal("quarter", "2000Q1")
+
+    def test_week_ordinal_monotone_across_year(self):
+        assert ordinal("week", "1999W52") < ordinal("week", "2000W01")
+
+    def test_string_order_equals_ordinal_order(self):
+        months = ["1999/02", "1999/11", "2000/01"]
+        assert sorted(months) == sorted(months, key=lambda m: ordinal("month", m))
+
+
+class TestExtents:
+    def test_month_extent(self):
+        assert first_day("month", "2000/02") == dt.date(2000, 2, 1)
+        assert last_day("month", "2000/02") == dt.date(2000, 2, 29)  # leap
+
+    def test_december_extent(self):
+        assert last_day("month", "1999/12") == dt.date(1999, 12, 31)
+
+    def test_quarter_extent(self):
+        assert first_day("quarter", "1999Q4") == dt.date(1999, 10, 1)
+        assert last_day("quarter", "1999Q4") == dt.date(1999, 12, 31)
+
+    def test_week_extent(self):
+        assert first_day("week", "1999W48") == dt.date(1999, 11, 29)
+        assert last_day("week", "1999W48") == dt.date(1999, 12, 5)
+
+    def test_year_extent(self):
+        assert first_day("year", "2000") == dt.date(2000, 1, 1)
+        assert last_day("year", "2000") == dt.date(2000, 12, 31)
+
+    def test_day_extent_is_itself(self):
+        assert first_day("day", "2000/01/04") == last_day("day", "2000/01/04")
+
+
+class TestArithmetic:
+    def test_add_months_simple(self):
+        assert add_months(dt.date(2000, 1, 15), 2) == dt.date(2000, 3, 15)
+
+    def test_add_months_negative(self):
+        assert add_months(dt.date(2000, 1, 15), -2) == dt.date(1999, 11, 15)
+
+    def test_add_months_clamps_day(self):
+        assert add_months(dt.date(2000, 1, 31), 1) == dt.date(2000, 2, 29)
+        assert add_months(dt.date(1999, 1, 31), 1) == dt.date(1999, 2, 28)
+
+    def test_iter_days_inclusive(self):
+        days = list(iter_days(dt.date(2000, 1, 1), dt.date(2000, 1, 3)))
+        assert days == [
+            dt.date(2000, 1, 1),
+            dt.date(2000, 1, 2),
+            dt.date(2000, 1, 3),
+        ]

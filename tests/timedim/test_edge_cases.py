@@ -1,0 +1,115 @@
+"""Calendar edge cases: ISO week 53, leap years, year boundaries."""
+
+import datetime as dt
+
+import pytest
+
+from repro.timedim.builder import build_time_dimension
+from repro.timedim.calendar import (
+    first_day,
+    last_day,
+    ordinal,
+    value_at,
+    week_value,
+)
+from repro.timedim.spans import TimeSpan
+
+
+class TestWeek53:
+    def test_2004_has_week_53(self):
+        # 2004-12-30 is Thursday of ISO week 2004W53.
+        assert week_value(dt.date(2004, 12, 30)) == "2004W53"
+
+    def test_week53_extent(self):
+        assert first_day("week", "2004W53") == dt.date(2004, 12, 27)
+        assert last_day("week", "2004W53") == dt.date(2005, 1, 2)
+
+    def test_january_days_in_previous_iso_year(self):
+        # 2005-01-01/02 belong to 2004W53.
+        assert week_value(dt.date(2005, 1, 1)) == "2004W53"
+        assert week_value(dt.date(2005, 1, 2)) == "2004W53"
+        assert week_value(dt.date(2005, 1, 3)) == "2005W01"
+
+    def test_dimension_spanning_week53(self):
+        dimension = build_time_dimension("2004/12/20", "2005/1/10")
+        assert "2004W53" in dimension.values("week")
+        days = dimension.descendants_at("2004W53", "day")
+        assert len(days) == 7
+        assert "2005/01/01" in days
+
+    def test_week53_ordinal_between_w52_and_next_w01(self):
+        assert (
+            ordinal("week", "2004W52")
+            < ordinal("week", "2004W53")
+            < ordinal("week", "2005W01")
+        )
+
+
+class TestLeapYears:
+    def test_feb29_exists_in_leap_year(self):
+        dimension = build_time_dimension("2000/2/1", "2000/3/1")
+        assert "2000/02/29" in dimension.values("day")
+        assert len(dimension.descendants_at("2000/02", "day")) == 29
+
+    def test_2000_is_a_leap_year_1900_rule(self):
+        # 2000 is divisible by 400: a leap year despite the century rule.
+        assert last_day("month", "2000/02") == dt.date(2000, 2, 29)
+        assert last_day("month", "1900/02") == dt.date(1900, 2, 28)
+
+    def test_span_arithmetic_over_feb29(self):
+        span = TimeSpan.parse("1 year")
+        assert span.subtract_from(dt.date(2000, 2, 29)) == dt.date(1999, 2, 28)
+        assert span.add_to(dt.date(2000, 2, 29)) == dt.date(2001, 2, 28)
+
+    def test_quarter_q1_leap_extent(self):
+        assert (
+            last_day("quarter", "2000Q1") - first_day("quarter", "2000Q1")
+        ).days + 1 == 91  # 31 + 29 + 31
+
+
+class TestYearBoundaries:
+    def test_new_year_rollup_consistency(self):
+        dimension = build_time_dimension("1999/12/28", "2000/1/5")
+        assert dimension.ancestor_at("1999/12/31", "year") == "1999"
+        assert dimension.ancestor_at("2000/01/01", "year") == "2000"
+        # ... while both share ISO week 1999W52.
+        assert dimension.ancestor_at("1999/12/31", "week") == "1999W52"
+        assert dimension.ancestor_at("2000/01/01", "week") == "1999W52"
+
+    def test_week_spanning_years_drills_into_both(self):
+        dimension = build_time_dimension("1999/12/28", "2000/1/5")
+        days = dimension.descendants_at("1999W52", "day")
+        years = {dimension.ancestor_at(day, "year") for day in days}
+        assert years == {"1999", "2000"}
+
+    def test_now_term_at_year_boundary(self):
+        from repro.timedim.now import NowRelative
+
+        term = NowRelative(-1, TimeSpan.parse("1 month"))
+        assert term.evaluate(dt.date(2000, 1, 15), "month") == "1999/12"
+        assert term.evaluate(dt.date(2000, 1, 15), "year") == "1999"
+
+
+class TestValueAtConsistency:
+    @pytest.mark.parametrize(
+        "date",
+        [
+            dt.date(1999, 1, 1),
+            dt.date(2000, 2, 29),
+            dt.date(2004, 12, 31),
+            dt.date(2005, 1, 1),
+        ],
+    )
+    def test_extent_contains_source_date(self, date):
+        for category in ("day", "week", "month", "quarter", "year"):
+            value = value_at(date, category)
+            assert first_day(category, value) <= date <= last_day(
+                category, value
+            )
+
+    def test_ordinals_strictly_monotone_over_a_decade(self):
+        days = [dt.date(1998, 1, 1) + dt.timedelta(days=37 * i) for i in range(99)]
+        for category in ("day", "month", "quarter", "year"):
+            values = [value_at(d, category) for d in days]
+            ordinals = [ordinal(category, v) for v in values]
+            assert ordinals == sorted(ordinals)

@@ -1,0 +1,124 @@
+"""Unit tests for time spans and NOW-relative terms."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SpecSyntaxError
+from repro.timedim.granularity import TimeUnit, parse_time_unit
+from repro.timedim.now import NOW, AbsoluteTime, NowRelative
+from repro.timedim.spans import TimeSpan
+
+
+class TestTimeUnits:
+    def test_parse_singular_and_plural(self):
+        assert parse_time_unit("month") is TimeUnit.MONTHS
+        assert parse_time_unit("months") is TimeUnit.MONTHS
+        assert parse_time_unit("QUARTERS") is TimeUnit.QUARTERS
+
+    def test_parse_unknown(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            parse_time_unit("fortnights")
+
+
+class TestTimeSpan:
+    def test_parse(self):
+        span = TimeSpan.parse("6 months")
+        assert span.count == 6
+        assert span.unit is TimeUnit.MONTHS
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SpecSyntaxError):
+            TimeSpan.parse("six months")
+
+    def test_negative_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            TimeSpan(-1, TimeUnit.DAYS)
+
+    def test_subtract_days(self):
+        assert TimeSpan.parse("10 days").subtract_from(
+            dt.date(2000, 1, 5)
+        ) == dt.date(1999, 12, 26)
+
+    def test_subtract_weeks(self):
+        assert TimeSpan.parse("2 weeks").subtract_from(
+            dt.date(2000, 1, 15)
+        ) == dt.date(2000, 1, 1)
+
+    def test_subtract_months_calendar(self):
+        assert TimeSpan.parse("6 months").subtract_from(
+            dt.date(2000, 11, 5)
+        ) == dt.date(2000, 5, 5)
+
+    def test_subtract_quarters(self):
+        assert TimeSpan.parse("4 quarters").subtract_from(
+            dt.date(2000, 11, 5)
+        ) == dt.date(1999, 11, 5)
+
+    def test_subtract_years(self):
+        assert TimeSpan.parse("3 years").subtract_from(
+            dt.date(2000, 2, 29)
+        ) == dt.date(1997, 2, 28)
+
+    def test_add_inverse_of_subtract_for_days(self):
+        span = TimeSpan.parse("45 days")
+        date = dt.date(2000, 6, 1)
+        assert span.add_to(span.subtract_from(date)) == date
+
+    def test_str(self):
+        assert str(TimeSpan.parse("1 month")) == "1 month"
+        assert str(TimeSpan.parse("4 quarters")) == "4 quarters"
+
+
+class TestNowRelative:
+    def test_plain_now(self):
+        assert NOW.evaluate(dt.date(2000, 11, 5), "day") == "2000/11/05"
+        assert NOW.is_now_relative
+
+    def test_paper_value_quarter(self):
+        term = NowRelative(-1, TimeSpan.parse("4 quarters"))
+        assert term.evaluate(dt.date(2000, 11, 5), "quarter") == "1999Q4"
+
+    def test_paper_value_month_window(self):
+        lower = NowRelative(-1, TimeSpan.parse("12 months"))
+        upper = NowRelative(-1, TimeSpan.parse("6 months"))
+        at = dt.date(2000, 6, 5)
+        assert lower.evaluate(at, "month") == "1999/06"
+        assert upper.evaluate(at, "month") == "1999/12"
+
+    def test_plus_offset(self):
+        term = NowRelative(1, TimeSpan.parse("1 month"))
+        assert term.evaluate(dt.date(2000, 1, 15), "month") == "2000/02"
+
+    def test_invalid_sign(self):
+        with pytest.raises(SpecSyntaxError):
+            NowRelative(2, TimeSpan.parse("1 day"))
+
+    def test_sign_span_consistency(self):
+        with pytest.raises(SpecSyntaxError):
+            NowRelative(-1, None)
+        with pytest.raises(SpecSyntaxError):
+            NowRelative(0, TimeSpan.parse("1 day"))
+
+    def test_offset_days_estimate(self):
+        assert NowRelative(-1, TimeSpan.parse("2 weeks")).offset_days() == -14
+        assert NOW.offset_days() == 0
+
+    def test_str(self):
+        assert str(NOW) == "NOW"
+        assert str(NowRelative(-1, TimeSpan.parse("6 months"))) == "NOW - 6 months"
+
+
+class TestAbsoluteTime:
+    def test_canonicalizes_on_construction(self):
+        term = AbsoluteTime("month", "2000/1")
+        assert term.value == "2000/01"
+        assert not term.is_now_relative
+
+    def test_evaluate_requires_matching_category(self):
+        term = AbsoluteTime("month", "2000/01")
+        assert term.evaluate(dt.date(2005, 1, 1), "month") == "2000/01"
+        with pytest.raises(SpecSyntaxError):
+            term.evaluate(dt.date(2005, 1, 1), "day")

@@ -1,0 +1,114 @@
+"""Unit tests for the synthetic workload generators."""
+
+import datetime as dt
+
+import pytest
+
+from repro.spec.specification import ReductionSpecification
+from repro.workload import (
+    ClickstreamConfig,
+    RetailConfig,
+    build_clickstream_mo,
+    build_retail_mo,
+    generate_clicks,
+    generate_sales,
+    introduction_policy_actions,
+    make_rng,
+    tiered_retention_actions,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+class TestRng:
+    def test_zipf_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(10)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    def test_weighted_choice_deterministic(self):
+        rng1, rng2 = make_rng(5), make_rng(5)
+        items = ["a", "b", "c"]
+        weights = zipf_weights(3)
+        picks1 = [weighted_choice(rng1, items, weights) for _ in range(20)]
+        picks2 = [weighted_choice(rng2, items, weights) for _ in range(20)]
+        assert picks1 == picks2
+
+
+SMALL_CLICKS = ClickstreamConfig(
+    start=dt.date(2000, 1, 1),
+    end=dt.date(2000, 1, 31),
+    domains_per_group=2,
+    urls_per_domain=2,
+    clicks_per_day=5,
+    seed=3,
+)
+
+
+class TestClickstream:
+    def test_volume(self):
+        clicks = list(generate_clicks(SMALL_CLICKS))
+        assert len(clicks) == 31 * 5
+
+    def test_deterministic(self):
+        first = list(generate_clicks(SMALL_CLICKS))
+        second = list(generate_clicks(SMALL_CLICKS))
+        assert first == second
+
+    def test_mo_builds_and_totals(self):
+        mo = build_clickstream_mo(SMALL_CLICKS)
+        assert mo.n_facts == 31 * 5
+        assert mo.total("Number_of") == 31 * 5
+
+    def test_url_skew(self):
+        clicks = list(generate_clicks(SMALL_CLICKS))
+        counts: dict[str, int] = {}
+        for _, coordinates, _ in clicks:
+            counts[coordinates["URL"]] = counts.get(coordinates["URL"], 0) + 1
+        top = max(counts.values())
+        assert top > len(clicks) / len(counts)  # heavier than uniform
+
+    def test_tiered_retention_spec_is_sound(self):
+        mo = build_clickstream_mo(SMALL_CLICKS)
+        actions = tiered_retention_actions(mo)
+        spec = ReductionSpecification(actions, mo.dimensions)
+        assert spec.is_sound()
+
+
+SMALL_RETAIL = RetailConfig(
+    start=dt.date(2000, 1, 1),
+    end=dt.date(2000, 1, 15),
+    sales_per_day=4,
+    seed=9,
+)
+
+
+class TestRetail:
+    def test_volume_and_schema(self):
+        mo = build_retail_mo(SMALL_RETAIL)
+        assert mo.n_facts == 15 * 4
+        assert mo.schema.dimension_names == ("Time", "Product", "Store")
+        assert mo.schema.measure_names == ("Quantity", "Revenue")
+
+    def test_product_hierarchy(self):
+        mo = build_retail_mo(SMALL_RETAIL)
+        product = mo.dimensions["Product"]
+        sku = next(iter(product.values("sku")))
+        assert product.try_ancestor_at(sku, "department") is not None
+
+    def test_sales_deterministic(self):
+        first = list(generate_sales(SMALL_RETAIL))
+        second = list(generate_sales(SMALL_RETAIL))
+        assert first == second
+
+    def test_introduction_policy_is_sound(self):
+        mo = build_retail_mo(SMALL_RETAIL)
+        actions = introduction_policy_actions(mo)
+        spec = ReductionSpecification(actions, mo.dimensions)
+        assert spec.is_sound()
+        monthly, yearly = actions
+        assert monthly.le(yearly)
