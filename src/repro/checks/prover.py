@@ -137,6 +137,11 @@ class _Symbolic(frozenset):
 _SYMBOLIC = _Symbolic()
 
 
+def region_is_symbolic(region: frozenset[str] | None) -> bool:
+    """Whether a categorical region is constrained but ungrounded."""
+    return isinstance(region, _Symbolic)
+
+
 def regions_overlap(
     a: Mapping[str, frozenset[str] | None],
     b: Mapping[str, frozenset[str] | None],

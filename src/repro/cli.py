@@ -10,9 +10,14 @@ Commands
     Run the quickstart scenario: build the paper's example MO, install
     ``{a1, a2}``, and print the Figure 3 snapshots.
 
-``check SPEC_FILE --mo MO_FILE``
+``check SPEC_FILE --mo MO_FILE [--format text|json]``
     Validate a specification file (NonCrossing + Growing) against the
     dimensions of an MO document; exit status 1 on violations.
+
+``lint SPEC_FILE [SPEC_FILE ...] --mo MO_FILE [--format text|json|sarif]``
+    Run the full static diagnostics pass (all ``SDR`` rules) over
+    specification files; ``--select``/``--ignore`` filter rule codes and
+    exit status 1 signals remaining error-level findings.
 
 ``reduce MO_FILE SPEC_FILE --at YYYY-MM-DD [-o OUT_FILE]``
     Apply a reduction specification to a stored MO at a given date and
@@ -56,6 +61,29 @@ def build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser("check", help="validate a specification file")
     check.add_argument("spec_file")
     check.add_argument("--mo", required=True, dest="mo_file")
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+
+    lint = sub.add_parser(
+        "lint", help="static diagnostics over specification files"
+    )
+    lint.add_argument("spec_files", nargs="+")
+    lint.add_argument("--mo", required=True, dest="mo_file")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        help="only report these rule-code prefixes (comma-separable)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        help="suppress these rule-code prefixes (comma-separable)",
+    )
+    lint.add_argument("-o", "--output", help="write the report to a file")
 
     reduce_cmd = sub.add_parser("reduce", help="reduce a stored MO")
     reduce_cmd.add_argument("mo_file")
@@ -85,7 +113,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         if arguments.command == "demo":
             return _demo()
         if arguments.command == "check":
-            return _check(arguments.spec_file, arguments.mo_file)
+            return _check(
+                arguments.spec_file, arguments.mo_file, arguments.format
+            )
+        if arguments.command == "lint":
+            return _lint(
+                arguments.spec_files,
+                arguments.mo_file,
+                arguments.format,
+                arguments.select,
+                arguments.ignore,
+                arguments.output,
+            )
         if arguments.command == "reduce":
             return _reduce(
                 arguments.mo_file,
@@ -140,8 +179,9 @@ def _demo() -> int:
     return 0
 
 
-def _check(spec_file: str, mo_file: str) -> int:
+def _check(spec_file: str, mo_file: str, format: str = "text") -> int:
     from .io import load_mo, load_specification
+    from .lint import lint_specification, render
 
     with open(mo_file) as stream:
         mo = load_mo(stream)
@@ -149,17 +189,74 @@ def _check(spec_file: str, mo_file: str) -> int:
         specification = load_specification(
             stream, mo.schema, mo.dimensions, validate=False
         )
-    violations = specification.violations()
-    if violations:
-        print(f"specification is NOT sound ({len(violations)} violations):")
-        for violation in violations:
-            print(f"  - {violation}")
+    # The soundness gate re-expressed as lint rules: SDR102 is one
+    # diagnostic per check_noncrossing violation, SDR103 one per
+    # check_growing violation, computed by the same checker functions
+    # ReductionSpecification.violations() calls.
+    result = lint_specification(specification).filter(
+        select="SDR102,SDR103"
+    )
+    if format == "json":
+        print(render(result, "json"))
+        return 1 if result.has_errors() else 0
+    if result.has_errors():
+        print(
+            f"specification is NOT sound "
+            f"({len(result.errors)} violations):"
+        )
+        for diagnostic in result.errors:
+            print(f"  - {diagnostic.message}")
         return 1
     print(
         f"specification is sound: {len(specification)} actions, "
         "NonCrossing and Growing hold"
     )
     return 0
+
+
+def _lint(
+    spec_files: list[str],
+    mo_file: str,
+    format: str,
+    select: list[str] | None,
+    ignore: list[str] | None,
+    output: str | None,
+) -> int:
+    from .io import mo_from_dict
+    from .lint import (
+        LintResult,
+        lint_document_measures,
+        lint_paths,
+        render,
+    )
+
+    with open(mo_file) as stream:
+        document = json.load(stream)
+    measure_diagnostics = lint_document_measures(document, mo_file)
+    try:
+        mo = mo_from_dict(document)
+    except ReproError as exc:
+        # The MO document itself is unusable (e.g. a non-distributive
+        # default aggregate): report what the document-level rules saw.
+        result = LintResult.of(measure_diagnostics)
+        print(render(result.filter(select, ignore), format))
+        print(f"error: cannot load MO document: {exc}", file=sys.stderr)
+        return 1
+    result = lint_paths(
+        spec_files,
+        mo.schema,
+        mo.dimensions,
+        document=document,
+        mo_file=mo_file,
+    )
+    result = result.filter(select, ignore)
+    report = render(result, format)
+    if output:
+        with open(output, "w", encoding="utf-8") as stream:
+            stream.write(report + "\n")
+    else:
+        print(report)
+    return 1 if result.has_errors() else 0
 
 
 def _reduce(mo_file: str, spec_file: str, at: str, output: str | None) -> int:

@@ -1,0 +1,57 @@
+"""Static diagnostics over reduction specifications (the lint engine).
+
+A rule-based analyzer that inspects specification source files or bound
+:class:`~repro.spec.specification.ReductionSpecification` objects and
+reports findings with stable ``SDR`` codes, severities, fix-it hints,
+and 1-based line/column source regions.  Reporters render the findings
+as human text, machine JSON, or SARIF 2.1.0.
+
+The paper's two soundness conditions (NonCrossing, Section 5.2; Growing,
+Section 5.3) are exposed as lint rules ``SDR102``/``SDR103`` and are
+computed by the same checker functions that gate specification inserts,
+so the two paths cannot disagree.
+"""
+
+from .diagnostics import Diagnostic, LintResult, Region, Severity
+from .engine import (
+    LintContext,
+    SpecEntry,
+    lint_actions,
+    lint_paths,
+    lint_sources,
+    lint_specification,
+    parse_spec_text,
+)
+from .reporters import (
+    FORMATS,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_log,
+)
+from .rules import CHECKERS, RULES, Rule, lint_document_measures
+
+__all__ = [
+    "CHECKERS",
+    "Diagnostic",
+    "FORMATS",
+    "LintContext",
+    "LintResult",
+    "Region",
+    "Rule",
+    "RULES",
+    "Severity",
+    "SpecEntry",
+    "lint_actions",
+    "lint_document_measures",
+    "lint_paths",
+    "lint_sources",
+    "lint_specification",
+    "parse_spec_text",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "sarif_log",
+]

@@ -1,0 +1,178 @@
+"""The diagnostic model of the specification lint engine.
+
+A :class:`Diagnostic` is one finding of the static analyzer: a stable rule
+code (``SDR...``), a severity, a human message, and — whenever the finding
+can be traced to specification text — a file-relative :class:`Region` with
+1-based line/column coordinates.  :class:`LintResult` aggregates the
+findings of one run and supports the ``--select``/``--ignore`` code
+filters of the CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered ``ERROR > WARNING > INFO``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` value for this severity."""
+        return "note" if self is Severity.INFO else self.value
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A 1-based source region; ``end_column`` is exclusive (SARIF style)."""
+
+    start_line: int
+    start_column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        return f"{self.start_line}:{self.start_column}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding with its stable code, severity, and location."""
+
+    code: str
+    severity: Severity
+    message: str
+    file: str | None = None
+    region: Region | None = None
+    action: str | None = None
+    hint: str | None = None
+
+    def format(self) -> str:
+        """``file:line:col: severity[CODE]: message`` (human text form)."""
+        where = self.file or "<spec>"
+        if self.region is not None:
+            where = f"{where}:{self.region}"
+        text = f"{where}: {self.severity.value}[{self.code}]: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def sort_key(self) -> tuple:
+        region = self.region or Region(0, 0, 0, 0)
+        return (
+            self.file or "",
+            region.start_line,
+            region.start_column,
+            self.severity.rank,
+            self.code,
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable rendering (used by the JSON reporter)."""
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.file is not None:
+            out["file"] = self.file
+        if self.region is not None:
+            out["region"] = {
+                "start_line": self.region.start_line,
+                "start_column": self.region.start_column,
+                "end_line": self.region.end_line,
+                "end_column": self.region.end_column,
+            }
+        if self.action is not None:
+            out["action"] = self.action
+        if self.hint is not None:
+            out["hint"] = self.hint
+        return out
+
+
+def _parse_codes(codes: Iterable[str] | str | None) -> set[str] | None:
+    """Normalize a code filter: strings may be comma-separated prefixes."""
+    if codes is None:
+        return None
+    if isinstance(codes, str):
+        codes = [codes]
+    out: set[str] = set()
+    for chunk in codes:
+        out.update(c.strip() for c in chunk.split(",") if c.strip())
+    return out or None
+
+
+def _matches(code: str, patterns: set[str]) -> bool:
+    """Prefix matching, so ``--select SDR1`` selects the whole family."""
+    return any(code.startswith(p) for p in patterns)
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """All diagnostics produced by one lint run, sorted by location."""
+
+    diagnostics: tuple[Diagnostic, ...]
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.INFO)
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def filter(
+        self,
+        select: Iterable[str] | str | None = None,
+        ignore: Iterable[str] | str | None = None,
+    ) -> "LintResult":
+        """Keep only selected codes, then drop ignored ones."""
+        selected = _parse_codes(select)
+        ignored = _parse_codes(ignore)
+        kept = self.diagnostics
+        if selected is not None:
+            kept = tuple(d for d in kept if _matches(d.code, selected))
+        if ignored is not None:
+            kept = tuple(d for d in kept if not _matches(d.code, ignored))
+        return replace(self, diagnostics=kept)
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.errors)} error(s)",
+            f"{len(self.warnings)} warning(s)",
+            f"{len(self.infos)} info(s)",
+        ]
+        return ", ".join(parts)
+
+    @staticmethod
+    def of(diagnostics: Iterable[Diagnostic]) -> "LintResult":
+        return LintResult(tuple(sorted(diagnostics, key=Diagnostic.sort_key)))

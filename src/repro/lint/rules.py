@@ -1,0 +1,578 @@
+"""The lint rule catalog and the semantic checker implementations.
+
+Every diagnostic the engine can produce carries a stable ``SDR`` code
+registered here.  Codes are grouped by family:
+
+* ``SDR0xx`` — front-end findings (syntax, name resolution, binding),
+  emitted by :mod:`repro.lint.engine` while it parses and binds actions;
+* ``SDR1xx`` — semantic findings over bound actions, produced by the
+  checker functions in this module.
+
+The two paper soundness conditions are deliberately *re-expressed* as
+lint rules on top of :func:`repro.checks.noncrossing.check_noncrossing`
+and :func:`repro.checks.growing.check_growing`, so the lint verdict can
+never diverge from the insert-time gates of
+:class:`repro.spec.specification.ReductionSpecification`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from ..checks.growing import check_growing
+from ..checks.noncrossing import check_noncrossing
+from ..checks.prover import (
+    categorical_regions,
+    profiles_overlap,
+    region_is_symbolic,
+    sample_times,
+)
+from ..core.measures import resolve_aggregate
+from ..errors import MeasureError
+from ..spec.ast import Atom, union_spans
+from ..spec.ranges import ConjunctProfile, window_at, window_contains
+from ..timedim.now import NowRelative
+from .diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import LintContext, SpecEntry
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Registry metadata of one lint rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    paper: str
+    hint: str | None = None
+
+
+_RULE_DEFS = (
+    Rule(
+        "SDR001",
+        "spec-syntax",
+        Severity.ERROR,
+        "The action does not conform to the Table 1 grammar.",
+        "Section 4.1, Table 1",
+    ),
+    Rule(
+        "SDR002",
+        "unknown-dimension",
+        Severity.ERROR,
+        "A Clist entry or predicate atom names a dimension the fact schema "
+        "does not have.",
+        "Section 3",
+    ),
+    Rule(
+        "SDR003",
+        "unknown-category",
+        Severity.ERROR,
+        "A category reference is not part of the dimension's category "
+        "lattice.",
+        "Section 3",
+        hint="check the dimension's hierarchy for the spelling of the "
+        "category",
+    ),
+    Rule(
+        "SDR004",
+        "malformed-clist",
+        Severity.ERROR,
+        "The Clist must name exactly one target category per dimension of "
+        "the fact schema.",
+        "Section 4.1",
+    ),
+    Rule(
+        "SDR005",
+        "bad-term",
+        Severity.ERROR,
+        "A predicate term cannot be bound against the schema (ill-typed "
+        "time literal or unsupported category).",
+        "Section 4.1, Table 1",
+    ),
+    Rule(
+        "SDR006",
+        "duplicate-action-name",
+        Severity.ERROR,
+        "Two actions in the specification share a name.",
+        "Definition 1",
+    ),
+    Rule(
+        "SDR101",
+        "unevaluable-target",
+        Severity.ERROR,
+        "The action aggregates a dimension above a category its own "
+        "predicate still constrains, so the predicate could not be "
+        "re-evaluated after the action fires.",
+        "Section 4.1 (Cat_i(a) <=_Ti C_pred)",
+        hint="lower the aggregation target or coarsen the predicate "
+        "category",
+    ),
+    Rule(
+        "SDR102",
+        "crossing-actions",
+        Severity.ERROR,
+        "Two actions can select the same cell while their target "
+        "granularities are incomparable under <=_V (NonCrossing "
+        "violation).",
+        "Sections 4.3 and 5.2, Equation 14",
+        hint="make the targets comparable or the predicates disjoint",
+    ),
+    Rule(
+        "SDR103",
+        "not-growing",
+        Severity.ERROR,
+        "A shrinking action stops selecting cells that no <=_V-larger "
+        "action takes over, letting aggregation levels decrease (Growing "
+        "violation).",
+        "Sections 4.3 and 5.3, Equations 17 and 23",
+        hint="add a catcher action that covers the trailing edge at a "
+        "granularity at least as coarse",
+    ),
+    Rule(
+        "SDR104",
+        "unsatisfiable-predicate",
+        Severity.ERROR,
+        "The predicate can never select a cell at any evaluation time; the "
+        "action is unreachable.",
+        "Section 5.2 (satisfiability checking)",
+    ),
+    Rule(
+        "SDR105",
+        "unsatisfiable-disjunct",
+        Severity.WARNING,
+        "One disjunct of the predicate's DNF is unsatisfiable and "
+        "contributes nothing.",
+        "Section 5.3 (DNF pre-processing)",
+    ),
+    Rule(
+        "SDR106",
+        "shadowed-action",
+        Severity.WARNING,
+        "Every cell the action selects is always claimed by a "
+        "<=_V-coarser action as well, so this action never determines a "
+        "fact's granularity.",
+        "Section 4.2 (the <=_V order and max-granularity semantics)",
+        hint="delete the action or narrow the coarser action's predicate",
+    ),
+    Rule(
+        "SDR107",
+        "future-reference",
+        Severity.WARNING,
+        "A NOW-relative term reaches into the future (NOW + span); cells "
+        "are selected before their data can exist.",
+        "Section 4.1 (NOW-relative time terms)",
+    ),
+    Rule(
+        "SDR108",
+        "redundant-now-bound",
+        Severity.INFO,
+        "A NOW-relative bound is subsumed by a tighter bound in the same "
+        "conjunct, or spells redundant NOW arithmetic.",
+        "Section 4.3 (boundary categories)",
+    ),
+    Rule(
+        "SDR109",
+        "redundant-disjunct",
+        Severity.INFO,
+        "A DNF disjunct is implied by a more general disjunct of the same "
+        "predicate.",
+        "Section 5.3 (DNF pre-processing)",
+    ),
+    Rule(
+        "SDR110",
+        "bottom-no-op",
+        Severity.INFO,
+        "The action aggregates every dimension to its bottom category, so "
+        "it never changes a fact (a no-op outside disjoint rewrites).",
+        "Section 7.1",
+    ),
+    Rule(
+        "SDR111",
+        "non-distributive-aggregate",
+        Severity.WARNING,
+        "A measure declares a non-distributive default aggregate; gradual "
+        "re-aggregation (Definition 2) would be unsound.",
+        "Section 3",
+        hint="use a distributive aggregate (sum, count, min, max)",
+    ),
+)
+
+#: Stable code -> rule, in catalog order.
+RULES: dict[str, Rule] = {rule.code: rule for rule in _RULE_DEFS}
+
+Checker = Callable[["LintContext"], Iterable[Diagnostic]]
+
+#: Semantic checkers, run by the engine over the bound action set.
+CHECKERS: list[tuple[Rule, Checker]] = []
+
+
+def checker(code: str) -> Callable[[Checker], Checker]:
+    def register(function: Checker) -> Checker:
+        CHECKERS.append((RULES[code], function))
+        return function
+
+    return register
+
+
+# ----------------------------------------------------------------------
+# SDR101 — evaluability of targets against predicate categories
+# ----------------------------------------------------------------------
+
+@checker("SDR101")
+def check_unevaluable_target(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for entry in ctx.bound:
+        action = entry.action
+        assert action is not None
+        for atom in action.atoms():
+            dimension_type = action.schema.dimension_type(atom.ref.dimension)
+            target = action.cat_i(atom.ref.dimension)
+            if not dimension_type.le(target, atom.ref.category):
+                yield ctx.diagnostic(
+                    "SDR101",
+                    f"action {action.name!r} aggregates "
+                    f"{atom.ref.dimension!r} to {target!r} but its predicate "
+                    f"constrains {atom.ref.category!r}, which is not above "
+                    "the target",
+                    entry=entry,
+                    span=atom.span,
+                )
+
+
+# ----------------------------------------------------------------------
+# SDR102 / SDR103 — the paper's soundness conditions as lint rules
+# ----------------------------------------------------------------------
+
+@checker("SDR102")
+def check_rule_noncrossing(ctx: "LintContext") -> Iterator[Diagnostic]:
+    actions = [entry.action for entry in ctx.bound]
+    for violation in check_noncrossing(actions, ctx.dimensions, ctx.prover):
+        entry = ctx.entry_for(violation.second) or ctx.entry_for(
+            violation.first
+        )
+        yield ctx.diagnostic("SDR102", str(violation), entry=entry)
+
+
+@checker("SDR103")
+def check_rule_growing(ctx: "LintContext") -> Iterator[Diagnostic]:
+    actions = [entry.action for entry in ctx.bound]
+    for violation in check_growing(actions, ctx.dimensions, ctx.prover):
+        yield ctx.diagnostic(
+            "SDR103", str(violation), entry=ctx.entry_for(violation.action)
+        )
+
+
+# ----------------------------------------------------------------------
+# SDR104 / SDR105 — satisfiability via the bounded prover
+# ----------------------------------------------------------------------
+
+@checker("SDR104")
+def check_unsatisfiable(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for entry in ctx.bound:
+        action = entry.action
+        assert action is not None
+        profiles = entry.profiles
+        if not profiles:
+            yield ctx.diagnostic(
+                "SDR104",
+                f"action {action.name!r} has predicate FALSE and can never "
+                "fire",
+                entry=entry,
+            )
+            continue
+        satisfiable = [
+            profiles_overlap(p, p, ctx.dimensions, ctx.prover)
+            for p in profiles
+        ]
+        if not any(satisfiable):
+            yield ctx.diagnostic(
+                "SDR104",
+                f"the predicate of action {action.name!r} is unsatisfiable "
+                "at every evaluation time on the prover horizon",
+                entry=entry,
+            )
+            continue
+        for atoms, ok in zip(action.conjuncts(), satisfiable):
+            if ok:
+                continue
+            span = union_spans([a.span for a in atoms])
+            rendered = " AND ".join(str(a) for a in atoms)
+            yield ctx.diagnostic(
+                "SDR105",
+                f"disjunct [{rendered}] of action {action.name!r} is "
+                "unsatisfiable",
+                entry=entry,
+                span=span,
+            )
+
+
+# ----------------------------------------------------------------------
+# SDR106 — dead / shadowed actions
+# ----------------------------------------------------------------------
+
+def _window_modelled_exactly(profile: ConjunctProfile) -> bool:
+    """Whether ``window_at`` is exact (not an over-approximation) for the
+    profile: only plain comparisons, no membership hulls or exclusions."""
+    return all(
+        atom.op in ("<", "<=", ">", ">=", "=") for atom in profile.time_atoms
+    )
+
+
+def _region_contained(
+    inner: ConjunctProfile,
+    outer: ConjunctProfile,
+    ctx: "LintContext",
+) -> bool:
+    """Prove the inner categorical region is inside the outer one."""
+    inner_regions = categorical_regions(inner, ctx.dimensions)
+    outer_regions = categorical_regions(outer, ctx.dimensions)
+    for name, outer_region in outer_regions.items():
+        if outer_region is None:
+            continue  # outer unconstrained in this dimension
+        if region_is_symbolic(outer_region):
+            return False  # cannot prove coverage with an ungrounded region
+        inner_region = inner_regions.get(name)
+        if inner_region is None or region_is_symbolic(inner_region):
+            return False
+        if not inner_region <= outer_region:
+            return False
+    return True
+
+
+def _profile_contained(
+    inner: ConjunctProfile,
+    outer: ConjunctProfile,
+    ctx: "LintContext",
+) -> bool:
+    if outer.unmodelled_atoms or not _window_modelled_exactly(outer):
+        return False  # the outer region would be an over-approximation
+    if not _region_contained(inner, outer, ctx):
+        return False
+    for t in sample_times((inner, outer), ctx.prover):
+        inner_window = window_at(inner, t)
+        outer_window = window_at(outer, t)
+        if inner_window is None:
+            if outer_window is not None:
+                return False
+            continue
+        if not window_contains(outer_window, inner_window):
+            return False
+    return True
+
+
+@checker("SDR106")
+def check_shadowed(ctx: "LintContext") -> Iterator[Diagnostic]:
+    bound = ctx.bound
+    for i, entry in enumerate(bound):
+        action = entry.action
+        assert action is not None
+        for j, other_entry in enumerate(bound):
+            if i == j:
+                continue
+            other = other_entry.action
+            assert other is not None
+            if not action.le(other):
+                continue
+            if action.cat() == other.cat() and j > i:
+                # For duplicates at the same granularity, only flag the
+                # later action as the shadowed one.
+                continue
+            live = [
+                p
+                for p in entry.profiles
+                if profiles_overlap(p, p, ctx.dimensions, ctx.prover)
+            ]
+            if not live:
+                continue  # unsatisfiable actions are SDR104's business
+            if all(
+                any(
+                    _profile_contained(p, q, ctx)
+                    for q in other_entry.profiles
+                )
+                for p in live
+            ):
+                yield ctx.diagnostic(
+                    "SDR106",
+                    f"action {action.name!r} is shadowed by "
+                    f"{other.name!r}: every cell it selects is always "
+                    "claimed at a granularity at least as coarse",
+                    entry=entry,
+                )
+                break
+
+
+# ----------------------------------------------------------------------
+# SDR107 / SDR108 — NOW misuse
+# ----------------------------------------------------------------------
+
+@checker("SDR107")
+def check_future_reference(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for entry in ctx.bound:
+        action = entry.action
+        assert action is not None
+        for atom in action.atoms():
+            if any(
+                isinstance(term, NowRelative) and term.sign > 0
+                for term in atom.terms
+            ):
+                yield ctx.diagnostic(
+                    "SDR107",
+                    f"action {action.name!r} compares against a future "
+                    f"time (NOW + span) in [{atom}]",
+                    entry=entry,
+                    span=atom.span,
+                )
+
+
+def _now_bound_atoms(
+    atoms: Iterable[Atom],
+) -> Iterator[tuple[Atom, NowRelative, str]]:
+    """Comparison atoms with a single NOW-relative term, with direction."""
+    for atom in atoms:
+        if atom.op in ("<", "<="):
+            direction = "upper"
+        elif atom.op in (">", ">="):
+            direction = "lower"
+        else:
+            continue
+        term = atom.terms[0]
+        if isinstance(term, NowRelative):
+            yield atom, term, direction
+
+
+@checker("SDR108")
+def check_redundant_now_bounds(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for entry in ctx.bound:
+        action = entry.action
+        assert action is not None
+        for atom in action.atoms():
+            for term in atom.terms:
+                if (
+                    isinstance(term, NowRelative)
+                    and term.span is not None
+                    and term.span.count == 0
+                ):
+                    yield ctx.diagnostic(
+                        "SDR108",
+                        f"zero-length offset in [{atom}]: "
+                        f"`{term}` is just NOW",
+                        entry=entry,
+                        span=atom.span,
+                    )
+        for atoms in action.conjuncts():
+            groups: dict[tuple[str, str, str], list[tuple[Atom, int]]] = {}
+            for atom, term, direction in _now_bound_atoms(atoms):
+                key = (atom.ref.dimension, atom.ref.category, direction)
+                groups.setdefault(key, []).append((atom, term.offset_days()))
+            for (_, _, direction), members in groups.items():
+                if len(members) < 2:
+                    continue
+                offsets = [offset for _, offset in members]
+                best = min(offsets) if direction == "upper" else max(offsets)
+                for atom, offset in members:
+                    if offset == best:
+                        continue
+                    yield ctx.diagnostic(
+                        "SDR108",
+                        f"bound [{atom}] in action {action.name!r} is "
+                        "subsumed by a tighter NOW-relative bound in the "
+                        "same conjunct",
+                        entry=entry,
+                        span=atom.span,
+                    )
+
+
+# ----------------------------------------------------------------------
+# SDR109 — redundant DNF disjuncts
+# ----------------------------------------------------------------------
+
+@checker("SDR109")
+def check_redundant_disjunct(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for entry in ctx.bound:
+        action = entry.action
+        assert action is not None
+        conjuncts = action.conjuncts()
+        if len(conjuncts) < 2:
+            continue
+        atom_sets = [frozenset(atoms) for atoms in conjuncts]
+        for index, atom_set in enumerate(atom_sets):
+            if any(
+                j != index and other < atom_set
+                for j, other in enumerate(atom_sets)
+            ):
+                rendered = " AND ".join(str(a) for a in conjuncts[index])
+                yield ctx.diagnostic(
+                    "SDR109",
+                    f"disjunct [{rendered}] of action {action.name!r} is "
+                    "implied by a more general disjunct and can be dropped",
+                    entry=entry,
+                    span=union_spans([a.span for a in conjuncts[index]]),
+                )
+
+
+# ----------------------------------------------------------------------
+# SDR110 — bottom-granularity no-ops
+# ----------------------------------------------------------------------
+
+@checker("SDR110")
+def check_bottom_noop(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for entry in ctx.bound:
+        action = entry.action
+        assert action is not None
+        if action.cat() == action.schema.bottom_granularity():
+            yield ctx.diagnostic(
+                "SDR110",
+                f"action {action.name!r} aggregates to the bottom "
+                "granularity in every dimension and never changes a fact",
+                entry=entry,
+            )
+
+
+# ----------------------------------------------------------------------
+# SDR111 — non-distributive default aggregates (MO document level)
+# ----------------------------------------------------------------------
+
+def lint_document_measures(
+    document: object, mo_file: str | None = None
+) -> list[Diagnostic]:
+    """Diagnostics over the raw MO document's measure declarations.
+
+    Runs *before* MO construction so that declarations the model layer
+    would reject outright (Section 3 restricts default aggregates to
+    distributive functions) still surface as diagnostics.
+    """
+    out: list[Diagnostic] = []
+    if not isinstance(document, dict):
+        return out
+    for measure in document.get("measures", ()):
+        name = measure.get("name", "?")
+        declared = measure.get("aggregate", "sum")
+        try:
+            aggregate = resolve_aggregate(declared)
+        except MeasureError:
+            out.append(
+                Diagnostic(
+                    "SDR111",
+                    Severity.WARNING,
+                    f"measure {name!r} declares unknown aggregate "
+                    f"{declared!r}",
+                    file=mo_file,
+                )
+            )
+            continue
+        if not aggregate.distributive:
+            out.append(
+                Diagnostic(
+                    "SDR111",
+                    Severity.WARNING,
+                    f"measure {name!r} declares non-distributive default "
+                    f"aggregate {aggregate.name!r}; gradual re-aggregation "
+                    "would be unsound (the model layer will reject it)",
+                    file=mo_file,
+                    hint=RULES["SDR111"].hint,
+                )
+            )
+    return out

@@ -21,6 +21,7 @@ from ..timedim.calendar import parse_value
 from ..timedim.granularity import is_time_category
 from ..timedim.now import AbsoluteTime, NowRelative, TimeTerm
 from .ast import (
+    ActionSyntax,
     And,
     Atom,
     CategoryRef,
@@ -65,6 +66,11 @@ class Action:
         self.schema = schema
         self.name = name or f"action_{next(_action_counter)}"
         self.enforce_evaluability = enforce_evaluability
+        #: Surface text and syntax tree when built via :meth:`parse`; they
+        #: let static analyzers (``repro.lint``) map diagnostics back to
+        #: source spans.
+        self.source: str | None = None
+        self.syntax: "ActionSyntax | None" = None
         if isinstance(granularity, Mapping):
             mapping = dict(granularity)
         else:
@@ -94,13 +100,16 @@ class Action:
         enforce_evaluability: bool = True,
     ) -> "Action":
         syntax = parse_action(source)
-        return cls(
+        action = cls(
             schema,
             syntax.clist,
             syntax.predicate,
             name,
             enforce_evaluability=enforce_evaluability,
         )
+        action.source = source
+        action.syntax = syntax
+        return action
 
     # ------------------------------------------------------------------
     # The paper's Cat functions and the <=_V order
@@ -213,7 +222,7 @@ def _bind_predicate(
 
     def bind(node: Predicate) -> Predicate:
         if isinstance(node, Atom):
-            return _bind_atom(schema, node, action_name)
+            return bind_atom(schema, node, action_name)
         if isinstance(node, Not):
             return Not(bind(node.operand))
         if isinstance(node, And):
@@ -225,7 +234,12 @@ def _bind_predicate(
     return bind(predicate)
 
 
-def _bind_atom(schema: FactSchema, atom: Atom, action_name: str) -> Atom:
+def bind_atom(schema: FactSchema, atom: Atom, action_name: str) -> Atom:
+    """Validate one atom against *schema*, normalizing its time terms.
+
+    Raises :class:`SpecSemanticsError` on unknown dimensions/categories or
+    ill-typed time literals; the returned atom preserves the source span.
+    """
     try:
         dimension_type = schema.dimension_type(atom.ref.dimension)
     except Exception:
@@ -265,7 +279,7 @@ def _bind_atom(schema: FactSchema, atom: Atom, action_name: str) -> Atom:
             )
         else:
             bound_terms.append(term)
-    return Atom(atom.ref, atom.op, tuple(bound_terms))
+    return Atom(atom.ref, atom.op, tuple(bound_terms), span=atom.span)
 
 
 def _is_top_category(category: str) -> bool:

@@ -8,13 +8,42 @@ boolean combinations of *atoms*; an atom compares one dimension category
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from ..errors import SpecSyntaxError
 from ..timedim.now import AbsoluteTime, NowRelative, TimeTerm
 
 COMPARISON_OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Half-open ``[start, end)`` character offsets into an action source.
+
+    Spans are attached to AST nodes by the parser (and preserved through
+    binding and DNF rewriting) so that static diagnostics can point at the
+    exact piece of specification text that triggered them.  They never
+    participate in node equality or hashing.
+    """
+
+    start: int
+    end: int
+
+    def union(self, other: "SourceSpan | None") -> "SourceSpan":
+        if other is None:
+            return self
+        return SourceSpan(min(self.start, other.start), max(self.end, other.end))
+
+
+def union_spans(spans: "Sequence[SourceSpan | None]") -> SourceSpan | None:
+    """The smallest span covering all non-``None`` *spans* (or ``None``)."""
+    out: SourceSpan | None = None
+    for span in spans:
+        if span is None:
+            continue
+        out = span if out is None else out.union(span)
+    return out
 
 
 @dataclass(frozen=True)
@@ -28,6 +57,7 @@ class CategoryRef:
 
     dimension: str
     category: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"{self.dimension}.{self.category}"
@@ -47,6 +77,8 @@ class Predicate:
 class TruePredicate(Predicate):
     """The constant TRUE (selects every cell)."""
 
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
+
     def atoms(self) -> Iterator["Atom"]:
         return iter(())
 
@@ -57,6 +89,8 @@ class TruePredicate(Predicate):
 @dataclass(frozen=True)
 class FalsePredicate(Predicate):
     """The constant FALSE (selects nothing)."""
+
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def atoms(self) -> Iterator["Atom"]:
         return iter(())
@@ -77,6 +111,7 @@ class Atom(Predicate):
     ref: CategoryRef
     op: str
     terms: tuple[TimeTerm | str, ...]
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS and self.op != "in":
@@ -115,6 +150,7 @@ class Not(Predicate):
     """Logical negation of one predicate."""
 
     operand: Predicate
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def atoms(self) -> Iterator[Atom]:
         return self.operand.atoms()
@@ -131,6 +167,7 @@ class And(Predicate):
     """Conjunction of two or more predicates."""
 
     operands: tuple[Predicate, ...]
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.operands) < 2:
@@ -152,6 +189,7 @@ class Or(Predicate):
     """Disjunction of two or more predicates."""
 
     operands: tuple[Predicate, ...]
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.operands) < 2:
@@ -212,6 +250,7 @@ class ActionSyntax:
 
     clist: tuple[CategoryRef, ...]
     predicate: Predicate
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         cats = ", ".join(str(ref) for ref in self.clist)

@@ -48,9 +48,17 @@ def negate(predicate: Predicate) -> Predicate:
         if predicate.op == "in":
             # NOT (x IN {a, b}) == x != a AND x != b
             return conjunction(
-                [Atom(predicate.ref, "!=", (term,)) for term in predicate.terms]
+                [
+                    Atom(predicate.ref, "!=", (term,), span=predicate.span)
+                    for term in predicate.terms
+                ]
             )
-        return Atom(predicate.ref, _NEGATED_OP[predicate.op], predicate.terms)
+        return Atom(
+            predicate.ref,
+            _NEGATED_OP[predicate.op],
+            predicate.terms,
+            span=predicate.span,
+        )
     raise SpecSemanticsError(f"cannot negate {predicate!r}")
 
 

@@ -16,6 +16,7 @@ The concrete syntax follows Table 1 with a few ASCII conveniences:
 
 from __future__ import annotations
 
+import bisect
 import re
 from dataclasses import dataclass
 
@@ -39,11 +40,18 @@ _TOKEN_RE = re.compile(
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token with its kind, text, and source position."""
+    """One lexical token with its kind, text, and source position.
+
+    ``position``/``end`` are half-open character offsets into the source;
+    ``line``/``column`` are the 1-based coordinates of ``position``.
+    """
 
     kind: str  # 'string' | 'number' | 'op' | 'punct' | 'ident' | 'keyword'
     text: str
     position: int
+    end: int = -1
+    line: int = 1
+    column: int = 1
 
     def is_keyword(self, word: str) -> bool:
         return self.kind == "keyword" and self.text == word
@@ -52,10 +60,27 @@ class Token:
         return self.kind == "punct" and self.text == char
 
 
+def line_starts(source: str) -> list[int]:
+    """Offsets at which each line of *source* begins (line 1 first)."""
+    return [0] + [m.end() for m in re.finditer(r"\n", source)]
+
+
+def locate(starts: list[int], position: int) -> tuple[int, int]:
+    """1-based ``(line, column)`` of a character offset given line starts."""
+    index = bisect.bisect_right(starts, position) - 1
+    return index + 1, position - starts[index] + 1
+
+
 def tokenize(source: str) -> list[Token]:
     """Tokenize *source*, raising :class:`SpecSyntaxError` on junk."""
     tokens: list[Token] = []
+    starts = line_starts(source)
     position = 0
+
+    def emit(kind: str, text: str, start: int, end: int) -> None:
+        line, column = locate(starts, start)
+        tokens.append(Token(kind, text, start, end, line, column))
+
     while position < len(source):
         match = _TOKEN_RE.match(source, position)
         if not match:
@@ -69,21 +94,21 @@ def tokenize(source: str) -> list[Token]:
             continue
         if kind == "string":
             body = text[1:-1].replace("\\'", "'").replace("\\\\", "\\")
-            tokens.append(Token("string", body, match.start()))
+            emit("string", body, match.start(), match.end())
         elif kind == "greek":
             mapped = "a" if text == "α" else "o"
-            tokens.append(Token("keyword", mapped.upper(), match.start()))
+            emit("keyword", mapped.upper(), match.start(), match.end())
         elif kind == "ident":
             upper = text.upper()
             if upper in KEYWORDS:
-                tokens.append(Token("keyword", upper, match.start()))
+                emit("keyword", upper, match.start(), match.end())
             else:
-                tokens.append(Token("ident", text, match.start()))
+                emit("ident", text, match.start(), match.end())
         elif kind == "op":
             canonical = "!=" if text == "<>" else text
-            tokens.append(Token("op", canonical, match.start()))
+            emit("op", canonical, match.start(), match.end())
         else:
-            tokens.append(Token(kind or "punct", text, match.start()))
+            emit(kind or "punct", text, match.start(), match.end())
     return tokens
 
 

@@ -28,6 +28,7 @@ from .ast import (
     FalsePredicate,
     Not,
     Predicate,
+    SourceSpan,
     TruePredicate,
     conjunction,
     disjunction,
@@ -62,7 +63,10 @@ def parse_action(source: str) -> ActionSyntax:
     if wrapped:
         stream.expect_punct(")")
     stream.require_end()
-    return ActionSyntax(tuple(clist), predicate)
+    span = None
+    if stream.tokens:
+        span = SourceSpan(stream.tokens[0].position, stream.tokens[-1].end)
+    return ActionSyntax(tuple(clist), predicate, span=span)
 
 
 def parse_predicate(source: str) -> Predicate:
@@ -103,7 +107,14 @@ def _parse_category_ref(stream: TokenStream) -> CategoryRef:
     name = category.text
     if name == "T":
         name = TOP
-    return CategoryRef(dimension.text, name)
+    return CategoryRef(
+        dimension.text, name, span=SourceSpan(dimension.position, category.end)
+    )
+
+
+def _last_end(stream: TokenStream) -> int:
+    """End offset of the most recently consumed token."""
+    return stream.tokens[stream.index - 1].end
 
 
 def _parse_predicate(stream: TokenStream) -> Predicate:
@@ -138,7 +149,8 @@ def _parse_unary(stream: TokenStream) -> Predicate:
         raise SpecSyntaxError("unexpected end of predicate")
     if token.is_keyword("NOT"):
         stream.next()
-        return Not(_parse_unary(stream))
+        operand = _parse_unary(stream)
+        return Not(operand, span=SourceSpan(token.position, _last_end(stream)))
     if token.is_punct("("):
         stream.next()
         inner = _parse_predicate(stream)
@@ -146,22 +158,25 @@ def _parse_unary(stream: TokenStream) -> Predicate:
         return inner
     if token.is_keyword("TRUE"):
         stream.next()
-        return TruePredicate()
+        return TruePredicate(span=SourceSpan(token.position, token.end))
     if token.is_keyword("FALSE"):
         stream.next()
-        return FalsePredicate()
+        return FalsePredicate(span=SourceSpan(token.position, token.end))
     return _parse_chain(stream)
 
 
 class _Operand:
     """Either a category reference or a term, prior to normalization."""
 
-    __slots__ = ("ref", "term", "position")
+    __slots__ = ("ref", "term", "position", "end")
 
-    def __init__(self, ref: CategoryRef | None, term, position: int) -> None:
+    def __init__(
+        self, ref: CategoryRef | None, term, position: int, end: int
+    ) -> None:
         self.ref = ref
         self.term = term
         self.position = position
+        self.end = end
 
 
 def _parse_chain(stream: TokenStream) -> Predicate:
@@ -175,7 +190,12 @@ def _parse_chain(stream: TokenStream) -> Predicate:
                 first.position,
             )
         terms = _parse_term_set(stream)
-        return Atom(first.ref, "in", tuple(terms))
+        return Atom(
+            first.ref,
+            "in",
+            tuple(terms),
+            span=SourceSpan(first.position, _last_end(stream)),
+        )
 
     operands = [first]
     ops: list[str] = []
@@ -207,9 +227,10 @@ def _normalize_comparison(left: _Operand, op: str, right: _Operand) -> Atom:
             "comparisons must mention a Dimension.category reference",
             left.position,
         )
+    span = SourceSpan(left.position, right.end)
     if left.ref is not None:
-        return Atom(left.ref, op, (right.term,))
-    return Atom(right.ref, _FLIP[op], (left.term,))
+        return Atom(left.ref, op, (right.term,), span=span)
+    return Atom(right.ref, _FLIP[op], (left.term,), span=span)
 
 
 def _parse_operand(stream: TokenStream) -> _Operand:
@@ -217,19 +238,21 @@ def _parse_operand(stream: TokenStream) -> _Operand:
     if token is None:
         raise SpecSyntaxError("unexpected end of predicate")
     if token.is_keyword("NOW"):
-        return _Operand(None, _parse_now(stream), token.position)
+        term = _parse_now(stream)
+        return _Operand(None, term, token.position, _last_end(stream))
     if token.kind == "string":
         stream.next()
-        return _Operand(None, token.text, token.position)
+        return _Operand(None, token.text, token.position, token.end)
     if token.kind == "ident" and token.text == "T":
         next_token = stream.peek(1)
         if next_token is None or not next_token.is_punct("."):
             stream.next()
-            return _Operand(None, ALL_VALUE, token.position)
+            return _Operand(None, ALL_VALUE, token.position, token.end)
     if token.kind in ("ident", "keyword"):
         next_token = stream.peek(1)
         if next_token is not None and next_token.is_punct("."):
-            return _Operand(_parse_category_ref(stream), None, token.position)
+            ref = _parse_category_ref(stream)
+            return _Operand(ref, None, token.position, _last_end(stream))
     raise SpecSyntaxError(
         f"expected a value or Dimension.category, found {token.text!r}",
         token.position,

@@ -12,15 +12,13 @@ the plain methods raise :class:`SpecificationUpdateRejected`.
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Iterable, Mapping, Sequence
-
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..core.dimension import Dimension
+from ..core.mo import MultidimensionalObject
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..checks.prover import ProverConfig
-from ..core.mo import MultidimensionalObject
 from ..errors import SpecificationUpdateRejected, SpecSemanticsError
 from .action import Action
 from .predicate import satisfies
@@ -36,13 +34,12 @@ class ReductionSpecification:
         prover_config: "ProverConfig | None" = None,
         validate: bool = True,
     ) -> None:
-        # Imported lazily: the checks package validates Action objects, so
-        # a module-level import here would be circular.
-        from ..checks.prover import ProverConfig
-
         self._actions: tuple[Action, ...] = tuple(actions)
         self._dimensions = dimensions
-        self._config = prover_config or ProverConfig()
+        # ``None`` means "use the checkers' defaults"; keeping it unresolved
+        # here avoids importing the checks package (which validates Action
+        # objects) at construction time.
+        self._config = prover_config
         names = [a.name for a in self._actions]
         if len(set(names)) != len(names):
             raise SpecSemanticsError(f"duplicate action names: {names!r}")
@@ -66,6 +63,17 @@ class ReductionSpecification:
     @property
     def actions(self) -> tuple[Action, ...]:
         return self._actions
+
+    @property
+    def prover_config(self) -> "ProverConfig | None":
+        """The prover tunables used by the soundness checks (``None`` =
+        the checkers' defaults)."""
+        return self._config
+
+    @property
+    def dimensions(self) -> "Mapping[str, Dimension] | None":
+        """The dimension instances the checks ground predicates against."""
+        return self._dimensions
 
     @property
     def action_names(self) -> tuple[str, ...]:

@@ -1,0 +1,90 @@
+"""Unit tests for the diagnostic model."""
+
+from repro.lint import Diagnostic, LintResult, Region, Severity
+
+
+def d(code, severity=Severity.ERROR, **kwargs):
+    return Diagnostic(code, severity, f"message for {code}", **kwargs)
+
+
+class TestSeverity:
+    def test_sarif_levels(self):
+        assert Severity.ERROR.sarif_level == "error"
+        assert Severity.WARNING.sarif_level == "warning"
+        # SARIF has no "info" level; informational results map to "note".
+        assert Severity.INFO.sarif_level == "note"
+
+    def test_rank_order(self):
+        assert (
+            Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+        )
+
+
+class TestDiagnostic:
+    def test_format_with_region(self):
+        diagnostic = d(
+            "SDR002",
+            file="x.spec",
+            region=Region(3, 7, 3, 12),
+            hint="try Time",
+        )
+        text = diagnostic.format()
+        assert text.startswith("x.spec:3:7: error[SDR002]:")
+        assert "hint: try Time" in text
+
+    def test_format_without_location(self):
+        assert d("SDR104").format().startswith("<spec>: error[SDR104]:")
+
+    def test_to_dict_roundtrips_region(self):
+        diagnostic = d("SDR003", file="s", region=Region(1, 2, 1, 9))
+        payload = diagnostic.to_dict()
+        assert payload["region"] == {
+            "start_line": 1,
+            "start_column": 2,
+            "end_line": 1,
+            "end_column": 9,
+        }
+        assert payload["severity"] == "error"
+
+
+class TestLintResult:
+    def test_sorted_by_location_then_severity(self):
+        result = LintResult.of(
+            [
+                d("SDR104", file="b.spec", region=Region(1, 1, 1, 2)),
+                d("SDR002", file="a.spec", region=Region(9, 1, 9, 2)),
+                d("SDR001", file="a.spec", region=Region(2, 5, 2, 6)),
+            ]
+        )
+        assert [x.code for x in result] == ["SDR001", "SDR002", "SDR104"]
+
+    def test_severity_buckets(self):
+        result = LintResult.of(
+            [
+                d("SDR101"),
+                d("SDR107", Severity.WARNING),
+                d("SDR110", Severity.INFO),
+            ]
+        )
+        assert len(result.errors) == 1
+        assert len(result.warnings) == 1
+        assert len(result.infos) == 1
+        assert result.has_errors()
+        assert result.summary() == "1 error(s), 1 warning(s), 1 info(s)"
+
+    def test_select_is_prefix_match(self):
+        result = LintResult.of([d("SDR001"), d("SDR101"), d("SDR102")])
+        assert result.filter(select="SDR1").codes() == {"SDR101", "SDR102"}
+        assert result.filter(select="SDR101,SDR001").codes() == {
+            "SDR001",
+            "SDR101",
+        }
+
+    def test_ignore_beats_select(self):
+        result = LintResult.of([d("SDR101"), d("SDR102")])
+        kept = result.filter(select="SDR1", ignore="SDR102")
+        assert kept.codes() == {"SDR101"}
+
+    def test_no_filters_is_identity(self):
+        result = LintResult.of([d("SDR001")])
+        assert result.filter().diagnostics == result.diagnostics

@@ -1,0 +1,266 @@
+"""Reporter tests: text/JSON renderings and SARIF 2.1.0 validity.
+
+The SARIF output is validated against an embedded subset of the official
+2.1.0 JSON schema covering everything the reporter emits: the log shell,
+the tool driver with its rule catalog, and per-result levels, messages,
+and physical locations with 1-based regions.
+"""
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.lint import (
+    RULES,
+    Diagnostic,
+    LintResult,
+    Region,
+    Severity,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_log,
+)
+
+#: Distilled from the SARIF 2.1.0 schema (sarif-schema-2.1.0.json): the
+#: properties the reporter produces, with the spec's type, enum, and
+#: minimum constraints kept intact.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"enum": ["2.1.0"]},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string",
+                                        "format": "uri",
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "help": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "endLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "endColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture
+def sample_result():
+    return LintResult.of(
+        [
+            Diagnostic(
+                "SDR102",
+                Severity.ERROR,
+                "actions cross",
+                file="x.spec",
+                region=Region(3, 9, 3, 20),
+                action="a4",
+                hint="make the targets comparable",
+            ),
+            Diagnostic("SDR107", Severity.WARNING, "future NOW"),
+            Diagnostic("SDR110", Severity.INFO, "no-op action"),
+        ]
+    )
+
+
+class TestText:
+    def test_one_line_per_finding_plus_summary(self, sample_result):
+        text = render_text(sample_result)
+        lines = text.splitlines()
+        assert any(
+            line.startswith("x.spec:3:9: error[SDR102]:") for line in lines
+        )
+        assert "hint: make the targets comparable" in text
+        assert lines[-1] == "1 error(s), 1 warning(s), 1 info(s)"
+
+
+class TestJson:
+    def test_parses_and_counts(self, sample_result):
+        payload = json.loads(render_json(sample_result))
+        assert payload["summary"] == {
+            "errors": 1,
+            "warnings": 1,
+            "infos": 1,
+        }
+        assert {d["code"] for d in payload["diagnostics"]} == {
+            "SDR102",
+            "SDR107",
+            "SDR110",
+        }
+
+
+class TestSarif:
+    def test_validates_against_schema(self, sample_result):
+        log = sarif_log(sample_result)
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+
+    def test_render_is_json(self, sample_result):
+        log = json.loads(render_sarif(sample_result))
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+
+    def test_info_maps_to_note(self, sample_result):
+        results = sarif_log(sample_result)["runs"][0]["results"]
+        levels = {r["ruleId"]: r["level"] for r in results}
+        assert levels["SDR102"] == "error"
+        assert levels["SDR107"] == "warning"
+        assert levels["SDR110"] == "note"
+
+    def test_rule_indices_consistent(self, sample_result):
+        run = sarif_log(sample_result)["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == list(RULES)
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_region_columns_are_one_based(self, sample_result):
+        run = sarif_log(sample_result)["runs"][0]
+        located = next(
+            r for r in run["results"] if r["ruleId"] == "SDR102"
+        )
+        region = located["locations"][0]["physicalLocation"]["region"]
+        assert region == {
+            "startLine": 3,
+            "startColumn": 9,
+            "endLine": 3,
+            "endColumn": 20,
+        }
+
+    def test_unlocated_result_has_no_locations(self, sample_result):
+        run = sarif_log(sample_result)["runs"][0]
+        unlocated = next(
+            r for r in run["results"] if r["ruleId"] == "SDR107"
+        )
+        assert "locations" not in unlocated
+
+
+class TestDispatch:
+    def test_render_dispatch(self, sample_result):
+        assert render(sample_result, "text") == render_text(sample_result)
+        assert render(sample_result, "json") == render_json(sample_result)
+        assert render(sample_result, "sarif") == render_sarif(sample_result)
+        with pytest.raises(ValueError):
+            render(sample_result, "xml")

@@ -6,6 +6,8 @@ import pytest
 
 from repro.experiments.paper_example import (
     SNAPSHOT_TIMES,
+    action_a1,
+    action_a8,
     build_paper_mo,
     paper_specification,
 )
@@ -16,6 +18,7 @@ from repro.spec.explain import (
     explain_fact,
     explain_mo,
 )
+from repro.spec.specification import ReductionSpecification
 
 
 @pytest.fixture
@@ -75,6 +78,38 @@ class TestExplainFact:
         explanations = explain_mo(reduced, spec, at)
         assert len(explanations) == reduced.n_facts
         assert [e.fact_id for e in explanations] == sorted(reduced.facts())
+
+
+class TestNextMoveEdgeCases:
+    def test_fixed_past_bound_never_moves(self, mo):
+        # a8's fixed bound (Time.month <= '1999/12') excludes fact_6
+        # (2000/01) at every future day: the fact never moves, even
+        # though a higher-granularity candidate action exists.
+        spec = ReductionSpecification((action_a8(mo),), mo.dimensions)
+        explanation = explain_fact(mo, spec, "fact_6", dt.date(2000, 4, 5))
+        assert explanation.next_move is None
+        assert explanation.next_granularity is None
+        assert "no further aggregation scheduled" in str(explanation)
+
+    def test_already_satisfied_moves_on_the_next_day(self, mo):
+        # fact_1 (1999/12/4) satisfies a8's predicate at NOW itself; the
+        # scheduled move is the first scanned day, NOW + 1.
+        spec = ReductionSpecification((action_a8(mo),), mo.dimensions)
+        now = dt.date(2000, 4, 5)
+        explanation = explain_fact(mo, spec, "fact_1", now)
+        assert explanation.next_move == now + dt.timedelta(days=1)
+        assert explanation.next_granularity == ("month", "domain")
+
+    def test_shrinking_window_that_has_passed(self, mo):
+        # a1's trailing window [NOW-12 months, NOW-6 months] only moves
+        # forward; by 2001-06-01 it has passed fact_1 (1999/12) for
+        # good, so no future day can claim the fact again.
+        spec = ReductionSpecification(
+            (action_a1(mo),), mo.dimensions, validate=False
+        )
+        explanation = explain_fact(mo, spec, "fact_1", dt.date(2001, 6, 1))
+        assert explanation.next_move is None
+        assert "no further aggregation scheduled" in str(explanation)
 
 
 class TestDescriptions:

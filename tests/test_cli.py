@@ -45,6 +45,151 @@ class TestCheck:
         mo_file, _ = stored
         assert main(["check", "/nonexistent", "--mo", str(mo_file)]) == 2
 
+    def test_unsound_spec_json_format(self, stored, tmp_path, capsys):
+        mo_file, _ = stored
+        bad = tmp_path / "bad.txt"
+        bad.write_text(
+            "b1: p(a[Time.month, URL.domain] o[URL.domain_grp = '.com' AND "
+            "Time.month <= '1999/12'](O))\n"
+            "b2: p(a[Time.quarter, URL.url] o[URL.url = "
+            "'http://www.cnn.com/health' AND Time.quarter <= '1999Q4'](O))\n"
+        )
+        assert (
+            main(
+                [
+                    "check",
+                    str(bad),
+                    "--mo",
+                    str(mo_file),
+                    "--format",
+                    "json",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        assert payload["diagnostics"][0]["code"] == "SDR102"
+
+    def test_sound_spec_json_format(self, stored, capsys):
+        mo_file, spec_file = stored
+        code = main(
+            ["check", str(spec_file), "--mo", str(mo_file), "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+
+
+class TestLint:
+    @pytest.fixture
+    def broken(self, tmp_path):
+        spec = tmp_path / "broken.spec"
+        spec.write_text(
+            "# unknown dimension below\n"
+            "one: p(a[Time.month, URL.domain] o[Browser.name = 'x'](O))\n"
+            "two: p(a[Time.day, URL.url] o[Time.day <= '1999/01/20'](O))\n"
+        )
+        return spec
+
+    def test_text_report_and_exit_code(self, stored, broken, capsys):
+        mo_file, _ = stored
+        assert main(["lint", str(broken), "--mo", str(mo_file)]) == 1
+        out = capsys.readouterr().out
+        assert "error[SDR002]" in out
+        assert "info[SDR110]" in out
+        assert f"{broken}:2:36" in out  # line/column of Browser.name
+
+    def test_clean_spec_exits_zero(self, stored, capsys):
+        mo_file, spec_file = stored
+        assert main(["lint", str(spec_file), "--mo", str(mo_file)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_select_filter_changes_exit_code(self, stored, broken, capsys):
+        mo_file, _ = stored
+        code = main(
+            [
+                "lint",
+                str(broken),
+                "--mo",
+                str(mo_file),
+                "--select",
+                "SDR110",
+            ]
+        )
+        assert code == 0  # only the info-level finding remains
+        assert "SDR002" not in capsys.readouterr().out
+
+    def test_ignore_filter(self, stored, broken, capsys):
+        mo_file, _ = stored
+        code = main(
+            [
+                "lint",
+                str(broken),
+                "--mo",
+                str(mo_file),
+                "--ignore",
+                "SDR002",
+            ]
+        )
+        assert code == 0
+        assert "SDR002" not in capsys.readouterr().out
+
+    def test_sarif_output_to_file(self, stored, broken, tmp_path, capsys):
+        mo_file, _ = stored
+        out_file = tmp_path / "report.sarif"
+        code = main(
+            [
+                "lint",
+                str(broken),
+                "--mo",
+                str(mo_file),
+                "--format",
+                "sarif",
+                "-o",
+                str(out_file),
+            ]
+        )
+        assert code == 1
+        log = json.loads(out_file.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["ruleId"] for r in log["runs"][0]["results"]} == {
+            "SDR002",
+            "SDR110",
+        }
+
+    def test_multiple_spec_files(self, stored, broken, capsys):
+        mo_file, spec_file = stored
+        assert (
+            main(["lint", str(spec_file), str(broken), "--mo", str(mo_file)])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "SDR002" in out
+
+    def test_missing_spec_file(self, stored, capsys):
+        mo_file, _ = stored
+        assert main(["lint", "/nonexistent", "--mo", str(mo_file)]) == 2
+
+    def test_non_distributive_measure_document(self, broken, tmp_path, capsys):
+        mo_document = {
+            "format": 1,
+            "fact_type": "Click",
+            "dimension_order": ["Time"],
+            "dimensions": {
+                "Time": {"chains": [["day"]], "time_like": True, "values": []}
+            },
+            "measures": [{"name": "Dwell", "aggregate": "avg"}],
+            "facts": [],
+        }
+        mo_file = tmp_path / "avg_mo.json"
+        mo_file.write_text(json.dumps(mo_document))
+        assert main(["lint", str(broken), "--mo", str(mo_file)]) == 1
+        captured = capsys.readouterr()
+        assert "SDR111" in captured.out
+        assert "cannot load MO document" in captured.err
+
 
 class TestReduce:
     def test_reduce_to_file(self, stored, tmp_path, capsys):
