@@ -56,12 +56,17 @@ def test_b7_incremental_cheaper_than_first_pass(benchmark):
     import time
 
     mo, spec = workload(6)
+    # Pin the interpretive backend: the claim under test is about the
+    # row-wise engine's incremental shape, not the auto-dispatch winner.
     start = time.perf_counter()
-    first = reduce_mo(mo, spec, BENCH_NOW)
+    first = reduce_mo(mo, spec, BENCH_NOW, backend="interpretive")
     first_pass = time.perf_counter() - start
 
     def incremental():
-        return reduce_mo(first, spec, BENCH_NOW + dt.timedelta(days=30))
+        return reduce_mo(
+            first, spec, BENCH_NOW + dt.timedelta(days=30),
+            backend="interpretive",
+        )
 
     benchmark.pedantic(incremental, rounds=3, iterations=1)
     start = time.perf_counter()
@@ -114,8 +119,10 @@ def test_b7_compiled_vs_interpreted(benchmark):
     import time
 
     mo, spec = workload(8)
+    # Pin the interpretive backend; bare reduce_mo would auto-dispatch to
+    # the columnar kernel at this size and invalidate the comparison.
     start = time.perf_counter()
-    interpreted = reduce_mo(mo, spec, BENCH_NOW)
+    interpreted = reduce_mo(mo, spec, BENCH_NOW, backend="interpretive")
     interpreted_seconds = time.perf_counter() - start
 
     compiled = benchmark.pedantic(

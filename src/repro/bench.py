@@ -1,0 +1,232 @@
+"""The persistent benchmark suite behind ``repro bench``.
+
+Two machine-readable trajectories are produced at the repository root (or
+``--out-dir``):
+
+* ``BENCH_reduction.json`` — op/s of the three ``reduce_mo`` backends
+  (interpretive, compiled, columnar) on the clickstream workload, plus
+  the columnar-vs-interpretive speedup;
+* ``BENCH_sync.json`` — facts *examined* per synchronization step of a
+  NOW advance, incremental vs full rescan, with timings.
+
+Both documents carry a ``schema`` tag (``repro-bench-*/1``) so downstream
+tooling (CI trend jobs, plots) can evolve without guessing at layouts.
+``--smoke`` shrinks the workload for CI while keeping it large enough to
+exercise the columnar dispatch path.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from .engine.store import SubcubeStore
+from .spec.specification import ReductionSpecification
+from .workload import ClickstreamConfig, build_clickstream_mo, tiered_retention_actions
+
+#: Schema tags: bump the suffix when a document's layout changes.
+REDUCTION_SCHEMA = "repro-bench-reduction/1"
+SYNC_SCHEMA = "repro-bench-sync/1"
+
+#: The full workload — identical to ``benchmarks/conftest.py``.
+FULL_CONFIG = ClickstreamConfig(
+    start=dt.date(1999, 1, 1),
+    end=dt.date(2000, 12, 31),
+    domains_per_group=3,
+    urls_per_domain=3,
+    clicks_per_day=6,
+    seed=1234,
+)
+FULL_NOW = dt.date(2001, 1, 15)
+
+#: The smoke workload — small enough for CI, large enough to stay above
+#: the columnar auto-dispatch threshold.
+SMOKE_CONFIG = ClickstreamConfig(
+    start=dt.date(2000, 1, 1),
+    end=dt.date(2000, 12, 31),
+    domains_per_group=2,
+    urls_per_domain=2,
+    clicks_per_day=4,
+    seed=1234,
+)
+SMOKE_NOW = dt.date(2001, 1, 15)
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One benchmark configuration (full or smoke)."""
+
+    name: str
+    config: ClickstreamConfig
+    now: dt.date
+    repeats: int
+
+
+FULL_PROFILE = BenchProfile("full", FULL_CONFIG, FULL_NOW, repeats=5)
+SMOKE_PROFILE = BenchProfile("smoke", SMOKE_CONFIG, SMOKE_NOW, repeats=3)
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    """Minimum wall time over *repeats* runs (the usual noise filter)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _workload(profile: BenchProfile):
+    mo = build_clickstream_mo(profile.config)
+    specification = ReductionSpecification(
+        tiered_retention_actions(mo, detail_months=3, month_years=2),
+        mo.dimensions,
+    )
+    return mo, specification
+
+
+def _workload_block(profile: BenchProfile, mo) -> dict:
+    config = profile.config
+    return {
+        "profile": profile.name,
+        "facts": mo.n_facts,
+        "start": config.start.isoformat(),
+        "end": config.end.isoformat(),
+        "domains_per_group": config.domains_per_group,
+        "urls_per_domain": config.urls_per_domain,
+        "clicks_per_day": config.clicks_per_day,
+        "seed": config.seed,
+    }
+
+
+def bench_reduction(profile: BenchProfile) -> dict:
+    """Time the three ``reduce_mo`` backends on the clickstream workload."""
+    from .reduction.reducer import reduce_mo
+
+    mo, specification = _workload(profile)
+    now = profile.now
+    backends: dict[str, dict] = {}
+    for backend in ("interpretive", "compiled", "columnar"):
+        reduced = reduce_mo(mo, specification, now, backend=backend)
+        seconds = _best_seconds(
+            lambda b=backend: reduce_mo(mo, specification, now, backend=b),
+            profile.repeats,
+        )
+        backends[backend] = {
+            "seconds": seconds,
+            "ops_per_s": (1.0 / seconds) if seconds > 0 else None,
+            "output_facts": reduced.n_facts,
+        }
+    interpretive = backends["interpretive"]["seconds"]
+    return {
+        "schema": REDUCTION_SCHEMA,
+        "workload": _workload_block(profile, mo),
+        "now": now.isoformat(),
+        "repeats": profile.repeats,
+        "backends": backends,
+        "speedup": {
+            "compiled_vs_interpretive": interpretive
+            / backends["compiled"]["seconds"],
+            "columnar_vs_interpretive": interpretive
+            / backends["columnar"]["seconds"],
+        },
+    }
+
+
+def bench_sync(profile: BenchProfile) -> dict:
+    """Measure incremental vs full-rescan synchronization work.
+
+    Two stores replay the same trajectory — an initial sync followed by
+    two NOW advances — one on the incremental path, one forcing full
+    rescans.  Each step records the facts *examined* (the work metric the
+    suspect-region analysis reduces) and wall time.
+    """
+    mo, specification = _workload(profile)
+    facts = [
+        (
+            fact_id,
+            dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+            {
+                name: mo.measure_value(fact_id, name)
+                for name in mo.schema.measure_names
+            },
+        )
+        for fact_id in mo.facts()
+    ]
+    t1 = profile.now
+    t2 = t1 + dt.timedelta(days=45)
+    t3 = t2 + dt.timedelta(days=45)
+
+    incremental = SubcubeStore(mo, specification)
+    incremental.load(facts)
+    incremental.synchronize(t1)
+    full = SubcubeStore(mo, specification)
+    full.load(facts)
+    full.synchronize(t1, incremental=False)
+
+    steps = []
+    for at in (t2, t3):
+        started = time.perf_counter()
+        moved_incremental = incremental.synchronize(at)
+        seconds_incremental = time.perf_counter() - started
+        examined_incremental = incremental.last_sync_examined
+        started = time.perf_counter()
+        moved_full = full.synchronize(at, incremental=False)
+        seconds_full = time.perf_counter() - started
+        examined_full = full.last_sync_examined
+        steps.append(
+            {
+                "now": at.isoformat(),
+                "incremental": {
+                    "examined": examined_incremental,
+                    "moved": sum(moved_incremental.values()),
+                    "seconds": seconds_incremental,
+                },
+                "full": {
+                    "examined": examined_full,
+                    "moved": sum(moved_full.values()),
+                    "seconds": seconds_full,
+                },
+                "total_facts": incremental.total_facts(),
+            }
+        )
+    examined_incremental_total = sum(s["incremental"]["examined"] for s in steps)
+    examined_full_total = sum(s["full"]["examined"] for s in steps)
+    return {
+        "schema": SYNC_SCHEMA,
+        "workload": _workload_block(profile, mo),
+        "initial_sync": t1.isoformat(),
+        "steps": steps,
+        "examined": {
+            "incremental": examined_incremental_total,
+            "full": examined_full_total,
+            "saved": examined_full_total - examined_incremental_total,
+        },
+    }
+
+
+def run_benchmarks(
+    out_dir: str = ".",
+    smoke: bool = False,
+    repeats: int | None = None,
+) -> dict[str, str]:
+    """Run both suites and write the BENCH documents; returns the paths."""
+    profile = SMOKE_PROFILE if smoke else FULL_PROFILE
+    if repeats is not None:
+        profile = BenchProfile(profile.name, profile.config, profile.now, repeats)
+    documents = {
+        "BENCH_reduction.json": bench_reduction(profile),
+        "BENCH_sync.json": bench_sync(profile),
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    paths: dict[str, str] = {}
+    for filename, document in documents.items():
+        path = os.path.join(out_dir, filename)
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, indent=1, sort_keys=True)
+            stream.write("\n")
+        paths[filename] = path
+    return paths

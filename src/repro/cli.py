@@ -29,6 +29,12 @@ Commands
 ``explain MO_FILE SPEC_FILE --at YYYY-MM-DD``
     For every fact: which action caused its aggregation level, which
     source facts it stands for, and when it will next move.
+
+``bench [--smoke] [--out-dir DIR] [--repeats N] [--fail-under-speedup X]``
+    Run the performance benchmark suite and write machine-readable
+    ``BENCH_reduction.json`` / ``BENCH_sync.json`` trajectories;
+    ``--fail-under-speedup`` exits 1 when the columnar backend's speedup
+    over the interpretive reference falls below the given floor.
 """
 
 from __future__ import annotations
@@ -101,6 +107,34 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("spec_file")
     explain.add_argument("--at", required=True)
 
+    bench = sub.add_parser(
+        "bench", help="run the performance benchmark suite"
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use the small CI workload instead of the full one",
+    )
+    bench.add_argument(
+        "--out-dir",
+        default=".",
+        dest="out_dir",
+        help="directory for the BENCH_*.json documents (default: cwd)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override the per-backend timing repeat count",
+    )
+    bench.add_argument(
+        "--fail-under-speedup",
+        type=float,
+        default=None,
+        dest="fail_under_speedup",
+        help="exit 1 when columnar/interpretive speedup drops below this",
+    )
+
     return parser
 
 
@@ -134,6 +168,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         if arguments.command == "stats":
             return _stats(arguments.mo_file)
+        if arguments.command == "bench":
+            return _bench(
+                arguments.out_dir,
+                arguments.smoke,
+                arguments.repeats,
+                arguments.fail_under_speedup,
+            )
         return _explain(arguments.mo_file, arguments.spec_file, arguments.at)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -305,6 +346,42 @@ def _stats(mo_file: str) -> int:
             indent=1,
         )
     )
+    return 0
+
+
+def _bench(
+    out_dir: str,
+    smoke: bool,
+    repeats: int | None,
+    fail_under_speedup: float | None,
+) -> int:
+    from .bench import run_benchmarks
+
+    paths = run_benchmarks(out_dir, smoke=smoke, repeats=repeats)
+    with open(paths["BENCH_reduction.json"]) as stream:
+        reduction = json.load(stream)
+    with open(paths["BENCH_sync.json"]) as stream:
+        sync = json.load(stream)
+    speedup = reduction["speedup"]["columnar_vs_interpretive"]
+    print(
+        f"reduction: {reduction['workload']['facts']} facts, "
+        f"columnar {speedup:.2f}x interpretive "
+        f"({reduction['backends']['columnar']['ops_per_s']:.1f} op/s)"
+    )
+    print(
+        f"sync: examined {sync['examined']['incremental']} incremental "
+        f"vs {sync['examined']['full']} full "
+        f"(saved {sync['examined']['saved']})"
+    )
+    for name, path in paths.items():
+        print(f"wrote {path}")
+    if fail_under_speedup is not None and speedup < fail_under_speedup:
+        print(
+            f"error: columnar speedup {speedup:.2f}x is below the "
+            f"{fail_under_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -75,6 +75,13 @@ class Hierarchy:
         self._order = _topological_order(parents)
         self._reach = _reachability(parents, self._order)
         self._children: dict[str, frozenset[str]] = _invert(parents)
+        # Bound queries are pure functions of the (immutable) edge set and
+        # sit on hot paths (granularity comparisons, LUB aggregation), so
+        # they are memoized per instance.
+        self._glb_cache: dict[frozenset[str], str] = {}
+        self._lub_cache: dict[frozenset[str], str] = {}
+        self._linear: bool | None = None
+        self._lattice: bool | None = None
 
         if bottom not in parents:
             raise HierarchyError(f"bottom category {bottom!r} is not in the hierarchy")
@@ -157,6 +164,11 @@ class Hierarchy:
 
     def is_linear(self) -> bool:
         """Return ``True`` when the order is total (Section 3's *linear*)."""
+        if self._linear is None:
+            self._linear = self._compute_is_linear()
+        return self._linear
+
+    def _compute_is_linear(self) -> bool:
         cats = list(self._parents)
         return all(
             self.comparable(a, b) for i, a in enumerate(cats) for b in cats[i + 1 :]
@@ -193,6 +205,13 @@ class Hierarchy:
         return a deterministic maximal lower bound (ties broken by the
         topological order, bottom-most last, so the coarsest candidate wins).
         """
+        key = frozenset(categories)
+        cached = self._glb_cache.get(key)
+        if cached is None:
+            cached = self._glb_cache[key] = self._compute_glb(key)
+        return cached
+
+    def _compute_glb(self, categories: frozenset[str]) -> str:
         bounds = self.lower_bounds(categories)
         maximal = [
             c for c in bounds if not any(self.lt(c, other) for other in bounds)
@@ -204,6 +223,13 @@ class Hierarchy:
 
     def lub(self, categories: Iterable[str]) -> str:
         """Least upper bound of *categories* (dual of :meth:`glb`)."""
+        key = frozenset(categories)
+        cached = self._lub_cache.get(key)
+        if cached is None:
+            cached = self._lub_cache[key] = self._compute_lub(key)
+        return cached
+
+    def _compute_lub(self, categories: frozenset[str]) -> str:
         bounds = self.upper_bounds(categories)
         minimal = [
             c for c in bounds if not any(self.lt(other, c) for other in bounds)
@@ -215,6 +241,11 @@ class Hierarchy:
 
     def is_lattice(self) -> bool:
         """Return ``True`` when every pair has a unique GLB and LUB."""
+        if self._lattice is None:
+            self._lattice = self._compute_is_lattice()
+        return self._lattice
+
+    def _compute_is_lattice(self) -> bool:
         cats = list(self._parents)
         for i, a in enumerate(cats):
             for b in cats[i + 1 :]:

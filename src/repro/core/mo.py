@@ -215,6 +215,22 @@ class MultidimensionalObject:
         """A fresh MO with the same schema and dimensions, no facts."""
         return MultidimensionalObject(self.schema, self.dimensions)
 
+    def to_columnar(self):
+        """Export the fact set as a :class:`~repro.core.columnar.ColumnarFactTable`.
+
+        The export is zero-copy for the payload: measure values and
+        provenance objects are shared, only coordinate codes are built.
+        Row order is this MO's fact-iteration order.
+        """
+        from .columnar import ColumnarFactTable
+
+        return ColumnarFactTable.from_mo(self)
+
+    @classmethod
+    def from_columnar(cls, table) -> "MultidimensionalObject":
+        """Import a columnar table back into a row-wise MO."""
+        return table.to_mo()
+
     def copy(self) -> "MultidimensionalObject":
         clone = self.empty_like()
         for fact_id, provenance in self._facts.items():

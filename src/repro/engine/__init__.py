@@ -3,9 +3,11 @@
 from .disjoint import DisjointAction, disjoint_actions
 from .planner import CubePlanStep, QueryPlan, explain_plan
 from .queryproc import (
+    QueryPlanCache,
     SubcubeQuery,
     combine_subresults,
     effective_content,
+    plan_cache,
     query_cube,
     query_store,
 )
@@ -24,6 +26,7 @@ __all__ = [
     "QueryPlan",
     "explain_plan",
     "MigrationEvent",
+    "QueryPlanCache",
     "SubCube",
     "SubcubeQuery",
     "SubcubeStore",
@@ -32,6 +35,7 @@ __all__ = [
     "disjoint_actions",
     "effective_content",
     "flow_report",
+    "plan_cache",
     "query_cube",
     "query_store",
     "significant_period_days",

@@ -21,7 +21,9 @@ from ..core.facts import Provenance, aggregate_fact_id
 from ..core.mo import MultidimensionalObject
 from ..query.aggregation import AggregationApproach, aggregate
 from ..query.compare import Approach
-from ..query.selection import select
+from ..query.selection import bind_query_predicate, select
+from ..reduction.compiled import CompiledPredicate
+from ..spec.ast import Predicate
 from ..spec.predicate import satisfies
 from .store import SubcubeStore
 from .subcube import SubCube
@@ -37,15 +39,96 @@ class SubcubeQuery:
     aggregation: AggregationApproach = AggregationApproach.AVAILABILITY
 
 
+class QueryPlanCache:
+    """Compiled query plans, shared across one store's subqueries.
+
+    Each predicate *text* is parsed and schema-bound once per store, and
+    each (bound predicate, evaluation time) pair is compiled once into a
+    :class:`CompiledPredicate` whose per-value verdict tables are then
+    reused by every subquery — a query over ``n`` cubes pays for each
+    distinct direct value once, not once per cube.  Cached plans hold
+    strong references to their predicates, so the ``id``-based keys can
+    never alias a recycled object.
+    """
+
+    def __init__(self, store: SubcubeStore) -> None:
+        self._store = store
+        self._bound: dict[str, Predicate] = {}
+        self._plans: dict[tuple[int, _dt.date], CompiledPredicate] = {}
+
+    @property
+    def n_bound(self) -> int:
+        return len(self._bound)
+
+    @property
+    def n_plans(self) -> int:
+        return len(self._plans)
+
+    def bound_predicate(self, text: str) -> Predicate:
+        """The schema-bound AST of *text*, parsed at most once."""
+        bound = self._bound.get(text)
+        if bound is None:
+            bound = bind_query_predicate(self._store.bottom_cube.mo, text)
+            self._bound[text] = bound
+        return bound
+
+    def plan_for(
+        self, predicate: Predicate, now: _dt.date
+    ) -> CompiledPredicate:
+        """The compiled plan of a bound predicate at *now*."""
+        key = (id(predicate), now)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = CompiledPredicate(
+                predicate, self._store.bottom_cube.mo.dimensions, now
+            )
+            self._plans[key] = plan
+        return plan
+
+    def plan_for_text(self, text: str, now: _dt.date) -> CompiledPredicate:
+        return self.plan_for(self.bound_predicate(text), now)
+
+
+def plan_cache(store: SubcubeStore) -> QueryPlanCache:
+    """The store's plan cache (created and attached on first use)."""
+    cache = getattr(store, "_plan_cache", None)
+    if cache is None or cache._store is not store:
+        cache = QueryPlanCache(store)
+        store._plan_cache = cache
+    return cache
+
+
+def _plan_select(
+    mo: MultidimensionalObject,
+    plan: CompiledPredicate,
+    approach: Approach,
+) -> MultidimensionalObject:
+    """``select`` via a compiled plan (same keep-list, same order)."""
+    direct_value = mo.direct_value
+    keep = [
+        fact_id
+        for fact_id in mo.facts()
+        if plan.satisfied_by(
+            lambda name, _f=fact_id: direct_value(_f, name), approach
+        )
+    ]
+    return mo.restrict_to_facts(keep)
+
+
 def query_cube(
     cube_mo: MultidimensionalObject,
     query: SubcubeQuery,
     now: _dt.date,
+    plans: QueryPlanCache | None = None,
 ) -> MultidimensionalObject:
     """One subquery ``S_i = Q(K_i)``."""
     current = cube_mo
     if query.predicate is not None:
-        current = select(current, query.predicate, now, query.approach)
+        if plans is not None and isinstance(query.predicate, str):
+            plan = plans.plan_for_text(query.predicate, now)
+            current = _plan_select(current, plan, query.approach)
+        else:
+            current = select(current, query.predicate, now, query.approach)
     return aggregate(current, query.granularity, query.aggregation)
 
 
@@ -54,26 +137,36 @@ def query_store(
     query: SubcubeQuery,
     now: _dt.date,
     assume_synchronized: bool = True,
+    plans: QueryPlanCache | None = None,
 ) -> MultidimensionalObject:
     """Evaluate *query* over all subcubes and combine the subresults.
 
     With ``assume_synchronized=False`` each cube's effective content is
     first rebuilt as ``a[G_i](o[P_i](K_i union parents(K_i)))`` at the
     current time, so queries stay correct between synchronizations.
+
+    The store's :func:`plan_cache` is used by default, so the query
+    predicate is parsed once per store and its verdict tables are shared
+    across the per-cube subqueries (and across repeated queries).
     """
+    if plans is None:
+        plans = plan_cache(store)
     subresults: list[MultidimensionalObject] = []
     for definition in store.definitions:
         cube = store.cube(definition.name)
         if assume_synchronized:
             effective = cube.mo
         else:
-            effective = effective_content(store, cube, now)
-        subresults.append(query_cube(effective, query, now))
+            effective = effective_content(store, cube, now, plans)
+        subresults.append(query_cube(effective, query, now, plans))
     return combine_subresults(store, subresults, query, now)
 
 
 def effective_content(
-    store: SubcubeStore, cube: SubCube, now: _dt.date
+    store: SubcubeStore,
+    cube: SubCube,
+    now: _dt.date,
+    plans: QueryPlanCache | None = None,
 ) -> MultidimensionalObject:
     """``a[G_i](o[P_i](K_i union parents))`` — Figure 9's repair step.
 
@@ -89,13 +182,21 @@ def effective_content(
     # categories at or above the granularities of the facts involved, so
     # evaluation is exact (conservative == liberal).
     predicate = definition.predicate
+    plan = plans.plan_for(predicate, now) if plans is not None else None
     sources: list[MultidimensionalObject] = [cube.mo]
     for parent_name in definition.parents:
         sources.append(store.cube(parent_name).mo)
     names = template.schema.dimension_names
     for source in sources:
+        direct_value = source.direct_value
         for fact_id in source.facts():
-            if not satisfies(source, fact_id, predicate, now):
+            if plan is not None:
+                admitted = plan.satisfied_by(
+                    lambda name, _f=fact_id: direct_value(_f, name)
+                )
+            else:
+                admitted = satisfies(source, fact_id, predicate, now)
+            if not admitted:
                 continue
             coordinates: dict[str, str] = {}
             ok = True

@@ -14,15 +14,25 @@ provably equivalent to ``reduce_mo`` (property-tested).
 from __future__ import annotations
 
 import datetime as _dt
+import types
 from typing import Iterable, Mapping
 
+from ..core.dimension import ALL_VALUE
 from ..core.facts import Provenance
+from ..core.hierarchy import TOP
 from ..core.mo import MultidimensionalObject
-from ..errors import EngineError
+from ..errors import EngineError, ReproError
 from ..spec.predicate import cell_satisfies
+from ..spec.ranges import GRANULE_DAYS
 from ..spec.specification import ReductionSpecification
+from ..timedim.calendar import first_day, last_day
+from ..timedim.now import NowRelative
 from .disjoint import DisjointAction, disjoint_actions
 from .subcube import SubCube
+
+#: Day-ordinal intervals per dimension within which admission verdicts may
+#: have changed between two synchronization times; ``None`` = everywhere.
+SuspectRegions = "dict[str, list[tuple[float, float]]] | None"
 
 
 class SubcubeStore:
@@ -42,6 +52,13 @@ class SubcubeStore:
         }
         self._bottom_name = self._bottom_cube_name()
         self.last_sync: _dt.date | None = None
+        #: Facts loaded since the last synchronization (they must be
+        #: examined regardless of the suspect-region analysis).
+        self._dirty: set[str] = set()
+        #: How many facts the last ``synchronize`` actually examined —
+        #: the incremental path's work metric, surfaced through
+        #: :class:`~repro.engine.sync.MigrationEvent`.
+        self.last_sync_examined: int = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -56,8 +73,9 @@ class SubcubeStore:
         return self._definitions
 
     @property
-    def cubes(self) -> dict[str, SubCube]:
-        return dict(self._cubes)
+    def cubes(self) -> Mapping[str, SubCube]:
+        """A read-only live view of the subcubes (no per-access copy)."""
+        return types.MappingProxyType(self._cubes)
 
     def cube(self, name: str) -> SubCube:
         try:
@@ -92,30 +110,63 @@ class SubcubeStore:
         bottom = self.bottom_cube
         count = 0
         for fact_id, coordinates, measures in facts:
-            bottom.insert_at_granularity(
+            stored_id = bottom.insert_at_granularity(
                 coordinates, measures, Provenance.of(fact_id)
             )
+            self._dirty.add(stored_id)
             count += 1
         return count
 
-    def synchronize(self, now: _dt.date) -> dict[str, int]:
+    def synchronize(
+        self, now: _dt.date, *, incremental: bool = True
+    ) -> dict[str, int]:
         """Migrate facts so every cube holds exactly its cells at *now*.
 
         Returns per-cube migration counts (facts moved *into* each cube).
         Synchronization is idempotent at a fixed time and monotone for
         Growing specifications: facts only ever move from finer cubes to
         coarser ones.
+
+        With ``incremental=True`` (the default) and a previous sync time on
+        record, only *suspect* facts are examined: facts loaded since the
+        last sync, plus facts whose time-dimension extent intersects a
+        region where some NOW-relative atom's boundary lay at the old or
+        new time.  A fact outside every such region satisfies exactly the
+        same atoms at both times, so its target cube cannot have changed —
+        skipping it is sound, and the incremental path is bit-for-bit
+        equivalent to a full rescan (property-tested).  The number of facts
+        actually examined is exposed as :attr:`last_sync_examined`.
         """
         if self.last_sync is not None and now < self.last_sync:
             raise EngineError(
                 f"synchronization time moved backwards ({self.last_sync} -> {now})"
             )
+        regions = None
+        if incremental and self.last_sync is not None:
+            regions = self._suspect_regions(self.last_sync, now)
         moved: dict[str, int] = {name: 0 for name in self._cubes}
+        examined = 0
         dimensions = self._template.dimensions
         names = self._template.schema.dimension_names
+        span_cache: dict[tuple[str, str], tuple[float, float] | None] = {}
+        # Facts this run already placed: their target was just computed at
+        # *now*, so re-examining them in a later-iterated cube is wasted
+        # work (and would double-count the examined metric).
+        settled: set[str] = set()
         for cube in self._cubes.values():
             mo = cube.mo
             for fact_id in list(mo.facts()):
+                if fact_id in settled:
+                    continue
+                if (
+                    regions is not None
+                    and fact_id not in self._dirty
+                    and not self._needs_examination(
+                        mo, fact_id, regions, span_cache
+                    )
+                ):
+                    continue
+                examined += 1
                 cell = dict(zip(names, mo.direct_cell(fact_id)))
                 target = self._target_cube(cell, now)
                 if target.name == cube.name:
@@ -130,10 +181,91 @@ class SubcubeStore:
                 }
                 provenance = mo.provenance(fact_id)
                 cube.remove(fact_id)
-                target.insert_at_granularity(coordinates, measures, provenance)
+                settled.add(
+                    target.insert_at_granularity(
+                        coordinates, measures, provenance
+                    )
+                )
                 moved[target.name] += 1
         self.last_sync = now
+        self.last_sync_examined = examined
+        self._dirty.clear()
         return moved
+
+    def _suspect_regions(self, old: _dt.date, new: _dt.date):
+        """Per-dimension day intervals where verdicts may have flipped.
+
+        For every NOW-relative term of every atom, the hull of the granule
+        the term denoted at *old* and the granule it denotes at *new*: an
+        atom's verdict for a value can only change when the value's day
+        extent meets that hull (order atoms flip exactly for values between
+        the two boundaries; equality/membership atoms flip exactly for
+        values overlapping either denoted granule).  ``None`` means the
+        analysis cannot bound the change (a NOW term at an unmodelled
+        category) and a full rescan is required.
+        """
+        regions: dict[str, list[tuple[float, float]]] = {}
+        for action in self._specification.actions:
+            for atoms in action.conjuncts():
+                for atom in atoms:
+                    now_terms = [
+                        term
+                        for term in atom.terms
+                        if isinstance(term, NowRelative)
+                    ]
+                    if not now_terms:
+                        continue
+                    category = atom.ref.category
+                    if category == TOP or category not in GRANULE_DAYS:
+                        return None
+                    for term in now_terms:
+                        try:
+                            old_value = term.evaluate(old, category)
+                            new_value = term.evaluate(new, category)
+                            lo = min(
+                                first_day(category, old_value).toordinal(),
+                                first_day(category, new_value).toordinal(),
+                            )
+                            hi = max(
+                                last_day(category, old_value).toordinal(),
+                                last_day(category, new_value).toordinal(),
+                            )
+                        except ReproError:
+                            return None
+                        regions.setdefault(atom.ref.dimension, []).append(
+                            (float(lo), float(hi))
+                        )
+        return regions
+
+    def _needs_examination(
+        self,
+        mo: MultidimensionalObject,
+        fact_id: str,
+        regions: Mapping[str, list[tuple[float, float]]],
+        span_cache: dict[tuple[str, str], tuple[float, float] | None],
+    ) -> bool:
+        """Whether a fact's values meet any suspect region.
+
+        Values whose day extent cannot be bounded (the top value, TOP
+        category, or non-calendar values) are always examined — a sound
+        fallback, never an unsound skip.
+        """
+        dimensions = self._template.dimensions
+        for name, intervals in regions.items():
+            value = mo.direct_value(fact_id, name)
+            key = (name, value)
+            if key in span_cache:
+                span = span_cache[key]
+            else:
+                span = _value_day_span(dimensions[name], value)
+                span_cache[key] = span
+            if span is None:
+                return True
+            lo, hi = span
+            for region_lo, region_hi in intervals:
+                if lo <= region_hi and region_lo <= hi:
+                    return True
+        return False
 
     def _target_cube(self, cell: Mapping[str, str], now: _dt.date) -> SubCube:
         """The cube responsible for a cell at *now*: the ``<=_V``-maximal
@@ -211,6 +343,7 @@ class SubcubeStore:
                     coordinates, measures, mo.provenance(fact_id)
                 )
         self.last_sync = now
+        self._dirty.clear()
 
     # ------------------------------------------------------------------
     # Materialization
@@ -251,3 +384,23 @@ def _rollup(dimension, value: str, category: str) -> str:
             f"{dimension.name}: cannot roll {value!r} up to {category!r}"
         )
     return ancestor
+
+
+def _value_day_span(dimension, value: str) -> tuple[float, float] | None:
+    """The day-ordinal extent of one dimension value, or ``None`` when it
+    cannot be bounded (forcing examination)."""
+    if value == ALL_VALUE:
+        return None
+    try:
+        category = dimension.category_of(value)
+    except ReproError:
+        return None
+    if category == TOP:
+        return None
+    try:
+        return (
+            float(first_day(category, value).toordinal()),
+            float(last_day(category, value).toordinal()),
+        )
+    except (ReproError, ValueError):
+        return None

@@ -20,10 +20,16 @@ from .store import SubcubeStore
 
 @dataclass(frozen=True)
 class MigrationEvent:
-    """One synchronization run's outcome."""
+    """One synchronization run's outcome.
+
+    ``examined`` counts the facts the run actually inspected — on the
+    incremental path this is typically far below the store's total fact
+    count, which is the work saving the event exists to make visible.
+    """
 
     at: _dt.date
     moved_into: Mapping[str, int]
+    examined: int = 0
 
     @property
     def total_moved(self) -> int:
@@ -89,7 +95,7 @@ class SyncScheduler:
 
     def _sync(self, now: _dt.date) -> MigrationEvent:
         moved = self.store.synchronize(now)
-        event = MigrationEvent(now, moved)
+        event = MigrationEvent(now, moved, self.store.last_sync_examined)
         self.events.append(event)
         return event
 

@@ -1,7 +1,13 @@
 """The reduction engine: auxiliary functions, Definition 2, timelines."""
 
 from .auxiliary import agg_level, agg_levels, cell, spec_gran
-from .compiled import CompiledAction, compile_specification, reduce_mo_compiled
+from .columnar import reduce_mo_columnar
+from .compiled import (
+    CompiledAction,
+    CompiledPredicate,
+    compile_specification,
+    reduce_mo_compiled,
+)
 from .extensions import (
     DeletionAction,
     drop_dimension,
@@ -9,10 +15,20 @@ from .extensions import (
     reduce_with_deletion,
 )
 from .lifecycle import Warehouse, run_timeline
-from .reducer import reduce_mo, reduction_groups, responsible_action
+from .reducer import (
+    BACKENDS,
+    COLUMNAR_THRESHOLD,
+    reduce_mo,
+    reduction_groups,
+    responsible_action,
+)
 
 __all__ = [
+    "BACKENDS",
+    "COLUMNAR_THRESHOLD",
     "CompiledAction",
+    "CompiledPredicate",
+    "reduce_mo_columnar",
     "DeletionAction",
     "compile_specification",
     "reduce_mo_compiled",

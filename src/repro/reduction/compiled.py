@@ -20,13 +20,23 @@ The result is bit-for-bit identical to :func:`repro.reduction.reducer.reduce_mo`
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from ..core.facts import Provenance, aggregate_fact_id
 from ..core.mo import MultidimensionalObject
 from ..errors import SpecSemanticsError
-from ..query.compare import atom_compare
+from ..query.compare import Approach, atom_compare
 from ..spec.action import Action, resolve_terms
+from ..spec.ast import (
+    And,
+    Atom,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from ..spec.predicate import dual_approach
 from ..spec.specification import ReductionSpecification
 
 
@@ -82,6 +92,116 @@ class CompiledAction:
             if ok:
                 return True
         return False
+
+    def conjunct_predicates(
+        self,
+    ) -> list[dict[str, Callable[[str], bool]]]:
+        """Per DNF conjunct: one per-value admission predicate per
+        dimension.
+
+        This is the per-distinct-value verdict cache in batch-evaluable
+        form: the columnar kernel calls each predicate once per distinct
+        value of its dimension and broadcasts the verdicts by code
+        (:meth:`repro.core.columnar.ColumnarFactTable.conjunct_mask`).
+        """
+        out: list[dict[str, Callable[[str], bool]]] = []
+        for per_dimension in self._conjuncts:
+            predicates: dict[str, Callable[[str], bool]] = {}
+            for name, dim_atoms in per_dimension.items():
+                dimension = self._dimensions[name]
+
+                def admit(
+                    value: str,
+                    dimension=dimension,
+                    dim_atoms=dim_atoms,
+                ) -> bool:
+                    return all(
+                        atom_compare(
+                            dimension, value, atom.ref.category, atom.op, right
+                        )
+                        for atom, right in dim_atoms
+                    )
+
+                predicates[name] = admit
+            out.append(predicates)
+        return out
+
+
+class CompiledPredicate:
+    """A bound predicate with per-(atom, value, approach) verdict caches.
+
+    Mirrors :func:`repro.spec.predicate.evaluate` exactly — including the
+    NOT conservative/liberal dual — but resolves every ``NOW`` term once
+    at construction and caches each atom's verdict per distinct direct
+    value, so re-evaluating the same predicate across many facts (and, in
+    the subcube engine, across many cubes) costs one dict hit per atom.
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        dimensions: Mapping[str, object],
+        now: _dt.date,
+    ) -> None:
+        self.predicate = predicate
+        self.now = now
+        self._dimensions = dimensions
+        # Keyed by atom identity: the predicate tree is held alive by
+        # ``self.predicate``, so ids are stable for this plan's lifetime.
+        self._rights: dict[int, object] = {}
+        self._cache: dict[tuple[int, str, Approach], bool] = {}
+        for atom in predicate.atoms():
+            rights = resolve_terms(atom, now)
+            self._rights[id(atom)] = (
+                rights if atom.op == "in" else rights[0]
+            )
+
+    def satisfied_by(
+        self,
+        value_of: Callable[[str], str],
+        approach: Approach = Approach.CONSERVATIVE,
+    ) -> bool:
+        """Evaluate against a cell given as a dimension -> value lookup."""
+        return self._evaluate(self.predicate, value_of, approach)
+
+    def _evaluate(
+        self,
+        node: Predicate,
+        value_of: Callable[[str], str],
+        approach: Approach,
+    ) -> bool:
+        if isinstance(node, TruePredicate):
+            return True
+        if isinstance(node, FalsePredicate):
+            return False
+        if isinstance(node, Atom):
+            value = value_of(node.ref.dimension)
+            key = (id(node), value, approach)
+            verdict = self._cache.get(key)
+            if verdict is None:
+                verdict = atom_compare(
+                    self._dimensions[node.ref.dimension],
+                    value,
+                    node.ref.category,
+                    node.op,
+                    self._rights[id(node)],
+                    approach,
+                )
+                self._cache[key] = verdict
+            return verdict
+        if isinstance(node, Not):
+            return not self._evaluate(
+                node.operand, value_of, dual_approach(approach)
+            )
+        if isinstance(node, And):
+            return all(
+                self._evaluate(p, value_of, approach) for p in node.operands
+            )
+        if isinstance(node, Or):
+            return any(
+                self._evaluate(p, value_of, approach) for p in node.operands
+            )
+        raise SpecSemanticsError(f"cannot evaluate {node!r}")
 
 
 def compile_specification(

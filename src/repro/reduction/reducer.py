@@ -14,18 +14,58 @@ from typing import Iterable
 
 from ..core.facts import Provenance, aggregate_fact_id
 from ..core.mo import MultidimensionalObject
+from ..errors import ReproError
 from ..spec.action import Action
 from ..spec.specification import ReductionSpecification
 from .auxiliary import cell as cell_of
+
+#: Fact count at or above which ``backend="auto"`` switches from the
+#: interpretive reference to the columnar kernel.  Small MOs stay on the
+#: reference path, which keeps the interpreter authoritative in the
+#: property suite (whose MOs are far below this) while large workloads get
+#: the batch kernels by default.
+COLUMNAR_THRESHOLD = 256
+
+#: The selectable reducer backends (``"auto"`` dispatches by size).
+BACKENDS = ("auto", "interpretive", "compiled", "columnar")
 
 
 def reduce_mo(
     mo: MultidimensionalObject,
     specification: ReductionSpecification | Iterable[Action],
     now: _dt.date,
+    backend: str = "auto",
 ) -> MultidimensionalObject:
     """The reduced MO ``O'(t)`` per Definition 2 (a new object; ``mo`` is
-    untouched)."""
+    untouched).
+
+    ``backend`` selects the evaluation strategy — all three produce
+    bit-for-bit identical results (property-tested):
+
+    * ``"interpretive"`` — the per-fact AST-walking reference below;
+    * ``"compiled"`` — per-value verdict caches
+      (:func:`repro.reduction.compiled.reduce_mo_compiled`);
+    * ``"columnar"`` — batch kernels over the interned column layout
+      (:func:`repro.reduction.columnar.reduce_mo_columnar`);
+    * ``"auto"`` (default) — columnar for MOs with at least
+      :data:`COLUMNAR_THRESHOLD` facts, interpretive otherwise.
+    """
+    if backend not in BACKENDS:
+        raise ReproError(
+            f"unknown reducer backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        backend = (
+            "columnar" if mo.n_facts >= COLUMNAR_THRESHOLD else "interpretive"
+        )
+    if backend == "columnar":
+        from .columnar import reduce_mo_columnar
+
+        return reduce_mo_columnar(mo, specification, now)
+    if backend == "compiled":
+        from .compiled import reduce_mo_compiled
+
+        return reduce_mo_compiled(mo, specification, now)
     actions = (
         list(specification.actions)
         if isinstance(specification, ReductionSpecification)

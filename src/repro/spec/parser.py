@@ -15,6 +15,8 @@ paper's ``URL.T = T`` predicate (Equation 24) is written ``URL.T = T``.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..core.dimension import ALL_VALUE
 from ..core.hierarchy import TOP
 from ..errors import SpecSyntaxError
@@ -39,7 +41,18 @@ _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
 
 
 def parse_action(source: str) -> ActionSyntax:
-    """Parse one action specification."""
+    """Parse one action specification.
+
+    Results are cached by source text: the AST is immutable (frozen
+    dataclasses) and contains no resolved times — ``NOW`` stays symbolic
+    until evaluation — so one parse per distinct text is safe regardless
+    of the evaluation time it is later used at.
+    """
+    return _parse_action_cached(source)
+
+
+@lru_cache(maxsize=1024)
+def _parse_action_cached(source: str) -> ActionSyntax:
     stream = TokenStream(source)
     wrapped = False
     token = stream.peek()
@@ -70,7 +83,15 @@ def parse_action(source: str) -> ActionSyntax:
 
 
 def parse_predicate(source: str) -> Predicate:
-    """Parse a bare ``Pexp`` predicate expression."""
+    """Parse a bare ``Pexp`` predicate expression.
+
+    Cached by source text (see :func:`parse_action` for why that is safe).
+    """
+    return _parse_predicate_cached(source)
+
+
+@lru_cache(maxsize=1024)
+def _parse_predicate_cached(source: str) -> Predicate:
     stream = TokenStream(source)
     predicate = _parse_predicate(stream)
     stream.require_end()
@@ -78,7 +99,15 @@ def parse_predicate(source: str) -> Predicate:
 
 
 def parse_clist(source: str) -> tuple[CategoryRef, ...]:
-    """Parse a bare ``Clist`` of Dimension.category references."""
+    """Parse a bare ``Clist`` of Dimension.category references.
+
+    Cached by source text (see :func:`parse_action` for why that is safe).
+    """
+    return _parse_clist_cached(source)
+
+
+@lru_cache(maxsize=1024)
+def _parse_clist_cached(source: str) -> tuple[CategoryRef, ...]:
     stream = TokenStream(source)
     refs = _parse_clist(stream)
     stream.require_end()

@@ -168,9 +168,14 @@ def _atom(
     )
 
 
-def _dual(approach: Approach) -> Approach:
+def dual_approach(approach: Approach) -> Approach:
+    """The approach evaluating ``NOT p`` must use for ``p`` (certainly
+    satisfying the negation == not possibly satisfying the operand)."""
     if approach is Approach.CONSERVATIVE:
         return Approach.LIBERAL
     if approach is Approach.LIBERAL:
         return Approach.CONSERVATIVE
     return approach
+
+
+_dual = dual_approach

@@ -1,0 +1,184 @@
+"""Incremental NOW-advance synchronization (suspect-region skipping)."""
+
+import datetime as dt
+import types
+
+import pytest
+
+from repro.engine.store import SubcubeStore, _value_day_span
+from repro.engine.sync import MigrationEvent, SyncScheduler
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+
+
+def facts_of(mo):
+    return [
+        (
+            fact_id,
+            dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+            {
+                name: mo.measure_value(fact_id, name)
+                for name in mo.schema.measure_names
+            },
+        )
+        for fact_id in sorted(mo.facts())
+    ]
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def store(mo):
+    store = SubcubeStore(mo, paper_specification(mo))
+    store.load(facts_of(mo))
+    return store
+
+
+def snapshot(store):
+    out = {}
+    for name, cube in store.cubes.items():
+        cube_mo = cube.mo
+        out[name] = sorted(
+            (
+                fact_id,
+                cube_mo.direct_cell(fact_id),
+                cube_mo.provenance(fact_id),
+                tuple(
+                    cube_mo.measure_value(fact_id, measure)
+                    for measure in cube_mo.schema.measure_names
+                ),
+            )
+            for fact_id in cube_mo.facts()
+        )
+    return out
+
+
+class TestEquivalence:
+    def test_incremental_matches_full_over_snapshots(self, mo):
+        incremental = SubcubeStore(mo, paper_specification(mo))
+        incremental.load(facts_of(mo))
+        full = SubcubeStore(mo, paper_specification(mo))
+        full.load(facts_of(mo))
+        for at in SNAPSHOT_TIMES:
+            moved_incremental = incremental.synchronize(at)
+            moved_full = full.synchronize(at, incremental=False)
+            assert moved_incremental == moved_full
+            assert snapshot(incremental) == snapshot(full)
+
+    def test_first_sync_is_a_full_scan(self, store):
+        store.synchronize(SNAPSHOT_TIMES[0])
+        assert store.last_sync_examined == store.total_facts()
+
+
+class TestExaminedCounts:
+    def test_incremental_examines_fewer_on_advance(self, store):
+        store.synchronize(SNAPSHOT_TIMES[1])
+        total = store.total_facts()
+        store.synchronize(SNAPSHOT_TIMES[1] + dt.timedelta(days=31))
+        assert store.last_sync_examined < total
+
+    def test_full_rescan_examines_everything(self, store):
+        store.synchronize(SNAPSHOT_TIMES[1])
+        total = store.total_facts()
+        store.synchronize(
+            SNAPSHOT_TIMES[1] + dt.timedelta(days=31), incremental=False
+        )
+        assert store.last_sync_examined == total
+
+    def test_idempotent_resync_moves_nothing(self, store):
+        store.synchronize(SNAPSHOT_TIMES[2])
+        moved = store.synchronize(SNAPSHOT_TIMES[2])
+        assert sum(moved.values()) == 0
+
+    def test_loaded_facts_are_always_examined(self, store):
+        store.synchronize(SNAPSHOT_TIMES[1])
+        store.load(
+            [
+                (
+                    "late",
+                    {"Time": "1999/12/31", "URL": "http://www.cnn.com/"},
+                    {
+                        "Number_of": 1,
+                        "Dwell_time": 7,
+                        "Delivery_time": 1,
+                        "Datasize": 2,
+                    },
+                )
+            ]
+        )
+        # Re-sync at the same time: nothing time-dependent changed, but
+        # the freshly loaded fact must still be examined (and migrated —
+        # 1999/12 is far outside the detail window at this date).
+        moved = store.synchronize(SNAPSHOT_TIMES[1])
+        assert store.last_sync_examined >= 1
+        assert sum(moved.values()) == 1
+
+    def test_examined_at_least_covers_moves(self, store):
+        store.synchronize(SNAPSHOT_TIMES[1])
+        moved = store.synchronize(SNAPSHOT_TIMES[2])
+        assert store.last_sync_examined >= sum(moved.values())
+
+
+class TestSuspectRegions:
+    def test_regions_cover_both_boundaries(self, store):
+        old = SNAPSHOT_TIMES[1]
+        new = SNAPSHOT_TIMES[2]
+        regions = store._suspect_regions(old, new)
+        assert regions is not None and "Time" in regions
+        for lo, hi in regions["Time"]:
+            assert lo <= hi
+        # The hull must be wide enough to span the NOW advance.
+        widest = max(hi - lo for lo, hi in regions["Time"])
+        assert widest >= (new - old).days
+
+    def test_unmodelled_category_forces_full_scan(self, store, monkeypatch):
+        from repro.spec import ranges
+
+        monkeypatch.setattr(ranges, "GRANULE_DAYS", {})
+        monkeypatch.setattr(
+            "repro.engine.store.GRANULE_DAYS", {}
+        )
+        assert store._suspect_regions(SNAPSHOT_TIMES[1], SNAPSHOT_TIMES[2]) is None
+
+    def test_value_day_span(self, mo):
+        time_dimension = mo.dimensions["Time"]
+        span = _value_day_span(time_dimension, "1999/12/31")
+        assert span is not None
+        lo, hi = span
+        assert lo == hi == float(dt.date(1999, 12, 31).toordinal())
+        month = _value_day_span(time_dimension, "1999/12")
+        assert month is not None
+        assert month[0] == float(dt.date(1999, 12, 1).toordinal())
+        assert month[1] == float(dt.date(1999, 12, 31).toordinal())
+        assert _value_day_span(time_dimension, "T") is None
+
+    def test_url_values_cannot_be_spanned(self, mo):
+        url_dimension = mo.dimensions["URL"]
+        assert _value_day_span(url_dimension, "http://www.cnn.com/") is None
+
+
+class TestStoreSurface:
+    def test_cubes_is_a_live_readonly_view(self, store):
+        cubes = store.cubes
+        assert isinstance(cubes, types.MappingProxyType)
+        with pytest.raises(TypeError):
+            cubes["K0"] = None
+        # Live: the same view reflects later changes, and repeated access
+        # does not build fresh dicts.
+        assert store.cubes["K0"] is cubes["K0"]
+
+    def test_scheduler_reports_examined(self, store):
+        scheduler = SyncScheduler(store)
+        events = scheduler.advance_to(SNAPSHOT_TIMES[1])
+        assert events
+        assert all(isinstance(e, MigrationEvent) for e in events)
+        assert events[0].examined == store.last_sync_examined or len(events) > 1
+        assert events[-1].examined >= 0
+        total = sum(e.total_moved for e in events)
+        assert total >= 0

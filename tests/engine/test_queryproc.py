@@ -112,3 +112,52 @@ def _content(mo):
         )
         for row in mo_rows(mo)
     )
+
+
+class TestQueryPlanCache:
+    def test_plan_cache_attaches_once(self, store):
+        from repro.engine.queryproc import QueryPlanCache, plan_cache
+
+        plans = plan_cache(store)
+        assert isinstance(plans, QueryPlanCache)
+        assert plan_cache(store) is plans
+
+    def test_bound_predicates_and_plans_are_reused(self, store):
+        from repro.engine.queryproc import plan_cache
+
+        plans = plan_cache(store)
+        at = SNAPSHOT_TIMES[1]
+        text = "URL.domain_grp = '.com'"
+        first = plans.plan_for_text(text, at)
+        assert plans.plan_for_text(text, at) is first
+        assert plans.n_bound == 1
+        assert plans.n_plans == 1
+        # A different time compiles a new plan over the same bound AST.
+        later = plans.plan_for_text(text, SNAPSHOT_TIMES[2])
+        assert later is not first
+        assert plans.n_bound == 1
+        assert plans.n_plans == 2
+
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("at", SNAPSHOT_TIMES)
+    def test_planned_queries_match_unplanned(self, mo, store, query, at):
+        from repro.engine.queryproc import plan_cache
+
+        store.synchronize(at)
+        planned = query_store(store, query, at, plans=plan_cache(store))
+        unplanned = query_store(store, query, at, plans=None)
+        assert _content(planned) == _content(unplanned)
+
+    def test_planned_effective_content_matches(self, store):
+        from repro.engine.queryproc import plan_cache
+
+        store.synchronize(SNAPSHOT_TIMES[1])
+        at = SNAPSHOT_TIMES[2]
+        quarter_cube = store.cube("K2")
+        with_plans = effective_content(
+            store, quarter_cube, at, plans=plan_cache(store)
+        )
+        without = effective_content(store, quarter_cube, at, plans=None)
+        assert sorted(
+            with_plans.direct_cell(f) for f in with_plans.facts()
+        ) == sorted(without.direct_cell(f) for f in without.facts())

@@ -114,6 +114,26 @@ def test_linear_hierarchies_are_lattices(hierarchy):
 
 
 @SETTINGS
+@given(hierarchy=hierarchies(), data=st.data())
+def test_memoized_bounds_match_uncached(hierarchy, data):
+    """glb/lub/is_linear/is_lattice caching never changes an answer."""
+    categories = sorted(hierarchy.categories)
+    a = data.draw(st.sampled_from(categories))
+    b = data.draw(st.sampled_from(categories))
+    key = frozenset({a, b})
+    cached_glb = hierarchy.glb({a, b})
+    cached_lub = hierarchy.lub({a, b})
+    assert cached_glb == hierarchy._compute_glb(key)
+    assert cached_lub == hierarchy._compute_lub(key)
+    # Argument order cannot matter (the cache key is a frozenset) and
+    # repeated lookups stay stable.
+    assert hierarchy.glb({b, a}) == cached_glb
+    assert hierarchy.lub({b, a}) == cached_lub
+    assert hierarchy.is_linear() == hierarchy._compute_is_linear()
+    assert hierarchy.is_lattice() == hierarchy._compute_is_lattice()
+
+
+@SETTINGS
 @given(hierarchy=hierarchies())
 def test_paths_to_top_are_chains(hierarchy):
     for path in hierarchy.paths_to_top(hierarchy.bottom):

@@ -1,0 +1,132 @@
+"""The columnar reducer backend and ``reduce_mo``'s backend dispatch."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ReproError, SpecSemanticsError
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.reduction import (
+    BACKENDS,
+    COLUMNAR_THRESHOLD,
+    reduce_mo,
+    reduce_mo_columnar,
+)
+
+
+@pytest.fixture()
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture()
+def specification(mo):
+    return paper_specification(mo)
+
+
+def assert_identical(left, right):
+    assert list(left.facts()) == list(right.facts())
+    for fact_id in left.facts():
+        assert left.direct_cell(fact_id) == right.direct_cell(fact_id)
+        assert left.provenance(fact_id) == right.provenance(fact_id)
+        for name in left.schema.measure_names:
+            assert left.measure_value(fact_id, name) == right.measure_value(
+                fact_id, name
+            )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("at", SNAPSHOT_TIMES)
+    def test_matches_interpretive_on_paper_snapshots(
+        self, mo, specification, at
+    ):
+        interpretive = reduce_mo(mo, specification, at, backend="interpretive")
+        columnar = reduce_mo_columnar(mo, specification, at)
+        assert_identical(columnar, interpretive)
+
+    def test_carried_over_facts_keep_identity(self, mo, specification):
+        at = SNAPSHOT_TIMES[0]
+        columnar = reduce_mo_columnar(mo, specification, at)
+        untouched = [f for f in mo.facts() if f in columnar]
+        assert untouched  # the early snapshot leaves some facts alone
+        for fact_id in untouched:
+            assert columnar.direct_cell(fact_id) == mo.direct_cell(fact_id)
+
+    def test_empty_specification_is_identity(self, mo):
+        at = SNAPSHOT_TIMES[-1]
+        columnar = reduce_mo_columnar(mo, [], at)
+        assert_identical(columnar, mo)
+
+    def test_crossing_specification_raises(self, mo):
+        from repro.spec.action import Action
+        from repro.spec.specification import ReductionSpecification
+
+        crossing = ReductionSpecification(
+            (
+                Action.parse(
+                    mo.schema,
+                    "a[Time.month, URL.url] o[Time.month <= NOW - 0 months]",
+                    "by_month",
+                ),
+                Action.parse(
+                    mo.schema,
+                    "a[Time.day, URL.domain] o[Time.day <= NOW - 0 days]",
+                    "by_domain",
+                ),
+            ),
+            mo.dimensions,
+            validate=False,
+        )
+        at = dt.date(2001, 1, 1)
+        with pytest.raises(SpecSemanticsError, match="crossing"):
+            reduce_mo_columnar(mo, crossing, at)
+        with pytest.raises(SpecSemanticsError, match="crossing"):
+            reduce_mo(mo, crossing, at, backend="interpretive")
+
+
+class TestDispatch:
+    def test_backends_tuple(self):
+        assert BACKENDS == ("auto", "interpretive", "compiled", "columnar")
+
+    def test_unknown_backend_raises(self, mo, specification):
+        with pytest.raises(ReproError, match="unknown reducer backend"):
+            reduce_mo(mo, specification, SNAPSHOT_TIMES[0], backend="turbo")
+
+    def test_auto_uses_interpretive_below_threshold(
+        self, mo, specification, monkeypatch
+    ):
+        assert mo.n_facts < COLUMNAR_THRESHOLD
+        called = []
+        import repro.reduction.columnar as columnar_module
+
+        monkeypatch.setattr(
+            columnar_module,
+            "reduce_mo_columnar",
+            lambda *a, **k: called.append(True),
+        )
+        reduce_mo(mo, specification, SNAPSHOT_TIMES[0])
+        assert not called
+
+    def test_auto_uses_columnar_at_threshold(
+        self, mo, specification, monkeypatch
+    ):
+        sentinel = object()
+        import repro.reduction.columnar as columnar_module
+
+        monkeypatch.setattr(
+            columnar_module, "reduce_mo_columnar", lambda *a, **k: sentinel
+        )
+        monkeypatch.setattr(type(mo), "n_facts", COLUMNAR_THRESHOLD)
+        assert reduce_mo(mo, specification, SNAPSHOT_TIMES[0]) is sentinel
+
+    @pytest.mark.parametrize("backend", ["interpretive", "compiled", "columnar"])
+    def test_explicit_backends_agree(self, mo, specification, backend):
+        at = SNAPSHOT_TIMES[1]
+        expected = reduce_mo(mo, specification, at, backend="interpretive")
+        assert_identical(
+            reduce_mo(mo, specification, at, backend=backend), expected
+        )

@@ -145,3 +145,34 @@ class TestActions:
         action = parse_action(self.PAPER_A1)
         again = parse_action(str(action))
         assert str(again) == str(action)
+
+
+class TestParseCaching:
+    """The entry points memoize on text; NOW stays symbolic in the AST,
+    so a cached parse is safe to evaluate at any later time."""
+
+    def test_repeated_parse_returns_the_cached_ast(self):
+        text = "Time.month <= NOW - 6 months"
+        assert parse_predicate(text) is parse_predicate(text)
+        action = "a[Time.month, URL.domain] o[TRUE]"
+        assert parse_action(action) is parse_action(action)
+        assert parse_clist("Time.month, URL.domain") is parse_clist(
+            "Time.month, URL.domain"
+        )
+
+    def test_cached_parse_is_time_safe(self):
+        import datetime as dt
+
+        text = "Time.month <= NOW - 6 months"
+        first = parse_predicate(text)
+        term_at_1999 = first.term.evaluate(dt.date(1999, 12, 15), "month")
+        second = parse_predicate(text)
+        term_at_2000 = second.term.evaluate(dt.date(2000, 12, 15), "month")
+        assert first is second  # one AST ...
+        assert term_at_1999 == "1999/06"  # ... two different NOW bindings
+        assert term_at_2000 == "2000/06"
+
+    def test_distinct_texts_do_not_collide(self):
+        left = parse_predicate("Time.month <= NOW - 6 months")
+        right = parse_predicate("Time.month <= NOW - 7 months")
+        assert left.term.span != right.term.span

@@ -254,3 +254,56 @@ class TestFiguresAndDemo:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "reduced at 2000-11-05: 4 facts" in out
+
+
+class TestBench:
+    def test_smoke_writes_schema_stable_documents(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--out-dir",
+                str(tmp_path),
+                "--repeats",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BENCH_reduction.json" in out
+        assert "BENCH_sync.json" in out
+
+        reduction = json.loads((tmp_path / "BENCH_reduction.json").read_text())
+        assert reduction["schema"] == "repro-bench-reduction/1"
+        assert set(reduction["backends"]) == {
+            "interpretive",
+            "compiled",
+            "columnar",
+        }
+        for block in reduction["backends"].values():
+            assert block["seconds"] > 0
+            assert block["output_facts"] > 0
+        assert reduction["speedup"]["columnar_vs_interpretive"] > 0
+
+        sync = json.loads((tmp_path / "BENCH_sync.json").read_text())
+        assert sync["schema"] == "repro-bench-sync/1"
+        assert len(sync["steps"]) == 2
+        for step in sync["steps"]:
+            assert step["incremental"]["examined"] <= step["full"]["examined"]
+        assert sync["examined"]["saved"] >= 0
+
+    def test_fail_under_speedup_gate(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--out-dir",
+                str(tmp_path),
+                "--repeats",
+                "1",
+                "--fail-under-speedup",
+                "1e9",  # impossible floor: the gate must trip
+            ]
+        )
+        assert code == 1
+        assert "is below the" in capsys.readouterr().err
