@@ -136,13 +136,22 @@ def bench_reduction(profile: BenchProfile) -> dict:
     }
 
 
-def bench_sync(profile: BenchProfile) -> dict:
+def bench_sync(
+    profile: BenchProfile,
+    durable_path: str | None = None,
+    fsync: bool = True,
+) -> dict:
     """Measure incremental vs full-rescan synchronization work.
 
     Two stores replay the same trajectory — an initial sync followed by
     two NOW advances — one on the incremental path, one forcing full
     rescans.  Each step records the facts *examined* (the work metric the
     suspect-region analysis reduces) and wall time.
+
+    With *durable_path*, the incremental store runs through the
+    crash-safe :class:`~repro.engine.durable.DurableStore`, so the
+    journaling/fsync overhead shows up in the incremental timings and an
+    extra ``durable`` block lands in the document.
     """
     mo, specification = _workload(profile)
     facts = [
@@ -160,7 +169,14 @@ def bench_sync(profile: BenchProfile) -> dict:
     t2 = t1 + dt.timedelta(days=45)
     t3 = t2 + dt.timedelta(days=45)
 
-    incremental = SubcubeStore(mo, specification)
+    if durable_path is not None:
+        from .engine.durable import DurableStore
+
+        incremental = DurableStore.create(
+            durable_path, mo, specification, fsync=fsync
+        )
+    else:
+        incremental = SubcubeStore(mo, specification)
     incremental.load(facts)
     incremental.synchronize(t1)
     full = SubcubeStore(mo, specification)
@@ -195,7 +211,7 @@ def bench_sync(profile: BenchProfile) -> dict:
         )
     examined_incremental_total = sum(s["incremental"]["examined"] for s in steps)
     examined_full_total = sum(s["full"]["examined"] for s in steps)
-    return {
+    document = {
         "schema": SYNC_SCHEMA,
         "workload": _workload_block(profile, mo),
         "initial_sync": t1.isoformat(),
@@ -206,26 +222,47 @@ def bench_sync(profile: BenchProfile) -> dict:
             "saved": examined_full_total - examined_incremental_total,
         },
     }
+    if durable_path is not None:
+        audit = incremental.verify()
+        document["durable"] = {
+            "path": durable_path,
+            "fsync": fsync,
+            "journal_lsn": incremental.journal_lsn,
+            "audit_ok": audit.ok,
+        }
+        incremental.snapshot()
+        incremental.close()
+    return document
 
 
 def run_benchmarks(
     out_dir: str = ".",
     smoke: bool = False,
     repeats: int | None = None,
+    durable_path: str | None = None,
+    fsync: bool = True,
 ) -> dict[str, str]:
-    """Run both suites and write the BENCH documents; returns the paths."""
+    """Run both suites and write the BENCH documents; returns the paths.
+
+    The documents are written atomically (temp file + rename), so an
+    interrupted benchmark run never truncates an existing trajectory.
+    """
+    from .io import atomic_write
+
     profile = SMOKE_PROFILE if smoke else FULL_PROFILE
     if repeats is not None:
         profile = BenchProfile(profile.name, profile.config, profile.now, repeats)
     documents = {
         "BENCH_reduction.json": bench_reduction(profile),
-        "BENCH_sync.json": bench_sync(profile),
+        "BENCH_sync.json": bench_sync(
+            profile, durable_path=durable_path, fsync=fsync
+        ),
     }
     os.makedirs(out_dir, exist_ok=True)
     paths: dict[str, str] = {}
     for filename, document in documents.items():
         path = os.path.join(out_dir, filename)
-        with open(path, "w", encoding="utf-8") as stream:
+        with atomic_write(path) as stream:
             json.dump(document, stream, indent=1, sort_keys=True)
             stream.write("\n")
         paths[filename] = path

@@ -35,6 +35,18 @@ Commands
     ``BENCH_reduction.json`` / ``BENCH_sync.json`` trajectories;
     ``--fail-under-speedup`` exits 1 when the columnar backend's speedup
     over the interpretive reference falls below the given floor.
+    ``--durable PATH`` runs the synchronization suite through the
+    crash-safe store engine (``--no-fsync`` skips fsync for speed).
+
+``recover DURABLE_PATH [--complete] [--json]``
+    Recover a durable store directory: load the latest valid snapshot,
+    replay the journal tail, and report what was replayed or discarded.
+    ``--complete`` re-runs an interrupted synchronization idempotently.
+
+``audit DURABLE_PATH [--json]``
+    Recover a durable store and verify its invariants (granularity
+    placement, provenance partition, measure conservation against the
+    journaled source facts); exit status 1 on violations.
 """
 
 from __future__ import annotations
@@ -96,6 +108,18 @@ def build_parser() -> argparse.ArgumentParser:
     reduce_cmd.add_argument("spec_file")
     reduce_cmd.add_argument("--at", required=True)
     reduce_cmd.add_argument("-o", "--output")
+    reduce_cmd.add_argument(
+        "--durable",
+        dest="durable_path",
+        help="also materialize the reduction as a crash-safe durable "
+        "store at this directory",
+    )
+    reduce_cmd.add_argument(
+        "--no-fsync",
+        action="store_true",
+        dest="no_fsync",
+        help="skip fsync calls in the durable store (faster, less durable)",
+    )
 
     stats = sub.add_parser("stats", help="storage statistics of a stored MO")
     stats.add_argument("mo_file")
@@ -134,6 +158,39 @@ def build_parser() -> argparse.ArgumentParser:
         dest="fail_under_speedup",
         help="exit 1 when columnar/interpretive speedup drops below this",
     )
+    bench.add_argument(
+        "--durable",
+        dest="durable_path",
+        default=None,
+        help="run the sync suite through a durable store at this directory",
+    )
+    bench.add_argument(
+        "--no-fsync",
+        action="store_true",
+        dest="no_fsync",
+        help="skip fsync calls in the durable store (faster, less durable)",
+    )
+
+    recover = sub.add_parser(
+        "recover", help="recover a crash-safe durable store directory"
+    )
+    recover.add_argument("durable_path")
+    recover.add_argument(
+        "--complete",
+        action="store_true",
+        help="re-run an interrupted synchronization after recovery",
+    )
+    recover.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+
+    audit = sub.add_parser(
+        "audit", help="recover a durable store and verify its invariants"
+    )
+    audit.add_argument("durable_path")
+    audit.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
 
     return parser
 
@@ -165,6 +222,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.spec_file,
                 arguments.at,
                 arguments.output,
+                arguments.durable_path,
+                not arguments.no_fsync,
             )
         if arguments.command == "stats":
             return _stats(arguments.mo_file)
@@ -174,7 +233,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.smoke,
                 arguments.repeats,
                 arguments.fail_under_speedup,
+                arguments.durable_path,
+                not arguments.no_fsync,
             )
+        if arguments.command == "recover":
+            return _recover(
+                arguments.durable_path, arguments.complete, arguments.json
+            )
+        if arguments.command == "audit":
+            return _audit(arguments.durable_path, arguments.json)
         return _explain(arguments.mo_file, arguments.spec_file, arguments.at)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -263,7 +330,7 @@ def _lint(
     ignore: list[str] | None,
     output: str | None,
 ) -> int:
-    from .io import mo_from_dict
+    from .io import atomic_write, mo_from_dict
     from .lint import (
         LintResult,
         lint_document_measures,
@@ -293,15 +360,22 @@ def _lint(
     result = result.filter(select, ignore)
     report = render(result, format)
     if output:
-        with open(output, "w", encoding="utf-8") as stream:
+        with atomic_write(output) as stream:
             stream.write(report + "\n")
     else:
         print(report)
     return 1 if result.has_errors() else 0
 
 
-def _reduce(mo_file: str, spec_file: str, at: str, output: str | None) -> int:
-    from .io import dump_mo, load_mo, load_specification
+def _reduce(
+    mo_file: str,
+    spec_file: str,
+    at: str,
+    output: str | None,
+    durable_path: str | None = None,
+    fsync: bool = True,
+) -> int:
+    from .io import atomic_write, dump_mo, load_mo, load_specification
     from .reduction.reducer import reduce_mo
 
     when = dt.date.fromisoformat(at)
@@ -314,13 +388,47 @@ def _reduce(mo_file: str, spec_file: str, at: str, output: str | None) -> int:
         f"reduced {mo.n_facts} facts to {reduced.n_facts} at {when}",
         file=sys.stderr,
     )
+    if durable_path:
+        _materialize_durable(mo, specification, when, durable_path, fsync)
+        print(f"durable store written to {durable_path}", file=sys.stderr)
     if output:
-        with open(output, "w") as stream:
+        with atomic_write(output) as stream:
             dump_mo(reduced, stream)
     else:
         dump_mo(reduced, sys.stdout)
         print()
     return 0
+
+
+def _materialize_durable(mo, specification, when, durable_path, fsync):
+    """Build a crash-safe durable store holding the reduced warehouse."""
+    from .engine.durable import DurableStore
+
+    store = DurableStore.create(
+        durable_path, mo, specification, fsync=fsync
+    )
+    try:
+        store.load(
+            (
+                fact_id,
+                dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+                {
+                    name: mo.measure_value(fact_id, name)
+                    for name in mo.schema.measure_names
+                },
+            )
+            for fact_id in sorted(mo.facts())
+        )
+        store.synchronize(when)
+        store.record_reduce(
+            when,
+            input_facts=mo.n_facts,
+            output_facts=store.total_facts(),
+        )
+        store.snapshot()
+        store.verify(strict=True)
+    finally:
+        store.close()
 
 
 def _stats(mo_file: str) -> int:
@@ -354,10 +462,18 @@ def _bench(
     smoke: bool,
     repeats: int | None,
     fail_under_speedup: float | None,
+    durable_path: str | None = None,
+    fsync: bool = True,
 ) -> int:
     from .bench import run_benchmarks
 
-    paths = run_benchmarks(out_dir, smoke=smoke, repeats=repeats)
+    paths = run_benchmarks(
+        out_dir,
+        smoke=smoke,
+        repeats=repeats,
+        durable_path=durable_path,
+        fsync=fsync,
+    )
     with open(paths["BENCH_reduction.json"]) as stream:
         reduction = json.load(stream)
     with open(paths["BENCH_sync.json"]) as stream:
@@ -383,6 +499,81 @@ def _bench(
         )
         return 1
     return 0
+
+
+def _recover(durable_path: str, complete: bool, as_json: bool) -> int:
+    from .engine.durable import open_durable
+
+    store, report = open_durable(durable_path)
+    try:
+        completed = None
+        if report.interrupted_sync is not None and complete:
+            store.synchronize(report.interrupted_sync)
+            completed = report.interrupted_sync.isoformat()
+        shape = {name: cube.n_facts for name, cube in store.cubes.items()}
+        if as_json:
+            print(
+                json.dumps(
+                    {
+                        **report.as_dict(),
+                        "completed_sync": completed,
+                        "cubes": shape,
+                        "last_sync": (
+                            store.last_sync.isoformat()
+                            if store.last_sync
+                            else None
+                        ),
+                    },
+                    indent=1,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(
+                f"recovered {store.total_facts()} facts in "
+                f"{len(shape)} cubes (journal lsn {report.last_lsn}, "
+                f"snapshot lsn {report.snapshot_lsn}, "
+                f"{report.replayed} replayed, {report.discarded} discarded)"
+            )
+            if completed:
+                print(f"completed interrupted synchronization at {completed}")
+            elif report.interrupted_sync is not None:
+                print(
+                    f"interrupted synchronization at "
+                    f"{report.interrupted_sync.isoformat()} NOT re-run "
+                    "(pass --complete)"
+                )
+        return 0
+    finally:
+        store.close()
+
+
+def _audit(durable_path: str, as_json: bool) -> int:
+    from .engine.durable import open_durable
+
+    store, recovery = open_durable(durable_path)
+    try:
+        report = store.verify()
+    finally:
+        store.close()
+    if as_json:
+        print(
+            json.dumps(
+                {"recovery": recovery.as_dict(), "audit": report.as_dict()},
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    elif report.ok:
+        print(
+            f"audit clean: {report.facts} facts covering {report.sources} "
+            f"sources, {report.checked_measures} measure values verified"
+        )
+    else:
+        print(f"audit FAILED ({len(report.violations)} violations):")
+        for violation in report.violations:
+            print(f"  - {violation}")
+    return 0 if report.ok else 1
 
 
 def _explain(mo_file: str, spec_file: str, at: str) -> int:

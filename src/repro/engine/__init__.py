@@ -1,6 +1,14 @@
 """The Section 7 implementation strategy: disjoint actions and subcubes."""
 
 from .disjoint import DisjointAction, disjoint_actions
+from .durable import (
+    DurableStore,
+    Journal,
+    JournalRecord,
+    RecoveryReport,
+    open_durable,
+)
+from .faults import FAILPOINTS, FaultInjector, InjectedFault
 from .planner import CubePlanStep, QueryPlan, explain_plan
 from .queryproc import (
     QueryPlanCache,
@@ -11,7 +19,7 @@ from .queryproc import (
     query_cube,
     query_store,
 )
-from .store import SubcubeStore
+from .store import AuditReport, Migration, SubcubeStore
 from .subcube import SubCube
 from .sync import (
     MigrationEvent,
@@ -21,12 +29,21 @@ from .sync import (
 )
 
 __all__ = [
+    "AuditReport",
     "CubePlanStep",
     "DisjointAction",
+    "DurableStore",
+    "FAILPOINTS",
+    "FaultInjector",
+    "InjectedFault",
+    "Journal",
+    "JournalRecord",
+    "Migration",
     "QueryPlan",
     "explain_plan",
     "MigrationEvent",
     "QueryPlanCache",
+    "RecoveryReport",
     "SubCube",
     "SubcubeQuery",
     "SubcubeStore",
@@ -35,6 +52,7 @@ __all__ = [
     "disjoint_actions",
     "effective_content",
     "flow_report",
+    "open_durable",
     "plan_cache",
     "query_cube",
     "query_store",

@@ -1,0 +1,185 @@
+"""Deterministic fault injection for the durable store engine.
+
+A :class:`FaultInjector` owns a set of named *failpoints* — well-known
+call sites inside the durable store (:mod:`repro.engine.durable`) where a
+process crash would be most damaging.  Each failpoint can be armed to
+fire on its N-th hit, with a probability per hit (seeded RNG, so runs are
+reproducible), or a bounded number of times.  Firing raises
+:class:`InjectedFault`, which the crash-recovery tests treat as the
+moment the process died: nothing after the raise may be assumed to have
+happened, and recovery from disk must land on a consistent state.
+
+Failpoints can also be armed from the environment
+(``REPRO_FAILPOINTS="journal.append=2,sync.migrate=p0.25"`` with
+``REPRO_FAULT_SEED=1``), which is how the CI fault-injection job drives
+the property suite without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+#: The failpoint catalogue: every site the durable engine consults, with
+#: the crash the site simulates.  Tests iterate this to prove recovery
+#: works no matter where the process dies.
+FAILPOINTS: tuple[str, ...] = (
+    "journal.append",  # before a journal record reaches the file
+    "journal.torn",  # after a *prefix* of a record is written (torn write)
+    "journal.fsync",  # after write, before the journal fsync returns
+    "snapshot.write",  # before the snapshot temp file is written
+    "snapshot.fsync",  # after the temp file is written, before fsync
+    "snapshot.rename",  # before the atomic rename publishes the snapshot
+    "snapshot.manifest",  # before the manifest pointer is replaced
+    "load.insert",  # mid bulk-load, after some facts were staged
+    "sync.migrate",  # mid synchronization, after some facts moved
+)
+
+
+class InjectedFault(ReproError):
+    """A simulated crash raised by an armed failpoint."""
+
+    def __init__(self, name: str, hit: int) -> None:
+        self.failpoint = name
+        self.hit = hit
+        super().__init__(f"injected fault at {name!r} (hit {hit})")
+
+
+@dataclass
+class _Arming:
+    """One failpoint's trigger configuration."""
+
+    #: Fire on this hit number (1-based); ``None`` = every eligible hit.
+    at_hit: int | None = None
+    #: Fire with this probability per hit; ``None`` = always eligible.
+    probability: float | None = None
+    #: Stop firing after this many fires; ``None`` = unbounded.
+    max_fires: int | None = None
+    hits: int = 0
+    fires: int = 0
+
+
+@dataclass
+class FaultInjector:
+    """Named, seeded, countable failpoints.
+
+    ``arm("journal.append", at_hit=3)`` fires on exactly the third time
+    the journal tries to append; ``arm("sync.migrate",
+    probability=0.25)`` fires on each migration with probability 0.25
+    from the injector's seeded RNG.  An unarmed failpoint never fires,
+    so production code can consult failpoints unconditionally at zero
+    configuration cost.
+    """
+
+    seed: int = 0
+    _armed: dict[str, _Arming] = field(default_factory=dict)
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def arm(
+        self,
+        name: str,
+        *,
+        at_hit: int | None = None,
+        probability: float | None = None,
+        max_fires: int | None = None,
+    ) -> None:
+        if name not in FAILPOINTS:
+            raise ReproError(
+                f"unknown failpoint {name!r}; known: {', '.join(FAILPOINTS)}"
+            )
+        if at_hit is None and probability is None:
+            at_hit = 1
+        self._armed[name] = _Arming(at_hit, probability, max_fires)
+
+    def disarm(self, name: str | None = None) -> None:
+        """Disarm one failpoint, or all of them when *name* is None."""
+        if name is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(name, None)
+
+    def hit(self, name: str) -> None:
+        """Consult a failpoint; raises :class:`InjectedFault` if it fires."""
+        arming = self._armed.get(name)
+        if arming is None:
+            return
+        arming.hits += 1
+        if arming.max_fires is not None and arming.fires >= arming.max_fires:
+            return
+        if arming.at_hit is not None and arming.hits != arming.at_hit:
+            return
+        if (
+            arming.probability is not None
+            and self._rng.random() >= arming.probability
+        ):
+            return
+        arming.fires += 1
+        raise InjectedFault(name, arming.hits)
+
+    def hit_count(self, name: str) -> int:
+        """How many times an armed failpoint has been consulted."""
+        arming = self._armed.get(name)
+        return arming.hits if arming is not None else 0
+
+    def fire_count(self, name: str) -> int:
+        arming = self._armed.get(name)
+        return arming.fires if arming is not None else 0
+
+    @classmethod
+    def from_environment(
+        cls,
+        spec: str | None = None,
+        seed: int | None = None,
+    ) -> "FaultInjector":
+        """Build an injector from ``REPRO_FAILPOINTS``.
+
+        The spec is a comma- or semicolon-separated list of
+        ``name=trigger`` items where the trigger is a hit number
+        (``journal.append=2``), a probability (``sync.migrate=p0.25``),
+        or ``*`` for every hit.  The RNG seed comes from
+        ``REPRO_FAULT_SEED`` (default 0).
+        """
+        if spec is None:
+            spec = os.environ.get("REPRO_FAILPOINTS", "")
+        if seed is None:
+            seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+        injector = cls(seed=seed)
+        for item in spec.replace(";", ",").split(","):
+            item = item.strip()
+            if not item:
+                continue
+            name, _, trigger = item.partition("=")
+            name = name.strip()
+            trigger = trigger.strip() or "1"
+            if trigger == "*":
+                injector.arm(name, at_hit=None, probability=1.0)
+            elif trigger.startswith("p"):
+                try:
+                    probability = float(trigger[1:])
+                except ValueError:
+                    raise ReproError(
+                        f"bad failpoint trigger {item!r}: probability "
+                        "must look like p0.25"
+                    ) from None
+                injector.arm(name, probability=probability)
+            else:
+                try:
+                    at_hit = int(trigger)
+                except ValueError:
+                    raise ReproError(
+                        f"bad failpoint trigger {item!r}: expected a hit "
+                        "number, p<float>, or *"
+                    ) from None
+                injector.arm(name, at_hit=at_hit)
+        return injector
+
+
+#: A process-wide injector with nothing armed: the default for durable
+#: stores constructed without an explicit injector.
+PASSIVE = FaultInjector()

@@ -15,13 +15,14 @@ from __future__ import annotations
 
 import datetime as _dt
 import types
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..core.dimension import ALL_VALUE
 from ..core.facts import Provenance
 from ..core.hierarchy import TOP
 from ..core.mo import MultidimensionalObject
-from ..errors import EngineError, ReproError
+from ..errors import AuditError, EngineError, ReproError
 from ..spec.predicate import cell_satisfies
 from ..spec.ranges import GRANULE_DAYS
 from ..spec.specification import ReductionSpecification
@@ -33,6 +34,102 @@ from .subcube import SubCube
 #: Day-ordinal intervals per dimension within which admission verdicts may
 #: have changed between two synchronization times; ``None`` = everywhere.
 SuspectRegions = "dict[str, list[tuple[float, float]]] | None"
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One fact's planned move between subcubes during synchronization.
+
+    ``coordinates``/``measures``/``provenance`` describe the fact *as it
+    leaves the source cube* (already rolled up to the target
+    granularity); applying the move is ``source.remove(fact_id)``
+    followed by ``target.insert_at_granularity(...)``.  The durable
+    engine journals exactly this payload, so a committed synchronization
+    can be replayed physically, bit for bit.
+    """
+
+    fact_id: str
+    source: str
+    target: str
+    coordinates: Mapping[str, str]
+    measures: Mapping[str, object]
+    provenance: Provenance
+
+
+@dataclass
+class AuditReport:
+    """Outcome of a :meth:`SubcubeStore.verify` invariant audit."""
+
+    violations: list[str] = field(default_factory=list)
+    facts: int = 0
+    sources: int = 0
+    checked_measures: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            raise AuditError(self.violations)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "facts": self.facts,
+            "sources": self.sources,
+            "checked_measures": self.checked_measures,
+            "violations": list(self.violations),
+        }
+
+
+class _UndoLog:
+    """First-touch-wins before-images of cube facts, for rollback.
+
+    Every mutation the store performs during a transactional operation
+    records the prior state of the (cube, fact id) pair it is about to
+    touch — whether the fact existed, and with which coordinates,
+    measures, and provenance.  Rolling back replays those before-images
+    in any order (first-touch-wins makes later touches of the same pair
+    no-ops), restoring the store to the state before the operation.
+    """
+
+    def __init__(self) -> None:
+        self._before: dict[tuple[str, str], tuple | None] = {}
+        self.dirty_added: set[str] = set()
+
+    def record(self, cube: SubCube, fact_id: str) -> None:
+        key = (cube.name, fact_id)
+        if key in self._before:
+            return
+        mo = cube.mo
+        if fact_id in mo:
+            self._before[key] = (
+                dict(
+                    zip(mo.schema.dimension_names, mo.direct_cell(fact_id))
+                ),
+                {
+                    name: mo.measure_value(fact_id, name)
+                    for name in mo.schema.measure_names
+                },
+                mo.provenance(fact_id),
+            )
+        else:
+            self._before[key] = None
+
+    def rollback(self, store: "SubcubeStore") -> None:
+        for (cube_name, fact_id), before in self._before.items():
+            mo = store.cube(cube_name).mo
+            if fact_id in mo:
+                mo.delete_fact(fact_id)
+            if before is not None:
+                coordinates, measures, provenance = before
+                mo.insert_aggregate_fact(
+                    fact_id, coordinates, measures, provenance
+                )
+        store._dirty -= self.dirty_added
+        self._before.clear()
+        self.dirty_added.clear()
 
 
 class SubcubeStore:
@@ -106,16 +203,36 @@ class SubcubeStore:
         facts: Iterable[tuple[str, Mapping[str, str], Mapping[str, object]]],
     ) -> int:
         """Bulk-load user facts into the bottom cube (always the entry
-        point, per Section 7.2)."""
+        point, per Section 7.2).
+
+        The load is all-or-nothing: if any fact fails to insert (unknown
+        value, missing measure, ...), every fact staged before it is
+        rolled back and ``_dirty`` is left exactly as it was — a partial
+        batch is never observable.
+        """
+        staged = [
+            (fact_id, dict(coordinates), dict(measures))
+            for fact_id, coordinates, measures in facts
+        ]
+        self._journal_load(staged)
         bottom = self.bottom_cube
-        count = 0
-        for fact_id, coordinates, measures in facts:
-            stored_id = bottom.insert_at_granularity(
-                coordinates, measures, Provenance.of(fact_id)
-            )
-            self._dirty.add(stored_id)
-            count += 1
-        return count
+        undo = _UndoLog()
+        try:
+            for index, (fact_id, coordinates, measures) in enumerate(staged):
+                self._load_fault(index, fact_id)
+                cell_id = bottom.cell_fact_id(coordinates)
+                undo.record(bottom, cell_id)
+                stored_id = bottom.insert_at_granularity(
+                    coordinates, measures, Provenance.of(fact_id)
+                )
+                if stored_id not in self._dirty:
+                    undo.dirty_added.add(stored_id)
+                self._dirty.add(stored_id)
+        except BaseException as exc:
+            undo.rollback(self)
+            self._journal_load_failed(exc)
+            raise
+        return len(staged)
 
     def synchronize(
         self, now: _dt.date, *, incremental: bool = True
@@ -144,6 +261,7 @@ class SubcubeStore:
         regions = None
         if incremental and self.last_sync is not None:
             regions = self._suspect_regions(self.last_sync, now)
+        self._journal_sync_begin(now, incremental)
         moved: dict[str, int] = {name: 0 for name in self._cubes}
         examined = 0
         dimensions = self._template.dimensions
@@ -153,44 +271,74 @@ class SubcubeStore:
         # *now*, so re-examining them in a later-iterated cube is wasted
         # work (and would double-count the examined metric).
         settled: set[str] = set()
-        for cube in self._cubes.values():
-            mo = cube.mo
-            for fact_id in list(mo.facts()):
-                if fact_id in settled:
-                    continue
-                if (
-                    regions is not None
-                    and fact_id not in self._dirty
-                    and not self._needs_examination(
-                        mo, fact_id, regions, span_cache
+        undo = _UndoLog()
+        try:
+            for cube in self._cubes.values():
+                mo = cube.mo
+                for fact_id in list(mo.facts()):
+                    if fact_id in settled:
+                        continue
+                    if (
+                        regions is not None
+                        and fact_id not in self._dirty
+                        and not self._needs_examination(
+                            mo, fact_id, regions, span_cache
+                        )
+                    ):
+                        continue
+                    examined += 1
+                    cell = dict(zip(names, mo.direct_cell(fact_id)))
+                    target = self._target_cube(cell, now)
+                    if target.name == cube.name:
+                        continue
+                    coordinates = {
+                        name: _rollup(dimensions[name], cell[name], category)
+                        for name, category in zip(names, target.granularity)
+                    }
+                    measures = {
+                        measure: mo.measure_value(fact_id, measure)
+                        for measure in mo.schema.measure_names
+                    }
+                    provenance = mo.provenance(fact_id)
+                    settled.add(
+                        self._apply_migration(
+                            Migration(
+                                fact_id,
+                                cube.name,
+                                target.name,
+                                coordinates,
+                                measures,
+                                provenance,
+                            ),
+                            undo,
+                        )
                     )
-                ):
-                    continue
-                examined += 1
-                cell = dict(zip(names, mo.direct_cell(fact_id)))
-                target = self._target_cube(cell, now)
-                if target.name == cube.name:
-                    continue
-                coordinates = {
-                    name: _rollup(dimensions[name], cell[name], category)
-                    for name, category in zip(names, target.granularity)
-                }
-                measures = {
-                    measure: mo.measure_value(fact_id, measure)
-                    for measure in mo.schema.measure_names
-                }
-                provenance = mo.provenance(fact_id)
-                cube.remove(fact_id)
-                settled.add(
-                    target.insert_at_granularity(
-                        coordinates, measures, provenance
-                    )
-                )
-                moved[target.name] += 1
+                    moved[target.name] += 1
+            self._journal_sync_commit(now, moved, examined)
+        except BaseException as exc:
+            # Roll every staged migration back: the store is never
+            # observably half-migrated, and a retry starts from the exact
+            # pre-synchronization state (``last_sync``/``_dirty`` are only
+            # touched after the commit point below).
+            undo.rollback(self)
+            self._journal_sync_failed(exc)
+            raise
         self.last_sync = now
         self.last_sync_examined = examined
         self._dirty.clear()
         return moved
+
+    def _apply_migration(self, migration: Migration, undo: _UndoLog) -> str:
+        """Journal (via hook), undo-record, and apply one migration."""
+        self._journal_migrate(migration)
+        source = self._cubes[migration.source]
+        target = self._cubes[migration.target]
+        undo.record(source, migration.fact_id)
+        undo.record(target, target.cell_fact_id(migration.coordinates))
+        source.remove(migration.fact_id)
+        return target.insert_at_granularity(
+            migration.coordinates, migration.measures, migration.provenance
+        )
 
     def _suspect_regions(self, old: _dt.date, new: _dt.date):
         """Per-dimension day intervals where verdicts may have flipped.
@@ -304,46 +452,201 @@ class SubcubeStore:
         New cubes are created, all facts re-assigned (from *all* old
         cubes, as Section 7.2 prescribes), and cubes that no longer exist
         are dropped once empty.
+
+        The rebuild is staged: the new cube set is fully populated off to
+        the side and only swapped in once every fact has been re-assigned,
+        so a mid-rebuild failure (e.g. the irreversibility check) leaves
+        the store exactly as it was.
         """
-        old_cubes = self._cubes
+        old_state = (
+            self._specification,
+            self._definitions,
+            self._cubes,
+            self._bottom_name,
+        )
         self._specification = specification
         self._definitions = disjoint_actions(specification)
-        self._cubes = {
+        new_cubes = {
             definition.name: SubCube(definition, self._template)
             for definition in self._definitions
         }
-        self._bottom_name = self._bottom_cube_name()
-        names = self._template.schema.dimension_names
-        dimensions = self._template.dimensions
-        for cube in old_cubes.values():
-            mo = cube.mo
-            for fact_id in mo.facts():
-                cell = dict(zip(names, mo.direct_cell(fact_id)))
-                target = self._target_cube(cell, now)
-                if not self._template.schema.le_granularity(
-                    tuple(
-                        dimensions[name].category_of(cell[name])
-                        for name in names
-                    ),
-                    target.granularity,
-                ):
-                    raise EngineError(
-                        f"rebuild would disaggregate fact {fact_id!r}; the "
-                        "new specification violates irreversibility"
+        old_cubes, self._cubes = self._cubes, new_cubes
+        try:
+            self._bottom_name = self._bottom_cube_name()
+            names = self._template.schema.dimension_names
+            dimensions = self._template.dimensions
+            for cube in old_cubes.values():
+                mo = cube.mo
+                for fact_id in mo.facts():
+                    cell = dict(zip(names, mo.direct_cell(fact_id)))
+                    target = self._target_cube(cell, now)
+                    if not self._template.schema.le_granularity(
+                        tuple(
+                            dimensions[name].category_of(cell[name])
+                            for name in names
+                        ),
+                        target.granularity,
+                    ):
+                        raise EngineError(
+                            f"rebuild would disaggregate fact {fact_id!r}; "
+                            "the new specification violates irreversibility"
+                        )
+                    coordinates = {
+                        name: _rollup(dimensions[name], cell[name], category)
+                        for name, category in zip(names, target.granularity)
+                    }
+                    measures = {
+                        measure: mo.measure_value(fact_id, measure)
+                        for measure in mo.schema.measure_names
+                    }
+                    target.insert_at_granularity(
+                        coordinates, measures, mo.provenance(fact_id)
                     )
-                coordinates = {
-                    name: _rollup(dimensions[name], cell[name], category)
-                    for name, category in zip(names, target.granularity)
-                }
-                measures = {
-                    measure: mo.measure_value(fact_id, measure)
-                    for measure in mo.schema.measure_names
-                }
-                target.insert_at_granularity(
-                    coordinates, measures, mo.provenance(fact_id)
-                )
+        except BaseException:
+            (
+                self._specification,
+                self._definitions,
+                self._cubes,
+                self._bottom_name,
+            ) = old_state
+            raise
         self.last_sync = now
         self._dirty.clear()
+        self._journal_rebuild(now)
+
+    # ------------------------------------------------------------------
+    # Durability hooks (no-ops here; the durable engine overrides them)
+    # ------------------------------------------------------------------
+
+    def _journal_load(
+        self,
+        staged: list[tuple[str, dict[str, str], dict[str, object]]],
+    ) -> None:
+        """Called with the full staged batch before any insert happens."""
+
+    def _load_fault(self, index: int, fact_id: str) -> None:
+        """Called before each staged insert (fault-injection hook)."""
+
+    def _journal_load_failed(self, exc: BaseException) -> None:
+        """Called after a failed load has been rolled back."""
+
+    def _journal_sync_begin(self, now: _dt.date, incremental: bool) -> None:
+        """Called once per synchronization, before any fact moves."""
+
+    def _journal_migrate(self, migration: Migration) -> None:
+        """Called before each migration is applied to the cubes."""
+
+    def _journal_sync_commit(
+        self, now: _dt.date, moved: Mapping[str, int], examined: int
+    ) -> None:
+        """The synchronization commit point (after the last migration)."""
+
+    def _journal_sync_failed(self, exc: BaseException) -> None:
+        """Called after a failed synchronization has been rolled back."""
+
+    def _journal_rebuild(self, now: _dt.date) -> None:
+        """Called after a successful specification rebuild."""
+
+    # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+
+    def verify(
+        self,
+        sources: Mapping[str, Mapping[str, object]] | None = None,
+        *,
+        strict: bool = False,
+    ) -> AuditReport:
+        """Audit the store's structural invariants.
+
+        Always checked:
+
+        * every fact sits in exactly one cube, at that cube's granularity;
+        * every fact carries non-empty provenance;
+        * no source fact is claimed by two resident facts (provenance
+          partitions the loaded history).
+
+        With *sources* (source fact id -> its measure values, as the
+        durable engine reconstructs from the journal), conservation is
+        also checked: the union of all provenances equals the loaded
+        source set, and every resident fact's measure values equal the
+        default aggregate over its members' source values — measure-sum
+        conservation per reduction action, in the paper's terms.
+
+        Returns an :class:`AuditReport`; with ``strict=True`` a failing
+        audit raises :class:`~repro.errors.AuditError` instead.
+        """
+        report = AuditReport()
+        seen_members: dict[str, str] = {}
+        names = self._template.schema.dimension_names
+        for cube in self._cubes.values():
+            mo = cube.mo
+            for fact_id in mo.facts():
+                report.facts += 1
+                granularity = mo.gran(fact_id)
+                if granularity != cube.granularity:
+                    report.violations.append(
+                        f"{cube.name}: fact {fact_id!r} is at granularity "
+                        f"{granularity!r}, cube holds {cube.granularity!r}"
+                    )
+                provenance = mo.provenance(fact_id)
+                if not provenance.members:
+                    report.violations.append(
+                        f"{cube.name}: fact {fact_id!r} has empty provenance"
+                    )
+                for member in provenance.members:
+                    owner = seen_members.setdefault(member, fact_id)
+                    if owner != fact_id:
+                        report.violations.append(
+                            f"source fact {member!r} is claimed by both "
+                            f"{owner!r} and {fact_id!r}"
+                        )
+                if sources is not None:
+                    self._verify_measures(
+                        report, cube, fact_id, provenance, sources
+                    )
+        report.sources = len(seen_members)
+        if sources is not None:
+            loaded = set(sources)
+            resident = set(seen_members)
+            for lost in sorted(loaded - resident):
+                report.violations.append(
+                    f"source fact {lost!r} was loaded but is in no "
+                    "resident fact's provenance"
+                )
+            for invented in sorted(resident - loaded):
+                report.violations.append(
+                    f"provenance member {invented!r} was never loaded"
+                )
+        if strict:
+            report.raise_if_failed()
+        return report
+
+    def _verify_measures(
+        self,
+        report: AuditReport,
+        cube: SubCube,
+        fact_id: str,
+        provenance: Provenance,
+        sources: Mapping[str, Mapping[str, object]],
+    ) -> None:
+        members = [m for m in provenance.members if m in sources]
+        if len(members) != len(provenance.members):
+            return  # the membership violations are reported separately
+        mo = cube.mo
+        for measure_name in mo.schema.measure_names:
+            aggregate = mo.measures[measure_name].aggregate
+            expected = aggregate(
+                sources[member][measure_name] for member in members
+            )
+            actual = mo.measure_value(fact_id, measure_name)
+            if not _values_equal(actual, expected):
+                report.violations.append(
+                    f"{cube.name}: fact {fact_id!r} measure "
+                    f"{measure_name!r} is {actual!r}, expected {expected!r} "
+                    f"(aggregate of {len(members)} sources)"
+                )
+            report.checked_measures += 1
 
     # ------------------------------------------------------------------
     # Materialization
@@ -374,6 +677,19 @@ class SubcubeStore:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         shape = {name: cube.n_facts for name, cube in self._cubes.items()}
         return f"SubcubeStore({shape})"
+
+
+def _values_equal(actual: object, expected: object) -> bool:
+    if actual == expected:
+        return True
+    if isinstance(actual, float) or isinstance(expected, float):
+        try:
+            return abs(float(actual) - float(expected)) <= 1e-9 * max(  # type: ignore[arg-type]
+                1.0, abs(float(actual)), abs(float(expected))  # type: ignore[arg-type]
+            )
+        except (TypeError, ValueError):
+            return False
+    return False
 
 
 def _rollup(dimension, value: str, category: str) -> str:

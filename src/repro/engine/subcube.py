@@ -45,6 +45,31 @@ class SubCube:
     def facts(self) -> Iterator[str]:
         return self._mo.facts()
 
+    def _normalized_cell(
+        self, coordinates: Mapping[str, str]
+    ) -> tuple[str, ...]:
+        """The canonical cell tuple, with typed errors for bad input."""
+        mo = self._mo
+        try:
+            return tuple(
+                mo.dimensions[name].normalize_value(coordinates[name])
+                for name in mo.schema.dimension_names
+            )
+        except KeyError as exc:
+            raise EngineError(
+                f"{self.name}: cell lacks a coordinate for dimension "
+                f"{exc.args[0]!r}"
+            ) from None
+
+    def cell_fact_id(self, coordinates: Mapping[str, str]) -> str:
+        """The fact id the given cell is (or would be) stored under.
+
+        Cube fact ids are cell-keyed, so callers can compute the id a
+        pending insert will land on — the transactional store uses this
+        to record before-images without mutating anything.
+        """
+        return aggregate_fact_id((self.name, *self._normalized_cell(coordinates)))
+
     def insert_at_granularity(
         self,
         coordinates: Mapping[str, str],
@@ -59,18 +84,15 @@ class SubCube:
         """
         mo = self._mo
         schema = mo.schema
-        for name, category in zip(schema.dimension_names, self.granularity):
-            dimension = mo.dimensions[name]
-            value = dimension.normalize_value(coordinates[name])
-            if dimension.category_of(value) != category:
+        cell = self._normalized_cell(coordinates)
+        for name, category, value in zip(
+            schema.dimension_names, self.granularity, cell
+        ):
+            if mo.dimensions[name].category_of(value) != category:
                 raise EngineError(
                     f"{self.name}: value {value!r} of {name!r} is not at the "
                     f"cube granularity {category!r}"
                 )
-        cell = tuple(
-            mo.dimensions[name].normalize_value(coordinates[name])
-            for name in schema.dimension_names
-        )
         fact_id = aggregate_fact_id((self.name, *cell))
         if fact_id in mo:
             merged = {

@@ -77,6 +77,22 @@ class SyncScheduler:
         self.store.load(facts)
         return self._sync(now)
 
+    def resume(self, report) -> MigrationEvent | None:
+        """Complete an interrupted synchronization found by recovery.
+
+        Takes the :class:`~repro.engine.durable.RecoveryReport` of
+        :func:`~repro.engine.durable.open_durable`; when it carries an
+        ``interrupted_sync`` time (a ``sync_begin`` whose commit never
+        reached the disk), the sync is re-run at that exact time.
+        Synchronization is deterministic and idempotent at a fixed time,
+        so this lands on the same state an uninterrupted run would have
+        produced.  Returns the migration event, or ``None`` when there
+        was nothing to resume.
+        """
+        if report.interrupted_sync is None:
+            return None
+        return self._sync(report.interrupted_sync)
+
     def advance_to(self, now: _dt.date) -> list[MigrationEvent]:
         """Advance the clock, synchronizing once per period on the way."""
         events: list[MigrationEvent] = []

@@ -77,3 +77,27 @@ class EngineError(ReproError):
 
 class StorageError(ReproError):
     """The relational (SQLite) backend failed to persist or load an MO."""
+
+
+class DurabilityError(ReproError):
+    """The durable store engine failed to journal or snapshot state."""
+
+
+class RecoveryError(DurabilityError):
+    """A durable store directory cannot be recovered to a valid state."""
+
+
+class AuditError(ReproError):
+    """A store invariant audit (:meth:`SubcubeStore.verify`) failed.
+
+    Carries the individual violations so callers can report them all
+    rather than only the first one found.
+    """
+
+    def __init__(self, violations: list[str]) -> None:
+        self.violations = list(violations)
+        count = len(self.violations)
+        summary = "; ".join(self.violations[:3])
+        if count > 3:
+            summary += f"; ... ({count - 3} more)"
+        super().__init__(f"store audit failed ({count} violations): {summary}")

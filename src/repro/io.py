@@ -12,8 +12,11 @@ files, which the CLI (:mod:`repro.cli`) builds on:
 
 from __future__ import annotations
 
+import contextlib
 import json
-from typing import Mapping, TextIO
+import os
+import tempfile
+from typing import Iterator, Mapping, TextIO
 
 from .core.dimension import ALL_VALUE, Dimension
 from .core.facts import Provenance
@@ -21,12 +24,69 @@ from .core.hierarchy import Hierarchy
 from .core.measures import resolve_aggregate
 from .core.mo import MultidimensionalObject
 from .core.schema import DimensionType, FactSchema, MeasureType
-from .errors import StorageError
+from .errors import ReproError, SpecSyntaxError, StorageError
 from .spec.action import Action, is_time_dimension_type
 from .spec.specification import ReductionSpecification
 from .timedim.builder import time_normalizer, time_sort_key
 
 FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Crash-safe file writing
+# ----------------------------------------------------------------------
+
+@contextlib.contextmanager
+def atomic_write(
+    path: str | os.PathLike[str],
+    *,
+    fsync: bool = True,
+    encoding: str = "utf-8",
+) -> Iterator[TextIO]:
+    """Write a file so that a crash never leaves a partial artifact.
+
+    Yields a text stream backed by a temporary file in the target's
+    directory; on clean exit the stream is flushed, optionally fsynced,
+    and atomically renamed over *path* (``os.replace``), then the
+    directory entry is fsynced so the rename itself is durable.  On any
+    exception the temporary file is removed and the destination — if it
+    existed — is untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    stream = os.fdopen(fd, "w", encoding=encoding)
+    try:
+        yield stream
+        stream.flush()
+        if fsync:
+            os.fsync(stream.fileno())
+        stream.close()
+        os.replace(tmp_path, path)
+        if fsync:
+            fsync_directory(directory)
+    except BaseException:
+        if not stream.closed:
+            stream.close()
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+
+
+def fsync_directory(directory: str) -> None:
+    """fsync a directory entry (no-op on platforms that disallow it)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 # ----------------------------------------------------------------------
@@ -84,23 +144,44 @@ def mo_to_dict(mo: MultidimensionalObject) -> dict:
     }
 
 
+def _require(mapping: Mapping, key: str, path: str) -> object:
+    """A key lookup that reports the offending document path on failure."""
+    if not isinstance(mapping, Mapping):
+        raise StorageError(f"{path}: expected an object, got {type(mapping).__name__}")
+    try:
+        return mapping[key]
+    except KeyError:
+        raise StorageError(f"{path}: missing required key {key!r}") from None
+
+
 def mo_from_dict(document: Mapping) -> MultidimensionalObject:
-    """Rebuild an MO from :func:`mo_to_dict` output."""
+    """Rebuild an MO from :func:`mo_to_dict` output.
+
+    Malformed documents — missing keys, unknown dimension or category
+    names, duplicate fact ids — raise :class:`StorageError` naming the
+    offending path within the document, never a bare ``KeyError``.
+    """
     if document.get("format") != FORMAT_VERSION:
         raise StorageError(
             f"unsupported MO document format {document.get('format')!r}"
         )
+    dimension_infos = _require(document, "dimensions", "$")
+    dimension_order = _require(document, "dimension_order", "$")
     dimension_types: list[DimensionType] = []
     dimensions: dict[str, Dimension] = {}
-    for name in document["dimension_order"]:
-        info = document["dimensions"][name]
+    for name in dimension_order:
+        info = _require(dimension_infos, name, "$.dimensions")
+        path = f"$.dimensions.{name}"
+        chains = _require(info, "chains", path)
+        if not chains or not chains[0]:
+            raise StorageError(f"{path}.chains: must name at least one category")
         edges: dict[str, set[str]] = {}
-        for chain in info["chains"]:
+        for chain in chains:
             for child, parent in zip(chain, chain[1:]):
                 edges.setdefault(child, set()).add(parent)
             if chain:
                 edges.setdefault(chain[-1], set())
-        bottom = info["chains"][0][0]
+        bottom = chains[0][0]
         dimension_type = DimensionType(name, Hierarchy(edges, bottom))
         dimension_types.append(dimension_type)
         if info.get("time_like"):
@@ -109,25 +190,57 @@ def mo_from_dict(document: Mapping) -> MultidimensionalObject:
             dimension = Dimension(dimension_type)
         hierarchy = dimension_type.hierarchy
         order = {c: i for i, c in enumerate(hierarchy)}
-        for row in sorted(
-            info["values"], key=lambda r: -order[r["category"]]
-        ):
-            dimension.add_value(row["category"], row["value"], row["parents"])
+        rows = _require(info, "values", path)
+        for index, row in enumerate(rows):
+            category = _require(row, "category", f"{path}.values[{index}]")
+            if category not in order:
+                raise StorageError(
+                    f"{path}.values[{index}].category: unknown category "
+                    f"{category!r} (hierarchy has {sorted(order)!r})"
+                )
+        for row in sorted(rows, key=lambda r: -order[r["category"]]):
+            dimension.add_value(
+                row["category"],
+                _require(row, "value", f"{path}.values[]"),
+                row.get("parents", []),
+            )
         dimensions[name] = dimension
 
-    measure_types = [
-        MeasureType(m["name"], resolve_aggregate(m["aggregate"]))
-        for m in document["measures"]
-    ]
-    schema = FactSchema(document["fact_type"], dimension_types, measure_types)
-    mo = MultidimensionalObject(schema, dimensions)
-    for fact in document["facts"]:
-        mo.insert_aggregate_fact(
-            fact["id"],
-            fact["coordinates"],
-            fact["measures"],
-            Provenance(frozenset(fact.get("members", [fact["id"]]))),
+    measure_types = []
+    for index, m in enumerate(_require(document, "measures", "$")):
+        path = f"$.measures[{index}]"
+        measure_types.append(
+            MeasureType(
+                _require(m, "name", path),
+                resolve_aggregate(_require(m, "aggregate", path)),
+            )
         )
+    schema = FactSchema(
+        _require(document, "fact_type", "$"), dimension_types, measure_types
+    )
+    mo = MultidimensionalObject(schema, dimensions)
+    seen_ids: set[str] = set()
+    for index, fact in enumerate(_require(document, "facts", "$")):
+        path = f"$.facts[{index}]"
+        fact_id = _require(fact, "id", path)
+        if fact_id in seen_ids:
+            raise StorageError(f"{path}.id: duplicate fact id {fact_id!r}")
+        seen_ids.add(fact_id)
+        coordinates = _require(fact, "coordinates", path)
+        unknown = set(coordinates) - set(schema.dimension_names)
+        if unknown:
+            raise StorageError(
+                f"{path}.coordinates: unknown dimensions {sorted(unknown)!r}"
+            )
+        try:
+            mo.insert_aggregate_fact(
+                fact_id,
+                coordinates,
+                _require(fact, "measures", path),
+                Provenance(frozenset(fact.get("members", [fact_id]))),
+            )
+        except ReproError as exc:
+            raise StorageError(f"{path}: {exc}") from exc
     return mo
 
 
@@ -163,9 +276,14 @@ def load_specification(
 
     Each non-comment line is ``[name:] p(a[...] o[...](O))``; names
     default to ``action_N``.
+
+    Parse failures are reported with the 1-based line number, and a
+    duplicate explicit action name raises a typed error naming both
+    lines rather than silently shadowing the earlier action.
     """
     actions: list[Action] = []
-    for raw_line in stream:
+    named_at: dict[str, int] = {}
+    for line_number, raw_line in enumerate(stream, start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
@@ -174,5 +292,16 @@ def load_specification(
         if sep and "[" not in head and "(" not in head:
             name = head.strip()
             line = tail.strip()
-        actions.append(Action.parse(schema, line, name))
+        if name is not None:
+            previous = named_at.get(name)
+            if previous is not None:
+                raise SpecSyntaxError(
+                    f"line {line_number}: duplicate action name {name!r} "
+                    f"(first defined on line {previous})"
+                )
+            named_at[name] = line_number
+        try:
+            actions.append(Action.parse(schema, line, name))
+        except ReproError as exc:
+            raise SpecSyntaxError(f"line {line_number}: {exc}") from exc
     return ReductionSpecification(actions, dimensions, validate=validate)

@@ -1,0 +1,48 @@
+"""Shared helpers for the durable-store and crash-recovery tests."""
+
+import json
+
+from repro.io import mo_to_dict
+
+#: Full measure rows for synthetic facts, keyed like the paper example.
+MEASURES = ("Number_of", "Dwell_time", "Delivery_time", "Datasize")
+
+
+def facts_of(mo):
+    """The (id, coordinates, measures) triples of an MO, sorted by id."""
+    return [
+        (
+            fact_id,
+            dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+            {
+                name: mo.measure_value(fact_id, name)
+                for name in mo.schema.measure_names
+            },
+        )
+        for fact_id in sorted(mo.facts())
+    ]
+
+
+def fingerprint(store):
+    """A canonical, bit-for-bit serialization of a store's visible state.
+
+    Covers every cube's full MO document (facts, measures, provenance)
+    plus the synchronization clock — two stores with equal fingerprints
+    are observably identical.
+    """
+    return json.dumps(
+        {
+            "cubes": {
+                name: mo_to_dict(cube.mo)
+                for name, cube in store.cubes.items()
+            },
+            "last_sync": (
+                store.last_sync.isoformat() if store.last_sync else None
+            ),
+        },
+        sort_keys=True,
+    )
+
+
+def shape(store):
+    return {name: cube.n_facts for name, cube in store.cubes.items()}

@@ -1,0 +1,427 @@
+"""Unit tests for the write-ahead journal, snapshots, and recovery."""
+
+import datetime as dt
+import json
+import os
+
+import pytest
+
+from repro.engine.durable import (
+    JOURNAL_FILE,
+    MANIFEST_FILE,
+    SNAPSHOT_DIR,
+    DurableStore,
+    Journal,
+    open_durable,
+)
+from repro.engine.faults import FaultInjector, InjectedFault
+from repro.errors import DurabilityError, RecoveryError, ReproError
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.spec.action import Action
+
+from .durableutil import facts_of, fingerprint, shape
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def spec(mo):
+    return paper_specification(mo)
+
+
+def make_store(path, mo, spec, **kwargs):
+    # Unit tests are hermetic: a REPRO_FAILPOINTS schedule in the
+    # environment (the CI fault-injection job) must not fire here.
+    kwargs.setdefault("faults", FaultInjector())
+    return DurableStore.create(str(path), mo, spec, **kwargs)
+
+
+def recover(path):
+    # Recovery must never inherit the test environment's failpoints.
+    return open_durable(str(path), faults=FaultInjector())
+
+
+class TestJournal:
+    def test_append_and_scan_round_trip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path, fsync=False)
+        journal.append("load", {"facts": []})
+        journal.append("sync_begin", {"at": "2000-04-05"}, sync=True)
+        journal.close()
+        records, valid_bytes, discarded = Journal.scan(path)
+        assert [(r.lsn, r.op) for r in records] == [
+            (1, "load"),
+            (2, "sync_begin"),
+        ]
+        assert valid_bytes == os.path.getsize(path)
+        assert discarded == 0
+
+    def test_scan_discards_torn_final_record(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path, fsync=False)
+        journal.append("load", {"facts": []})
+        journal.close()
+        good_size = os.path.getsize(path)
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"lsn": 2, "op": "syn')  # no newline: torn
+        records, valid_bytes, discarded = Journal.scan(path)
+        assert len(records) == 1
+        assert valid_bytes == good_size
+        assert discarded == 1
+
+    def test_scan_discards_from_checksum_failure_onwards(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path, fsync=False)
+        journal.append("load", {"facts": []})
+        journal.append("sync_begin", {"at": "2000-04-05"})
+        journal.append("sync_commit", {"at": "2000-04-05"})
+        journal.close()
+        lines = open(path, encoding="utf-8").read().splitlines()
+        # Corrupt record 2's payload without fixing its checksum: record 3
+        # must be distrusted too, even though it still checksums.
+        lines[1] = lines[1].replace("2000-04-05", "2000-04-06")
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write("\n".join(lines) + "\n")
+        records, _, discarded = Journal.scan(path)
+        assert [r.lsn for r in records] == [1]
+        assert discarded == 2
+
+    def test_scan_requires_contiguous_lsns(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path, fsync=False)
+        journal.append("load", {"facts": []})
+        journal.append("sync_begin", {"at": "2000-04-05"})
+        journal.close()
+        lines = open(path, encoding="utf-8").read().splitlines()
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(lines[1] + "\n")  # journal now starts at lsn 2
+        records, valid_bytes, discarded = Journal.scan(path)
+        assert records == []
+        assert valid_bytes == 0
+        assert discarded == 1
+
+    def test_truncate_to_drops_torn_tail_before_appending(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path, fsync=False)
+        journal.append("load", {"facts": []})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("{torn")
+        records, valid_bytes, _ = Journal.scan(path)
+        reopened = Journal(
+            path, fsync=False, next_lsn=2, truncate_to=valid_bytes
+        )
+        reopened.append("sync_begin", {"at": "2000-04-05"})
+        reopened.close()
+        records, _, discarded = Journal.scan(path)
+        assert [r.lsn for r in records] == [1, 2]
+        assert discarded == 0
+
+
+class TestCreate:
+    def test_create_lays_out_the_directory(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec)
+        store.load(facts_of(mo))
+        store.close()
+        names = set(os.listdir(tmp_path / "d"))
+        assert {
+            "meta.json",
+            "template.json",
+            "spec.txt",
+            JOURNAL_FILE,
+            SNAPSHOT_DIR,
+        } <= names
+
+    def test_create_refuses_an_existing_store(self, tmp_path, mo, spec):
+        make_store(tmp_path / "d", mo, spec).close()
+        with pytest.raises(DurabilityError, match="open_durable"):
+            make_store(tmp_path / "d", mo, spec)
+
+    def test_context_manager_closes_the_journal(self, tmp_path, mo, spec):
+        with make_store(tmp_path / "d", mo, spec) as store:
+            store.load(facts_of(mo))
+        assert store._journal._stream.closed
+
+
+class TestRecovery:
+    def test_journal_only_round_trip(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec, fsync=False)
+        store.load(facts_of(mo))
+        store.synchronize(SNAPSHOT_TIMES[1])
+        expected = fingerprint(store)
+        store.close()
+        recovered, report = recover(tmp_path / "d")
+        assert fingerprint(recovered) == expected
+        assert report.snapshot_lsn is None
+        assert report.replayed == 2  # the load and the committed sync
+        assert report.discarded == 0
+        assert recovered.verify(strict=True).ok
+        recovered.close()
+
+    def test_snapshot_plus_tail_round_trip(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec)
+        store.load(facts_of(mo))
+        store.synchronize(SNAPSHOT_TIMES[1])
+        store.snapshot()
+        snapshot_lsn = store.journal_lsn
+        store.synchronize(SNAPSHOT_TIMES[2])
+        expected = fingerprint(store)
+        assert shape(store) == {"K0": 1, "K1": 1, "K2": 2}
+        store.close()
+        recovered, report = recover(tmp_path / "d")
+        assert fingerprint(recovered) == expected
+        assert report.snapshot_lsn == snapshot_lsn
+        assert report.replayed == 1  # only the post-snapshot sync
+        assert recovered.verify(strict=True).ok
+        recovered.close()
+
+    def test_recovered_store_accepts_new_work(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec, fsync=False)
+        store.load(facts_of(mo))
+        store.close()
+        recovered, _ = recover(tmp_path / "d")
+        recovered.synchronize(SNAPSHOT_TIMES[2])
+        expected = fingerprint(recovered)
+        recovered.close()
+        again, _ = recover(tmp_path / "d")
+        assert fingerprint(again) == expected
+        again.close()
+
+    def test_torn_journal_tail_is_discarded_and_truncated(
+        self, tmp_path, mo, spec
+    ):
+        store = make_store(tmp_path / "d", mo, spec, fsync=False)
+        store.load(facts_of(mo))
+        store.synchronize(SNAPSHOT_TIMES[1])
+        expected = fingerprint(store)
+        store.close()
+        journal_path = tmp_path / "d" / JOURNAL_FILE
+        with open(journal_path, "a", encoding="utf-8") as stream:
+            stream.write('{"lsn": 99, "op": "migr')
+        recovered, report = recover(tmp_path / "d")
+        assert fingerprint(recovered) == expected
+        assert report.discarded == 1
+        # The reopened journal truncated the torn bytes, so new records
+        # land on a clean line boundary and the next recovery is clean.
+        recovered.synchronize(SNAPSHOT_TIMES[2])
+        expected = fingerprint(recovered)
+        recovered.close()
+        again, report = recover(tmp_path / "d")
+        assert fingerprint(again) == expected
+        assert report.discarded == 0
+        again.close()
+
+    def test_damaged_manifest_falls_back_to_snapshot_scan(
+        self, tmp_path, mo, spec
+    ):
+        store = make_store(tmp_path / "d", mo, spec)
+        store.load(facts_of(mo))
+        store.synchronize(SNAPSHOT_TIMES[1])
+        store.snapshot()
+        expected = fingerprint(store)
+        store.close()
+        with open(tmp_path / "d" / MANIFEST_FILE, "w") as stream:
+            stream.write("not json{")
+        recovered, report = recover(tmp_path / "d")
+        assert fingerprint(recovered) == expected
+        assert report.snapshot_lsn is not None
+        recovered.close()
+
+    def test_corrupt_newest_snapshot_falls_back_to_older(
+        self, tmp_path, mo, spec
+    ):
+        store = make_store(tmp_path / "d", mo, spec)
+        store.load(facts_of(mo))
+        store.snapshot()
+        older_lsn = store.journal_lsn
+        store.synchronize(SNAPSHOT_TIMES[1])
+        store.snapshot()
+        expected = fingerprint(store)
+        store.close()
+        snapshots = sorted(os.listdir(tmp_path / "d" / SNAPSHOT_DIR))
+        newest = tmp_path / "d" / SNAPSHOT_DIR / snapshots[-1]
+        document = json.loads(newest.read_text())
+        document["snapshot"]["last_sync"] = "1990-01-01"  # breaks the crc
+        newest.write_text(json.dumps(document))
+        recovered, report = recover(tmp_path / "d")
+        # The older snapshot plus journal replay reconstructs the state.
+        assert fingerprint(recovered) == expected
+        assert report.snapshot_lsn == older_lsn
+        assert report.replayed == 1
+        recovered.close()
+
+    def test_open_durable_rejects_a_non_store(self, tmp_path):
+        with pytest.raises(RecoveryError, match="meta.json"):
+            open_durable(str(tmp_path))
+
+    def test_open_durable_rejects_unknown_format(self, tmp_path, mo, spec):
+        make_store(tmp_path / "d", mo, spec).close()
+        with open(tmp_path / "d" / "meta.json", "w") as stream:
+            json.dump({"format": 99}, stream)
+        with pytest.raises(RecoveryError, match="format"):
+            open_durable(str(tmp_path / "d"))
+
+
+class TestAbortedTransactions:
+    def test_failed_load_writes_an_abort_and_recovery_skips_it(
+        self, tmp_path, mo, spec
+    ):
+        store = make_store(tmp_path / "d", mo, spec, fsync=False)
+        store.load(facts_of(mo))
+        before = fingerprint(store)
+        bad_batch = facts_of(mo)[:1]
+        bad_batch[0] = (
+            "bad",
+            {"Time": "1999/12/31"},  # missing the URL coordinate
+            bad_batch[0][2],
+        )
+        with pytest.raises(ReproError):
+            store.load(bad_batch)
+        assert fingerprint(store) == before
+        assert "bad" not in store.source_measures
+        store.close()
+        records, _, _ = Journal.scan(str(tmp_path / "d" / JOURNAL_FILE))
+        assert [r.op for r in records] == ["load", "load", "abort"]
+        assert records[-1].data["undoes"] == 2
+        recovered, report = recover(tmp_path / "d")
+        assert fingerprint(recovered) == before
+        assert report.aborted == 1
+        assert recovered.verify(strict=True).ok
+        recovered.close()
+
+    def test_failed_sync_writes_an_abort(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec, fsync=False)
+        store.load(facts_of(mo))
+        store.synchronize(SNAPSHOT_TIMES[1])
+        with pytest.raises(ReproError, match="backwards"):
+            store.synchronize(SNAPSHOT_TIMES[0])
+        # The backwards check fires before sync_begin, so nothing extra
+        # was journaled; recovery still lands on the committed state.
+        expected = fingerprint(store)
+        store.close()
+        recovered, report = recover(tmp_path / "d")
+        assert fingerprint(recovered) == expected
+        assert report.interrupted_sync is None
+        recovered.close()
+
+
+class TestInterruptedSync:
+    def test_crash_mid_sync_recovers_to_pre_sync_state(
+        self, tmp_path, mo, spec
+    ):
+        faults = FaultInjector()
+        store = make_store(tmp_path / "d", mo, spec, faults=faults)
+        store.load(facts_of(mo))
+        pre = fingerprint(store)
+        faults.arm("sync.migrate", at_hit=2)
+        with pytest.raises(InjectedFault):
+            store.synchronize(SNAPSHOT_TIMES[1])
+        # The live store rolled back; the journal holds the orphan txn.
+        assert fingerprint(store) == pre
+        store.close()
+        recovered, report = recover(tmp_path / "d")
+        assert fingerprint(recovered) == pre
+        assert report.interrupted_sync == SNAPSHOT_TIMES[1]
+        assert recovered.verify(strict=True).ok
+        # Re-running the interrupted sync is idempotent and lands on the
+        # same state an uninterrupted run produces.
+        recovered.synchronize(report.interrupted_sync)
+        assert shape(recovered) == {"K0": 3, "K1": 3, "K2": 0}
+        recovered.close()
+
+        clean = make_store(tmp_path / "clean", mo, spec, fsync=False)
+        clean.load(facts_of(mo))
+        clean.synchronize(SNAPSHOT_TIMES[1])
+        assert fingerprint(recovered) == fingerprint(clean)
+        clean.close()
+
+
+class TestRebuild:
+    def test_rebuild_survives_recovery(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec)
+        store.load(facts_of(mo))
+        store.synchronize(SNAPSHOT_TIMES[2])
+        bigger = spec.insert(
+            [
+                Action.parse(
+                    mo.schema,
+                    "a[Time.year, URL.domain_grp] "
+                    "o[Time.year <= NOW - 5 years]",
+                    "to_year",
+                )
+            ]
+        )
+        store.rebuild(bigger, SNAPSHOT_TIMES[2])
+        store.synchronize(SNAPSHOT_TIMES[2])
+        expected = fingerprint(store)
+        store.close()
+        recovered, _ = recover(tmp_path / "d")
+        assert fingerprint(recovered) == expected
+        assert recovered.specification.action_names == bigger.action_names
+        assert recovered.verify(strict=True).ok
+        recovered.close()
+
+    def test_rebuild_journals_a_snapshot_immediately(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec)
+        store.load(facts_of(mo))
+        bigger = spec.insert(
+            [
+                Action.parse(
+                    mo.schema,
+                    "a[Time.year, URL.domain_grp] "
+                    "o[Time.year <= NOW - 5 years]",
+                    "to_year",
+                )
+            ]
+        )
+        store.rebuild(bigger, SNAPSHOT_TIMES[1])
+        store.close()
+        snapshots = os.listdir(tmp_path / "d" / SNAPSHOT_DIR)
+        assert snapshots, "rebuild must publish a snapshot"
+        recovered, report = recover(tmp_path / "d")
+        assert report.snapshot_lsn == recovered.journal_lsn
+        recovered.close()
+
+
+class TestAuditBaseline:
+    def test_verify_uses_the_journal_derived_sources(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec, fsync=False)
+        store.load(facts_of(mo))
+        store.synchronize(SNAPSHOT_TIMES[2])
+        store.close()
+        recovered, _ = recover(tmp_path / "d")
+        report = recovered.verify()
+        assert report.ok
+        assert report.sources == 7
+        assert report.checked_measures > 0
+        recovered.close()
+
+    def test_verify_detects_a_lost_fact(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec, fsync=False)
+        store.load(facts_of(mo))
+        store.synchronize(SNAPSHOT_TIMES[1])
+        # Simulate corruption: drop a resident fact behind the store's back.
+        cube = next(c for c in store.cubes.values() if c.n_facts)
+        victim = next(iter(cube.facts()))
+        cube.mo.delete_fact(victim)
+        report = store.verify()
+        assert not report.ok
+        assert any("in no resident" in v for v in report.violations)
+        store.close()
+
+    def test_record_reduce_is_informational(self, tmp_path, mo, spec):
+        store = make_store(tmp_path / "d", mo, spec, fsync=False)
+        store.load(facts_of(mo))
+        store.record_reduce(SNAPSHOT_TIMES[1], facts=7)
+        expected = fingerprint(store)
+        store.close()
+        recovered, report = recover(tmp_path / "d")
+        assert fingerprint(recovered) == expected
+        recovered.close()

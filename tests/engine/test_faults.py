@@ -1,0 +1,141 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.engine.faults import (
+    FAILPOINTS,
+    PASSIVE,
+    FaultInjector,
+    InjectedFault,
+)
+from repro.errors import ReproError
+
+
+class TestArming:
+    def test_unarmed_failpoint_never_fires(self):
+        injector = FaultInjector()
+        for _ in range(100):
+            injector.hit("journal.append")
+        assert injector.hit_count("journal.append") == 0
+
+    def test_passive_injector_has_nothing_armed(self):
+        for name in FAILPOINTS:
+            PASSIVE.hit(name)  # must not raise
+
+    def test_at_hit_fires_exactly_once(self):
+        injector = FaultInjector()
+        injector.arm("journal.append", at_hit=3)
+        injector.hit("journal.append")
+        injector.hit("journal.append")
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.hit("journal.append")
+        assert excinfo.value.failpoint == "journal.append"
+        assert excinfo.value.hit == 3
+        # Subsequent hits pass: the process "died" once, at hit 3.
+        injector.hit("journal.append")
+        assert injector.fire_count("journal.append") == 1
+        assert injector.hit_count("journal.append") == 4
+
+    def test_default_arming_is_first_hit(self):
+        injector = FaultInjector()
+        injector.arm("sync.migrate")
+        with pytest.raises(InjectedFault):
+            injector.hit("sync.migrate")
+
+    def test_probability_is_seeded_and_reproducible(self):
+        def firing_pattern(seed):
+            injector = FaultInjector(seed=seed)
+            injector.arm("sync.migrate", probability=0.5)
+            pattern = []
+            for _ in range(32):
+                try:
+                    injector.hit("sync.migrate")
+                    pattern.append(False)
+                except InjectedFault:
+                    pattern.append(True)
+            return pattern
+
+        assert firing_pattern(7) == firing_pattern(7)
+        assert firing_pattern(7) != firing_pattern(8)
+        assert any(firing_pattern(7))
+        assert not all(firing_pattern(7))
+
+    def test_max_fires_bounds_the_damage(self):
+        injector = FaultInjector()
+        injector.arm("load.insert", probability=1.0, max_fires=2)
+        fired = 0
+        for _ in range(10):
+            try:
+                injector.hit("load.insert")
+            except InjectedFault:
+                fired += 1
+        assert fired == 2
+        assert injector.fire_count("load.insert") == 2
+
+    def test_disarm_one_and_all(self):
+        injector = FaultInjector()
+        injector.arm("journal.append", probability=1.0)
+        injector.arm("sync.migrate", probability=1.0)
+        injector.disarm("journal.append")
+        injector.hit("journal.append")
+        with pytest.raises(InjectedFault):
+            injector.hit("sync.migrate")
+        injector.disarm()
+        injector.hit("sync.migrate")
+
+    def test_unknown_failpoint_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ReproError, match="unknown failpoint"):
+            injector.arm("no.such.site")
+
+
+class TestEnvironmentParsing:
+    def test_hit_number_trigger(self):
+        injector = FaultInjector.from_environment("journal.append=2", seed=0)
+        injector.hit("journal.append")
+        with pytest.raises(InjectedFault):
+            injector.hit("journal.append")
+
+    def test_probability_and_star_triggers(self):
+        injector = FaultInjector.from_environment(
+            "sync.migrate=p0.5; load.insert=*", seed=1
+        )
+        with pytest.raises(InjectedFault):
+            injector.hit("load.insert")
+        outcomes = set()
+        for _ in range(64):
+            try:
+                injector.hit("sync.migrate")
+                outcomes.add("pass")
+            except InjectedFault:
+                outcomes.add("fire")
+        assert outcomes == {"pass", "fire"}
+
+    def test_bare_name_means_first_hit(self):
+        injector = FaultInjector.from_environment("snapshot.write", seed=0)
+        with pytest.raises(InjectedFault):
+            injector.hit("snapshot.write")
+
+    def test_empty_spec_arms_nothing(self):
+        injector = FaultInjector.from_environment("", seed=0)
+        for name in FAILPOINTS:
+            injector.hit(name)
+
+    def test_seed_read_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAILPOINTS", "sync.migrate=p0.5")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "42")
+        injector = FaultInjector.from_environment()
+        assert injector.seed == 42
+        assert "sync.migrate" in injector._armed
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ReproError, match="p0.25"):
+            FaultInjector.from_environment("sync.migrate=pXY", seed=0)
+
+    def test_bad_hit_number_rejected(self):
+        with pytest.raises(ReproError, match="hit"):
+            FaultInjector.from_environment("sync.migrate=soon", seed=0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown failpoint"):
+            FaultInjector.from_environment("bogus.site=1", seed=0)

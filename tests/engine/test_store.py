@@ -4,8 +4,11 @@ import datetime as dt
 
 import pytest
 
+from repro.core.facts import Provenance
 from repro.engine.store import SubcubeStore
-from repro.errors import EngineError
+from repro.errors import AuditError, EngineError
+
+from .durableutil import fingerprint
 from repro.experiments.paper_example import (
     SNAPSHOT_TIMES,
     build_paper_mo,
@@ -210,3 +213,238 @@ class TestIncomparableCubes:
             assert month_cube.mo.gran(fact_id) == ("month", "domain")
         for fact_id in week_cube.facts():
             assert week_cube.mo.gran(fact_id) == ("week", "domain")
+
+
+MEASURE_ROW = {
+    "Number_of": 1,
+    "Dwell_time": 7,
+    "Delivery_time": 1,
+    "Datasize": 2,
+}
+
+
+class _ExplodingStore(SubcubeStore):
+    """A store whose migration hook raises after N migrations — the shape
+    of the pre-refactor bug where an ``EngineError`` from ``_target_cube``
+    stranded facts mid-synchronization."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fail_after = None
+        self.migrations = 0
+
+    def _journal_migrate(self, migration):
+        self.migrations += 1
+        if self.fail_after is not None and self.migrations > self.fail_after:
+            raise RuntimeError("simulated mid-sync failure")
+
+
+class TestTransactionalLoad:
+    def test_failed_batch_is_all_or_nothing(self, mo, store):
+        store.synchronize(SNAPSHOT_TIMES[1])
+        before = fingerprint(store)
+        dirty_before = set(store._dirty)
+        total_before = store.total_facts()
+        batch = [
+            # A brand-new cell...
+            (
+                "late",
+                {"Time": "1999/12/31", "URL": "http://www.cnn.com/"},
+                dict(MEASURE_ROW),
+            ),
+            # ...a fact merging into an existing bottom-cube cell...
+            (
+                "merge",
+                {"Time": "2000/1/4", "URL": "http://www.cnn.com/"},
+                dict(MEASURE_ROW),
+            ),
+            # ...and a fact that cannot insert (no URL coordinate).
+            ("bad", {"Time": "1999/12/31"}, dict(MEASURE_ROW)),
+        ]
+        with pytest.raises(EngineError, match="lacks a coordinate"):
+            store.load(batch)
+        assert fingerprint(store) == before
+        assert store._dirty == dirty_before
+        assert store.total_facts() == total_before
+
+    def test_failed_batch_restores_merged_measures_exactly(self, mo, store):
+        store.synchronize(SNAPSHOT_TIMES[1])
+        bottom = store.bottom_cube
+        target_id = bottom.cell_fact_id(
+            {"Time": "2000/1/4", "URL": "http://www.cnn.com/"}
+        )
+        dwell_before = bottom.mo.measure_value(target_id, "Dwell_time")
+        batch = [
+            (
+                "merge",
+                {"Time": "2000/1/4", "URL": "http://www.cnn.com/"},
+                dict(MEASURE_ROW),
+            ),
+            ("bad", {"Time": "1999/12/31"}, dict(MEASURE_ROW)),
+        ]
+        with pytest.raises(EngineError):
+            store.load(batch)
+        # The merge was rolled back to the exact prior aggregate, not
+        # merely deleted (the original partial-application bug).
+        assert bottom.mo.measure_value(target_id, "Dwell_time") == dwell_before
+        assert bottom.mo.provenance(target_id).members == {"fact_4"}
+
+    def test_successful_retry_after_failed_batch(self, mo, store):
+        batch = [("bad", {"Time": "1999/12/31"}, dict(MEASURE_ROW))]
+        with pytest.raises(EngineError):
+            store.load(batch)
+        store.synchronize(SNAPSHOT_TIMES[2])
+        shape = {name: cube.n_facts for name, cube in store.cubes.items()}
+        assert shape == {"K0": 1, "K1": 1, "K2": 2}
+
+
+class TestTransactionalSync:
+    def _exploding(self, mo):
+        store = _ExplodingStore(mo, paper_specification(mo))
+        store.load(facts_of(mo))
+        return store
+
+    def test_mid_sync_failure_rolls_back_bit_for_bit(self, mo):
+        store = self._exploding(mo)
+        store.synchronize(SNAPSHOT_TIMES[1])
+        before = fingerprint(store)
+        store.fail_after = store.migrations + 1
+        with pytest.raises(RuntimeError, match="simulated"):
+            store.synchronize(SNAPSHOT_TIMES[2])
+        assert fingerprint(store) == before
+        assert store.last_sync == SNAPSHOT_TIMES[1]
+
+    def test_retry_after_failure_matches_clean_run(self, mo):
+        store = self._exploding(mo)
+        store.synchronize(SNAPSHOT_TIMES[1])
+        store.fail_after = store.migrations + 1
+        with pytest.raises(RuntimeError):
+            store.synchronize(SNAPSHOT_TIMES[2])
+        store.fail_after = None
+        store.synchronize(SNAPSHOT_TIMES[2])
+
+        clean = SubcubeStore(mo, paper_specification(mo))
+        clean.load(facts_of(mo))
+        clean.synchronize(SNAPSHOT_TIMES[1])
+        clean.synchronize(SNAPSHOT_TIMES[2])
+        assert fingerprint(store) == fingerprint(clean)
+
+    def test_dirty_set_survives_failed_sync(self, mo):
+        store = self._exploding(mo)
+        store.synchronize(SNAPSHOT_TIMES[1])
+        store.load(
+            [
+                (
+                    "late",
+                    {"Time": "1999/12/31", "URL": "http://www.cnn.com/"},
+                    dict(MEASURE_ROW),
+                )
+            ]
+        )
+        dirty_before = set(store._dirty)
+        assert dirty_before
+        store.fail_after = store.migrations
+        with pytest.raises(RuntimeError):
+            store.synchronize(SNAPSHOT_TIMES[2])
+        assert store._dirty == dirty_before
+
+
+class TestRebuildAtomicity:
+    def test_failed_rebuild_leaves_the_store_untouched(self, mo, store):
+        at = SNAPSHOT_TIMES[2]
+        store.synchronize(at)
+        before = fingerprint(store)
+        old_spec = store.specification
+        from repro.spec.action import Action
+        from repro.spec.specification import ReductionSpecification
+
+        weaker = ReductionSpecification(
+            (
+                Action.parse(
+                    mo.schema,
+                    "a[Time.month, URL.domain] o[Time.month <= '1999/12']",
+                    "only_month",
+                ),
+            ),
+            mo.dimensions,
+        )
+        with pytest.raises(EngineError, match="disaggregate"):
+            store.rebuild(weaker, at)
+        assert fingerprint(store) == before
+        assert store.specification is old_spec
+        # The store still works: an idempotent re-sync moves nothing.
+        moved = store.synchronize(at)
+        assert sum(moved.values()) == 0
+
+
+class TestVerify:
+    def test_clean_store_passes(self, store):
+        store.synchronize(SNAPSHOT_TIMES[2])
+        report = store.verify()
+        assert report.ok
+        assert report.facts == 4
+        assert report.sources == 7
+
+    def test_empty_provenance_is_a_violation(self, store):
+        # An empty Provenance cannot enter through the insert API (it is
+        # falsy and gets defaulted), so corrupt the fact table directly.
+        cube = store.bottom_cube
+        victim = next(iter(cube.facts()))
+        cube.mo._facts[victim] = Provenance(frozenset())
+        report = store.verify()
+        assert any("empty provenance" in v for v in report.violations)
+
+    def test_double_claimed_source_is_a_violation(self, store):
+        cube = store.cube("K1")
+        cube.mo.insert_aggregate_fact(
+            "thief",
+            {"Time": "1999/11", "URL": "cnn.com"},
+            dict(MEASURE_ROW),
+            Provenance(frozenset({"fact_0"})),
+        )
+        report = store.verify()
+        assert any("claimed by both" in v for v in report.violations)
+
+    def test_wrong_granularity_is_a_violation(self, store):
+        cube = store.cube("K1")  # holds (month, domain)
+        cube.mo.insert_aggregate_fact(
+            "misfiled",
+            {"Time": "1999/11/23", "URL": "http://www.cnn.com/"},
+            dict(MEASURE_ROW),
+            Provenance(frozenset({"stray"})),
+        )
+        report = store.verify()
+        assert any("granularity" in v for v in report.violations)
+
+    def test_sources_baseline_checks_conservation(self, mo, store):
+        store.synchronize(SNAPSHOT_TIMES[2])
+        sources = {
+            fact_id: measures for fact_id, _, measures in facts_of(mo)
+        }
+        assert store.verify(sources).ok
+        # A source the store never saw must be reported as lost.
+        sources["phantom"] = dict(MEASURE_ROW)
+        report = store.verify(sources)
+        assert any("phantom" in v for v in report.violations)
+
+    def test_sources_baseline_checks_measure_aggregates(self, mo, store):
+        store.synchronize(SNAPSHOT_TIMES[2])
+        sources = {
+            fact_id: dict(measures)
+            for fact_id, _, measures in facts_of(mo)
+        }
+        sources["fact_1"]["Dwell_time"] += 1000  # falsify the baseline
+        report = store.verify(sources)
+        assert any("Dwell_time" in v for v in report.violations)
+
+    def test_strict_mode_raises_audit_error(self, store):
+        cube = store.cube("K1")
+        cube.mo.insert_aggregate_fact(
+            "thief",
+            {"Time": "1999/11", "URL": "cnn.com"},
+            dict(MEASURE_ROW),
+            Provenance(frozenset({"fact_0"})),
+        )
+        with pytest.raises(AuditError) as excinfo:
+            store.verify(strict=True)
+        assert excinfo.value.violations

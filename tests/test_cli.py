@@ -307,3 +307,153 @@ class TestBench:
         )
         assert code == 1
         assert "is below the" in capsys.readouterr().err
+
+
+class TestDurableCommands:
+    @pytest.fixture
+    def durable(self, stored, tmp_path):
+        mo_file, spec_file = stored
+        path = tmp_path / "dstore"
+        code = main(
+            [
+                "reduce",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-11-05",
+                "-o",
+                str(tmp_path / "reduced.json"),
+                "--durable",
+                str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_reduce_durable_materializes_a_store(self, durable, capsys):
+        assert (durable / "journal.jsonl").exists()
+        assert (durable / "CURRENT").exists()
+        assert list((durable / "snapshots").iterdir())
+
+    def test_recover_reports_a_clean_store(self, durable, capsys):
+        assert main(["recover", str(durable)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 4 facts in 3 cubes" in out
+
+    def test_recover_json_payload(self, durable, capsys):
+        assert main(["recover", str(durable), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["interrupted_sync"] is None
+        assert payload["last_sync"] == "2000-11-05"
+        assert payload["discarded"] == 0
+        assert sum(payload["cubes"].values()) == 4
+
+    def test_recover_missing_path_fails(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "nowhere")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_recover_complete_finishes_an_interrupted_sync(
+        self, stored, tmp_path, capsys
+    ):
+        from repro.engine.durable import DurableStore
+        from repro.engine.faults import FaultInjector, InjectedFault
+        from repro.experiments.paper_example import (
+            build_paper_mo,
+            paper_specification,
+        )
+
+        mo = build_paper_mo()
+        faults = FaultInjector()
+        store = DurableStore.create(
+            str(tmp_path / "crashed"),
+            mo,
+            paper_specification(mo),
+            faults=faults,
+        )
+        store.load(
+            (
+                fact_id,
+                dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+                {
+                    name: mo.measure_value(fact_id, name)
+                    for name in mo.schema.measure_names
+                },
+            )
+            for fact_id in sorted(mo.facts())
+        )
+        faults.arm("sync.migrate", at_hit=2)
+        with pytest.raises(InjectedFault):
+            store.synchronize(dt.date(2000, 6, 5))
+        store.close()
+
+        assert main(["recover", str(tmp_path / "crashed")]) == 0
+        assert "NOT re-run" in capsys.readouterr().out
+        assert main(["recover", str(tmp_path / "crashed"), "--complete"]) == 0
+        out = capsys.readouterr().out
+        assert "completed interrupted synchronization at 2000-06-05" in out
+        # The completed sync is durable: auditing now sees a clean store.
+        assert main(["audit", str(tmp_path / "crashed")]) == 0
+
+    def test_audit_clean_store(self, durable, capsys):
+        assert main(["audit", str(durable)]) == 0
+        out = capsys.readouterr().out
+        assert "audit clean: 4 facts covering 7 sources" in out
+
+    def test_audit_json_payload(self, durable, capsys):
+        assert main(["audit", str(durable), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["audit"]["ok"] is True
+        assert payload["audit"]["violations"] == []
+        assert payload["recovery"]["last_lsn"] > 0
+
+    def test_audit_detects_corruption(self, stored, tmp_path, capsys):
+        from repro.engine.durable import DurableStore
+        from repro.experiments.paper_example import (
+            build_paper_mo,
+            paper_specification,
+        )
+
+        mo = build_paper_mo()
+        store = DurableStore.create(
+            str(tmp_path / "broken"), mo, paper_specification(mo)
+        )
+        store.load(
+            (
+                fact_id,
+                dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+                {
+                    name: mo.measure_value(fact_id, name)
+                    for name in mo.schema.measure_names
+                },
+            )
+            for fact_id in sorted(mo.facts())
+        )
+        store.synchronize(dt.date(2000, 6, 5))
+        # Corrupt the store behind the engine's back, then persist it.
+        cube = next(c for c in store.cubes.values() if c.n_facts)
+        cube.mo.delete_fact(next(iter(cube.facts())))
+        store.snapshot()
+        store.close()
+        assert main(["audit", str(tmp_path / "broken")]) == 1
+        assert "audit FAILED" in capsys.readouterr().out
+
+    def test_bench_smoke_with_durable_store(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--out-dir",
+                str(tmp_path),
+                "--repeats",
+                "1",
+                "--durable",
+                str(tmp_path / "bench_store"),
+                "--no-fsync",
+            ]
+        )
+        assert code == 0
+        sync = json.loads((tmp_path / "BENCH_sync.json").read_text())
+        assert sync["durable"]["fsync"] is False
+        assert sync["durable"]["audit_ok"] is True
+        assert sync["durable"]["journal_lsn"] > 0
+        assert main(["audit", str(tmp_path / "bench_store")]) == 0

@@ -119,3 +119,160 @@ class TestSpecRoundTrip:
         assert sorted(left.direct_cell(f) for f in left.facts()) == sorted(
             right.direct_cell(f) for f in right.facts()
         )
+
+
+class TestAtomicWrite:
+    def test_writes_the_content(self, tmp_path):
+        from repro.io import atomic_write
+
+        target = tmp_path / "out.json"
+        with atomic_write(target) as stream:
+            stream.write("payload")
+        assert target.read_text() == "payload"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failure_leaves_the_previous_content(self, tmp_path):
+        from repro.io import atomic_write
+
+        target = tmp_path / "out.json"
+        target.write_text("original")
+        with pytest.raises(RuntimeError, match="boom"):
+            with atomic_write(target) as stream:
+                stream.write("half a docu")
+                raise RuntimeError("boom")
+        assert target.read_text() == "original"
+        # The temporary file was cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failure_without_a_previous_file_leaves_nothing(self, tmp_path):
+        from repro.io import atomic_write
+
+        target = tmp_path / "out.json"
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as stream:
+                stream.write("half")
+                raise RuntimeError("boom")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_fsync_mode(self, tmp_path):
+        from repro.io import atomic_write
+
+        target = tmp_path / "out.json"
+        with atomic_write(target, fsync=False) as stream:
+            stream.write("fast")
+        assert target.read_text() == "fast"
+
+
+def _valid_document():
+    return mo_to_dict(build_paper_mo())
+
+
+MALFORMED_CASES = [
+    (
+        "missing_facts",
+        lambda d: d.pop("facts"),
+        r"\$: missing required key 'facts'",
+    ),
+    (
+        "missing_dimension_order",
+        lambda d: d.pop("dimension_order"),
+        r"\$: missing required key 'dimension_order'",
+    ),
+    (
+        "order_names_unknown_dimension",
+        lambda d: d["dimension_order"].append("Browser"),
+        r"\$\.dimensions: missing required key 'Browser'",
+    ),
+    (
+        "empty_chains",
+        lambda d: d["dimensions"]["URL"].update(chains=[]),
+        r"\$\.dimensions\.URL\.chains",
+    ),
+    (
+        "value_row_missing_category",
+        lambda d: d["dimensions"]["URL"]["values"][0].pop("category"),
+        r"\$\.dimensions\.URL\.values\[0\]: missing required key 'category'",
+    ),
+    (
+        "value_row_unknown_category",
+        lambda d: d["dimensions"]["URL"]["values"][2].update(
+            category="bogus"
+        ),
+        r"\$\.dimensions\.URL\.values\[2\]\.category: unknown category",
+    ),
+    (
+        "measure_missing_aggregate",
+        lambda d: d["measures"][0].pop("aggregate"),
+        r"\$\.measures\[0\]: missing required key 'aggregate'",
+    ),
+    (
+        "duplicate_fact_id",
+        lambda d: d["facts"].append(dict(d["facts"][0])),
+        r"\$\.facts\[7\]\.id: duplicate fact id",
+    ),
+    (
+        "unknown_coordinate_dimension",
+        lambda d: d["facts"][0]["coordinates"].update(Browser="x"),
+        r"\$\.facts\[0\]\.coordinates: unknown dimensions \['Browser'\]",
+    ),
+    (
+        "fact_missing_measures_key",
+        lambda d: d["facts"][0].pop("measures"),
+        r"\$\.facts\[0\]: missing required key 'measures'",
+    ),
+    (
+        "fact_with_unknown_value",
+        lambda d: d["facts"][0]["coordinates"].update(
+            Time="1985/01/01"
+        ),
+        r"\$\.facts\[0\]: .*unknown value",
+    ),
+]
+
+
+class TestMalformedMoDocuments:
+    """Every malformed document raises a typed StorageError naming the
+    offending path — never a bare KeyError from deep inside the loader."""
+
+    @pytest.mark.parametrize(
+        "mutate,pattern",
+        [case[1:] for case in MALFORMED_CASES],
+        ids=[case[0] for case in MALFORMED_CASES],
+    )
+    def test_typed_error_with_document_path(self, mutate, pattern):
+        document = _valid_document()
+        mutate(document)
+        with pytest.raises(StorageError, match=pattern):
+            mo_from_dict(document)
+
+    def test_the_unmutated_document_still_loads(self):
+        assert mo_from_dict(_valid_document()).n_facts == 7
+
+
+class TestSpecParseErrors:
+    def test_parse_failure_reports_the_line_number(self, mo):
+        from repro.errors import SpecSyntaxError
+
+        text = (
+            "# header comment\n"
+            "\n"
+            "broken: a[Time.month URL.domain] o[Time.month <= '1999/12']\n"
+        )
+        with pytest.raises(SpecSyntaxError, match="line 3"):
+            load_specification(stdio.StringIO(text), mo.schema, mo.dimensions)
+
+    def test_duplicate_action_name_names_both_lines(self, mo):
+        from repro.errors import SpecSyntaxError
+
+        text = (
+            "dup: a[Time.month, URL.domain] o[Time.month <= '1999/12']\n"
+            "other: a[Time.quarter, URL.domain] "
+            "o[Time.quarter <= '1999Q4']\n"
+            "dup: a[Time.year, URL.domain_grp] o[Time.year <= '1999']\n"
+        )
+        with pytest.raises(
+            SpecSyntaxError,
+            match=r"line 3: duplicate action name 'dup' .*line 1",
+        ):
+            load_specification(stdio.StringIO(text), mo.schema, mo.dimensions)
