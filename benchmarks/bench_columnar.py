@@ -12,7 +12,7 @@ Asserts the two performance claims this repo's batch engine makes:
 import datetime as dt
 import time
 
-from repro.engine.store import SubcubeStore
+from repro.engine.store import SYNC_LAST_EXAMINED, SubcubeStore
 from repro.reduction.columnar import reduce_mo_columnar
 from repro.reduction.reducer import reduce_mo
 
@@ -91,7 +91,9 @@ def test_b8_incremental_sync_examines_fewer(
         examined = []
         for at in (t2, t3):
             store.synchronize(at, incremental=incremental)
-            examined.append(store.last_sync_examined)
+            examined.append(
+                int(store.metrics.value(SYNC_LAST_EXAMINED) or 0)
+            )
         return store, examined
 
     store_incremental, examined_incremental = trajectory(True)

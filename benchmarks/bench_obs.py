@@ -1,0 +1,73 @@
+"""Experiment B9: the observability layer's cost envelope.
+
+Two claims keep the instrumentation honest:
+
+* with the default no-op recorder, instrumenting the hot reduction path
+  costs **under 2%** against a run with observability fully disabled
+  (``obs.disabled()`` — null registry and no-op recorder);
+* tracing is per-*operation*, never per-fact: one columnar reduce emits
+  a constant handful of spans regardless of workload size.
+"""
+
+import time
+
+from repro import obs
+from repro.obs import trace
+from repro.reduction.reducer import reduce_mo
+
+from conftest import BENCH_NOW, emit
+
+#: Acceptance ceiling for no-op instrumentation overhead.
+OVERHEAD_CEILING = 1.02
+
+#: One reduce = reduce.run + encode/admit/plan/fold. Never O(facts).
+MAX_SPANS_PER_REDUCE = 8
+
+
+def _best_seconds(fn, repeats=9):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_b9_noop_observability_overhead_under_2pct(
+    clickstream_mo, clickstream_spec
+):
+    mo, spec = clickstream_mo, clickstream_spec
+
+    def run():
+        reduce_mo(mo, spec, BENCH_NOW, backend="columnar")
+
+    run()  # warm caches before either measurement
+    with obs.disabled():
+        disabled = _best_seconds(run)
+    enabled = _best_seconds(run)
+    overhead = enabled / disabled
+    emit(
+        "B9 no-op observability overhead (columnar reduce)",
+        [
+            f"disabled: {disabled * 1000:.2f} ms",
+            f"enabled:  {enabled * 1000:.2f} ms",
+            f"overhead: {overhead:.4f}x (ceiling {OVERHEAD_CEILING}x)",
+        ],
+    )
+    assert overhead < OVERHEAD_CEILING
+
+
+def test_b9_spans_are_per_operation_not_per_fact(
+    clickstream_mo, clickstream_spec
+):
+    mo, spec = clickstream_mo, clickstream_spec
+    recorder = trace.CollectingRecorder()
+    with trace.use_recorder(recorder):
+        reduce_mo(mo, spec, BENCH_NOW, backend="columnar")
+    emit(
+        "B9 spans per columnar reduce",
+        [f"{span.name}: {span.duration * 1000:.2f} ms"
+         for span in recorder.spans],
+    )
+    assert 0 < len(recorder.spans) <= MAX_SPANS_PER_REDUCE
+    assert mo.n_facts > MAX_SPANS_PER_REDUCE  # the bound is meaningful

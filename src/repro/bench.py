@@ -23,7 +23,11 @@ import os
 import time
 from dataclasses import dataclass
 
-from .engine.store import SubcubeStore
+from .engine.store import (
+    SYNC_LAST_EXAMINED,
+    SubcubeStore,
+)
+from .obs import metrics as obs_metrics
 from .spec.specification import ReductionSpecification
 from .workload import ClickstreamConfig, build_clickstream_mo, tiered_retention_actions
 
@@ -109,20 +113,25 @@ def bench_reduction(profile: BenchProfile) -> dict:
     mo, specification = _workload(profile)
     now = profile.now
     backends: dict[str, dict] = {}
-    for backend in ("interpretive", "compiled", "columnar"):
-        reduced = reduce_mo(mo, specification, now, backend=backend)
-        seconds = _best_seconds(
-            lambda b=backend: reduce_mo(mo, specification, now, backend=b),
-            profile.repeats,
-        )
-        backends[backend] = {
-            "seconds": seconds,
-            "ops_per_s": (1.0 / seconds) if seconds > 0 else None,
-            "output_facts": reduced.n_facts,
-        }
+    registry = obs_metrics.MetricsRegistry()
+    with obs_metrics.use_registry(registry):
+        for backend in ("interpretive", "compiled", "columnar"):
+            reduced = reduce_mo(mo, specification, now, backend=backend)
+            seconds = _best_seconds(
+                lambda b=backend: reduce_mo(
+                    mo, specification, now, backend=b
+                ),
+                profile.repeats,
+            )
+            backends[backend] = {
+                "seconds": seconds,
+                "ops_per_s": (1.0 / seconds) if seconds > 0 else None,
+                "output_facts": reduced.n_facts,
+            }
     interpretive = backends["interpretive"]["seconds"]
     return {
         "schema": REDUCTION_SCHEMA,
+        "metrics": registry.snapshot(),
         "workload": _workload_block(profile, mo),
         "now": now.isoformat(),
         "repeats": profile.repeats,
@@ -169,14 +178,15 @@ def bench_sync(
     t2 = t1 + dt.timedelta(days=45)
     t3 = t2 + dt.timedelta(days=45)
 
+    registry = obs_metrics.MetricsRegistry()
     if durable_path is not None:
         from .engine.durable import DurableStore
 
         incremental = DurableStore.create(
-            durable_path, mo, specification, fsync=fsync
+            durable_path, mo, specification, fsync=fsync, metrics=registry
         )
     else:
-        incremental = SubcubeStore(mo, specification)
+        incremental = SubcubeStore(mo, specification, metrics=registry)
     incremental.load(facts)
     incremental.synchronize(t1)
     full = SubcubeStore(mo, specification)
@@ -188,11 +198,13 @@ def bench_sync(
         started = time.perf_counter()
         moved_incremental = incremental.synchronize(at)
         seconds_incremental = time.perf_counter() - started
-        examined_incremental = incremental.last_sync_examined
+        examined_incremental = int(
+            incremental.metrics.value(SYNC_LAST_EXAMINED) or 0
+        )
         started = time.perf_counter()
         moved_full = full.synchronize(at, incremental=False)
         seconds_full = time.perf_counter() - started
-        examined_full = full.last_sync_examined
+        examined_full = int(full.metrics.value(SYNC_LAST_EXAMINED) or 0)
         steps.append(
             {
                 "now": at.isoformat(),
@@ -213,6 +225,10 @@ def bench_sync(
     examined_full_total = sum(s["full"]["examined"] for s in steps)
     document = {
         "schema": SYNC_SCHEMA,
+        # The incremental store's registry: sync counters/gauges, and
+        # with --durable the journal/snapshot families too.  The full
+        # store keeps its own registry (same gauge names) out of the doc.
+        "metrics": registry.snapshot(),
         "workload": _workload_block(profile, mo),
         "initial_sync": t1.isoformat(),
         "steps": steps,

@@ -19,12 +19,32 @@ Commands
     specification files; ``--select``/``--ignore`` filter rule codes and
     exit status 1 signals remaining error-level findings.
 
-``reduce MO_FILE SPEC_FILE --at YYYY-MM-DD [-o OUT_FILE]``
+``reduce MO_FILE SPEC_FILE --at YYYY-MM-DD [-o OUT_FILE] [--stats]``
     Apply a reduction specification to a stored MO at a given date and
-    write the reduced MO (stdout by default).
+    write the reduced MO (stdout by default).  ``--backend`` selects the
+    reducer; ``--stats`` prints an observability metrics snapshot to
+    stdout instead of the MO (pass ``-o`` to keep the MO too), in the
+    format picked by ``--stats-format json|prom|text``.
 
-``stats MO_FILE``
-    Print fact counts, granularity histogram, and storage estimate.
+``sync MO_FILE SPEC_FILE --at YYYY-MM-DD [--at ...] [--stats]``
+    Load the MO into a subcube store and synchronize at each given date
+    in order (a NOW-advance trajectory); ``--full`` forces full rescans
+    instead of incremental suspect-region syncs.  ``--stats`` prints the
+    store's metrics snapshot (examined/migrated/skipped counters, undo
+    log size, timings).
+
+``query MO_FILE SPEC_FILE --at YYYY-MM-DD --granularity Dim=cat[,...]``
+    Evaluate ``a[granularity](o[predicate](O))`` over the synchronized
+    subcube store and print the result rows as JSON.
+    ``--unsynchronized`` skips synchronization and exercises the
+    parent-pull repair path instead.  ``--stats`` prints the store's
+    metrics snapshot (plan-cache hits, per-stage row counts, timings).
+
+``stats FILE``
+    For an MO document: print fact counts, granularity histogram, and
+    storage estimate.  For a metrics snapshot (``repro-metrics/1``) or a
+    benchmark document with an embedded snapshot (``repro-bench-*``):
+    render the snapshot in the format picked by ``--format``.
 
 ``explain MO_FILE SPEC_FILE --at YYYY-MM-DD``
     For every fact: which action caused its aggregation level, which
@@ -58,6 +78,29 @@ import sys
 from typing import Sequence
 
 from .errors import ReproError
+
+
+#: ``--stats-format`` / ``stats --format`` choices (see repro.obs.metrics).
+STATS_FORMATS = ("json", "prom", "text")
+
+#: Reducer backends, mirrored from ``repro.reduction.BACKENDS`` (kept
+#: literal here so building the parser stays import-light).
+REDUCER_BACKENDS = ("auto", "interpretive", "compiled", "columnar")
+
+
+def _add_stats_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print an observability metrics snapshot to stdout",
+    )
+    parser.add_argument(
+        "--stats-format",
+        choices=STATS_FORMATS,
+        default=None,
+        dest="stats_format",
+        help="snapshot format (implies --stats; default json)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,9 +163,69 @@ def build_parser() -> argparse.ArgumentParser:
         dest="no_fsync",
         help="skip fsync calls in the durable store (faster, less durable)",
     )
+    reduce_cmd.add_argument(
+        "--backend",
+        choices=REDUCER_BACKENDS,
+        default="auto",
+        help="reducer backend (default: auto)",
+    )
+    _add_stats_options(reduce_cmd)
 
-    stats = sub.add_parser("stats", help="storage statistics of a stored MO")
+    sync_cmd = sub.add_parser(
+        "sync", help="synchronize a subcube store over a NOW trajectory"
+    )
+    sync_cmd.add_argument("mo_file")
+    sync_cmd.add_argument("spec_file")
+    sync_cmd.add_argument(
+        "--at",
+        action="append",
+        required=True,
+        dest="ats",
+        help="synchronization date (repeatable; applied in order)",
+    )
+    sync_cmd.add_argument(
+        "--full",
+        action="store_true",
+        help="force full rescans instead of incremental synchronization",
+    )
+    _add_stats_options(sync_cmd)
+
+    query_cmd = sub.add_parser(
+        "query", help="evaluate an OLAP query over the subcube store"
+    )
+    query_cmd.add_argument("mo_file")
+    query_cmd.add_argument("spec_file")
+    query_cmd.add_argument("--at", required=True)
+    query_cmd.add_argument(
+        "--granularity",
+        action="append",
+        required=True,
+        dest="granularities",
+        help="result granularity, as Dimension=category (repeatable or "
+        "comma-separated)",
+    )
+    query_cmd.add_argument(
+        "--predicate", default=None, help="selection predicate o[...]"
+    )
+    query_cmd.add_argument(
+        "--unsynchronized",
+        action="store_true",
+        help="skip synchronization; query through the parent-pull repair",
+    )
+    query_cmd.add_argument("-o", "--output", help="write result rows here")
+    _add_stats_options(query_cmd)
+
+    stats = sub.add_parser(
+        "stats",
+        help="statistics of a stored MO, metrics snapshot, or bench doc",
+    )
     stats.add_argument("mo_file")
+    stats.add_argument(
+        "--format",
+        choices=STATS_FORMATS,
+        default="json",
+        help="rendering for metrics snapshots (default: json)",
+    )
 
     explain = sub.add_parser(
         "explain", help="explain why facts are aggregated the way they are"
@@ -224,9 +327,30 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.output,
                 arguments.durable_path,
                 not arguments.no_fsync,
+                arguments.backend,
+                *_stats_choice(arguments),
+            )
+        if arguments.command == "sync":
+            return _sync(
+                arguments.mo_file,
+                arguments.spec_file,
+                arguments.ats,
+                arguments.full,
+                *_stats_choice(arguments),
+            )
+        if arguments.command == "query":
+            return _query(
+                arguments.mo_file,
+                arguments.spec_file,
+                arguments.at,
+                arguments.granularities,
+                arguments.predicate,
+                arguments.unsynchronized,
+                arguments.output,
+                *_stats_choice(arguments),
             )
         if arguments.command == "stats":
-            return _stats(arguments.mo_file)
+            return _stats(arguments.mo_file, arguments.format)
         if arguments.command == "bench":
             return _bench(
                 arguments.out_dir,
@@ -249,6 +373,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _stats_choice(arguments: argparse.Namespace) -> tuple[bool, str]:
+    """Resolve the shared ``--stats``/``--stats-format`` pair."""
+    enabled = arguments.stats or arguments.stats_format is not None
+    return enabled, arguments.stats_format or "json"
+
+
+def _facts_of(mo):
+    """A store-loadable ``(id, coordinates, measures)`` view of an MO."""
+    return [
+        (
+            fact_id,
+            dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+            {
+                name: mo.measure_value(fact_id, name)
+                for name in mo.schema.measure_names
+            },
+        )
+        for fact_id in sorted(mo.facts())
+    ]
 
 
 def _figures(numbers: list[int]) -> int:
@@ -374,8 +519,12 @@ def _reduce(
     output: str | None,
     durable_path: str | None = None,
     fsync: bool = True,
+    backend: str = "auto",
+    stats: bool = False,
+    stats_format: str = "json",
 ) -> int:
     from .io import atomic_write, dump_mo, load_mo, load_specification
+    from .obs import metrics as obs_metrics
     from .reduction.reducer import reduce_mo
 
     when = dt.date.fromisoformat(at)
@@ -383,42 +532,43 @@ def _reduce(
         mo = load_mo(stream)
     with open(spec_file) as stream:
         specification = load_specification(stream, mo.schema, mo.dimensions)
-    reduced = reduce_mo(mo, specification, when)
+    registry = obs_metrics.MetricsRegistry()
+    with obs_metrics.use_registry(registry):
+        reduced = reduce_mo(mo, specification, when, backend=backend)
+        if durable_path:
+            _materialize_durable(
+                mo, specification, when, durable_path, fsync, registry
+            )
     print(
         f"reduced {mo.n_facts} facts to {reduced.n_facts} at {when}",
         file=sys.stderr,
     )
     if durable_path:
-        _materialize_durable(mo, specification, when, durable_path, fsync)
         print(f"durable store written to {durable_path}", file=sys.stderr)
     if output:
         with atomic_write(output) as stream:
             dump_mo(reduced, stream)
+    elif stats:
+        print("reduced MO not written (pass -o FILE)", file=sys.stderr)
     else:
         dump_mo(reduced, sys.stdout)
         print()
+    if stats:
+        print(obs_metrics.render_snapshot(registry.snapshot(), stats_format))
     return 0
 
 
-def _materialize_durable(mo, specification, when, durable_path, fsync):
+def _materialize_durable(
+    mo, specification, when, durable_path, fsync, metrics=None
+):
     """Build a crash-safe durable store holding the reduced warehouse."""
     from .engine.durable import DurableStore
 
     store = DurableStore.create(
-        durable_path, mo, specification, fsync=fsync
+        durable_path, mo, specification, fsync=fsync, metrics=metrics
     )
     try:
-        store.load(
-            (
-                fact_id,
-                dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
-                {
-                    name: mo.measure_value(fact_id, name)
-                    for name in mo.schema.measure_names
-                },
-            )
-            for fact_id in sorted(mo.facts())
-        )
+        store.load(_facts_of(mo))
         store.synchronize(when)
         store.record_reduce(
             when,
@@ -431,12 +581,129 @@ def _materialize_durable(mo, specification, when, durable_path, fsync):
         store.close()
 
 
-def _stats(mo_file: str) -> int:
-    from .experiments.metrics import estimated_fact_bytes
-    from .io import load_mo
+def _sync(
+    mo_file: str,
+    spec_file: str,
+    ats: list[str],
+    full: bool,
+    stats: bool = False,
+    stats_format: str = "json",
+) -> int:
+    from .engine.store import (
+        SYNC_LAST_EXAMINED,
+        SYNC_LAST_MIGRATED,
+        SubcubeStore,
+    )
+    from .io import load_mo, load_specification
+    from .obs import metrics as obs_metrics
 
     with open(mo_file) as stream:
         mo = load_mo(stream)
+    with open(spec_file) as stream:
+        specification = load_specification(stream, mo.schema, mo.dimensions)
+    store = SubcubeStore(mo, specification)
+    store.load(_facts_of(mo))
+    report = sys.stderr if stats else sys.stdout
+    for at in ats:
+        when = dt.date.fromisoformat(at)
+        store.synchronize(when, incremental=not full)
+        examined = int(store.metrics.value(SYNC_LAST_EXAMINED) or 0)
+        migrated = int(store.metrics.value(SYNC_LAST_MIGRATED) or 0)
+        print(
+            f"sync at {when}: examined {examined}, migrated {migrated}",
+            file=report,
+        )
+    shape = ", ".join(
+        f"{name}={cube.n_facts}" for name, cube in store.cubes.items()
+    )
+    print(f"cubes: {shape}", file=report)
+    if stats:
+        print(
+            obs_metrics.render_snapshot(
+                store.metrics.snapshot(), stats_format
+            )
+        )
+    return 0
+
+
+def _query(
+    mo_file: str,
+    spec_file: str,
+    at: str,
+    granularities: list[str],
+    predicate: str | None,
+    unsynchronized: bool,
+    output: str | None,
+    stats: bool = False,
+    stats_format: str = "json",
+) -> int:
+    from .engine.queryproc import SubcubeQuery, query_store
+    from .engine.store import SubcubeStore
+    from .io import atomic_write, load_mo, load_specification
+    from .obs import metrics as obs_metrics
+    from .query.algebra import mo_rows
+
+    when = dt.date.fromisoformat(at)
+    granularity: dict[str, str] = {}
+    for entry in granularities:
+        for part in entry.split(","):
+            name, _, category = part.partition("=")
+            if not name.strip() or not category.strip():
+                raise ReproError(
+                    f"bad --granularity entry {part!r}; "
+                    "expected Dimension=category"
+                )
+            granularity[name.strip()] = category.strip()
+    with open(mo_file) as stream:
+        mo = load_mo(stream)
+    with open(spec_file) as stream:
+        specification = load_specification(stream, mo.schema, mo.dimensions)
+    store = SubcubeStore(mo, specification)
+    store.load(_facts_of(mo))
+    if not unsynchronized:
+        store.synchronize(when)
+    query = SubcubeQuery(predicate, granularity)
+    result = query_store(
+        store, query, when, assume_synchronized=not unsynchronized
+    )
+    rows = json.dumps(mo_rows(result), indent=1, sort_keys=True, default=str)
+    print(f"query returned {result.n_facts} rows at {when}", file=sys.stderr)
+    if output:
+        with atomic_write(output) as stream:
+            stream.write(rows + "\n")
+    elif stats:
+        print("result rows not written (pass -o FILE)", file=sys.stderr)
+    else:
+        print(rows)
+    if stats:
+        print(
+            obs_metrics.render_snapshot(
+                store.metrics.snapshot(), stats_format
+            )
+        )
+    return 0
+
+
+def _stats(mo_file: str, format: str = "json") -> int:
+    from .experiments.metrics import estimated_fact_bytes
+    from .io import mo_from_dict
+    from .obs import metrics as obs_metrics
+
+    with open(mo_file) as stream:
+        document = json.load(stream)
+    schema = document.get("schema") if isinstance(document, dict) else None
+    if schema == obs_metrics.SNAPSHOT_SCHEMA:
+        print(obs_metrics.render_snapshot(document, format))
+        return 0
+    if isinstance(schema, str) and schema.startswith("repro-bench-"):
+        embedded = document.get("metrics")
+        if embedded is None:
+            raise ReproError(
+                f"bench document {mo_file} has no embedded metrics snapshot"
+            )
+        print(obs_metrics.render_snapshot(embedded, format))
+        return 0
+    mo = mo_from_dict(document)
     histogram = {
         "/".join(granularity): count
         for granularity, count in sorted(mo.granularity_histogram().items())

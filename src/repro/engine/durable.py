@@ -61,11 +61,22 @@ from ..io import (
     mo_from_dict,
     mo_to_dict,
 )
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..spec.specification import ReductionSpecification
 from .faults import PASSIVE, FaultInjector, InjectedFault
-from .store import Migration, SubcubeStore
+from .store import SYNC_LAST_EXAMINED, Migration, SubcubeStore
 
 FORMAT_VERSION = 1
+
+# Durability metric families (catalogued in docs/observability.md).
+JOURNAL_RECORDS = "repro_journal_records_total"
+JOURNAL_BYTES = "repro_journal_bytes_total"
+JOURNAL_FSYNC = "repro_journal_fsync_total"
+SNAPSHOT_WRITES = "repro_snapshot_writes_total"
+RECOVERY_REPLAYED = "repro_recovery_replayed_records"
+RECOVERY_DISCARDED = "repro_recovery_discarded_records"
+RECOVERY_ABORTED = "repro_recovery_aborted_transactions"
 
 META_FILE = "meta.json"
 TEMPLATE_FILE = "template.json"
@@ -104,11 +115,18 @@ class Journal:
         faults: FaultInjector = PASSIVE,
         next_lsn: int = 1,
         truncate_to: int | None = None,
+        metrics: obs_metrics.MetricsRegistry | None = None,
     ) -> None:
         self.path = path
         self._fsync = fsync
         self._faults = faults
         self._next_lsn = next_lsn
+        #: Shared with the owning store once a :class:`DurableStore`
+        #: adopts this journal, so journal and sync telemetry land in one
+        #: registry.
+        self.metrics = (
+            metrics if metrics is not None else obs_metrics.MetricsRegistry()
+        )
         if truncate_to is not None and os.path.exists(path):
             if os.path.getsize(path) > truncate_to:
                 # Drop the torn/corrupt tail so new appends start on a
@@ -146,7 +164,18 @@ class Journal:
         if sync and self._fsync:
             self._faults.hit("journal.fsync")
             os.fsync(self._stream.fileno())
+            self.metrics.counter(
+                JOURNAL_FSYNC, help="fsync() calls on the journal file."
+            ).inc()
         self._next_lsn = lsn + 1
+        self.metrics.counter(
+            JOURNAL_RECORDS,
+            {"op": op},
+            help="Records appended to the journal, by operation.",
+        ).inc()
+        self.metrics.counter(
+            JOURNAL_BYTES, help="Bytes appended to the journal."
+        ).inc(len(line.encode("utf-8")))
         return lsn
 
     def close(self) -> None:
@@ -248,8 +277,12 @@ class DurableStore(SubcubeStore):
         journal: Journal,
         fsync: bool = True,
         faults: FaultInjector | None = None,
+        metrics: obs_metrics.MetricsRegistry | None = None,
     ) -> None:
-        super().__init__(template, specification)
+        super().__init__(template, specification, metrics=metrics)
+        # The journal reports into the store's registry from here on, so
+        # one snapshot carries both sync and durability telemetry.
+        journal.metrics = self.metrics
         self.path = path
         self._fsync_enabled = fsync
         self._faults = _resolve_faults(faults)
@@ -275,6 +308,7 @@ class DurableStore(SubcubeStore):
         *,
         fsync: bool = True,
         faults: FaultInjector | None = None,
+        metrics: obs_metrics.MetricsRegistry | None = None,
     ) -> "DurableStore":
         """Initialize a fresh durable store directory."""
         journal_path = os.path.join(path, JOURNAL_FILE)
@@ -300,6 +334,7 @@ class DurableStore(SubcubeStore):
             journal=journal,
             fsync=fsync,
             faults=injector,
+            metrics=metrics,
         )
 
     def close(self) -> None:
@@ -465,7 +500,9 @@ class DurableStore(SubcubeStore):
             "last_sync": (
                 self.last_sync.isoformat() if self.last_sync else None
             ),
-            "last_sync_examined": self.last_sync_examined,
+            "last_sync_examined": int(
+                self.metrics.value(SYNC_LAST_EXAMINED) or 0
+            ),
             "dirty": sorted(self._dirty),
             "spec": spec_stream.getvalue(),
             "cubes": {
@@ -494,6 +531,9 @@ class DurableStore(SubcubeStore):
             os.path.join(self.path, MANIFEST_FILE), fsync=self._fsync_enabled
         ) as stream:
             json.dump({"file": filename, "lsn": lsn, "crc": crc}, stream)
+        self.metrics.counter(
+            SNAPSHOT_WRITES, help="Snapshots atomically published."
+        ).inc()
         return final_path
 
     # ------------------------------------------------------------------
@@ -524,6 +564,7 @@ def open_durable(
     *,
     fsync: bool = True,
     faults: FaultInjector | None = None,
+    metrics: obs_metrics.MetricsRegistry | None = None,
 ) -> tuple[DurableStore, RecoveryReport]:
     """Recover a durable store from its directory.
 
@@ -594,6 +635,7 @@ def open_durable(
         journal=journal,
         fsync=fsync,
         faults=injector,
+        metrics=metrics,
     )
     report = RecoveryReport(
         snapshot_lsn=snapshot_lsn if snapshot is not None else None,
@@ -602,15 +644,33 @@ def open_durable(
     )
     store._replaying = True
     try:
-        if snapshot is not None:
-            _restore_snapshot(store, snapshot)
-        _replay(store, records, snapshot_lsn, report)
+        with trace.span(
+            "recover.open", path=path, records=len(records)
+        ) as recover_span:
+            if snapshot is not None:
+                _restore_snapshot(store, snapshot)
+            _replay(store, records, snapshot_lsn, report)
+            recover_span.set_attribute("replayed", report.replayed)
+            recover_span.set_attribute("discarded", report.discarded)
     except RecoveryError:
         raise
     except ReproError as exc:
         raise RecoveryError(f"journal replay failed: {exc}") from exc
     finally:
         store._replaying = False
+    metrics = store.metrics
+    metrics.gauge(
+        RECOVERY_REPLAYED,
+        help="Journal records the last recovery physically replayed.",
+    ).set(report.replayed)
+    metrics.gauge(
+        RECOVERY_DISCARDED,
+        help="Torn or corrupt trailing records the last recovery dropped.",
+    ).set(report.discarded)
+    metrics.gauge(
+        RECOVERY_ABORTED,
+        help="Uncommitted transactions the last recovery skipped.",
+    ).set(report.aborted)
     return store, report
 
 
@@ -669,7 +729,9 @@ def _restore_snapshot(store: DurableStore, snapshot: Mapping) -> None:
             )
     if snapshot.get("last_sync"):
         store.last_sync = _dt.date.fromisoformat(snapshot["last_sync"])
-    store.last_sync_examined = int(snapshot.get("last_sync_examined", 0))
+    store.metrics.gauge(SYNC_LAST_EXAMINED).set(
+        int(snapshot.get("last_sync_examined", 0))
+    )
     store._dirty = set(snapshot.get("dirty", ()))
 
 
@@ -773,5 +835,7 @@ def _replay_sync(
             Provenance(frozenset(migration["members"])),
         )
     store.last_sync = _dt.date.fromisoformat(commit["at"])
-    store.last_sync_examined = int(commit.get("examined", 0))
+    store.metrics.gauge(SYNC_LAST_EXAMINED).set(
+        int(commit.get("examined", 0))
+    )
     store._dirty.clear()

@@ -14,11 +14,14 @@ evaluation time, the parent pull can never double-count a fact.
 from __future__ import annotations
 
 import datetime as _dt
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..core.facts import Provenance, aggregate_fact_id
 from ..core.mo import MultidimensionalObject
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..query.aggregation import AggregationApproach, aggregate
 from ..query.compare import Approach
 from ..query.selection import bind_query_predicate, select
@@ -27,6 +30,22 @@ from ..spec.ast import Predicate
 from ..spec.predicate import satisfies
 from .store import SubcubeStore
 from .subcube import SubCube
+
+# Query metric families (catalogued in docs/observability.md).  The plan
+# cache has two layers, distinguished by the ``cache`` label: ``bound``
+# (predicate text -> bound AST) and ``plan`` ((predicate, time) ->
+# compiled verdict tables).  Row counters carry a ``stage`` label naming
+# the operator: ``scanned`` (facts each subquery saw), ``subresult``
+# (rows the per-cube select+aggregate produced), ``result`` (rows after
+# the final combination).
+QUERY_RUNS = "repro_query_runs_total"
+QUERY_CACHE_HITS = "repro_query_plan_cache_hits_total"
+QUERY_CACHE_MISSES = "repro_query_plan_cache_misses_total"
+QUERY_ROWS = "repro_query_rows_total"
+QUERY_SECONDS = "repro_query_seconds"
+
+_HELP_HITS = "Plan-cache hits, by cache layer."
+_HELP_MISSES = "Plan-cache misses, by cache layer."
 
 
 @dataclass(frozen=True)
@@ -66,23 +85,39 @@ class QueryPlanCache:
 
     def bound_predicate(self, text: str) -> Predicate:
         """The schema-bound AST of *text*, parsed at most once."""
+        metrics = self._store.metrics
         bound = self._bound.get(text)
         if bound is None:
+            metrics.counter(
+                QUERY_CACHE_MISSES, {"cache": "bound"}, help=_HELP_MISSES
+            ).inc()
             bound = bind_query_predicate(self._store.bottom_cube.mo, text)
             self._bound[text] = bound
+        else:
+            metrics.counter(
+                QUERY_CACHE_HITS, {"cache": "bound"}, help=_HELP_HITS
+            ).inc()
         return bound
 
     def plan_for(
         self, predicate: Predicate, now: _dt.date
     ) -> CompiledPredicate:
         """The compiled plan of a bound predicate at *now*."""
+        metrics = self._store.metrics
         key = (id(predicate), now)
         plan = self._plans.get(key)
         if plan is None:
+            metrics.counter(
+                QUERY_CACHE_MISSES, {"cache": "plan"}, help=_HELP_MISSES
+            ).inc()
             plan = CompiledPredicate(
                 predicate, self._store.bottom_cube.mo.dimensions, now
             )
             self._plans[key] = plan
+        else:
+            metrics.counter(
+                QUERY_CACHE_HITS, {"cache": "plan"}, help=_HELP_HITS
+            ).inc()
         return plan
 
     def plan_for_text(self, text: str, now: _dt.date) -> CompiledPredicate:
@@ -151,15 +186,43 @@ def query_store(
     """
     if plans is None:
         plans = plan_cache(store)
-    subresults: list[MultidimensionalObject] = []
-    for definition in store.definitions:
-        cube = store.cube(definition.name)
-        if assume_synchronized:
-            effective = cube.mo
-        else:
-            effective = effective_content(store, cube, now, plans)
-        subresults.append(query_cube(effective, query, now, plans))
-    return combine_subresults(store, subresults, query, now)
+    started = time.perf_counter()
+    with trace.span(
+        "query.store", synchronized=assume_synchronized
+    ) as query_span:
+        scanned = 0
+        subresults: list[MultidimensionalObject] = []
+        for definition in store.definitions:
+            cube = store.cube(definition.name)
+            if assume_synchronized:
+                effective = cube.mo
+            else:
+                effective = effective_content(store, cube, now, plans)
+            scanned += effective.n_facts
+            subresults.append(query_cube(effective, query, now, plans))
+        result = combine_subresults(store, subresults, query, now)
+        query_span.set_attribute("rows_scanned", scanned)
+        query_span.set_attribute("rows_result", result.n_facts)
+    metrics = store.metrics
+    metrics.counter(
+        QUERY_RUNS, help="Queries evaluated over the subcube store."
+    ).inc()
+    rows_help = "Rows seen per query operator stage."
+    metrics.counter(QUERY_ROWS, {"stage": "scanned"}, help=rows_help).inc(
+        scanned
+    )
+    metrics.counter(QUERY_ROWS, {"stage": "subresult"}, help=rows_help).inc(
+        sum(subresult.n_facts for subresult in subresults)
+    )
+    metrics.counter(QUERY_ROWS, {"stage": "result"}, help=rows_help).inc(
+        result.n_facts
+    )
+    metrics.histogram(
+        QUERY_SECONDS,
+        buckets=obs_metrics.TIME_BUCKETS,
+        help="Store query duration in seconds.",
+    ).observe(time.perf_counter() - started)
+    return result
 
 
 def effective_content(

@@ -14,7 +14,9 @@ provably equivalent to ``reduce_mo`` (property-tested).
 from __future__ import annotations
 
 import datetime as _dt
+import time
 import types
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -23,6 +25,8 @@ from ..core.facts import Provenance
 from ..core.hierarchy import TOP
 from ..core.mo import MultidimensionalObject
 from ..errors import AuditError, EngineError, ReproError
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..spec.predicate import cell_satisfies
 from ..spec.ranges import GRANULE_DAYS
 from ..spec.specification import ReductionSpecification
@@ -34,6 +38,22 @@ from .subcube import SubCube
 #: Day-ordinal intervals per dimension within which admission verdicts may
 #: have changed between two synchronization times; ``None`` = everywhere.
 SuspectRegions = "dict[str, list[tuple[float, float]]] | None"
+
+# Metric families the store reports into its per-instance registry
+# (catalogued in docs/observability.md).
+SYNC_RUNS = "repro_sync_runs_total"
+SYNC_EXAMINED = "repro_sync_facts_examined_total"
+SYNC_MIGRATED = "repro_sync_facts_migrated_total"
+SYNC_SKIPPED = "repro_sync_facts_skipped_total"
+SYNC_LAST_EXAMINED = "repro_sync_last_examined"
+SYNC_LAST_MIGRATED = "repro_sync_last_migrated"
+SYNC_LAST_SKIPPED = "repro_sync_last_skipped"
+SYNC_UNDO_LOG = "repro_sync_undo_log_size"
+SYNC_SECONDS = "repro_sync_seconds"
+STORE_LOADED = "repro_store_facts_loaded_total"
+STORE_REBUILDS = "repro_store_rebuilds_total"
+
+_HELP_LAST_EXAMINED = "Facts the most recent synchronize() examined."
 
 
 @dataclass(frozen=True)
@@ -98,6 +118,9 @@ class _UndoLog:
         self._before: dict[tuple[str, str], tuple | None] = {}
         self.dirty_added: set[str] = set()
 
+    def __len__(self) -> int:
+        return len(self._before)
+
     def record(self, cube: SubCube, fact_id: str) -> None:
         key = (cube.name, fact_id)
         if key in self._before:
@@ -139,6 +162,7 @@ class SubcubeStore:
         self,
         template: MultidimensionalObject,
         specification: ReductionSpecification,
+        metrics: obs_metrics.MetricsRegistry | None = None,
     ) -> None:
         self._template = template.empty_like()
         self._specification = specification
@@ -152,10 +176,43 @@ class SubcubeStore:
         #: Facts loaded since the last synchronization (they must be
         #: examined regardless of the suspect-region analysis).
         self._dirty: set[str] = set()
-        #: How many facts the last ``synchronize`` actually examined —
-        #: the incremental path's work metric, surfaced through
-        #: :class:`~repro.engine.sync.MigrationEvent`.
-        self.last_sync_examined: int = 0
+        #: The store's private metrics registry: gauges like
+        #: ``repro_sync_last_examined`` are per-store state, so two stores
+        #: must never write to the same family.  Pass a registry to pool
+        #: several stores (or the CLI's run registry) explicitly.
+        self.metrics = (
+            metrics if metrics is not None else obs_metrics.MetricsRegistry()
+        )
+        self.metrics.gauge(
+            SYNC_LAST_EXAMINED, help=_HELP_LAST_EXAMINED
+        ).set(0)
+
+    @property
+    def last_sync_examined(self) -> int:
+        """Deprecated alias for the ``repro_sync_last_examined`` gauge.
+
+        The attribute predates the metrics registry; read
+        ``store.metrics.value(SYNC_LAST_EXAMINED)`` instead.
+        """
+        warnings.warn(
+            "SubcubeStore.last_sync_examined is deprecated; read the "
+            "repro_sync_last_examined gauge from store.metrics instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return int(self.metrics.value(SYNC_LAST_EXAMINED) or 0)
+
+    @last_sync_examined.setter
+    def last_sync_examined(self, value: int) -> None:
+        warnings.warn(
+            "SubcubeStore.last_sync_examined is deprecated; write the "
+            "repro_sync_last_examined gauge on store.metrics instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.metrics.gauge(
+            SYNC_LAST_EXAMINED, help=_HELP_LAST_EXAMINED
+        ).set(value)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -217,21 +274,27 @@ class SubcubeStore:
         self._journal_load(staged)
         bottom = self.bottom_cube
         undo = _UndoLog()
-        try:
-            for index, (fact_id, coordinates, measures) in enumerate(staged):
-                self._load_fault(index, fact_id)
-                cell_id = bottom.cell_fact_id(coordinates)
-                undo.record(bottom, cell_id)
-                stored_id = bottom.insert_at_granularity(
-                    coordinates, measures, Provenance.of(fact_id)
-                )
-                if stored_id not in self._dirty:
-                    undo.dirty_added.add(stored_id)
-                self._dirty.add(stored_id)
-        except BaseException as exc:
-            undo.rollback(self)
-            self._journal_load_failed(exc)
-            raise
+        with trace.span("store.load", facts=len(staged)):
+            try:
+                for index, (fact_id, coordinates, measures) in enumerate(
+                    staged
+                ):
+                    self._load_fault(index, fact_id)
+                    cell_id = bottom.cell_fact_id(coordinates)
+                    undo.record(bottom, cell_id)
+                    stored_id = bottom.insert_at_granularity(
+                        coordinates, measures, Provenance.of(fact_id)
+                    )
+                    if stored_id not in self._dirty:
+                        undo.dirty_added.add(stored_id)
+                    self._dirty.add(stored_id)
+            except BaseException as exc:
+                undo.rollback(self)
+                self._journal_load_failed(exc)
+                raise
+        self.metrics.counter(
+            STORE_LOADED, help="Facts bulk-loaded into the bottom cube."
+        ).inc(len(staged))
         return len(staged)
 
     def synchronize(
@@ -252,7 +315,8 @@ class SubcubeStore:
         same atoms at both times, so its target cube cannot have changed —
         skipping it is sound, and the incremental path is bit-for-bit
         equivalent to a full rescan (property-tested).  The number of facts
-        actually examined is exposed as :attr:`last_sync_examined`.
+        actually examined is exposed as the ``repro_sync_last_examined``
+        gauge on :attr:`metrics`.
         """
         if self.last_sync is not None and now < self.last_sync:
             raise EngineError(
@@ -261,9 +325,13 @@ class SubcubeStore:
         regions = None
         if incremental and self.last_sync is not None:
             regions = self._suspect_regions(self.last_sync, now)
+        # "incremental" means the suspect-region analysis actually bounded
+        # the work; a first sync or an unbounded analysis is a full rescan.
+        mode = "incremental" if regions is not None else "full"
         self._journal_sync_begin(now, incremental)
         moved: dict[str, int] = {name: 0 for name in self._cubes}
         examined = 0
+        skipped = 0
         dimensions = self._template.dimensions
         names = self._template.schema.dimension_names
         span_cache: dict[tuple[str, str], tuple[float, float] | None] = {}
@@ -272,61 +340,127 @@ class SubcubeStore:
         # work (and would double-count the examined metric).
         settled: set[str] = set()
         undo = _UndoLog()
-        try:
-            for cube in self._cubes.values():
-                mo = cube.mo
-                for fact_id in list(mo.facts()):
-                    if fact_id in settled:
-                        continue
-                    if (
-                        regions is not None
-                        and fact_id not in self._dirty
-                        and not self._needs_examination(
-                            mo, fact_id, regions, span_cache
+        started = time.perf_counter()
+        with trace.span("sync.run", mode=mode) as sync_span:
+            try:
+                for cube in self._cubes.values():
+                    mo = cube.mo
+                    for fact_id in list(mo.facts()):
+                        if fact_id in settled:
+                            continue
+                        if (
+                            regions is not None
+                            and fact_id not in self._dirty
+                            and not self._needs_examination(
+                                mo, fact_id, regions, span_cache
+                            )
+                        ):
+                            skipped += 1
+                            continue
+                        examined += 1
+                        cell = dict(zip(names, mo.direct_cell(fact_id)))
+                        target = self._target_cube(cell, now)
+                        if target.name == cube.name:
+                            continue
+                        coordinates = {
+                            name: _rollup(
+                                dimensions[name], cell[name], category
+                            )
+                            for name, category in zip(
+                                names, target.granularity
+                            )
+                        }
+                        measures = {
+                            measure: mo.measure_value(fact_id, measure)
+                            for measure in mo.schema.measure_names
+                        }
+                        provenance = mo.provenance(fact_id)
+                        settled.add(
+                            self._apply_migration(
+                                Migration(
+                                    fact_id,
+                                    cube.name,
+                                    target.name,
+                                    coordinates,
+                                    measures,
+                                    provenance,
+                                ),
+                                undo,
+                            )
                         )
-                    ):
-                        continue
-                    examined += 1
-                    cell = dict(zip(names, mo.direct_cell(fact_id)))
-                    target = self._target_cube(cell, now)
-                    if target.name == cube.name:
-                        continue
-                    coordinates = {
-                        name: _rollup(dimensions[name], cell[name], category)
-                        for name, category in zip(names, target.granularity)
-                    }
-                    measures = {
-                        measure: mo.measure_value(fact_id, measure)
-                        for measure in mo.schema.measure_names
-                    }
-                    provenance = mo.provenance(fact_id)
-                    settled.add(
-                        self._apply_migration(
-                            Migration(
-                                fact_id,
-                                cube.name,
-                                target.name,
-                                coordinates,
-                                measures,
-                                provenance,
-                            ),
-                            undo,
-                        )
-                    )
-                    moved[target.name] += 1
-            self._journal_sync_commit(now, moved, examined)
-        except BaseException as exc:
-            # Roll every staged migration back: the store is never
-            # observably half-migrated, and a retry starts from the exact
-            # pre-synchronization state (``last_sync``/``_dirty`` are only
-            # touched after the commit point below).
-            undo.rollback(self)
-            self._journal_sync_failed(exc)
-            raise
-        self.last_sync = now
-        self.last_sync_examined = examined
-        self._dirty.clear()
+                        moved[target.name] += 1
+                self._journal_sync_commit(now, moved, examined)
+            except BaseException as exc:
+                # Roll every staged migration back: the store is never
+                # observably half-migrated, and a retry starts from the
+                # exact pre-synchronization state (``last_sync``/``_dirty``
+                # are only touched after the commit point below).
+                undo.rollback(self)
+                self._journal_sync_failed(exc)
+                raise
+            self.last_sync = now
+            self._dirty.clear()
+            sync_span.set_attribute("examined", examined)
+            sync_span.set_attribute("migrated", sum(moved.values()))
+            sync_span.set_attribute("skipped", skipped)
+        self._record_sync(
+            mode,
+            examined,
+            sum(moved.values()),
+            skipped,
+            len(undo),
+            time.perf_counter() - started,
+        )
         return moved
+
+    def _record_sync(
+        self,
+        mode: str,
+        examined: int,
+        migrated: int,
+        skipped: int,
+        undo_size: int,
+        seconds: float,
+    ) -> None:
+        """Record one committed synchronization (never a rolled-back one,
+        so the counters describe only observable state transitions)."""
+        metrics = self.metrics
+        metrics.counter(
+            SYNC_RUNS,
+            {"mode": mode},
+            help="Committed synchronizations, by scan mode.",
+        ).inc()
+        metrics.counter(
+            SYNC_EXAMINED, help="Facts examined across synchronizations."
+        ).inc(examined)
+        metrics.counter(
+            SYNC_MIGRATED, help="Facts migrated across synchronizations."
+        ).inc(migrated)
+        metrics.counter(
+            SYNC_SKIPPED,
+            help="Facts skipped by the suspect-region analysis.",
+        ).inc(skipped)
+        metrics.gauge(SYNC_LAST_EXAMINED, help=_HELP_LAST_EXAMINED).set(
+            examined
+        )
+        metrics.gauge(
+            SYNC_LAST_MIGRATED,
+            help="Facts the most recent synchronize() migrated.",
+        ).set(migrated)
+        metrics.gauge(
+            SYNC_LAST_SKIPPED,
+            help="Facts the most recent synchronize() skipped.",
+        ).set(skipped)
+        metrics.gauge(
+            SYNC_UNDO_LOG,
+            help="Before-images held by the most recent sync's undo log.",
+        ).set(undo_size)
+        metrics.histogram(
+            SYNC_SECONDS,
+            {"mode": mode},
+            buckets=obs_metrics.TIME_BUCKETS,
+            help="Synchronization duration in seconds, by scan mode.",
+        ).observe(seconds)
 
     def _apply_migration(self, migration: Migration, undo: _UndoLog) -> str:
         """Journal (via hook), undo-record, and apply one migration."""
@@ -513,6 +647,10 @@ class SubcubeStore:
         self.last_sync = now
         self._dirty.clear()
         self._journal_rebuild(now)
+        self.metrics.counter(
+            STORE_REBUILDS,
+            help="Specification rebuilds applied to the store.",
+        ).inc()
 
     # ------------------------------------------------------------------
     # Durability hooks (no-ops here; the durable engine overrides them)

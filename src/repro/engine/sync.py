@@ -15,7 +15,7 @@ from typing import Iterable, Mapping
 
 from ..spec.ranges import GRANULE_DAYS, profiles_of
 from ..timedim.granularity import DAY
-from .store import SubcubeStore
+from .store import SYNC_LAST_EXAMINED, SubcubeStore
 
 
 @dataclass(frozen=True)
@@ -111,7 +111,10 @@ class SyncScheduler:
 
     def _sync(self, now: _dt.date) -> MigrationEvent:
         moved = self.store.synchronize(now)
-        event = MigrationEvent(now, moved, self.store.last_sync_examined)
+        examined = int(
+            self.store.metrics.value(SYNC_LAST_EXAMINED) or 0
+        )
+        event = MigrationEvent(now, moved, examined)
         self.events.append(event)
         return event
 

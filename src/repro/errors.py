@@ -87,6 +87,11 @@ class RecoveryError(DurabilityError):
     """A durable store directory cannot be recovered to a valid state."""
 
 
+class ObsError(ReproError):
+    """An observability primitive was misused (bad metric name, label, or
+    bucket layout) or a metrics snapshot document is malformed."""
+
+
 class AuditError(ReproError):
     """A store invariant audit (:meth:`SubcubeStore.verify`) failed.
 

@@ -1,0 +1,70 @@
+"""Observability: structured tracing and a process-local metrics registry.
+
+The subsystem is dependency-free and always on at near-zero cost:
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms,
+  exported as schema-tagged JSON snapshots and Prometheus text
+  exposition format;
+* :mod:`repro.obs.trace` — span-based tracing with a no-op recorder by
+  default and a collecting recorder for tests and ``--stats`` CLI runs.
+
+``disabled()`` is the kill-switch: inside the context every metric write
+is dropped and every span is inert, which is also the baseline the
+benchmark suite measures instrumentation overhead against.
+
+The metric name catalogue and span taxonomy live in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from . import trace
+from .metrics import (
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    render_snapshot,
+    set_registry,
+    snapshot_to_prometheus,
+    snapshot_to_text,
+    use_registry,
+    validate_snapshot,
+)
+from .trace import CollectingRecorder, NoopRecorder, SpanRecord, recording, span
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "CollectingRecorder",
+    "NoopRecorder",
+    "SpanRecord",
+    "disabled",
+    "get_registry",
+    "recording",
+    "render_snapshot",
+    "set_registry",
+    "snapshot_to_prometheus",
+    "snapshot_to_text",
+    "span",
+    "trace",
+    "use_registry",
+    "validate_snapshot",
+]
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Drop all metric writes and spans for the duration of the block."""
+    with use_registry(NullRegistry()), trace.use_recorder(trace.NOOP):
+        yield

@@ -1,0 +1,167 @@
+"""Span-based tracing with a zero-overhead no-op recorder by default.
+
+A *span* covers one operation — ``reduce.run``, ``sync.run``,
+``query.store`` — with attributes, wall-clock start time, and a monotonic
+duration.  The default recorder (:data:`NOOP`) returns a shared inert
+context manager, so instrumented hot paths pay only the call-site cost
+(one function call and a kwargs dict) when tracing is off; installing a
+:class:`CollectingRecorder` (tests, ``--stats`` CLI runs) records every
+finished span with its parent, timing, and error status.
+
+Span names are dotted, coarsest first (``reduce.columnar.fold``); the
+taxonomy is catalogued in ``docs/observability.md``.  Spans are
+per-operation, never per-fact — the benchmark suite asserts the recorder
+count stays O(actions), and that the no-op recorder stays within 2% of a
+fully disabled run on the columnar hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as kept by :class:`CollectingRecorder`."""
+
+    span_id: int
+    name: str
+    attributes: dict[str, object]
+    start_wall: float
+    start_monotonic: float
+    parent_id: int | None = None
+    duration: float | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class _NoopSpan:
+    """The shared inert span the no-op recorder hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set_attribute(self, name: str, value: object) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopRecorder:
+    """Records nothing; every span is the shared inert context manager."""
+
+    def span(self, name: str, **attributes: object) -> _NoopSpan:
+        return _NOOP_SPAN
+
+
+class _ActiveSpan:
+    """A live span of a :class:`CollectingRecorder`."""
+
+    __slots__ = ("_recorder", "record")
+
+    def __init__(self, recorder: "CollectingRecorder", record: SpanRecord):
+        self._recorder = recorder
+        self.record = record
+
+    def set_attribute(self, name: str, value: object) -> None:
+        self.record.attributes[name] = value
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._recorder._stack.append(self.record.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.record.duration = (
+            time.perf_counter() - self.record.start_monotonic
+        )
+        if exc is not None:
+            self.record.error = f"{type(exc).__name__}: {exc}"
+        stack = self._recorder._stack
+        if stack and stack[-1] == self.record.span_id:
+            stack.pop()
+        self._recorder.spans.append(self.record)
+        return False
+
+
+@dataclass
+class CollectingRecorder:
+    """Keeps every finished span, in completion order."""
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    _stack: list[int] = field(default_factory=list)
+    _next_id: int = 1
+
+    def span(self, name: str, **attributes: object) -> _ActiveSpan:
+        span_id = self._next_id
+        self._next_id += 1
+        record = SpanRecord(
+            span_id=span_id,
+            name=name,
+            attributes=dict(attributes),
+            start_wall=time.time(),
+            start_monotonic=time.perf_counter(),
+            parent_id=self._stack[-1] if self._stack else None,
+        )
+        return _ActiveSpan(self, record)
+
+    def find(self, name: str) -> list[SpanRecord]:
+        """All finished spans with the given name."""
+        return [span for span in self.spans if span.name == name]
+
+    def names(self) -> list[str]:
+        return sorted({span.name for span in self.spans})
+
+
+#: The default, zero-overhead recorder.
+NOOP = NoopRecorder()
+
+_recorder: NoopRecorder | CollectingRecorder = NOOP
+
+
+def get_recorder() -> NoopRecorder | CollectingRecorder:
+    return _recorder
+
+
+def set_recorder(
+    recorder: NoopRecorder | CollectingRecorder,
+) -> NoopRecorder | CollectingRecorder:
+    """Install *recorder*; returns the previous one."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder
+    return previous
+
+
+@contextmanager
+def use_recorder(
+    recorder: NoopRecorder | CollectingRecorder,
+) -> Iterator[NoopRecorder | CollectingRecorder]:
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+@contextmanager
+def recording() -> Iterator[CollectingRecorder]:
+    """Collect spans for the duration of a ``with`` block."""
+    with use_recorder(CollectingRecorder()) as recorder:
+        yield recorder  # type: ignore[misc]
+
+
+def span(name: str, **attributes: object) -> object:
+    """Open a span on the current recorder (usable as a context manager)."""
+    return _recorder.span(name, **attributes)

@@ -22,17 +22,24 @@ def spec_gran(
     actions: Iterable[Action],
     fact_id: str,
     now: _dt.date,
+    admitted_out: list[int] | None = None,
 ) -> set[tuple[str, ...]]:
     """``Spec_gran(f, t)``: the granularities specified for the fact.
 
     Contains ``Cat(a)`` for every action whose predicate the fact's direct
     cell satisfies at *now*, plus the fact's own granularity (so the set
     is never empty and the maximum can only move upward) — Equation 11.
+
+    When *admitted_out* is given, the positional index of every admitted
+    action is appended to it — the single evaluation pass then also feeds
+    the per-action telemetry counters, with no second predicate walk.
     """
     granularities: set[tuple[str, ...]] = {mo.gran(fact_id)}
-    for action in actions:
+    for index, action in enumerate(actions):
         if satisfies(mo, fact_id, action.predicate, now):
             granularities.add(action.cat())
+            if admitted_out is not None:
+                admitted_out.append(index)
     return granularities
 
 
@@ -41,15 +48,17 @@ def cell(
     actions: Iterable[Action],
     fact_id: str,
     now: _dt.date,
+    admitted_out: list[int] | None = None,
 ) -> tuple[str, ...]:
     """``Cell(f, t)``: the dimension values the fact aggregates to.
 
     The maximum granularity of ``Spec_gran`` (Eq. 12); for each dimension
     the fact's characterizing value at that category.  A NonCrossing
     specification guarantees the maximum exists; an incomparable set is
-    reported as a semantic error.
+    reported as a semantic error.  *admitted_out* is passed through to
+    :func:`spec_gran`.
     """
-    granularities = spec_gran(mo, actions, fact_id, now)
+    granularities = spec_gran(mo, actions, fact_id, now, admitted_out)
     try:
         target = mo.schema.max_granularity(granularities)
     except Exception as exc:  # incomparable => crossing specification

@@ -28,8 +28,10 @@ from typing import Iterable
 from ..core.facts import Provenance, aggregate_fact_id
 from ..core.mo import MultidimensionalObject
 from ..errors import SpecSemanticsError
+from ..obs import trace
 from ..spec.action import Action
 from ..spec.specification import ReductionSpecification
+from . import telemetry
 from .compiled import CompiledAction
 
 
@@ -46,130 +48,166 @@ def reduce_mo_columnar(
     )
     schema = mo.schema
     names = schema.dimension_names
-    table = mo.to_columnar()
-    inverse, distinct = table.distinct_cells()
-    n_cells = len(distinct)
+    with trace.span("reduce.columnar.encode") as encode_span:
+        table = mo.to_columnar()
+        inverse, distinct = table.distinct_cells()
+        n_cells = len(distinct)
+        encode_span.set_attribute("rows", len(inverse))
+        encode_span.set_attribute("distinct_cells", n_cells)
 
     # Batch admission: one boolean vector per action over distinct cells.
-    compiled = [CompiledAction(action, mo.dimensions, now) for action in actions]
-    admitted: list[list[bool]] = []
-    for candidate in compiled:
-        conjuncts = candidate.conjunct_predicates()
-        if not conjuncts:
-            admitted.append([False] * n_cells)
-            continue
-        verdict = table.conjunct_mask(distinct, conjuncts[0])
-        for predicates in conjuncts[1:]:
-            mask = table.conjunct_mask(distinct, predicates)
-            verdict = [a or b for a, b in zip(verdict, mask)]
-        admitted.append(verdict)
+    with trace.span("reduce.columnar.admit", actions=len(actions)):
+        compiled = [
+            CompiledAction(action, mo.dimensions, now) for action in actions
+        ]
+        admitted: list[list[bool]] = []
+        for candidate in compiled:
+            conjuncts = candidate.conjunct_predicates()
+            if not conjuncts:
+                admitted.append([False] * n_cells)
+                continue
+            verdict = table.conjunct_mask(distinct, conjuncts[0])
+            for predicates in conjuncts[1:]:
+                mask = table.conjunct_mask(distinct, predicates)
+                verdict = [a or b for a, b in zip(verdict, mask)]
+            admitted.append(verdict)
+
+    # Per-action admission telemetry: each distinct cell's verdict counts
+    # once per row mapping to it, so the totals equal the per-fact counts
+    # the row-wise backends report.
+    weights = [0] * n_cells
+    for cell_index in inverse:
+        weights[cell_index] += 1
+    admitted_counts = [
+        sum(weight for weight, bit in zip(weights, verdict) if bit)
+        for verdict in admitted
+    ]
 
     # Target granularity per distinct cell: the <=_V-maximal granularity
     # among admitted actions, seeded with the cell's own granularity.
     # The decision depends only on (base granularity, admitted-action
     # bits), both of which range over a handful of combinations, so the
     # <=_V scans are memoized per combination, not per cell.
-    category_columns = [table.category_column(name) for name in names]
-    if admitted:
-        admitted_by_cell = list(zip(*admitted))
-    else:
-        admitted_by_cell = [()] * n_cells
-    decisions: dict[tuple, tuple[str, ...]] = {}
-    targets: list[tuple[str, ...]] = []
-    rollups: dict[tuple[str, ...], list[list[str | None]]] = {}
-    for cell_index, cell in enumerate(distinct):
-        base = tuple(
-            [column[code] for column, code in zip(category_columns, cell)]
-        )
-        bits = admitted_by_cell[cell_index]
-        best = decisions.get((base, bits))
-        if best is None:
-            best = base
-            for candidate, bit in zip(compiled, bits):
-                if not bit:
-                    continue
-                if schema.le_granularity(best, candidate.granularity):
-                    best = candidate.granularity
-                elif not schema.le_granularity(candidate.granularity, best):
-                    values = dict(
+    with trace.span("reduce.columnar.plan") as plan_span:
+        category_columns = [table.category_column(name) for name in names]
+        if admitted:
+            admitted_by_cell = list(zip(*admitted))
+        else:
+            admitted_by_cell = [()] * n_cells
+        decisions: dict[tuple, tuple[str, ...]] = {}
+        targets: list[tuple[str, ...]] = []
+        rollups: dict[tuple[str, ...], list[list[str | None]]] = {}
+        for cell_index, cell in enumerate(distinct):
+            base = tuple(
+                [column[code] for column, code in zip(category_columns, cell)]
+            )
+            bits = admitted_by_cell[cell_index]
+            best = decisions.get((base, bits))
+            if best is None:
+                best = base
+                for candidate, bit in zip(compiled, bits):
+                    if not bit:
+                        continue
+                    if schema.le_granularity(best, candidate.granularity):
+                        best = candidate.granularity
+                    elif not schema.le_granularity(candidate.granularity, best):
+                        values = dict(
+                            zip(
+                                names,
+                                (
+                                    table.decode(n, c)
+                                    for n, c in zip(names, cell)
+                                ),
+                            )
+                        )
+                        raise SpecSemanticsError(
+                            f"cell {values!r}: incomparable target "
+                            f"granularities {best!r} and "
+                            f"{candidate.granularity!r}; the specification "
+                            "is crossing"
+                        )
+                decisions[(base, bits)] = best
+            columns = rollups.get(best)
+            if columns is None:
+                columns = [
+                    table.rollup_column(name, category)
+                    for name, category in zip(names, best)
+                ]
+                rollups[best] = columns
+            values_out = []
+            for name, column, code in zip(names, columns, cell):
+                ancestor = column[code]
+                if ancestor is None:
+                    cell_values = dict(
                         zip(
                             names,
                             (table.decode(n, c) for n, c in zip(names, cell)),
                         )
                     )
                     raise SpecSemanticsError(
-                        f"cell {values!r}: incomparable target granularities "
-                        f"{best!r} and {candidate.granularity!r}; the "
-                        "specification is crossing"
+                        f"cell {cell_values!r} cannot be characterized at "
+                        f"{name}.{dict(zip(names, best))[name]}"
                     )
-            decisions[(base, bits)] = best
-        columns = rollups.get(best)
-        if columns is None:
-            columns = [
-                table.rollup_column(name, category)
-                for name, category in zip(names, best)
-            ]
-            rollups[best] = columns
-        values_out = []
-        for name, column, code in zip(names, columns, cell):
-            ancestor = column[code]
-            if ancestor is None:
-                cell_values = dict(
-                    zip(names, (table.decode(n, c) for n, c in zip(names, cell)))
-                )
-                raise SpecSemanticsError(
-                    f"cell {cell_values!r} cannot be characterized at "
-                    f"{name}.{dict(zip(names, best))[name]}"
-                )
-            values_out.append(ancestor)
-        targets.append(tuple(values_out))
+                values_out.append(ancestor)
+            targets.append(tuple(values_out))
+        plan_span.set_attribute("decisions", len(decisions))
 
-    # Group rows by target cell, preserving first-encounter order (the
-    # same group order the row-wise reducers produce).
-    groups: dict[tuple[str, ...], list[int]] = {}
-    for row, cell_index in enumerate(inverse):
-        groups.setdefault(targets[cell_index], []).append(row)
+    with trace.span("reduce.columnar.fold") as fold_span:
+        # Group rows by target cell, preserving first-encounter order (the
+        # same group order the row-wise reducers produce).
+        groups: dict[tuple[str, ...], list[int]] = {}
+        for row, cell_index in enumerate(inverse):
+            groups.setdefault(targets[cell_index], []).append(row)
 
-    reduced = mo.empty_like()
-    measure_names = schema.measure_names
-    fact_ids = table.fact_ids
-    provenances = table.provenances
-    value_columns = [table.values_of(name) for name in names]
-    code_columns = [table.codes[name] for name in names]
-    measure_columns = [table.measure_columns[name] for name in measure_names]
-    aggregates = [table.aggregate_of(name) for name in measure_names]
-    insert = reduced.insert_aggregate_fact
-    for target_cell, rows in groups.items():
-        coordinates = dict(zip(names, target_cell))
-        if len(rows) == 1:
-            row = rows[0]
-            direct = tuple(
-                [vc[cc[row]] for vc, cc in zip(value_columns, code_columns)]
-            )
-            if direct == target_cell:
-                insert(
-                    fact_ids[row],
-                    coordinates,
-                    {
-                        name: column[row]
-                        for name, column in zip(measure_names, measure_columns)
-                    },
-                    provenances[row],
+        reduced = mo.empty_like()
+        measure_names = schema.measure_names
+        fact_ids = table.fact_ids
+        provenances = table.provenances
+        value_columns = [table.values_of(name) for name in names]
+        code_columns = [table.codes[name] for name in names]
+        measure_columns = [
+            table.measure_columns[name] for name in measure_names
+        ]
+        aggregates = [table.aggregate_of(name) for name in measure_names]
+        insert = reduced.insert_aggregate_fact
+        for target_cell, rows in groups.items():
+            coordinates = dict(zip(names, target_cell))
+            if len(rows) == 1:
+                row = rows[0]
+                direct = tuple(
+                    [vc[cc[row]] for vc, cc in zip(value_columns, code_columns)]
                 )
-                continue
-        # Provenance merging is a set union, hence order-insensitive: one
-        # batched union replaces the chain of pairwise merges without
-        # changing the result.
-        provenance = Provenance(
-            frozenset().union(*[provenances[row].members for row in rows])
-        )
-        measures = {
-            name: aggregate([column[row] for row in rows])
-            for name, column, aggregate in zip(
-                measure_names, measure_columns, aggregates
+                if direct == target_cell:
+                    insert(
+                        fact_ids[row],
+                        coordinates,
+                        {
+                            name: column[row]
+                            for name, column in zip(
+                                measure_names, measure_columns
+                            )
+                        },
+                        provenances[row],
+                    )
+                    continue
+            # Provenance merging is a set union, hence order-insensitive:
+            # one batched union replaces the chain of pairwise merges
+            # without changing the result.
+            provenance = Provenance(
+                frozenset().union(*[provenances[row].members for row in rows])
             )
-        }
-        insert(
-            aggregate_fact_id(target_cell), coordinates, measures, provenance
-        )
+            measures = {
+                name: aggregate([column[row] for row in rows])
+                for name, column, aggregate in zip(
+                    measure_names, measure_columns, aggregates
+                )
+            }
+            insert(
+                aggregate_fact_id(target_cell),
+                coordinates,
+                measures,
+                provenance,
+            )
+        fold_span.set_attribute("groups", len(groups))
+    telemetry.record_admitted(actions, admitted_counts)
     return reduced

@@ -38,6 +38,7 @@ from ..spec.ast import (
 )
 from ..spec.predicate import dual_approach
 from ..spec.specification import ReductionSpecification
+from . import telemetry
 
 
 class CompiledAction:
@@ -229,15 +230,22 @@ def reduce_mo_compiled(
     names = schema.dimension_names
 
     # Memoize Cell per distinct direct-value tuple: facts sharing a direct
-    # cell always land in the same target cell.
-    target_of: dict[tuple[str, ...], tuple[str, ...]] = {}
+    # cell always land in the same target cell (and admit the same
+    # actions, so the admission telemetry rides the same memo).
+    target_of: dict[
+        tuple[str, ...], tuple[tuple[str, ...], tuple[int, ...]]
+    ] = {}
+    admitted_counts = [0] * len(compiled)
     groups: dict[tuple[str, ...], list[str]] = {}
     for fact_id in mo.facts():
         direct = mo.direct_cell(fact_id)
-        target = target_of.get(direct)
-        if target is None:
-            target = _target_cell(mo, compiled, direct, names)
-            target_of[direct] = target
+        entry = target_of.get(direct)
+        if entry is None:
+            entry = _target_cell(mo, compiled, direct, names)
+            target_of[direct] = entry
+        target, admitted = entry
+        for index in admitted:
+            admitted_counts[index] += 1
         groups.setdefault(target, []).append(fact_id)
 
     reduced = mo.empty_like()
@@ -265,6 +273,9 @@ def reduce_mo_compiled(
         reduced.insert_aggregate_fact(
             aggregate_fact_id(cell), coordinates, measures, provenance
         )
+    telemetry.record_admitted(
+        [candidate.action for candidate in compiled], admitted_counts
+    )
     return reduced
 
 
@@ -273,16 +284,20 @@ def _target_cell(
     compiled: list[CompiledAction],
     direct: tuple[str, ...],
     names: tuple[str, ...],
-) -> tuple[str, ...]:
+) -> tuple[tuple[str, ...], tuple[int, ...]]:
+    """The target cell for one distinct direct cell, plus the indices of
+    the actions whose predicates admitted it."""
     cell = dict(zip(names, direct))
     best: tuple[str, ...] = tuple(
         mo.dimensions[name].category_of(value)
         for name, value in zip(names, direct)
     )
     schema = mo.schema
-    for candidate in compiled:
+    admitted: list[int] = []
+    for index, candidate in enumerate(compiled):
         if not candidate.satisfied_by(cell):
             continue
+        admitted.append(index)
         if schema.le_granularity(best, candidate.granularity):
             best = candidate.granularity
         elif not schema.le_granularity(candidate.granularity, best):
@@ -299,4 +314,4 @@ def _target_cell(
                 f"cell {cell!r} cannot be characterized at {name}.{category}"
             )
         values.append(ancestor)
-    return tuple(values)
+    return tuple(values), tuple(admitted)

@@ -10,13 +10,16 @@ matching the figures in the paper where untouched facts keep their names.
 from __future__ import annotations
 
 import datetime as _dt
+import time
 from typing import Iterable
 
 from ..core.facts import Provenance, aggregate_fact_id
 from ..core.mo import MultidimensionalObject
 from ..errors import ReproError
+from ..obs import trace
 from ..spec.action import Action
 from ..spec.specification import ReductionSpecification
+from . import telemetry
 from .auxiliary import cell as cell_of
 
 #: Fact count at or above which ``backend="auto"`` switches from the
@@ -58,23 +61,45 @@ def reduce_mo(
         backend = (
             "columnar" if mo.n_facts >= COLUMNAR_THRESHOLD else "interpretive"
         )
-    if backend == "columnar":
-        from .columnar import reduce_mo_columnar
+    start = time.perf_counter()
+    with trace.span("reduce.run", backend=backend) as active:
+        if backend == "columnar":
+            from .columnar import reduce_mo_columnar
 
-        return reduce_mo_columnar(mo, specification, now)
-    if backend == "compiled":
-        from .compiled import reduce_mo_compiled
+            reduced = reduce_mo_columnar(mo, specification, now)
+        elif backend == "compiled":
+            from .compiled import reduce_mo_compiled
 
-        return reduce_mo_compiled(mo, specification, now)
+            reduced = reduce_mo_compiled(mo, specification, now)
+        else:
+            reduced = _reduce_interpretive(mo, specification, now)
+        active.set_attribute("facts_in", mo.n_facts)
+        active.set_attribute("facts_out", reduced.n_facts)
+    telemetry.record_run(
+        backend, mo.n_facts, reduced.n_facts, time.perf_counter() - start
+    )
+    return reduced
+
+
+def _reduce_interpretive(
+    mo: MultidimensionalObject,
+    specification: ReductionSpecification | Iterable[Action],
+    now: _dt.date,
+) -> MultidimensionalObject:
+    """The per-fact AST-walking reference reducer."""
     actions = (
         list(specification.actions)
         if isinstance(specification, ReductionSpecification)
         else list(specification)
     )
     schema = mo.schema
+    admitted_counts = [0] * len(actions)
     groups: dict[tuple[str, ...], list[str]] = {}
     for fact_id in mo.facts():
-        target_cell = cell_of(mo, actions, fact_id, now)
+        admitted: list[int] = []
+        target_cell = cell_of(mo, actions, fact_id, now, admitted)
+        for index in admitted:
+            admitted_counts[index] += 1
         groups.setdefault(target_cell, []).append(fact_id)
 
     reduced = mo.empty_like()
@@ -101,6 +126,7 @@ def reduce_mo(
         }
         fact_id = aggregate_fact_id(target_cell)
         reduced.insert_aggregate_fact(fact_id, coordinates, measures, provenance)
+    telemetry.record_admitted(actions, admitted_counts)
     return reduced
 
 

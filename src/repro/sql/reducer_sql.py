@@ -20,9 +20,12 @@ facts may differ), which the test suite checks.
 from __future__ import annotations
 
 import datetime as _dt
+import time
 from typing import Iterable
 
 from ..errors import StorageError
+from ..obs import trace
+from ..reduction import telemetry
 from ..spec.action import Action
 from ..spec.specification import ReductionSpecification
 from .ddl import sql_ident
@@ -45,29 +48,58 @@ def reduce_warehouse(
     )
     schema = warehouse.schema
     connection = warehouse.connection
+    start = time.perf_counter()
+    with trace.span("reduce.run", backend="sql") as run_span:
+        (facts_in,) = connection.execute(
+            "SELECT COUNT(*) FROM facts"
+        ).fetchone()
+        # Per-action admission counts over the *input* facts, in original
+        # specification order — predicate only, no granularity guard, the
+        # same semantics the in-memory backends report.
+        admitted_counts: list[int] = []
+        for action in actions:
+            where_sql, params = predicate_to_sql(
+                warehouse, action.predicate, now
+            )
+            (count,) = connection.execute(
+                f"SELECT COUNT(*) FROM facts WHERE {where_sql}", params
+            ).fetchone()
+            admitted_counts.append(count)
 
-    ordered = sorted(actions, key=lambda a: _height(warehouse, a))
-    connection.execute("DROP TABLE IF EXISTS temp.assign")
-    connection.execute(
-        "CREATE TEMP TABLE assign (fact_id TEXT PRIMARY KEY, action_idx INTEGER)"
-    )
-
-    for index, action in enumerate(ordered):
-        where_sql, params = predicate_to_sql(warehouse, action.predicate, now)
-        guard_sql, guard_params = _granularity_guard(warehouse, action)
+        ordered = sorted(actions, key=lambda a: _height(warehouse, a))
+        connection.execute("DROP TABLE IF EXISTS temp.assign")
         connection.execute(
-            "INSERT OR REPLACE INTO assign "
-            "SELECT fact_id, ? FROM facts "
-            f"WHERE {where_sql} AND {guard_sql}",
-            [index, *params, *guard_params],
+            "CREATE TEMP TABLE assign "
+            "(fact_id TEXT PRIMARY KEY, action_idx INTEGER)"
         )
 
-    moved: dict[str, int] = {}
-    for index, action in enumerate(ordered):
-        moved[action.name] = _apply_action(warehouse, action, index)
-    connection.execute("DROP TABLE IF EXISTS temp.assign")
-    _merge_duplicate_cells(warehouse)
-    connection.commit()
+        for index, action in enumerate(ordered):
+            where_sql, params = predicate_to_sql(
+                warehouse, action.predicate, now
+            )
+            guard_sql, guard_params = _granularity_guard(warehouse, action)
+            connection.execute(
+                "INSERT OR REPLACE INTO assign "
+                "SELECT fact_id, ? FROM facts "
+                f"WHERE {where_sql} AND {guard_sql}",
+                [index, *params, *guard_params],
+            )
+
+        moved: dict[str, int] = {}
+        for index, action in enumerate(ordered):
+            moved[action.name] = _apply_action(warehouse, action, index)
+        connection.execute("DROP TABLE IF EXISTS temp.assign")
+        _merge_duplicate_cells(warehouse)
+        connection.commit()
+        (facts_out,) = connection.execute(
+            "SELECT COUNT(*) FROM facts"
+        ).fetchone()
+        run_span.set_attribute("facts_in", facts_in)
+        run_span.set_attribute("facts_out", facts_out)
+    telemetry.record_run(
+        "sql", facts_in, facts_out, time.perf_counter() - start
+    )
+    telemetry.record_admitted(actions, admitted_counts)
     return moved
 
 

@@ -1,0 +1,179 @@
+"""A small Prometheus text-exposition parser (test helper, stdlib only).
+
+Implements enough of exposition format 0.0.4 to *validate* the output of
+``MetricsRegistry.to_prometheus`` and the ``--stats-format prom`` CLI
+paths: HELP/TYPE comment lines, sample lines with optional label sets,
+escaped label values, and histogram ``_bucket``/``_sum``/``_count``
+series.  Raises ``ValueError`` on anything malformed, so tests can
+assert validity without external dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\":
+            if index + 1 >= len(value):
+                raise ValueError(f"dangling escape in label value {value!r}")
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                raise ValueError(f"bad escape \\{nxt} in {value!r}")
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    labels: dict[str, str] = {}
+    remaining = text
+    while remaining:
+        match = _LABEL.match(remaining)
+        if not match:
+            raise ValueError(f"malformed label set at {remaining!r}")
+        name, raw = match.group(1), match.group(2)
+        if not _LABEL_NAME.match(name):
+            raise ValueError(f"bad label name {name!r}")
+        if name in labels:
+            raise ValueError(f"duplicate label {name!r}")
+        labels[name] = _unescape(raw)
+        remaining = remaining[match.end():]
+        if remaining.startswith(","):
+            remaining = remaining[1:]
+        elif remaining:
+            raise ValueError(f"junk after label at {remaining!r}")
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on junk
+
+
+def parse(text: str) -> dict:
+    """Parse an exposition document.
+
+    Returns ``{"types": {name: type}, "helps": {name: help},
+    "samples": [(name, labels, value)]}`` and raises ``ValueError`` on
+    any formatting violation (unknown sample family, bad escapes, broken
+    histogram series, non-numeric values...).
+    """
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            if not _METRIC_NAME.match(name):
+                raise ValueError(f"bad metric name in HELP: {name!r}")
+            helps[name] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if not _METRIC_NAME.match(name):
+                raise ValueError(f"bad metric name in TYPE: {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(f"bad metric type {kind!r}")
+            if name in types:
+                raise ValueError(f"duplicate TYPE for {name!r}")
+            types[name] = kind
+        elif line.startswith("#"):
+            continue  # free-form comment
+        else:
+            match = _SAMPLE.match(line)
+            if not match:
+                raise ValueError(f"malformed sample line {line!r}")
+            name = match.group("name")
+            labels = _parse_labels(match.group("labels"))
+            value = _parse_value(match.group("value"))
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = name[: -len(suffix)]
+                if name.endswith(suffix) and types.get(base) == "histogram":
+                    family = base
+                    break
+            if family not in types:
+                raise ValueError(f"sample {name!r} has no TYPE line")
+            samples.append((name, labels, value))
+    _check_histograms(types, samples)
+    return {"types": types, "helps": helps, "samples": samples}
+
+
+def _check_histograms(
+    types: dict[str, str],
+    samples: list[tuple[str, dict[str, str], float]],
+) -> None:
+    """Histogram series must be cumulative, +Inf-terminated, and agree
+    with their ``_count`` sample."""
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        by_labelset: dict[tuple, list[tuple[float, float]]] = {}
+        counts: dict[tuple, float] = {}
+        for sample_name, labels, value in samples:
+            bare = {k: v for k, v in labels.items() if k != "le"}
+            key = tuple(sorted(bare.items()))
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    raise ValueError(f"{name}_bucket without le label")
+                by_labelset.setdefault(key, []).append(
+                    (_parse_value(labels["le"]), value)
+                )
+            elif sample_name == f"{name}_count":
+                counts[key] = value
+        for key, buckets in by_labelset.items():
+            bounds = [b for b, _ in buckets]
+            if bounds != sorted(bounds):
+                raise ValueError(f"{name}: bucket bounds out of order")
+            if not bounds or bounds[-1] != float("inf"):
+                raise ValueError(f"{name}: histogram missing +Inf bucket")
+            cumulative = [c for _, c in buckets]
+            if cumulative != sorted(cumulative):
+                raise ValueError(f"{name}: bucket counts not cumulative")
+            if key in counts and cumulative[-1] != counts[key]:
+                raise ValueError(
+                    f"{name}: +Inf bucket {cumulative[-1]} != _count "
+                    f"{counts[key]}"
+                )
+
+
+def sample_value(
+    parsed: dict, name: str, labels: dict[str, str] | None = None
+) -> float:
+    """The value of one sample, by exact name + label match."""
+    wanted = labels or {}
+    for sample_name, sample_labels, value in parsed["samples"]:
+        if sample_name == name and sample_labels == wanted:
+            return value
+    raise KeyError(f"no sample {name!r} with labels {wanted!r}")

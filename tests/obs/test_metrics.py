@@ -1,0 +1,256 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    NullRegistry,
+    render_snapshot,
+    snapshot_to_prometheus,
+    snapshot_to_text,
+    use_registry,
+    validate_snapshot,
+)
+
+from .promparse import parse, sample_value
+
+
+class TestCounters:
+    def test_increment_and_value(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_events_total").inc()
+        registry.counter("repro_events_total").inc(4)
+        assert registry.value("repro_events_total") == 5
+
+    def test_labels_create_distinct_children(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_runs_total", {"backend": "columnar"}).inc(2)
+        registry.counter("repro_runs_total", {"backend": "sql"}).inc(3)
+        assert registry.value("repro_runs_total", {"backend": "columnar"}) == 2
+        assert registry.value("repro_runs_total", {"backend": "sql"}) == 3
+        assert registry.value("repro_runs_total", {"backend": "x"}) is None
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", {"a": "1", "b": "2"}).inc()
+        assert registry.value("repro_x_total", {"b": "2", "a": "1"}) == 1
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError, match=">= 0"):
+            registry.counter("repro_x_total").inc(-1)
+
+    def test_bad_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError, match="invalid metric name"):
+            registry.counter("0bad name")
+
+    def test_bad_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError, match="invalid label name"):
+            registry.counter("repro_ok_total", {"bad-label": "x"})
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(ObsError, match="is a counter"):
+            registry.gauge("repro_thing")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_size")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert registry.value("repro_size") == 12
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(6.05)
+        cumulative = histogram.cumulative()
+        assert cumulative == [(0.1, 1), (1.0, 3), (math.inf, 4)]
+
+    def test_boundary_value_goes_to_its_bucket(self):
+        # Prometheus buckets are inclusive upper bounds: observe(le) counts.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_seconds", buckets=(1.0,))
+        histogram.observe(1.0)
+        assert histogram.cumulative()[0] == (1.0, 1)
+
+    def test_mismatched_buckets_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(ObsError, match="buckets"):
+            registry.histogram("repro_seconds", buckets=(1.0,))
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError, match="strictly increase"):
+            registry.histogram("repro_seconds", buckets=(2.0, 1.0))
+
+
+class TestSnapshot:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_events_total", {"kind": "a"}, help="Events seen."
+        ).inc(3)
+        registry.gauge("repro_depth").set(7)
+        registry.histogram("repro_seconds", buckets=(0.5, 1.0)).observe(0.2)
+        return registry
+
+    def test_schema_tag_and_shape(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        validate_snapshot(snapshot)  # no raise
+        names = [family["name"] for family in snapshot["metrics"]]
+        assert names == sorted(names)
+        assert json.loads(json.dumps(snapshot)) == snapshot  # JSON-able
+
+    def test_histogram_sample_shape(self):
+        snapshot = self._populated().snapshot()
+        family = next(
+            f for f in snapshot["metrics"] if f["name"] == "repro_seconds"
+        )
+        (sample,) = family["samples"]
+        assert sample["count"] == 1
+        assert [bucket["le"] for bucket in sample["buckets"]] == [
+            0.5,
+            1.0,
+            "+Inf",
+        ]
+
+    def test_validate_rejects_junk(self):
+        with pytest.raises(ObsError, match="not a metrics snapshot"):
+            validate_snapshot({"schema": "other/1"})
+        with pytest.raises(ObsError, match="invalid metric name"):
+            validate_snapshot(
+                {
+                    "schema": SNAPSHOT_SCHEMA,
+                    "metrics": [{"name": "0bad", "type": "counter",
+                                 "samples": []}],
+                }
+            )
+
+    def test_render_dispatch(self):
+        snapshot = self._populated().snapshot()
+        assert render_snapshot(snapshot, "json").startswith("{")
+        assert "# TYPE" in render_snapshot(snapshot, "prom")
+        assert "repro_depth" in render_snapshot(snapshot, "text")
+        with pytest.raises(ObsError, match="unknown stats format"):
+            render_snapshot(snapshot, "xml")
+
+
+class TestPrometheusExposition:
+    def test_output_parses_and_round_trips_values(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_runs_total", {"backend": "columnar"}, help="Runs."
+        ).inc(2)
+        registry.gauge("repro_last_examined").set(41)
+        registry.histogram("repro_seconds", buckets=(0.5,)).observe(0.1)
+        parsed = parse(registry.to_prometheus())
+        assert parsed["types"]["repro_runs_total"] == "counter"
+        assert parsed["helps"]["repro_runs_total"] == "Runs."
+        assert (
+            sample_value(parsed, "repro_runs_total", {"backend": "columnar"})
+            == 2
+        )
+        assert sample_value(parsed, "repro_last_examined") == 41
+        assert (
+            sample_value(parsed, "repro_seconds_bucket", {"le": "+Inf"}) == 1
+        )
+        assert sample_value(parsed, "repro_seconds_count") == 1
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_odd_total", {"action": 'a"b\\c\nd'}
+        ).inc()
+        parsed = parse(registry.to_prometheus())
+        assert (
+            sample_value(parsed, "repro_odd_total", {"action": 'a"b\\c\nd'})
+            == 1
+        )
+
+    def test_text_renderer_contains_every_family(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc()
+        registry.histogram("repro_b_seconds").observe(0.1)
+        text = snapshot_to_text(registry.snapshot())
+        assert "repro_a_total" in text
+        assert "count=1" in text
+
+
+class TestMerge:
+    def test_counters_add_gauges_overwrite_histograms_merge(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.counter("repro_n_total").inc(1)
+        right.counter("repro_n_total").inc(2)
+        left.gauge("repro_g").set(1)
+        right.gauge("repro_g").set(9)
+        left.histogram("repro_h", buckets=(1.0,)).observe(0.5)
+        right.histogram("repro_h", buckets=(1.0,)).observe(2.0)
+        left.merge(right)
+        assert left.value("repro_n_total") == 3
+        assert left.value("repro_g") == 9
+        merged = left.histogram("repro_h", buckets=(1.0,))
+        assert merged.count == 2
+        assert merged.cumulative() == [(1.0, 1), (math.inf, 2)]
+
+
+class TestCurrentRegistry:
+    def test_use_registry_scopes_and_restores(self):
+        outer = obs_metrics.get_registry()
+        scoped = MetricsRegistry()
+        with use_registry(scoped) as registry:
+            assert obs_metrics.get_registry() is scoped is registry
+        assert obs_metrics.get_registry() is outer
+
+    def test_null_registry_drops_everything(self):
+        registry = NullRegistry()
+        registry.counter("repro_x_total").inc(100)
+        registry.gauge("repro_g").set(5)
+        registry.histogram("repro_h").observe(1.0)
+        assert registry.snapshot()["metrics"] == []
+        assert registry.value("repro_x_total") is None
+
+
+class TestPromParserRejectsJunk:
+    """The helper itself must be strict, or the CLI tests prove nothing."""
+
+    def test_rejects_untyped_sample(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse("repro_x_total 1\n")
+
+    def test_rejects_bad_escape(self):
+        with pytest.raises(ValueError, match="escape"):
+            parse(
+                '# TYPE repro_x_total counter\nrepro_x_total{a="\\q"} 1\n'
+            )
+
+    def test_rejects_non_cumulative_histogram(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.5"} 3\n'
+            'repro_h_bucket{le="+Inf"} 1\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 1\n"
+        )
+        with pytest.raises(ValueError, match="cumulative|_count"):
+            parse(text)

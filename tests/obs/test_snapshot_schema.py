@@ -1,0 +1,86 @@
+"""The checked-in JSON Schema matches what registries actually emit."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import jsonschema
+import pytest
+
+from repro.obs.metrics import TIME_BUCKETS, MetricsRegistry
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SCHEMA_PATH = REPO_ROOT / "docs" / "schemas" / "metrics-snapshot.schema.json"
+VALIDATOR = REPO_ROOT / "tools" / "validate_bench_metrics.py"
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+def full_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_demo_total", {"kind": "a"}, help="Demo.").inc(2)
+    registry.gauge("repro_demo_last").set(-1.5)
+    histogram = registry.histogram(
+        "repro_demo_seconds", buckets=TIME_BUCKETS, help="Demo timing."
+    )
+    histogram.observe(0.002)
+    histogram.observe(7.0)
+    return registry
+
+
+def test_real_snapshot_validates(schema):
+    jsonschema.validate(full_registry().snapshot(), schema)
+
+
+def test_empty_snapshot_validates(schema):
+    jsonschema.validate(MetricsRegistry().snapshot(), schema)
+
+
+def test_schema_rejects_mislabelled_snapshot(schema):
+    snapshot = full_registry().snapshot()
+    snapshot["schema"] = "repro-metrics/999"
+    with pytest.raises(jsonschema.ValidationError):
+        jsonschema.validate(snapshot, schema)
+
+
+def test_schema_rejects_malformed_sample(schema):
+    snapshot = full_registry().snapshot()
+    snapshot["metrics"][0]["samples"][0] = {"labels": {}, "value": "high"}
+    with pytest.raises(jsonschema.ValidationError):
+        jsonschema.validate(snapshot, schema)
+
+
+def test_validator_tool_accepts_bench_documents(tmp_path):
+    good = tmp_path / "BENCH_demo.json"
+    good.write_text(
+        json.dumps(
+            {
+                "schema": "repro-bench-reduction/1",
+                "metrics": full_registry().snapshot(),
+            }
+        )
+    )
+    bare = tmp_path / "snapshot.json"
+    bare.write_text(json.dumps(full_registry().snapshot()))
+    result = subprocess.run(
+        [sys.executable, str(VALIDATOR), str(good), str(bare)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_validator_tool_rejects_missing_snapshot(tmp_path):
+    stale = tmp_path / "BENCH_stale.json"
+    stale.write_text(json.dumps({"schema": "repro-bench-sync/1"}))
+    result = subprocess.run(
+        [sys.executable, str(VALIDATOR), str(stale)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 1
+    assert "no embedded metrics snapshot" in result.stderr

@@ -1,0 +1,115 @@
+"""Unit tests for span-based tracing."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    NOOP,
+    CollectingRecorder,
+    NoopRecorder,
+    recording,
+    span,
+    use_recorder,
+)
+
+
+class TestNoopRecorder:
+    def test_shared_inert_span(self):
+        recorder = NoopRecorder()
+        first = recorder.span("reduce.run", backend="columnar")
+        second = recorder.span("sync.run")
+        assert first is second  # one shared object, no allocation per span
+        with first as active:
+            active.set_attribute("facts", 10)  # silently dropped
+
+    def test_default_recorder_is_noop(self):
+        assert isinstance(trace.get_recorder(), NoopRecorder)
+        with span("reduce.run") as active:
+            active.set_attribute("x", 1)
+
+    def test_noop_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with span("reduce.run"):
+                raise RuntimeError("boom")
+
+
+class TestCollectingRecorder:
+    def test_records_name_attributes_and_duration(self):
+        recorder = CollectingRecorder()
+        with recorder.span("reduce.run", backend="sql") as active:
+            active.set_attribute("facts", 12)
+        (record,) = recorder.spans
+        assert record.name == "reduce.run"
+        assert record.attributes == {"backend": "sql", "facts": 12}
+        assert record.duration is not None and record.duration >= 0
+        assert record.start_wall > 0
+        assert record.parent_id is None
+        assert record.ok
+
+    def test_nesting_sets_parent_and_completion_order(self):
+        recorder = CollectingRecorder()
+        with recorder.span("reduce.run") as outer:
+            with recorder.span("reduce.columnar.encode"):
+                pass
+            with recorder.span("reduce.columnar.fold"):
+                pass
+        encode, fold, run = recorder.spans
+        assert [s.name for s in recorder.spans] == [
+            "reduce.columnar.encode",
+            "reduce.columnar.fold",
+            "reduce.run",
+        ]
+        assert encode.parent_id == outer.record.span_id
+        assert fold.parent_id == outer.record.span_id
+        assert run.parent_id is None
+
+    def test_error_is_captured_and_reraised(self):
+        recorder = CollectingRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("reduce.run"):
+                raise ValueError("bad spec")
+        (record,) = recorder.spans
+        assert record.error == "ValueError: bad spec"
+        assert not record.ok
+        assert record.duration is not None
+
+    def test_find_and_names(self):
+        recorder = CollectingRecorder()
+        with recorder.span("a"):
+            pass
+        with recorder.span("a"):
+            pass
+        with recorder.span("b"):
+            pass
+        assert len(recorder.find("a")) == 2
+        assert recorder.names() == ["a", "b"]
+
+
+class TestRecorderScoping:
+    def test_use_recorder_restores_previous(self):
+        before = trace.get_recorder()
+        replacement = CollectingRecorder()
+        with use_recorder(replacement):
+            assert trace.get_recorder() is replacement
+            with span("scoped"):
+                pass
+        assert trace.get_recorder() is before
+        assert len(replacement.find("scoped")) == 1
+
+    def test_recording_helper_collects(self):
+        with recording() as recorder:
+            with span("reduce.run", backend="interpretive"):
+                pass
+        assert recorder.find("reduce.run")[0].attributes == {
+            "backend": "interpretive"
+        }
+        assert trace.get_recorder() is NOOP or isinstance(
+            trace.get_recorder(), NoopRecorder
+        )
+
+    def test_recording_restores_on_exception(self):
+        before = trace.get_recorder()
+        with pytest.raises(RuntimeError):
+            with recording():
+                raise RuntimeError("boom")
+        assert trace.get_recorder() is before

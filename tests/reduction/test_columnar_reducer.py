@@ -1,6 +1,7 @@
 """The columnar reducer backend and ``reduce_mo``'s backend dispatch."""
 
 import datetime as dt
+import types
 
 import pytest
 
@@ -114,7 +115,7 @@ class TestDispatch:
     def test_auto_uses_columnar_at_threshold(
         self, mo, specification, monkeypatch
     ):
-        sentinel = object()
+        sentinel = types.SimpleNamespace(n_facts=1)
         import repro.reduction.columnar as columnar_module
 
         monkeypatch.setattr(

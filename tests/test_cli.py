@@ -228,7 +228,6 @@ class TestStats:
         assert document["facts"] == 7
         assert document["granularities"] == {"day/url": 7}
 
-
 class TestExplain:
     def test_explain_output(self, stored, capsys):
         mo_file, spec_file = stored
@@ -240,6 +239,289 @@ class TestExplain:
         assert "Policy:" in out
         assert "category F" in out  # a1's classification
         assert "caused by" in out
+
+
+class TestObservabilityCli:
+    """The --stats surface: reduce/sync/query snapshots + stats detection."""
+
+    def test_reduce_stats_prom_is_valid_exposition(self, stored, capsys):
+        from .obs.promparse import parse, sample_value
+
+        mo_file, spec_file = stored
+        code = main(
+            [
+                "reduce",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-11-05",
+                "--stats",
+                "--stats-format",
+                "prom",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        parsed = parse(captured.out)
+        assert sample_value(parsed, "repro_reduce_facts_input_total", {}) == 7
+        assert sample_value(parsed, "repro_reduce_facts_output_total", {}) == 4
+        assert (
+            sample_value(parsed, "repro_reduce_facts_deleted_total", {}) == 3
+        )
+        assert "not written" in captured.err
+
+    def test_reduce_stats_json_reconciles(self, stored, capsys):
+        mo_file, spec_file = stored
+        code = main(
+            ["reduce", str(mo_file), str(spec_file), "--at", "2000-11-05",
+             "--stats"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-metrics/1"
+        values = {
+            (family["name"],): sample["value"]
+            for family in document["metrics"]
+            for sample in family["samples"]
+            if not sample["labels"]
+        }
+        deleted = values[("repro_reduce_facts_deleted_total",)]
+        assert (
+            values[("repro_reduce_facts_input_total",)]
+            - values[("repro_reduce_facts_output_total",)]
+            == deleted
+        )
+
+    def test_stats_format_implies_stats(self, stored, capsys):
+        mo_file, spec_file = stored
+        code = main(
+            [
+                "reduce",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-11-05",
+                "--stats-format",
+                "text",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_reduce_runs_total" in out
+        assert "fact_type" not in out  # the MO did not leak to stdout
+
+    def test_reduce_stats_still_writes_output_file(
+        self, stored, tmp_path, capsys
+    ):
+        mo_file, spec_file = stored
+        out = tmp_path / "reduced.json"
+        code = main(
+            [
+                "reduce",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-11-05",
+                "-o",
+                str(out),
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert len(json.loads(out.read_text())["facts"]) == 4
+        assert json.loads(capsys.readouterr().out)["schema"] == (
+            "repro-metrics/1"
+        )
+
+    def test_reduce_backend_flag_is_recorded(self, stored, capsys):
+        mo_file, spec_file = stored
+        code = main(
+            [
+                "reduce",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-11-05",
+                "--backend",
+                "columnar",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        runs = next(
+            family
+            for family in document["metrics"]
+            if family["name"] == "repro_reduce_runs_total"
+        )
+        assert runs["samples"] == [
+            {"labels": {"backend": "columnar"}, "value": 1}
+        ]
+
+    def test_sync_command_reports_each_step(self, stored, capsys):
+        mo_file, spec_file = stored
+        code = main(
+            [
+                "sync",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-06-05",
+                "--at",
+                "2000-11-05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sync at 2000-06-05: examined 7" in out
+        assert "sync at 2000-11-05:" in out
+        assert "cubes:" in out
+
+    def test_sync_stats_snapshot(self, stored, capsys):
+        from .obs.promparse import parse, sample_value
+
+        mo_file, spec_file = stored
+        code = main(
+            [
+                "sync",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-06-05",
+                "--stats-format",
+                "prom",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "sync at 2000-06-05" in captured.err  # report moved aside
+        parsed = parse(captured.out)
+        assert (
+            sample_value(parsed, "repro_sync_runs_total", {"mode": "full"})
+            == 1
+        )
+        assert sample_value(parsed, "repro_sync_last_examined", {}) == 7
+
+    def test_sync_full_flag_forces_full_mode(self, stored, capsys):
+        mo_file, spec_file = stored
+        code = main(
+            [
+                "sync",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-06-05",
+                "--at",
+                "2000-11-05",
+                "--full",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        runs = next(
+            family
+            for family in document["metrics"]
+            if family["name"] == "repro_sync_runs_total"
+        )
+        assert runs["samples"] == [{"labels": {"mode": "full"}, "value": 2}]
+
+    def test_query_command_prints_rows(self, stored, capsys):
+        mo_file, spec_file = stored
+        code = main(
+            [
+                "query",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-11-05",
+                "--granularity",
+                "Time=month,URL=domain",
+                "--predicate",
+                "URL.domain_grp = '.com'",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        rows = json.loads(captured.out)
+        assert rows and all("Time" in row for row in rows)
+        assert "query returned" in captured.err
+
+    def test_query_stats_counts_plan_cache(self, stored, capsys):
+        from .obs.promparse import parse, sample_value
+
+        mo_file, spec_file = stored
+        code = main(
+            [
+                "query",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-11-05",
+                "--granularity",
+                "Time=month",
+                "--granularity",
+                "URL=domain",
+                "--predicate",
+                "URL.domain_grp = '.com'",
+                "--stats-format",
+                "prom",
+            ]
+        )
+        assert code == 0
+        parsed = parse(capsys.readouterr().out)
+        assert sample_value(parsed, "repro_query_runs_total", {}) == 1
+        misses = sample_value(
+            parsed, "repro_query_plan_cache_misses_total", {"cache": "bound"}
+        )
+        assert misses == 1
+
+    def test_query_bad_granularity_errors(self, stored, capsys):
+        mo_file, spec_file = stored
+        code = main(
+            [
+                "query",
+                str(mo_file),
+                str(spec_file),
+                "--at",
+                "2000-11-05",
+                "--granularity",
+                "Time",
+            ]
+        )
+        assert code == 2
+        assert "expected Dimension=category" in capsys.readouterr().err
+
+    def test_stats_detects_metrics_snapshot_document(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("repro_demo_total").inc(3)
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        assert main(["stats", str(path), "--format", "text"]) == 0
+        assert "repro_demo_total  3" in capsys.readouterr().out
+
+    def test_stats_detects_bench_document(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.gauge("repro_sync_last_examined").set(9)
+        bench = {
+            "schema": "repro-bench-sync/1",
+            "metrics": registry.snapshot(),
+        }
+        path = tmp_path / "BENCH_sync.json"
+        path.write_text(json.dumps(bench))
+        assert main(["stats", str(path)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-metrics/1"
+
+    def test_stats_bench_without_metrics_errors(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps({"schema": "repro-bench-sync/1"}))
+        assert main(["stats", str(path)]) == 2
+        assert "no embedded metrics snapshot" in capsys.readouterr().err
 
 
 class TestFiguresAndDemo:
@@ -284,9 +566,18 @@ class TestBench:
             assert block["seconds"] > 0
             assert block["output_facts"] > 0
         assert reduction["speedup"]["columnar_vs_interpretive"] > 0
+        assert reduction["metrics"]["schema"] == "repro-metrics/1"
+        runs = next(
+            family
+            for family in reduction["metrics"]["metrics"]
+            if family["name"] == "repro_reduce_runs_total"
+        )
+        # One warm-up + one timed repeat per backend.
+        assert all(sample["value"] == 2 for sample in runs["samples"])
 
         sync = json.loads((tmp_path / "BENCH_sync.json").read_text())
         assert sync["schema"] == "repro-bench-sync/1"
+        assert sync["metrics"]["schema"] == "repro-metrics/1"
         assert len(sync["steps"]) == 2
         for step in sync["steps"]:
             assert step["incremental"]["examined"] <= step["full"]["examined"]

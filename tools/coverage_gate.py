@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: fail CI when line coverage drops below the floor.
+
+Usage::
+
+    python -m pytest --cov=repro --cov-report=json:coverage.json -q
+    python tools/coverage_gate.py coverage.json            # gate
+    python tools/coverage_gate.py coverage.json --update   # raise floor
+
+The floor lives in ``ci/coverage-ratchet.json`` and only moves *up*: the
+gate fails when measured coverage is below the floor, and ``--update``
+rewrites the ratchet to just under the measured value (a small slack
+absorbs run-to-run jitter from e.g. hypothesis example budgets).  Lowering
+the floor is a reviewed edit to the ratchet file, never automatic.
+
+Dependency-free on purpose — it reads the ``coverage json`` report format
+(``totals.percent_covered``) with the standard library only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RATCHET_PATH = os.path.join(REPO_ROOT, "ci", "coverage-ratchet.json")
+
+#: Measured-minus-floor slack kept when --update raises the ratchet.
+UPDATE_SLACK = 0.5
+
+
+def load_percent(coverage_path: str) -> float:
+    with open(coverage_path) as stream:
+        report = json.load(stream)
+    try:
+        return float(report["totals"]["percent_covered"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(
+            f"error: {coverage_path} is not a `coverage json` report "
+            f"({exc!r}); expected totals.percent_covered"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("coverage_json", help="path to `coverage json` output")
+    parser.add_argument(
+        "--ratchet", default=RATCHET_PATH, help="ratchet file location"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="raise the floor to the measured value minus slack",
+    )
+    arguments = parser.parse_args(argv)
+
+    measured = load_percent(arguments.coverage_json)
+    with open(arguments.ratchet) as stream:
+        ratchet = json.load(stream)
+    floor = float(ratchet["floor_percent"])
+
+    if arguments.update:
+        new_floor = round(measured - UPDATE_SLACK, 2)
+        if new_floor <= floor:
+            print(
+                f"coverage {measured:.2f}% does not raise the "
+                f"{floor:.2f}% floor; ratchet unchanged"
+            )
+            return 0
+        ratchet["floor_percent"] = new_floor
+        ratchet["recorded_percent"] = round(measured, 2)
+        with open(arguments.ratchet, "w") as stream:
+            json.dump(ratchet, stream, indent=1, sort_keys=True)
+            stream.write("\n")
+        print(f"ratchet raised: floor {floor:.2f}% -> {new_floor:.2f}%")
+        return 0
+
+    if measured < floor:
+        print(
+            f"error: coverage {measured:.2f}% is below the ratchet floor "
+            f"{floor:.2f}% (see {os.path.relpath(arguments.ratchet, REPO_ROOT)})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"coverage {measured:.2f}% >= floor {floor:.2f}%")
+    if measured - floor > 5.0:
+        print(
+            "note: coverage exceeds the floor by more than 5 points; "
+            "consider `--update` to ratchet the floor up"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

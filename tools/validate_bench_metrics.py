@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate the metrics snapshot embedded in a benchmark document.
+
+Usage::
+
+    python tools/validate_bench_metrics.py BENCH_reduction.json [MORE ...]
+
+Each argument is either a ``BENCH_*.json`` document (the snapshot lives
+under its ``metrics`` key) or a bare ``repro-metrics/1`` snapshot.  The
+snapshot is checked against ``docs/schemas/metrics-snapshot.schema.json``
+— with the ``jsonschema`` package when available, and always with the
+library's own structural validator plus a round-trip through the
+Prometheus renderer, so the tool works on a bare Python install too.
+
+Exit status: 0 when every document validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCHEMA_PATH = os.path.join(
+    REPO_ROOT, "docs", "schemas", "metrics-snapshot.schema.json"
+)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.errors import ObsError  # noqa: E402
+from repro.obs.metrics import (  # noqa: E402
+    snapshot_to_prometheus,
+    validate_snapshot,
+)
+
+
+def extract_snapshot(document: dict, path: str) -> dict:
+    schema = document.get("schema", "")
+    if schema == "repro-metrics/1":
+        return document
+    if isinstance(schema, str) and schema.startswith("repro-bench-"):
+        snapshot = document.get("metrics")
+        if snapshot is None:
+            raise ObsError(f"{path}: no embedded metrics snapshot")
+        return snapshot
+    raise ObsError(f"{path}: unrecognized document schema {schema!r}")
+
+
+def check(path: str, json_schema: dict) -> list[str]:
+    problems: list[str] = []
+    with open(path) as stream:
+        document = json.load(stream)
+    try:
+        snapshot = extract_snapshot(document, path)
+    except ObsError as exc:
+        return [str(exc)]
+    try:
+        validate_snapshot(snapshot)
+        snapshot_to_prometheus(snapshot)
+    except ObsError as exc:
+        problems.append(f"{path}: structural check failed: {exc}")
+    try:
+        import jsonschema
+    except ImportError:
+        print(f"{path}: jsonschema not installed; structural checks only")
+    else:
+        try:
+            jsonschema.validate(snapshot, json_schema)
+        except jsonschema.ValidationError as exc:
+            problems.append(f"{path}: schema violation: {exc.message}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(SCHEMA_PATH) as stream:
+        json_schema = json.load(stream)
+    failures = 0
+    for path in argv:
+        problems = check(path, json_schema)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"FAIL {problem}", file=sys.stderr)
+        else:
+            print(f"ok   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
