@@ -1,0 +1,137 @@
+"""The box domain: per-conjunct abstraction of predicate semantics.
+
+One DNF disjunct of a bound action abstracts to a :class:`ConjunctBox` —
+the grounded bottom-value region per non-time dimension plus the
+conjunct's day-axis window machinery (kept on the underlying
+:class:`~repro.spec.ranges.ConjunctProfile`, whose
+:func:`~repro.spec.ranges.window_at` gives the exact day interval at each
+evaluation time).  A box is a sound over-approximation of the bottom
+cells the disjunct can ever admit; it is *exact* when no part of the
+abstraction widened (no unmodelled order atoms, no membership hulls, no
+ungroundable regions), in which case definite verdicts may rest on it.
+
+The containment helpers here generalize the ``SDR106`` machinery that
+previously lived in :mod:`repro.lint.rules`, so lint and analysis share
+one proof of profile containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..checks.prover import (
+    ProverConfig,
+    categorical_regions,
+    region_is_symbolic,
+    sample_times,
+)
+from ..core.dimension import Dimension
+from ..spec.action import Action
+from ..spec.ranges import (
+    ConjunctProfile,
+    profiles_of,
+    window_at,
+    window_contains,
+)
+
+
+def window_modelled_exactly(profile: ConjunctProfile) -> bool:
+    """Whether ``window_at`` is exact (not an over-approximation) for the
+    profile: only plain comparisons, no membership hulls or exclusions."""
+    return all(
+        atom.op in ("<", "<=", ">", ">=", "=") for atom in profile.time_atoms
+    )
+
+
+@dataclass(frozen=True)
+class ConjunctBox:
+    """One DNF disjunct abstracted to grounded per-dimension regions."""
+
+    profile: ConjunctProfile
+    #: Bottom-value region per non-time dimension; ``None`` means
+    #: unconstrained, a symbolic region means constrained but ungrounded.
+    regions: Mapping[str, frozenset[str] | None]
+
+    @property
+    def action(self) -> Action:
+        return self.profile.action
+
+
+def boxes_of(
+    action: Action,
+    dimensions: Mapping[str, Dimension] | None = None,
+) -> tuple[ConjunctBox, ...]:
+    """One box per DNF disjunct of the action's predicate."""
+    return tuple(
+        ConjunctBox(profile, categorical_regions(profile, dimensions))
+        for profile in profiles_of(action)
+    )
+
+
+def box_is_exact(box: ConjunctBox) -> bool:
+    """Whether no part of the box over-approximates the disjunct.
+
+    Exactness licenses definite verdicts: the box admits a bottom cell at
+    time ``t`` if and only if the disjunct does.
+    """
+    if box.profile.unmodelled_atoms:
+        return False
+    if not window_modelled_exactly(box.profile):
+        return False
+    return not any(region_is_symbolic(r) for r in box.regions.values())
+
+
+# ----------------------------------------------------------------------
+# Containment proofs (shared by SDR106 and the relationship matrix)
+# ----------------------------------------------------------------------
+
+def region_contained(
+    inner: ConjunctProfile,
+    outer: ConjunctProfile,
+    dimensions: Mapping[str, Dimension] | None,
+) -> bool:
+    """Prove the inner categorical region is inside the outer one."""
+    inner_regions = categorical_regions(inner, dimensions)
+    outer_regions = categorical_regions(outer, dimensions)
+    for name, outer_region in outer_regions.items():
+        if outer_region is None:
+            continue  # outer unconstrained in this dimension
+        if region_is_symbolic(outer_region):
+            return False  # cannot prove coverage with an ungrounded region
+        inner_region = inner_regions.get(name)
+        if inner_region is None or region_is_symbolic(inner_region):
+            return False
+        if not inner_region <= outer_region:
+            return False
+    return True
+
+
+def profile_contained(
+    inner: ConjunctProfile,
+    outer: ConjunctProfile,
+    dimensions: Mapping[str, Dimension] | None,
+    config: ProverConfig | None = None,
+) -> bool:
+    """Prove every bottom cell *inner* admits, *outer* admits too, at
+    every sampled evaluation time.
+
+    Refuses (returns ``False``) whenever the outer profile would be an
+    over-approximation — definite containment may only rest on an exact
+    outer box.
+    """
+    config = config or ProverConfig()
+    if outer.unmodelled_atoms or not window_modelled_exactly(outer):
+        return False  # the outer region would be an over-approximation
+    if not region_contained(inner, outer, dimensions):
+        return False
+    for t in sample_times((inner, outer), config):
+        inner_window = window_at(inner, t)
+        outer_window = window_at(outer, t)
+        if inner_window is None:
+            if outer_window is not None:
+                return False
+            continue
+        if not window_contains(outer_window, inner_window):
+            return False
+    return True

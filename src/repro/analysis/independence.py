@@ -1,0 +1,237 @@
+"""Independence certificates over the disjoint action set.
+
+A fact's bottom-cell coordinates determine every subcube that can ever
+own it: cube ``K`` (group predicate ``raw AND NOT ...``) only admits
+cells inside the union of its member actions' regions.  Two cubes whose
+*ever-regions* are provably disjoint — a shared non-time dimension on
+which their grounded value regions never intersect, or time windows that
+are :meth:`~repro.spec.ranges.DayWindow.certainly_disjoint` at every
+evaluation time — can never exchange a fact through reduction or
+synchronization, so their reductions may run shard-parallel.  That claim
+is the :class:`IndependenceReport`: the contract future shard-parallel
+execution consumes (ROADMAP item 1).
+
+The residual cube admits whatever no group claims and therefore shares a
+shard with everything; certificates degrade to "dependent" whenever a
+region cannot be grounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
+
+from ..checks.prover import (
+    ProverConfig,
+    categorical_regions,
+    profiles_overlap,
+    region_is_symbolic,
+)
+from ..core.dimension import Dimension
+from ..spec.action import Action, is_time_dimension_type
+from ..spec.ranges import DayWindow, profiles_of
+
+
+@dataclass(frozen=True)
+class IndependencePair:
+    """Whether two disjoint cubes provably never share a fact region."""
+
+    first: str
+    second: str
+    independent: bool
+    separating_dimensions: tuple[str, ...] = ()
+    reason: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "first": self.first,
+            "second": self.second,
+            "independent": self.independent,
+            "separating_dimensions": list(self.separating_dimensions),
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class IndependenceReport:
+    """The full certificate: pairwise verdicts plus shard groups."""
+
+    cubes: tuple[str, ...]
+    pairs: list[IndependencePair] = field(default_factory=list)
+    #: Connected components of the "not provably independent" graph; each
+    #: component is one shard whose cubes must reduce together.
+    shard_groups: tuple[tuple[str, ...], ...] = ()
+
+    def pair(self, first: str, second: str) -> IndependencePair | None:
+        for p in self.pairs:
+            if {p.first, p.second} == {first, second}:
+                return p
+        return None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "cubes": list(self.cubes),
+            "pairs": [p.to_dict() for p in self.pairs],
+            "shard_groups": [list(group) for group in self.shard_groups],
+        }
+
+
+@dataclass
+class _EverRegion:
+    """Sound over-approximation of the bottom cells a cube can ever own."""
+
+    #: Grounded value union per non-time dimension; ``None`` == anything.
+    regions: dict[str, frozenset[str] | None]
+    windows: tuple[DayWindow, ...]
+    #: Residual (or ungroundable) cubes over-approximate to "everything".
+    unbounded: bool = False
+
+
+def _ever_region(
+    members: Sequence[Action],
+    dimensions: Mapping[str, Dimension] | None,
+    config: ProverConfig,
+) -> _EverRegion:
+    if not members:
+        return _EverRegion({}, (), unbounded=True)
+    regions: dict[str, frozenset[str] | None] = {}
+    windows: list[DayWindow] = []
+    for action in members:
+        for profile in profiles_of(action):
+            if not profiles_overlap(profile, profile, dimensions, config):
+                continue  # an unsatisfiable disjunct owns nothing
+            windows.append(profile.window)
+            grounded = categorical_regions(profile, dimensions)
+            for name, region in grounded.items():
+                if region is None or region_is_symbolic(region):
+                    regions[name] = None
+                    continue
+                current = regions.get(name, frozenset())
+                if current is not None:
+                    regions[name] = current | region
+    return _EverRegion(regions, tuple(windows))
+
+
+def _time_dimension_name(action: Action) -> str | None:
+    for name in action.schema.dimension_names:
+        if is_time_dimension_type(action.schema.dimension_type(name)):
+            return name
+    return None
+
+
+def _classify_pair(
+    first: str,
+    second: str,
+    a: _EverRegion,
+    b: _EverRegion,
+    time_dimension: str | None,
+) -> IndependencePair:
+    if a.unbounded or b.unbounded:
+        return IndependencePair(
+            first,
+            second,
+            independent=False,
+            reason="a residual or ungroundable cube may own any cell",
+        )
+    separating: list[str] = []
+    for name in sorted(set(a.regions) & set(b.regions)):
+        ra = a.regions[name]
+        rb = b.regions[name]
+        if ra is not None and rb is not None and not (ra & rb):
+            separating.append(name)
+    if (
+        a.windows
+        and b.windows
+        and all(
+            wa.certainly_disjoint(wb) for wa in a.windows for wb in b.windows
+        )
+        and time_dimension is not None
+    ):
+        separating.append(time_dimension)
+    if separating:
+        return IndependencePair(
+            first,
+            second,
+            independent=True,
+            separating_dimensions=tuple(separating),
+            reason="the cubes' ever-regions are disjoint on: "
+            + ", ".join(separating),
+        )
+    return IndependencePair(
+        first,
+        second,
+        independent=False,
+        reason="no dimension provably separates the cubes' ever-regions",
+    )
+
+
+class _CubeLike(Protocol):
+    """The slice of ``engine.disjoint.DisjointAction`` the report needs
+    (a protocol keeps the analysis layer import-free of the engine)."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def members(self) -> tuple[str, ...]: ...
+
+
+def independence_report(
+    cubes: Sequence[_CubeLike],
+    actions: Mapping[str, Action],
+    dimensions: Mapping[str, Dimension] | None = None,
+    config: ProverConfig | None = None,
+) -> IndependenceReport:
+    """Certify pairwise cube independence and derive the shard groups.
+
+    *cubes* is the :func:`repro.engine.disjoint.disjoint_actions` output;
+    *actions* maps member action names to their bound actions.
+    """
+    config = config or ProverConfig()
+    time_dimension = None
+    for action in actions.values():
+        time_dimension = _time_dimension_name(action)
+        break
+    report = IndependenceReport(tuple(cube.name for cube in cubes))
+    ever = {
+        cube.name: _ever_region(
+            [actions[name] for name in cube.members if name in actions],
+            dimensions,
+            config,
+        )
+        for cube in cubes
+    }
+    names = list(report.cubes)
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            report.pairs.append(
+                _classify_pair(
+                    first, second, ever[first], ever[second], time_dimension
+                )
+            )
+    report.shard_groups = _components(names, report.pairs)
+    return report
+
+
+def _components(
+    names: Sequence[str], pairs: Sequence[IndependencePair]
+) -> tuple[tuple[str, ...], ...]:
+    parent = {name: name for name in names}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    for pair in pairs:
+        if not pair.independent:
+            ra, rb = find(pair.first), find(pair.second)
+            if ra != rb:
+                parent[rb] = ra
+    groups: dict[str, list[str]] = {}
+    for name in names:
+        groups.setdefault(find(name), []).append(name)
+    return tuple(
+        tuple(sorted(group)) for _, group in sorted(groups.items())
+    )

@@ -1,0 +1,168 @@
+"""Sound pruning of negation terms in disjoint predicates.
+
+The disjoint transform (Section 7.1) conjoins each group predicate with
+``NOT raw(g)`` for every coarser group ``g``.  When group ``G`` and group
+``g`` provably never compete for a cell, the negation term is dead weight
+— but dropping it must preserve evaluation *bit for bit* under both the
+conservative and the liberal approach, on cells of any granularity up to
+``G``'s target.  Region-level disjointness is **not** sufficient: the
+liberal reading of a conjunction distributes per atom over aggregated
+cells, so ``NOT g`` can evaluate false on a cell even when ``g``'s region
+is empty.
+
+The sufficient condition implemented here is a *separating atom pair*:
+for **every** pair of DNF conjuncts ``(p in G, q in g)`` there must exist
+atoms ``b in p`` and ``a in q`` such that either
+
+* **categorical**: same dimension and same category (below TOP), both
+  ``=``/``in``, both value sets materialized in the dimension instance,
+  and the sets disjoint — then on any cell at category <= ``Cat_G``,
+  ``conservative(b)`` forces all bottom descendants into ``b``'s values
+  (so ``liberal(a)`` is false) and ``liberal(b)`` exhibits a descendant
+  outside ``a``'s values (so ``conservative(a)`` is false); or
+* **temporal**: both plain comparisons on the time dimension *at the same
+  category*, whose single-atom day windows never intersect at any sampled
+  evaluation time — the same exchange argument over the shared
+  drill-down element set.
+
+Either way ``eval(P_G, x) => not eval_dual(g, x)`` for every cell ``x``
+at granularity <= ``Cat(G)``, which is exactly what makes
+``P_G AND NOT g  ==  P_G`` an identity for cube ``G``.  Residual-cube
+negations have no positive anchor and are never pruned.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..checks.prover import ProverConfig, sample_times
+from ..core.dimension import Dimension
+from ..core.hierarchy import is_top
+from ..spec.action import Action, is_time_dimension_type
+from ..spec.ast import Atom
+from ..spec.ranges import profile_conjunct, window_at, windows_intersect
+
+_PLAIN_OPS = ("<", "<=", ">", ">=", "=")
+
+
+def negation_prunable(
+    group_actions: Sequence[Action],
+    other_actions: Sequence[Action],
+    granularity: Sequence[str],
+    dimensions: Mapping[str, Dimension] | None,
+    config: ProverConfig | None = None,
+) -> bool:
+    """Whether cube *group_actions* may drop ``NOT raw(other_actions)``.
+
+    True only when every (conjunct of the group's raw predicate, conjunct
+    of the other group's raw predicate) pair has a separating atom pair;
+    *granularity* is the group's target (per schema dimension order).
+    """
+    if not group_actions or not other_actions:
+        return False
+    config = config or ProverConfig()
+    schema = group_actions[0].schema
+    targets = dict(zip(schema.dimension_names, granularity))
+    anchor = group_actions[0]
+    group_conjuncts = [
+        atoms for action in group_actions for atoms in action.conjuncts()
+    ]
+    other_conjuncts = [
+        atoms for action in other_actions for atoms in action.conjuncts()
+    ]
+    if not group_conjuncts or not other_conjuncts:
+        return False
+    return all(
+        _separated(p, q, anchor, targets, dimensions, config)
+        for p in group_conjuncts
+        for q in other_conjuncts
+    )
+
+
+def _separated(
+    p: Sequence[Atom],
+    q: Sequence[Atom],
+    anchor: Action,
+    targets: Mapping[str, str],
+    dimensions: Mapping[str, Dimension] | None,
+    config: ProverConfig,
+) -> bool:
+    for b in p:
+        for a in q:
+            if _categorical_separation(b, a, anchor, targets, dimensions):
+                return True
+            if _temporal_separation(b, a, anchor, targets, config):
+                return True
+    return False
+
+
+def _grounded_values(
+    atom: Atom, dimension: Dimension
+) -> frozenset[str] | None:
+    """The atom's constant values, or ``None`` if any is unmaterialized
+    at the compared category (exactness of the exchange argument needs
+    every constant to denote a real dimension value)."""
+    known = dimension.values(atom.ref.category)
+    values = set()
+    for term in atom.terms:
+        if not isinstance(term, str) or term not in known:
+            return None
+        values.add(term)
+    return frozenset(values)
+
+
+def _categorical_separation(
+    b: Atom,
+    a: Atom,
+    anchor: Action,
+    targets: Mapping[str, str],
+    dimensions: Mapping[str, Dimension] | None,
+) -> bool:
+    if b.op not in ("=", "in") or a.op not in ("=", "in"):
+        return False
+    if b.ref.dimension != a.ref.dimension:
+        return False
+    if b.ref.category != a.ref.category or is_top(b.ref.category):
+        return False
+    name = b.ref.dimension
+    if is_time_dimension_type(anchor.schema.dimension_type(name)):
+        return False
+    if is_top(targets.get(name, "")):
+        return False  # ALL-cells evaluate liberally true for any atom
+    if dimensions is None or name not in dimensions:
+        return False
+    dimension = dimensions[name]
+    values_b = _grounded_values(b, dimension)
+    values_a = _grounded_values(a, dimension)
+    if values_b is None or values_a is None:
+        return False
+    return not (values_b & values_a)
+
+
+def _temporal_separation(
+    b: Atom,
+    a: Atom,
+    anchor: Action,
+    targets: Mapping[str, str],
+    config: ProverConfig,
+) -> bool:
+    if b.op not in _PLAIN_OPS or a.op not in _PLAIN_OPS:
+        return False
+    if b.ref.dimension != a.ref.dimension:
+        return False
+    if b.ref.category != a.ref.category or is_top(b.ref.category):
+        return False
+    name = b.ref.dimension
+    if not is_time_dimension_type(anchor.schema.dimension_type(name)):
+        return False
+    if is_top(targets.get(name, "")):
+        return False
+    # Single-atom exact windows: the liberal reading of a conjunction is
+    # per atom, so separation must hold atom-against-atom, not on the
+    # conjuncts' combined windows.
+    profile_b = profile_conjunct(anchor, [b])
+    profile_a = profile_conjunct(anchor, [a])
+    for t in sample_times((profile_b, profile_a), config):
+        if windows_intersect(window_at(profile_b, t), window_at(profile_a, t)):
+            return False
+    return True

@@ -1,0 +1,167 @@
+"""Reachability: unsatisfiable and union-shadowed ("dead") actions.
+
+An action is *unsatisfiable* when no DNF disjunct can admit a cell at any
+sampled evaluation time (the ``SDR104`` condition).  It is *dead* when it
+is satisfiable but every cell it can ever admit is also admitted, at
+every sampled time, by the **union** of other actions at granularities at
+least as coarse — so the action never determines a fact's granularity.
+Union coverage is strictly stronger than the single-container subsumption
+of ``SDR106``: three catchers may jointly shadow an action none of them
+shadows alone.
+
+The proof enumerates the grounded bottom cells of each live disjunct,
+groups them by which exact catcher disjuncts cover them, and checks
+day-interval union coverage (:func:`repro.checks.prover.interval_covered`)
+at every sampled time.  Whenever grounding or enumeration fails the
+action is conservatively reported live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..checks.prover import (
+    ProverConfig,
+    categorical_regions,
+    cell_in_region,
+    enumerate_region_product,
+    interval_covered,
+    profiles_overlap,
+    sample_times,
+)
+from ..core.dimension import Dimension
+from ..spec.action import Action
+from ..spec.ranges import ConjunctProfile, profiles_of, window_at
+from .boxes import window_modelled_exactly
+
+_INF = float("inf")
+
+#: Cap on enumerated cells per disjunct; above it the action stays live.
+COVERAGE_CELL_CAP = 512
+
+
+@dataclass
+class ReachabilityResult:
+    """Classification of every action as live, unsatisfiable, or dead."""
+
+    unsatisfiable: tuple[str, ...] = ()
+    #: Dead action -> the catcher actions whose union covers it.
+    dead: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    live: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "unsatisfiable": list(self.unsatisfiable),
+            "dead": {
+                name: list(catchers) for name, catchers in self.dead.items()
+            },
+            "live": list(self.live),
+        }
+
+
+def reachability(
+    actions: Sequence[Action],
+    dimensions: Mapping[str, Dimension] | None = None,
+    config: ProverConfig | None = None,
+) -> ReachabilityResult:
+    """Classify the actions; sound (never calls a live action dead)."""
+    config = config or ProverConfig()
+    profiles = {a.name: profiles_of(a) for a in actions}
+    live_profiles = {
+        a.name: [
+            p
+            for p in profiles[a.name]
+            if profiles_overlap(p, p, dimensions, config)
+        ]
+        for a in actions
+    }
+    result = ReachabilityResult()
+    unsat: list[str] = []
+    live: list[str] = []
+    for index, action in enumerate(actions):
+        mine = live_profiles[action.name]
+        if not mine:
+            unsat.append(action.name)
+            continue
+        catchers = _catcher_profiles(actions, index, profiles)
+        covered_by = _union_covered(mine, catchers, dimensions, config)
+        if covered_by is not None:
+            result.dead[action.name] = covered_by
+        else:
+            live.append(action.name)
+    result.unsatisfiable = tuple(unsat)
+    result.live = tuple(live)
+    return result
+
+
+def _catcher_profiles(
+    actions: Sequence[Action],
+    index: int,
+    profiles: Mapping[str, Sequence[ConjunctProfile]],
+) -> list[tuple[str, ConjunctProfile]]:
+    """Exact disjuncts of actions at coarser-or-equal granularity.
+
+    For duplicates at the same granularity only the *earlier* action may
+    act as catcher, so exactly one of a duplicated pair is reported dead
+    (mirroring the SDR106 convention).
+    """
+    action = actions[index]
+    out: list[tuple[str, ConjunctProfile]] = []
+    for j, other in enumerate(actions):
+        if j == index or not action.le(other):
+            continue
+        if action.cat() == other.cat() and j > index:
+            continue
+        for q in profiles[other.name]:
+            if q.unmodelled_atoms or not window_modelled_exactly(q):
+                continue  # an over-approximated catcher cannot prove cover
+            out.append((other.name, q))
+    return out
+
+
+def _union_covered(
+    mine: Sequence[ConjunctProfile],
+    catchers: Sequence[tuple[str, ConjunctProfile]],
+    dimensions: Mapping[str, Dimension] | None,
+    config: ProverConfig,
+) -> tuple[str, ...] | None:
+    """The catcher names whose union covers every disjunct, or ``None``."""
+    if not catchers:
+        return None
+    contributors: set[str] = set()
+    catcher_regions = [
+        (name, q, categorical_regions(q, dimensions))
+        for name, q in catchers
+    ]
+    for p in mine:
+        regions = categorical_regions(p, dimensions)
+        cells = enumerate_region_product(
+            regions, dimensions, min(config.region_cap, COVERAGE_CELL_CAP)
+        )
+        if cells is None or not cells:
+            return None  # cannot enumerate: stay live
+        # Which catchers cover a cell is time-independent; group cells by
+        # that signature so the time loop runs once per distinct group.
+        signatures: set[tuple[int, ...]] = set()
+        for cell in cells:
+            signature = tuple(
+                k
+                for k, (_, _, qreg) in enumerate(catcher_regions)
+                if cell_in_region(cell, qreg)
+            )
+            if not signature:
+                return None
+            signatures.add(signature)
+        horizon = sample_times(
+            [p, *(q for _, q in catchers)], config
+        )
+        for signature in signatures:
+            group = [catcher_regions[k] for k in signature]
+            for t in horizon:
+                target = window_at(p, t) or (-_INF, _INF)
+                pieces = [window_at(q, t) for _, q, _ in group]
+                if not interval_covered(target, pieces):
+                    return None
+            contributors.update(name for name, _, _ in group)
+    return tuple(sorted(contributors))

@@ -1,0 +1,196 @@
+"""The bundled analysis result consumed by lint, the CLI, and the docs.
+
+:func:`analyze_actions` / :func:`analyze_specification` run the
+relationship matrix, the reachability pass, the cost estimator, and (when
+a disjoint action set can be built) the independence certificate, and
+bundle them into one :class:`SpecAnalysis` with stable ``to_dict`` /
+``render_text`` shapes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..checks.prover import ProverConfig
+from ..core.dimension import Dimension
+from ..errors import ReproError
+from ..spec.action import Action
+from .cost import ActionCost, estimate_costs
+from .independence import IndependenceReport, independence_report
+from .matrix import RelationshipMatrix, relationship_matrix
+from .reach import ReachabilityResult, reachability
+
+if TYPE_CHECKING:
+    from ..spec.specification import ReductionSpecification
+
+#: Stable schema tag of the JSON rendering.
+ANALYSIS_SCHEMA = "repro-analysis/1"
+
+
+@dataclass
+class SpecAnalysis:
+    """Everything the semantic analyzer proved about a specification."""
+
+    actions: tuple[str, ...]
+    matrix: RelationshipMatrix
+    reach: ReachabilityResult
+    costs: tuple[ActionCost, ...]
+    independence: IndependenceReport | None
+    reference: _dt.date
+    horizon_years: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": ANALYSIS_SCHEMA,
+            "reference": self.reference.isoformat(),
+            "horizon_years": self.horizon_years,
+            "actions": list(self.actions),
+            "matrix": self.matrix.to_dict(),
+            "reachability": self.reach.to_dict(),
+            "costs": [cost.to_dict() for cost in self.costs],
+            "independence": (
+                self.independence.to_dict() if self.independence else None
+            ),
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            "Semantic analysis "
+            f"(reference {self.reference.isoformat()}, "
+            f"horizon {self.horizon_years}y)",
+            "",
+            "Action-relationship matrix:",
+        ]
+        for relation in self.matrix.pairs():
+            line = (
+                f"  {relation.first} vs {relation.second}: "
+                f"{relation.verdict.value.upper()} - {relation.reason}"
+            )
+            if relation.witness is not None:
+                witness = relation.witness
+                cell = ", ".join(
+                    f"{k}={v}" for k, v in witness.cell
+                )
+                day = witness.day.isoformat() if witness.day else "-"
+                line += (
+                    f" [witness at={witness.at.isoformat()} day={day}"
+                    + (f" cell=({cell})" if cell else "")
+                    + "]"
+                )
+            lines.append(line)
+        if not self.matrix.pairs():
+            lines.append("  (fewer than two actions)")
+        lines.append("")
+        lines.append("Reachability:")
+        lines.append(
+            "  live: " + (", ".join(self.reach.live) or "(none)")
+        )
+        if self.reach.unsatisfiable:
+            lines.append(
+                "  unsatisfiable: " + ", ".join(self.reach.unsatisfiable)
+            )
+        for name, catchers in self.reach.dead.items():
+            lines.append(
+                f"  dead: {name} (union-covered by {', '.join(catchers)})"
+            )
+        lines.append("")
+        lines.append("Cost estimates (upper bounds at the reference time):")
+        for cost in self.costs:
+            granularity = ", ".join(cost.granularity)
+            if cost.admitted_cells is None:
+                lines.append(
+                    f"  {cost.action} -> [{granularity}]: not groundable"
+                )
+                continue
+            selectivity = (
+                f"{100.0 * cost.selectivity:.1f}%"
+                if cost.selectivity is not None
+                else "?"
+            )
+            output = (
+                str(cost.output_cells)
+                if cost.output_cells is not None
+                else "?"
+            )
+            lines.append(
+                f"  {cost.action} -> [{granularity}]: "
+                f"<= {cost.admitted_cells} of {cost.total_cells} bottom "
+                f"cells ({selectivity}), <= {output} after rollup"
+            )
+        lines.append("")
+        lines.append("Independence certificate:")
+        if self.independence is None:
+            lines.append("  (no disjoint action set could be built)")
+        else:
+            for pair in self.independence.pairs:
+                if pair.independent:
+                    dims = ", ".join(pair.separating_dimensions)
+                    lines.append(
+                        f"  {pair.first} || {pair.second} "
+                        f"(separated on {dims})"
+                    )
+            groups = " ".join(
+                "{" + ", ".join(group) + "}"
+                for group in self.independence.shard_groups
+            )
+            lines.append(f"  shard groups: {groups}")
+        return "\n".join(lines) + "\n"
+
+
+def analyze_actions(
+    actions: Sequence[Action],
+    dimensions: Mapping[str, Dimension] | None = None,
+    config: ProverConfig | None = None,
+) -> SpecAnalysis:
+    """Run every analysis over already-bound actions."""
+    config = config or ProverConfig()
+    matrix = relationship_matrix(actions, dimensions, config)
+    reach = reachability(actions, dimensions, config)
+    costs = estimate_costs(actions, dimensions, config)
+    independence = _independence(actions, dimensions, config)
+    return SpecAnalysis(
+        actions=tuple(a.name for a in actions),
+        matrix=matrix,
+        reach=reach,
+        costs=costs,
+        independence=independence,
+        reference=config.reference,
+        horizon_years=config.horizon_years,
+    )
+
+
+def _independence(
+    actions: Sequence[Action],
+    dimensions: Mapping[str, Dimension] | None,
+    config: ProverConfig,
+) -> IndependenceReport | None:
+    if not actions:
+        return None
+    # Late imports keep the analysis layer importable without the engine.
+    from ..engine.disjoint import disjoint_actions
+    from ..spec.specification import ReductionSpecification
+
+    try:
+        specification = ReductionSpecification(
+            tuple(actions), dimensions, validate=False
+        )
+        cubes = disjoint_actions(specification)
+    except ReproError:
+        return None
+    by_name = {action.name: action for action in actions}
+    return independence_report(cubes, by_name, dimensions, config)
+
+
+def analyze_specification(
+    specification: ReductionSpecification,
+    config: ProverConfig | None = None,
+) -> SpecAnalysis:
+    """Analyze a bound :class:`ReductionSpecification` with its own
+    dimensions and prover configuration."""
+    return analyze_actions(
+        list(specification),
+        specification.dimensions,
+        config or specification.prover_config,
+    )

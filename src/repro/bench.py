@@ -23,13 +23,18 @@ import os
 import time
 from dataclasses import dataclass
 
+from .engine.disjoint import DISJOINT_NEGATIONS, disjoint_actions
 from .engine.store import (
     SYNC_LAST_EXAMINED,
     SubcubeStore,
 )
 from .obs import metrics as obs_metrics
 from .spec.specification import ReductionSpecification
-from .workload import ClickstreamConfig, build_clickstream_mo, tiered_retention_actions
+from .workload import (
+    ClickstreamConfig,
+    build_clickstream_mo,
+    grouped_retention_actions,
+)
 
 #: Schema tags: bump the suffix when a document's layout changes.
 REDUCTION_SCHEMA = "repro-bench-reduction/1"
@@ -86,10 +91,37 @@ def _best_seconds(fn, repeats: int) -> float:
 def _workload(profile: BenchProfile):
     mo = build_clickstream_mo(profile.config)
     specification = ReductionSpecification(
-        tiered_retention_actions(mo, detail_months=3, month_years=2),
+        grouped_retention_actions(mo, detail_months=3, coarse_years=2),
         mo.dimensions,
     )
     return mo, specification
+
+
+def _atom_counts(cubes) -> dict[str, int]:
+    return {cube.name: len(list(cube.predicate.atoms())) for cube in cubes}
+
+
+def _disjoint_block(specification: ReductionSpecification) -> dict:
+    """Static predicate-size effect of the semantic-analyzer pruning."""
+    registry = obs_metrics.MetricsRegistry()
+    with obs_metrics.use_registry(registry):
+        pruned = disjoint_actions(specification)
+    unpruned = disjoint_actions(specification, prune=False)
+    kept = int(registry.value(DISJOINT_NEGATIONS, {"status": "kept"}) or 0)
+    dropped = int(
+        registry.value(DISJOINT_NEGATIONS, {"status": "pruned"}) or 0
+    )
+    before = _atom_counts(unpruned)
+    after = _atom_counts(pruned)
+    return {
+        "negation_terms": {"kept": kept, "pruned": dropped},
+        "atoms": {
+            name: {"before": before[name], "after": after[name]}
+            for name in sorted(before)
+        },
+        "atoms_before": sum(before.values()),
+        "atoms_after": sum(after.values()),
+    }
 
 
 def _workload_block(profile: BenchProfile, mo) -> dict:
@@ -136,6 +168,7 @@ def bench_reduction(profile: BenchProfile) -> dict:
         "now": now.isoformat(),
         "repeats": profile.repeats,
         "backends": backends,
+        "disjoint": _disjoint_block(specification),
         "speedup": {
             "compiled_vs_interpretive": interpretive
             / backends["compiled"]["seconds"],

@@ -264,6 +264,97 @@ def actions_overlap(
 
 
 # ----------------------------------------------------------------------
+# Overlap witnesses (consumed by the semantic analyzer)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OverlapWitness:
+    """A concrete point where two conjunct profiles meet.
+
+    ``at`` is the evaluation time, ``day`` a day inside both time windows
+    (``None`` when neither profile constrains time), and ``cell`` the
+    chosen non-time bottom values as sorted ``(dimension, value)`` pairs.
+    The witness is a *candidate*: callers that need certainty re-evaluate
+    the predicates at this point.
+    """
+
+    at: _dt.date
+    day: _dt.date | None
+    cell: tuple[tuple[str, str], ...]
+
+    def cell_mapping(self) -> dict[str, str]:
+        return dict(self.cell)
+
+
+def _witness_day(
+    a: tuple[float, float] | None, b: tuple[float, float] | None
+) -> _dt.date | None:
+    lo = max(
+        (w[0] for w in (a, b) if w is not None), default=-_INF
+    )
+    hi = min(
+        (w[1] for w in (a, b) if w is not None), default=_INF
+    )
+    for bound in (lo, hi):
+        if bound not in (-_INF, _INF):
+            return _dt.date.fromordinal(int(bound))
+    return None
+
+
+def overlap_witness(
+    p1: ConjunctProfile,
+    p2: ConjunctProfile,
+    dimensions: Mapping[str, Dimension] | None = None,
+    config: ProverConfig | None = None,
+) -> OverlapWitness | None:
+    """A candidate point satisfying both profiles, or ``None`` when the
+    sampled horizon shows no time at which their windows intersect.
+
+    Mirrors :func:`profiles_overlap` but materializes the meeting point:
+    a shared bottom value per groundable non-time dimension (falling back
+    to any bottom value where both profiles are unconstrained) and the
+    first sampled time whose windows intersect.
+    """
+    config = config or ProverConfig()
+    r1 = categorical_regions(p1, dimensions)
+    r2 = categorical_regions(p2, dimensions)
+    cell: dict[str, str] = {}
+    for name in sorted(set(r1) | set(r2)):
+        ra = r1.get(name)
+        rb = r2.get(name)
+        if isinstance(ra, _Symbolic) or isinstance(rb, _Symbolic):
+            continue
+        if ra is None and rb is None:
+            if dimensions is not None and name in dimensions:
+                dimension = dimensions[name]
+                values = dimension.values(dimension.bottom_category)
+                if values:
+                    cell[name] = min(values)
+            continue
+        if ra is None:
+            pool = rb
+        elif rb is None:
+            pool = ra
+        else:
+            pool = ra & rb
+        if pool:
+            cell[name] = min(pool)
+    frozen = tuple(sorted(cell.items()))
+    if not p1.time_atoms and not p2.time_atoms:
+        return OverlapWitness(config.reference, None, frozen)
+    if time_independent(p1) and time_independent(p2):
+        times: list[_dt.date] = [config.reference]
+    else:
+        times = sample_times((p1, p2), config)
+    for t in times:
+        w1 = window_at(p1, t)
+        w2 = window_at(p2, t)
+        if windows_intersect(w1, w2):
+            return OverlapWitness(t, _witness_day(w1, w2), frozen)
+    return None
+
+
+# ----------------------------------------------------------------------
 # Interval-union coverage (used by the Growing check)
 # ----------------------------------------------------------------------
 

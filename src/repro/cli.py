@@ -19,6 +19,12 @@ Commands
     specification files; ``--select``/``--ignore`` filter rule codes and
     exit status 1 signals remaining error-level findings.
 
+``analyze SPEC_FILE --mo MO_FILE [--format text|json|sarif]``
+    Run the semantic analyzer (:mod:`repro.analysis`) over a
+    specification: the action-relationship matrix, reachability, static
+    cost estimates, and the independence certificate for sharding, plus
+    the ``SDR2xx`` analyzer findings.  Exit status 1 signals findings.
+
 ``reduce MO_FILE SPEC_FILE --at YYYY-MM-DD [-o OUT_FILE] [--stats]``
     Apply a reduction specification to a stored MO at a given date and
     write the reduced MO (stdout by default).  ``--backend`` selects the
@@ -67,6 +73,13 @@ Commands
     Recover a durable store and verify its invariants (granularity
     placement, provenance partition, measure conservation against the
     journaled source facts); exit status 1 on violations.
+
+Exit status
+-----------
+
+Every subcommand uses the same convention: ``0`` — clean; ``1`` —
+diagnostics, violations, or a failed gate; ``2`` — usage errors,
+unreadable inputs, or internal failures.
 """
 
 from __future__ import annotations
@@ -111,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Specification-based data reduction in dimensional data "
             "warehouses (Skyt, Jensen & Pedersen, ICDE 2002)"
         ),
+        epilog=(
+            "exit status: 0 = clean, 1 = diagnostics/violations/failed "
+            "gate, 2 = usage error, unreadable input, or internal failure"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -145,6 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress these rule-code prefixes (comma-separable)",
     )
     lint.add_argument("-o", "--output", help="write the report to a file")
+
+    analyze = sub.add_parser(
+        "analyze", help="semantic analysis of a specification"
+    )
+    analyze.add_argument("spec_file")
+    analyze.add_argument("--mo", required=True, dest="mo_file")
+    analyze.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    analyze.add_argument("-o", "--output", help="write the report to a file")
 
     reduce_cmd = sub.add_parser("reduce", help="reduce a stored MO")
     reduce_cmd.add_argument("mo_file")
@@ -317,6 +344,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.format,
                 arguments.select,
                 arguments.ignore,
+                arguments.output,
+            )
+        if arguments.command == "analyze":
+            return _analyze(
+                arguments.spec_file,
+                arguments.mo_file,
+                arguments.format,
                 arguments.output,
             )
         if arguments.command == "reduce":
@@ -494,7 +528,7 @@ def _lint(
         result = LintResult.of(measure_diagnostics)
         print(render(result.filter(select, ignore), format))
         print(f"error: cannot load MO document: {exc}", file=sys.stderr)
-        return 1
+        return 2
     result = lint_paths(
         spec_files,
         mo.schema,
@@ -510,6 +544,58 @@ def _lint(
     else:
         print(report)
     return 1 if result.has_errors() else 0
+
+
+def _analyze(
+    spec_file: str,
+    mo_file: str,
+    format: str,
+    output: str | None,
+) -> int:
+    from .analysis import analyze_actions
+    from .io import atomic_write, load_mo
+    from .lint import bind_sources, lint_paths, sarif_log
+
+    with open(mo_file) as stream:
+        mo = load_mo(stream)
+    with open(spec_file) as stream:
+        text = stream.read()
+    # The lint engine's error-tolerant parser: unusable entries become
+    # SDR0xx findings in `repro lint`, the bound remainder is analyzed.
+    ctx, _ = bind_sources([(spec_file, text)], mo.schema, mo.dimensions)
+    analysis = analyze_actions(
+        [entry.action for entry in ctx.bound], mo.dimensions, ctx.prover
+    )
+    findings = lint_paths(
+        [spec_file], mo.schema, mo.dimensions, mo_file=mo_file
+    ).filter(select="SDR2")
+    if format == "sarif":
+        log = sarif_log(findings)
+        log["runs"][0].setdefault("properties", {})[
+            "analysis"
+        ] = analysis.to_dict()
+        report = json.dumps(log, indent=2, sort_keys=True)
+    elif format == "json":
+        report = json.dumps(
+            {
+                "analysis": analysis.to_dict(),
+                "findings": [d.to_dict() for d in findings],
+            },
+            indent=1,
+            sort_keys=True,
+        )
+    else:
+        lines = [analysis.render_text()]
+        if findings.diagnostics:
+            lines.append("Analyzer findings:")
+            lines.extend(f"  {d.format()}" for d in findings)
+        report = "\n".join(lines)
+    if output:
+        with atomic_write(output) as stream:
+            stream.write(report + "\n")
+    else:
+        print(report)
+    return 1 if findings.diagnostics else 0
 
 
 def _reduce(

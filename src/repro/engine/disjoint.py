@@ -15,12 +15,29 @@ exclusively and lets synchronization move data directly cube-to-cube.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from ..analysis.pruning import negation_prunable
 from ..errors import EngineError
+from ..obs.metrics import get_registry
 from ..spec.action import Action
 from ..spec.ast import Not, Predicate, TruePredicate, conjunction, disjunction
 from ..spec.specification import ReductionSpecification
+
+#: Negation terms considered per cube, labelled kept/pruned.
+DISJOINT_NEGATIONS = "repro_disjoint_negation_terms_total"
+#: Atom count of each cube's final disjoint predicate.
+DISJOINT_ATOMS = "repro_disjoint_predicate_atoms"
+#: Wall-clock seconds spent building the disjoint action set.
+DISJOINT_BUILD_SECONDS = "repro_disjoint_build_seconds"
+
+_HELP_NEGATIONS = (
+    "Negation terms of disjoint predicates by outcome (kept or statically "
+    "pruned as provably redundant)"
+)
+_HELP_ATOMS = "Atoms in each disjoint cube's final predicate"
+_HELP_BUILD = "Seconds spent building the disjoint action set"
 
 
 @dataclass(frozen=True)
@@ -43,13 +60,22 @@ class DisjointAction:
 
 def disjoint_actions(
     specification: ReductionSpecification,
+    prune: bool = True,
 ) -> tuple[DisjointAction, ...]:
     """The disjoint action set of Section 7.1, bottom cube included.
 
     Cube names are ``K0`` for the residual bottom cube and ``K1..Km`` for
     the granularity groups ordered from finest to coarsest (deterministic,
     so tests and figures can reference them).
+
+    With ``prune=True`` (the default) negation terms the semantic
+    analyzer proves redundant (:func:`repro.analysis.pruning.
+    negation_prunable`) are dropped; evaluation of the resulting
+    predicates is bit-for-bit identical under both approaches, only
+    smaller.  Term counts, predicate sizes, and build time are recorded
+    in the active metrics registry.
     """
+    started = time.perf_counter()
     actions = list(specification.actions)
     if not actions:
         schema = None
@@ -76,6 +102,11 @@ def disjoint_actions(
         granularity: disjunction([a.predicate for a in groups[granularity]])
         for granularity in groups
     }
+    metrics = get_registry()
+    dimensions = specification.dimensions
+    prover = specification.prover_config
+    kept_terms = 0
+    pruned_terms = 0
     for index, granularity in enumerate(ordered):
         higher = [
             g
@@ -83,9 +114,15 @@ def disjoint_actions(
             if g != granularity
             and schema.le_granularity(granularity, g)
         ]
-        negations: list[Predicate] = [
-            Not(raw_predicates[g]) for g in higher
-        ]
+        negations: list[Predicate] = []
+        for g in higher:
+            if prune and negation_prunable(
+                groups[granularity], groups[g], granularity, dimensions, prover
+            ):
+                pruned_terms += 1
+                continue
+            kept_terms += 1
+            negations.append(Not(raw_predicates[g]))
         predicate = conjunction([raw_predicates[granularity], *negations])
         cubes.append(
             DisjointAction(
@@ -97,9 +134,11 @@ def disjoint_actions(
         )
 
     bottom = schema.bottom_granularity()
+    # Residual negations have no positive anchor to make pruning sound.
     residual_negations: list[Predicate] = [
         Not(raw_predicates[g]) for g in ordered if g != bottom
     ]
+    kept_terms += len(residual_negations)
     residual_predicate = (
         conjunction(residual_negations)
         if residual_negations
@@ -126,7 +165,23 @@ def disjoint_actions(
             ),
         )
 
-    return tuple(_with_parents(cubes, schema))
+    out = tuple(_with_parents(cubes, schema))
+    if kept_terms:
+        metrics.counter(
+            DISJOINT_NEGATIONS, {"status": "kept"}, help=_HELP_NEGATIONS
+        ).inc(kept_terms)
+    if pruned_terms:
+        metrics.counter(
+            DISJOINT_NEGATIONS, {"status": "pruned"}, help=_HELP_NEGATIONS
+        ).inc(pruned_terms)
+    for cube in out:
+        metrics.gauge(
+            DISJOINT_ATOMS, {"cube": cube.name}, help=_HELP_ATOMS
+        ).set(len(list(cube.predicate.atoms())))
+    metrics.histogram(
+        DISJOINT_BUILD_SECONDS, help=_HELP_BUILD
+    ).observe(time.perf_counter() - started)
+    return out
 
 
 def _with_parents(cubes: list[DisjointAction], schema) -> list[DisjointAction]:

@@ -16,6 +16,7 @@ from .diagnostics import Diagnostic, LintResult, Region, Severity
 from .engine import (
     LintContext,
     SpecEntry,
+    bind_sources,
     lint_actions,
     lint_paths,
     lint_sources,
@@ -43,6 +44,7 @@ __all__ = [
     "RULES",
     "Severity",
     "SpecEntry",
+    "bind_sources",
     "lint_actions",
     "lint_document_measures",
     "lint_paths",

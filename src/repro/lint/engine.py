@@ -350,6 +350,24 @@ def lint_sources(
     be ``None`` for in-memory input.  *document* is the raw MO JSON
     document (if one was loaded), which enables the measure-level rules.
     """
+    ctx, diagnostics = bind_sources(sources, schema, dimensions, config)
+    diagnostics.extend(_run_checkers(ctx))
+    diagnostics.extend(lint_document_measures(document, mo_file))
+    return LintResult.of(diagnostics)
+
+
+def bind_sources(
+    sources: Sequence[tuple[str | None, str]],
+    schema: FactSchema,
+    dimensions: Mapping[str, Dimension] | None = None,
+    config: ProverConfig | None = None,
+) -> tuple[LintContext, list[Diagnostic]]:
+    """Parse and bind spec sources without running the checkers.
+
+    Returns the bound context (``ctx.bound`` holds the usable actions)
+    and the front-end diagnostics — the entry point for consumers that
+    want the lint engine's error-tolerant parser, like ``repro analyze``.
+    """
     entries: list[SpecEntry] = []
     diagnostics: list[Diagnostic] = []
     for file, text in sources:
@@ -363,9 +381,7 @@ def lint_sources(
     )
     _resolve_and_bind(ctx, diagnostics)
     _check_duplicate_names(ctx, diagnostics)
-    diagnostics.extend(_run_checkers(ctx))
-    diagnostics.extend(lint_document_measures(document, mo_file))
-    return LintResult.of(diagnostics)
+    return ctx, diagnostics
 
 
 def lint_paths(

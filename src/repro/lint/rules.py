@@ -20,19 +20,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
+from ..analysis.boxes import profile_contained
+from ..analysis.matrix import Verdict, relationship_matrix
+from ..analysis.reach import reachability
 from ..checks.growing import check_growing
 from ..checks.noncrossing import check_noncrossing
-from ..checks.prover import (
-    categorical_regions,
-    profiles_overlap,
-    region_is_symbolic,
-    sample_times,
-)
+from ..checks.prover import profiles_overlap
+from ..core.hierarchy import is_top
 from ..core.measures import resolve_aggregate
-from ..errors import MeasureError
+from ..errors import MeasureError, ReproError
+from ..spec.action import is_time_dimension_type
 from ..spec.ast import Atom, union_spans
-from ..spec.ranges import ConjunctProfile, window_at, window_contains
-from ..timedim.now import NowRelative
+from ..timedim.calendar import first_day, last_day
+from ..timedim.now import AbsoluteTime, NowRelative
 from .diagnostics import Diagnostic, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -199,6 +199,50 @@ _RULE_DEFS = (
         "Section 3",
         hint="use a distributive aggregate (sum, count, min, max)",
     ),
+    Rule(
+        "SDR201",
+        "dead-action",
+        Severity.WARNING,
+        "The action is satisfiable, but the union of coarser-or-equal "
+        "actions always claims every cell it admits, so it never "
+        "determines a fact's granularity.",
+        "Sections 4.2 and 7.1 (union coverage)",
+        hint="delete the action or narrow the covering actions' "
+        "predicates",
+    ),
+    Rule(
+        "SDR202",
+        "shadowed-disjunct",
+        Severity.WARNING,
+        "One disjunct of the predicate is always claimed by a "
+        "coarser-or-equal action and contributes nothing.",
+        "Section 5.3 (DNF pre-processing)",
+    ),
+    Rule(
+        "SDR203",
+        "overlapping-same-granularity",
+        Severity.INFO,
+        "Two actions at the same target granularity provably admit a "
+        "common cell; their subcubes merge and cannot shard apart.",
+        "Section 7.1",
+    ),
+    Rule(
+        "SDR204",
+        "vacuous-atom",
+        Severity.INFO,
+        "A predicate atom constrains nothing: it admits every value of "
+        "its category, excludes a value the dimension does not have, or "
+        "is subsumed by a tighter absolute bound in the same conjunct.",
+        "Section 4.1, Table 1",
+    ),
+    Rule(
+        "SDR205",
+        "always-true-residual",
+        Severity.WARNING,
+        "Every action predicate is unsatisfiable, so the residual claims "
+        "all facts and the specification never changes anything.",
+        "Section 7.1 (the residual action)",
+    ),
 )
 
 #: Stable code -> rule, in catalog order.
@@ -313,58 +357,15 @@ def check_unsatisfiable(ctx: "LintContext") -> Iterator[Diagnostic]:
 # SDR106 — dead / shadowed actions
 # ----------------------------------------------------------------------
 
-def _window_modelled_exactly(profile: ConjunctProfile) -> bool:
-    """Whether ``window_at`` is exact (not an over-approximation) for the
-    profile: only plain comparisons, no membership hulls or exclusions."""
-    return all(
-        atom.op in ("<", "<=", ">", ">=", "=") for atom in profile.time_atoms
-    )
+def _single_container_shadowed(ctx: "LintContext") -> dict[str, str]:
+    """Actions with one coarser action containing every live disjunct —
+    the SDR106 condition, shared with the SDR2xx family so the analyzer
+    rules can defer to the simpler finding when it applies.
 
-
-def _region_contained(
-    inner: ConjunctProfile,
-    outer: ConjunctProfile,
-    ctx: "LintContext",
-) -> bool:
-    """Prove the inner categorical region is inside the outer one."""
-    inner_regions = categorical_regions(inner, ctx.dimensions)
-    outer_regions = categorical_regions(outer, ctx.dimensions)
-    for name, outer_region in outer_regions.items():
-        if outer_region is None:
-            continue  # outer unconstrained in this dimension
-        if region_is_symbolic(outer_region):
-            return False  # cannot prove coverage with an ungrounded region
-        inner_region = inner_regions.get(name)
-        if inner_region is None or region_is_symbolic(inner_region):
-            return False
-        if not inner_region <= outer_region:
-            return False
-    return True
-
-
-def _profile_contained(
-    inner: ConjunctProfile,
-    outer: ConjunctProfile,
-    ctx: "LintContext",
-) -> bool:
-    if outer.unmodelled_atoms or not _window_modelled_exactly(outer):
-        return False  # the outer region would be an over-approximation
-    if not _region_contained(inner, outer, ctx):
-        return False
-    for t in sample_times((inner, outer), ctx.prover):
-        inner_window = window_at(inner, t)
-        outer_window = window_at(outer, t)
-        if inner_window is None:
-            if outer_window is not None:
-                return False
-            continue
-        if not window_contains(outer_window, inner_window):
-            return False
-    return True
-
-
-@checker("SDR106")
-def check_shadowed(ctx: "LintContext") -> Iterator[Diagnostic]:
+    Containment proofs live in :mod:`repro.analysis.boxes`; lint and the
+    semantic analyzer share one implementation.
+    """
+    out: dict[str, str] = {}
     bound = ctx.bound
     for i, entry in enumerate(bound):
         action = entry.action
@@ -389,19 +390,26 @@ def check_shadowed(ctx: "LintContext") -> Iterator[Diagnostic]:
                 continue  # unsatisfiable actions are SDR104's business
             if all(
                 any(
-                    _profile_contained(p, q, ctx)
+                    profile_contained(p, q, ctx.dimensions, ctx.prover)
                     for q in other_entry.profiles
                 )
                 for p in live
             ):
-                yield ctx.diagnostic(
-                    "SDR106",
-                    f"action {action.name!r} is shadowed by "
-                    f"{other.name!r}: every cell it selects is always "
-                    "claimed at a granularity at least as coarse",
-                    entry=entry,
-                )
+                out[action.name] = other.name
                 break
+    return out
+
+
+@checker("SDR106")
+def check_shadowed(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for name, container in _single_container_shadowed(ctx).items():
+        yield ctx.diagnostic(
+            "SDR106",
+            f"action {name!r} is shadowed by "
+            f"{container!r}: every cell it selects is always "
+            "claimed at a granularity at least as coarse",
+            entry=ctx.entry_for(name),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -529,6 +537,244 @@ def check_bottom_noop(ctx: "LintContext") -> Iterator[Diagnostic]:
                 "granularity in every dimension and never changes a fact",
                 entry=entry,
             )
+
+
+# ----------------------------------------------------------------------
+# SDR201 / SDR202 — semantic-analyzer reachability findings
+# ----------------------------------------------------------------------
+
+@checker("SDR201")
+def check_dead_action(ctx: "LintContext") -> Iterator[Diagnostic]:
+    bound = ctx.bound
+    if len(bound) < 2:
+        return
+    shadowed = _single_container_shadowed(ctx)
+    actions = [entry.action for entry in bound]
+    result = reachability(actions, ctx.dimensions, ctx.prover)
+    for name, catchers in result.dead.items():
+        if name in shadowed:
+            continue  # the single-container case is SDR106's finding
+        covered_by = ", ".join(repr(c) for c in catchers)
+        yield ctx.diagnostic(
+            "SDR201",
+            f"action {name!r} is dead: the union of {covered_by} always "
+            "claims every cell it admits",
+            entry=ctx.entry_for(name),
+        )
+
+
+@checker("SDR202")
+def check_shadowed_disjunct(ctx: "LintContext") -> Iterator[Diagnostic]:
+    bound = ctx.bound
+    if len(bound) < 2:
+        return
+    shadowed = _single_container_shadowed(ctx)
+    for i, entry in enumerate(bound):
+        action = entry.action
+        assert action is not None
+        if action.name in shadowed:
+            continue  # the whole action is SDR106's finding
+        conjuncts = action.conjuncts()
+        if len(conjuncts) < 2:
+            continue  # a single disjunct would shadow the whole action
+        for atoms, profile in zip(conjuncts, entry.profiles):
+            if not profiles_overlap(
+                profile, profile, ctx.dimensions, ctx.prover
+            ):
+                continue  # unsatisfiable disjuncts are SDR105's business
+            container = None
+            for j, other_entry in enumerate(bound):
+                if i == j:
+                    continue
+                other = other_entry.action
+                assert other is not None
+                if not action.le(other):
+                    continue
+                if action.cat() == other.cat() and j > i:
+                    continue
+                if any(
+                    profile_contained(profile, q, ctx.dimensions, ctx.prover)
+                    for q in other_entry.profiles
+                ):
+                    container = other.name
+                    break
+            if container is not None:
+                rendered = " AND ".join(str(a) for a in atoms)
+                yield ctx.diagnostic(
+                    "SDR202",
+                    f"disjunct [{rendered}] of action {action.name!r} is "
+                    f"always claimed by {container!r} and contributes "
+                    "nothing",
+                    entry=entry,
+                    span=union_spans([a.span for a in atoms]),
+                )
+
+
+# ----------------------------------------------------------------------
+# SDR203 — same-granularity overlaps from the relationship matrix
+# ----------------------------------------------------------------------
+
+@checker("SDR203")
+def check_same_granularity_overlap(
+    ctx: "LintContext",
+) -> Iterator[Diagnostic]:
+    bound = ctx.bound
+    actions = [entry.action for entry in bound]
+    pairs = [
+        (a, b)
+        for i, a in enumerate(actions)
+        for b in actions[i + 1:]
+        if a is not None and b is not None and a.cat() == b.cat()
+    ]
+    if not pairs:
+        return
+    matrix = relationship_matrix(actions, ctx.dimensions, ctx.prover)
+    for a, b in pairs:
+        relation = matrix.get(a.name, b.name)
+        if relation is None or relation.verdict is not Verdict.OVERLAPPING:
+            continue
+        detail = ""
+        if relation.witness is not None:
+            witness = relation.witness
+            cell = ", ".join(f"{k}={v}" for k, v in witness.cell)
+            detail = (
+                f" (witness at {witness.at.isoformat()}"
+                + (f": {cell}" if cell else "")
+                + ")"
+            )
+        yield ctx.diagnostic(
+            "SDR203",
+            f"actions {a.name!r} and {b.name!r} target the same "
+            f"granularity and provably admit a common cell{detail}; "
+            "their subcubes merge and cannot shard apart",
+            entry=ctx.entry_for(b.name) or ctx.entry_for(a.name),
+        )
+
+
+# ----------------------------------------------------------------------
+# SDR204 — vacuous predicate atoms
+# ----------------------------------------------------------------------
+
+def _vacuous_categorical(
+    ctx: "LintContext", action, atom: Atom
+) -> str | None:
+    name = atom.ref.dimension
+    if is_time_dimension_type(action.schema.dimension_type(name)):
+        return None
+    if ctx.dimensions is None or name not in ctx.dimensions:
+        return None
+    category = atom.ref.category
+    if is_top(category):
+        return None
+    try:
+        domain = ctx.dimensions[name].values(category)
+    except ReproError:
+        return None
+    values = {term for term in atom.terms if isinstance(term, str)}
+    if len(values) != len(atom.terms):
+        return None  # symbolic terms cannot be grounded
+    if atom.op in ("=", "in") and domain and domain <= values:
+        return (
+            f"[{atom}] in action {action.name!r} admits every "
+            f"{category!r} value of dimension {name!r} and constrains "
+            "nothing"
+        )
+    if atom.op == "!=" and not (values & domain):
+        return (
+            f"[{atom}] in action {action.name!r} excludes only values "
+            f"the {name!r} dimension does not have"
+        )
+    return None
+
+
+def _absolute_day_bounds(
+    atoms: Iterable[Atom],
+) -> Iterator[tuple[Atom, str, int]]:
+    """Comparison atoms bounding by an absolute time value, as
+    ``(atom, direction, inclusive day ordinal of the bound)``."""
+    for atom in atoms:
+        if atom.op in ("<", "<="):
+            direction = "upper"
+        elif atom.op in (">", ">="):
+            direction = "lower"
+        else:
+            continue
+        term = atom.terms[0]
+        if not isinstance(term, AbsoluteTime):
+            continue
+        if direction == "upper":
+            day = last_day(term.category, term.value).toordinal()
+            if atom.op == "<":
+                day -= 1
+        else:
+            day = first_day(term.category, term.value).toordinal()
+            if atom.op == ">":
+                day += 1
+        yield atom, direction, day
+
+
+@checker("SDR204")
+def check_vacuous_atom(ctx: "LintContext") -> Iterator[Diagnostic]:
+    for entry in ctx.bound:
+        action = entry.action
+        assert action is not None
+        seen: set[Atom] = set()
+        for atom in action.atoms():
+            if atom in seen:
+                continue
+            seen.add(atom)
+            message = _vacuous_categorical(ctx, action, atom)
+            if message:
+                yield ctx.diagnostic(
+                    "SDR204", message, entry=entry, span=atom.span
+                )
+        for atoms in action.conjuncts():
+            groups: dict[tuple[str, str], list[tuple[Atom, int]]] = {}
+            for atom, direction, day in _absolute_day_bounds(atoms):
+                key = (atom.ref.dimension, direction)
+                groups.setdefault(key, []).append((atom, day))
+            for (_, direction), members in groups.items():
+                if len(members) < 2:
+                    continue
+                days = [day for _, day in members]
+                best = min(days) if direction == "upper" else max(days)
+                for atom, day in members:
+                    if day == best:
+                        continue
+                    yield ctx.diagnostic(
+                        "SDR204",
+                        f"bound [{atom}] in action {action.name!r} is "
+                        "subsumed by a tighter absolute bound in the "
+                        "same conjunct",
+                        entry=entry,
+                        span=atom.span,
+                    )
+
+
+# ----------------------------------------------------------------------
+# SDR205 — specifications whose residual is the whole cube
+# ----------------------------------------------------------------------
+
+@checker("SDR205")
+def check_always_true_residual(ctx: "LintContext") -> Iterator[Diagnostic]:
+    bound = ctx.bound
+    if len(bound) < 2:
+        return  # with one action, SDR104 already tells the whole story
+    for entry in bound:
+        if any(
+            profiles_overlap(p, p, ctx.dimensions, ctx.prover)
+            for p in entry.profiles
+        ):
+            return
+    names = ", ".join(
+        repr(entry.action.name) for entry in bound if entry.action
+    )
+    yield ctx.diagnostic(
+        "SDR205",
+        f"every action predicate is unsatisfiable ({names}); the "
+        "residual claims all facts and the specification never changes "
+        "anything",
+    )
 
 
 # ----------------------------------------------------------------------

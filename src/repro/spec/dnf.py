@@ -31,6 +31,12 @@ _NEGATED_OP = {
     "!=": "=",
 }
 
+#: Default ceiling on the number of DNF conjuncts produced for one
+#: predicate.  AND-over-OR distribution is exponential in the worst case;
+#: the guard turns an adversarial nested predicate into a clear error
+#: instead of an unbounded blow-up.
+MAX_DNF_TERMS = 4096
+
 
 def negate(predicate: Predicate) -> Predicate:
     """Push one negation inward (NNF step)."""
@@ -73,32 +79,47 @@ def to_nnf(predicate: Predicate) -> Predicate:
     return predicate
 
 
-def to_dnf(predicate: Predicate) -> list[tuple[Atom, ...]]:
+def to_dnf(
+    predicate: Predicate, max_terms: int | None = None
+) -> list[tuple[Atom, ...]]:
     """The DNF as a list of conjuncts (each a tuple of atoms).
 
     ``[]`` encodes FALSE; ``[()]`` encodes TRUE (one empty conjunct).
-    Duplicate atoms within a conjunct and duplicate conjuncts collapse.
+    Duplicate atoms within a conjunct and duplicate conjuncts collapse
+    (conjunct identity ignores atom order, so ``A AND B`` and ``B AND A``
+    are one disjunct).  The conversion refuses with a clear
+    :class:`SpecSemanticsError` once the distribution exceeds *max_terms*
+    conjuncts (default :data:`MAX_DNF_TERMS`).
     """
+    limit = MAX_DNF_TERMS if max_terms is None else max_terms
     nnf = to_nnf(predicate)
-    conjuncts = _dnf(nnf)
-    seen: set[tuple[Atom, ...]] = set()
+    conjuncts = _dnf(nnf, limit)
+    seen: set[frozenset[Atom]] = set()
     out: list[tuple[Atom, ...]] = []
     for conjunct in conjuncts:
         unique_atoms: list[Atom] = []
         for atom in conjunct:
             if atom not in unique_atoms:
                 unique_atoms.append(atom)
-        key = tuple(unique_atoms)
+        key = frozenset(unique_atoms)
         if key not in seen:
             seen.add(key)
-            out.append(key)
+            out.append(tuple(unique_atoms))
     # TRUE absorbs everything else.
     if any(not conjunct for conjunct in out):
         return [()]
     return out
 
 
-def _dnf(predicate: Predicate) -> list[tuple[Atom, ...]]:
+def _guard(count: int, limit: int) -> None:
+    if count > limit:
+        raise SpecSemanticsError(
+            f"predicate expands to more than {limit} DNF conjuncts; "
+            "simplify the predicate or raise the max_terms guard"
+        )
+
+
+def _dnf(predicate: Predicate, limit: int) -> list[tuple[Atom, ...]]:
     if isinstance(predicate, TruePredicate):
         return [()]
     if isinstance(predicate, FalsePredicate):
@@ -108,12 +129,14 @@ def _dnf(predicate: Predicate) -> list[tuple[Atom, ...]]:
     if isinstance(predicate, Or):
         out: list[tuple[Atom, ...]] = []
         for operand in predicate.operands:
-            out.extend(_dnf(operand))
+            out.extend(_dnf(operand, limit))
+            _guard(len(out), limit)
         return out
     if isinstance(predicate, And):
         product: list[tuple[Atom, ...]] = [()]
         for operand in predicate.operands:
-            parts = _dnf(operand)
+            parts = _dnf(operand, limit)
+            _guard(len(product) * len(parts), limit)
             product = [
                 existing + new for existing in product for new in parts
             ]

@@ -5,6 +5,7 @@ from .clickstream import (
     build_clickstream_mo,
     build_url_dimension,
     generate_clicks,
+    grouped_retention_actions,
     tiered_retention_actions,
 )
 from .retail import (
@@ -23,6 +24,7 @@ __all__ = [
     "build_url_dimension",
     "generate_clicks",
     "generate_sales",
+    "grouped_retention_actions",
     "introduction_policy_actions",
     "make_rng",
     "tiered_retention_actions",

@@ -135,3 +135,41 @@ def tiered_retention_actions(
         "to_year",
     )
     return [month_action, year_action]
+
+
+def grouped_retention_actions(
+    mo: MultidimensionalObject,
+    detail_months: int = 3,
+    coarse_years: int = 2,
+) -> list:
+    """A per-group retention policy with statically separable tiers.
+
+    ``.com`` traffic keeps domain detail at monthly resolution, ``.edu``
+    traffic only group detail, and everything folds to yearly sums after
+    *coarse_years*.  The ``.com``/``.edu`` month tiers constrain the same
+    category with disjoint constants, so the disjoint transform can
+    statically prove their negation terms redundant
+    (:mod:`repro.analysis.pruning`) — the workload the reduction benchmark
+    uses to measure predicate-size deltas.
+    """
+    from ..spec.action import Action
+
+    com_action = Action.parse(
+        mo.schema,
+        "a[Time.month, URL.domain] o[URL.domain_grp = '.com' AND "
+        f"Time.month <= NOW - {detail_months} months]",
+        "to_month_com",
+    )
+    edu_action = Action.parse(
+        mo.schema,
+        "a[Time.month, URL.domain_grp] o[URL.domain_grp = '.edu' AND "
+        f"Time.month <= NOW - {detail_months} months]",
+        "to_month_edu",
+    )
+    year_action = Action.parse(
+        mo.schema,
+        "a[Time.year, URL.domain_grp] "
+        f"o[Time.year <= NOW - {coarse_years} years]",
+        "to_year",
+    )
+    return [com_action, edu_action, year_action]

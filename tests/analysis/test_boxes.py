@@ -1,0 +1,112 @@
+"""Unit tests for the box domain: exactness, regions, containment."""
+
+import datetime as dt
+
+from repro.analysis import (
+    box_is_exact,
+    boxes_of,
+    profile_contained,
+    region_contained,
+    window_modelled_exactly,
+)
+from repro.checks.prover import ProverConfig
+from repro.spec.action import Action
+from repro.spec.ranges import profiles_of
+
+PROVER = ProverConfig(reference=dt.date(2001, 1, 1), horizon_years=2)
+
+COM_URLS = frozenset(
+    {
+        "http://www.cnn.com/",
+        "http://www.cnn.com/health",
+        "http://www.amazon.com/exec/obidos/tg/browse/",
+    }
+)
+
+
+def act(mo, name, granularity, predicate):
+    text = f"p(a[{granularity}] o[{predicate}](O))"
+    return Action.parse(mo.schema, text, name)
+
+
+class TestBoxes:
+    def test_one_box_per_disjunct(self, paper_mo):
+        action = act(
+            paper_mo,
+            "x",
+            "Time.month, URL.domain",
+            "URL.domain = 'cnn.com' OR URL.domain = 'gatech.edu'",
+        )
+        boxes = boxes_of(action, paper_mo.dimensions)
+        assert len(boxes) == 2
+        assert all(box.action is action for box in boxes)
+
+    def test_region_grounds_to_bottom_values(self, paper_mo):
+        action = act(
+            paper_mo, "x", "Time.month, URL.domain", "URL.domain_grp = '.com'"
+        )
+        box = boxes_of(action, paper_mo.dimensions)[0]
+        assert box.regions == {"URL": COM_URLS}
+
+    def test_unconstrained_dimension_is_none(self, paper_mo):
+        action = act(
+            paper_mo, "x", "Time.month, URL.domain", "Time.month <= '1999/12'"
+        )
+        box = boxes_of(action, paper_mo.dimensions)[0]
+        assert box.regions == {"URL": None}
+
+    def test_exact_box(self, paper_mo):
+        action = act(
+            paper_mo,
+            "x",
+            "Time.month, URL.domain",
+            "URL.domain_grp = '.com' AND Time.month <= NOW - 6 months",
+        )
+        box = boxes_of(action, paper_mo.dimensions)[0]
+        assert box_is_exact(box)
+        assert window_modelled_exactly(box.profile)
+
+    def test_symbolic_region_is_not_exact(self, paper_mo):
+        action = act(
+            paper_mo, "x", "Time.month, URL.domain", "URL.domain_grp = '.com'"
+        )
+        # Without dimension instances the region cannot be grounded.
+        box = boxes_of(action, None)[0]
+        assert not box_is_exact(box)
+
+
+class TestContainment:
+    def profile(self, mo, predicate):
+        action = act(mo, "x", "Time.month, URL.domain", predicate)
+        return profiles_of(action)[0]
+
+    def test_region_containment(self, paper_mo):
+        inner = self.profile(paper_mo, "URL.domain = 'cnn.com'")
+        outer = self.profile(paper_mo, "URL.domain_grp = '.com'")
+        assert region_contained(inner, outer, paper_mo.dimensions)
+        assert not region_contained(outer, inner, paper_mo.dimensions)
+
+    def test_unconstrained_outer_contains_anything(self, paper_mo):
+        inner = self.profile(paper_mo, "URL.domain = 'cnn.com'")
+        outer = self.profile(paper_mo, "Time.month <= '1999/12'")
+        assert region_contained(inner, outer, paper_mo.dimensions)
+
+    def test_profile_containment_needs_window_too(self, paper_mo):
+        inner = self.profile(
+            paper_mo,
+            "URL.domain = 'cnn.com' AND Time.month <= NOW - 12 months",
+        )
+        outer = self.profile(
+            paper_mo,
+            "URL.domain_grp = '.com' AND Time.month <= NOW - 6 months",
+        )
+        # The inner window (older than 12 months) sits inside the outer
+        # (older than 6 months) at every evaluation time.
+        assert profile_contained(inner, outer, paper_mo.dimensions, PROVER)
+        assert not profile_contained(outer, inner, paper_mo.dimensions, PROVER)
+
+    def test_symbolic_outer_refused(self, paper_mo):
+        inner = self.profile(paper_mo, "URL.domain = 'cnn.com'")
+        outer = self.profile(paper_mo, "URL.domain_grp = '.com'")
+        # Ungrounded outer regions must refuse, not guess.
+        assert not profile_contained(inner, outer, None, PROVER)

@@ -1,0 +1,89 @@
+"""Unit tests for the independence certificate over disjoint cubes."""
+
+import datetime as dt
+
+from repro.analysis import independence_report
+from repro.checks.prover import ProverConfig
+from repro.engine.disjoint import disjoint_actions
+from repro.spec.action import Action
+from repro.spec.specification import ReductionSpecification
+
+PROVER = ProverConfig(reference=dt.date(2001, 1, 1), horizon_years=2)
+
+
+def act(mo, name, granularity, predicate):
+    text = f"p(a[{granularity}] o[{predicate}](O))"
+    return Action.parse(mo.schema, text, name)
+
+
+def report_for(mo, *specs):
+    actions = [
+        act(mo, name, granularity, predicate)
+        for name, granularity, predicate in specs
+    ]
+    specification = ReductionSpecification(
+        tuple(actions), mo.dimensions, validate=False
+    )
+    cubes = disjoint_actions(specification)
+    by_name = {action.name: action for action in actions}
+    return independence_report(cubes, by_name, mo.dimensions, PROVER)
+
+
+class TestCertificate:
+    def test_value_separated_cubes_independent(self, paper_mo):
+        report = report_for(
+            paper_mo,
+            ("com", "Time.month, URL.domain", "URL.domain_grp = '.com'"),
+            ("edu", "Time.year, URL.domain_grp", "URL.domain_grp = '.edu'"),
+        )
+        cubes = [name for name in report.cubes if name != "K0"]
+        assert len(cubes) == 2
+        pair = report.pair(cubes[0], cubes[1])
+        assert pair is not None and pair.independent
+        assert pair.separating_dimensions == ("URL",)
+
+    def test_residual_depends_on_everything(self, paper_mo):
+        report = report_for(
+            paper_mo,
+            ("com", "Time.month, URL.domain", "URL.domain_grp = '.com'"),
+            ("edu", "Time.year, URL.domain_grp", "URL.domain_grp = '.edu'"),
+        )
+        residual_pairs = [
+            pair
+            for pair in report.pairs
+            if "K0" in (pair.first, pair.second)
+        ]
+        assert residual_pairs
+        assert all(not pair.independent for pair in residual_pairs)
+        # The residual welds all cubes into one shard group.
+        assert report.shard_groups == (tuple(sorted(report.cubes)),)
+
+    def test_overlapping_value_regions_dependent(self, paper_mo):
+        report = report_for(
+            paper_mo,
+            ("com", "Time.month, URL.domain", "URL.domain_grp = '.com'"),
+            ("cnn", "Time.year, URL.domain", "URL.domain = 'cnn.com'"),
+        )
+        cubes = [name for name in report.cubes if name != "K0"]
+        pair = report.pair(cubes[0], cubes[1])
+        assert pair is not None and not pair.independent
+
+    def test_to_dict_shape(self, paper_mo):
+        report = report_for(
+            paper_mo,
+            ("com", "Time.month, URL.domain", "URL.domain_grp = '.com'"),
+            ("edu", "Time.year, URL.domain_grp", "URL.domain_grp = '.edu'"),
+        )
+        payload = report.to_dict()
+        assert sorted(payload) == ["cubes", "pairs", "shard_groups"]
+        assert all(
+            sorted(pair)
+            == [
+                "first",
+                "independent",
+                "reason",
+                "second",
+                "separating_dimensions",
+            ]
+            for pair in payload["pairs"]
+        )

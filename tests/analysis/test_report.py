@@ -1,0 +1,98 @@
+"""Unit tests for the bundled SpecAnalysis report."""
+
+import datetime as dt
+import json
+
+from repro.analysis import (
+    ANALYSIS_SCHEMA,
+    analyze_actions,
+    analyze_specification,
+)
+from repro.checks.prover import ProverConfig
+from repro.spec.action import Action
+
+PROVER = ProverConfig(reference=dt.date(2001, 1, 1), horizon_years=2)
+
+
+def act(mo, name, granularity, predicate):
+    text = f"p(a[{granularity}] o[{predicate}](O))"
+    return Action.parse(mo.schema, text, name)
+
+
+class TestAnalyzeSpecification:
+    def test_paper_spec_bundle(self, paper_spec):
+        analysis = analyze_specification(paper_spec)
+        assert analysis.actions == ("a1", "a2")
+        assert len(analysis.matrix.pairs()) == 1
+        assert set(analysis.reach.live) == {"a1", "a2"}
+        assert len(analysis.costs) == 2
+        assert analysis.independence is not None
+
+    def test_to_dict_is_json_serializable(self, paper_spec):
+        payload = analyze_specification(paper_spec).to_dict()
+        assert payload["schema"] == ANALYSIS_SCHEMA
+        assert payload["actions"] == ["a1", "a2"]
+        assert set(payload) == {
+            "schema",
+            "reference",
+            "horizon_years",
+            "actions",
+            "matrix",
+            "reachability",
+            "costs",
+            "independence",
+        }
+        json.dumps(payload)  # must not raise
+
+    def test_render_text_sections(self, paper_spec):
+        text = analyze_specification(paper_spec).render_text()
+        assert "Action-relationship matrix:" in text
+        assert "Reachability:" in text
+        assert "Cost estimates" in text
+        assert "Independence certificate:" in text
+
+
+class TestAnalyzeActions:
+    def test_empty_action_list(self, paper_mo):
+        analysis = analyze_actions([], paper_mo.dimensions, PROVER)
+        assert analysis.actions == ()
+        assert analysis.independence is None
+        assert "(fewer than two actions)" in analysis.render_text()
+
+    def test_reach_findings_rendered(self, paper_mo):
+        actions = [
+            act(
+                paper_mo,
+                "never",
+                "Time.month, URL.domain",
+                "URL.domain_grp = '.com' AND URL.domain_grp = '.edu'",
+            ),
+            act(
+                paper_mo,
+                "com",
+                "Time.month, URL.domain_grp",
+                "URL.domain_grp = '.com'",
+            ),
+            act(
+                paper_mo,
+                "edu",
+                "Time.month, URL.domain_grp",
+                "URL.domain_grp = '.edu'",
+            ),
+            act(paper_mo, "victim", "Time.month, URL.domain_grp", "TRUE"),
+        ]
+        analysis = analyze_actions(actions, paper_mo.dimensions, PROVER)
+        assert analysis.reach.unsatisfiable == ("never",)
+        assert analysis.reach.dead == {"victim": ("com", "edu")}
+        text = analysis.render_text()
+        assert "unsatisfiable: never" in text
+        assert "dead: victim (union-covered by com, edu)" in text
+
+    def test_config_threads_through(self, paper_mo):
+        analysis = analyze_actions(
+            [act(paper_mo, "all", "Time.month, URL.domain", "TRUE")],
+            paper_mo.dimensions,
+            PROVER,
+        )
+        assert analysis.reference == PROVER.reference
+        assert analysis.horizon_years == PROVER.horizon_years

@@ -1,0 +1,89 @@
+"""Unit tests for semantic pruning of disjoint negation terms."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.disjoint import DISJOINT_NEGATIONS, disjoint_actions
+from repro.experiments.paper_example import build_paper_mo
+from repro.obs import metrics as obs_metrics
+from repro.spec.predicate import satisfies
+from repro.spec.specification import ReductionSpecification
+from repro.workload import grouped_retention_actions
+
+EVAL_TIMES = (
+    dt.date(2000, 4, 5),
+    dt.date(2000, 11, 5),
+    dt.date(2001, 6, 1),
+)
+
+
+@pytest.fixture
+def mo():
+    return build_paper_mo()
+
+
+@pytest.fixture
+def grouped_spec(mo):
+    # The .com and .edu month tiers constrain URL.domain_grp with
+    # disjoint constants, so pruning has something to prove.
+    return ReductionSpecification(
+        grouped_retention_actions(mo, detail_months=3, coarse_years=2),
+        mo.dimensions,
+    )
+
+
+def atom_count(cubes):
+    return sum(len(list(cube.predicate.atoms())) for cube in cubes)
+
+
+class TestPruning:
+    def test_pruning_shrinks_predicates(self, grouped_spec):
+        pruned = disjoint_actions(grouped_spec)
+        unpruned = disjoint_actions(grouped_spec, prune=False)
+        assert atom_count(pruned) < atom_count(unpruned)
+
+    def test_metrics_record_outcomes(self, grouped_spec):
+        registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.use_registry(registry):
+            disjoint_actions(grouped_spec)
+        kept = registry.value(DISJOINT_NEGATIONS, {"status": "kept"})
+        dropped = registry.value(DISJOINT_NEGATIONS, {"status": "pruned"})
+        assert dropped and dropped >= 1
+        assert kept and kept >= 1
+
+    def test_residual_negations_never_pruned(self, grouped_spec):
+        pruned = disjoint_actions(grouped_spec)
+        unpruned = disjoint_actions(grouped_spec, prune=False)
+        residual = next(cube for cube in pruned if cube.is_residual)
+        baseline = next(cube for cube in unpruned if cube.is_residual)
+        assert residual.predicate == baseline.predicate
+
+    @pytest.mark.parametrize("at", EVAL_TIMES)
+    def test_pruned_partition_is_bit_for_bit_identical(
+        self, mo, grouped_spec, at
+    ):
+        pruned = disjoint_actions(grouped_spec)
+        unpruned = disjoint_actions(grouped_spec, prune=False)
+        by_name = {cube.name: cube for cube in unpruned}
+        for cube in pruned:
+            baseline = by_name[cube.name]
+            for fact_id in mo.facts():
+                assert satisfies(
+                    mo, fact_id, cube.predicate, at
+                ) == satisfies(mo, fact_id, baseline.predicate, at), (
+                    cube.name,
+                    fact_id,
+                    at,
+                )
+
+    def test_paper_spec_has_nothing_to_prune(self, mo):
+        # a1/a2 are not statically separable: pruning must not touch them.
+        from repro.experiments.paper_example import paper_specification
+
+        spec = paper_specification(mo)
+        pruned = disjoint_actions(spec)
+        unpruned = disjoint_actions(spec, prune=False)
+        assert [c.predicate for c in pruned] == [
+            c.predicate for c in unpruned
+        ]

@@ -119,3 +119,41 @@ class TestDnfPredicate:
 
     def test_false_rebuilds_to_false(self):
         assert isinstance(dnf_predicate(FalsePredicate()), FalsePredicate)
+
+
+class TestTermGuard:
+    def blowup(self, clauses):
+        # (a1 OR b1) AND (a2 OR b2) AND ... distributes to 2^n conjuncts.
+        parts = [
+            f"(Time.year = '199{i % 10}' OR URL.domain = 'd{i}')"
+            for i in range(clauses)
+        ]
+        return parse_predicate(" AND ".join(parts))
+
+    def test_under_the_limit_expands(self):
+        assert len(to_dnf(self.blowup(4), max_terms=16)) == 16
+
+    def test_over_the_limit_refuses(self):
+        import pytest
+
+        from repro.errors import SpecSemanticsError
+
+        with pytest.raises(SpecSemanticsError, match="DNF conjuncts"):
+            to_dnf(self.blowup(5), max_terms=16)
+
+    def test_default_limit_is_enforced(self):
+        import pytest
+
+        from repro.errors import SpecSemanticsError
+        from repro.spec.dnf import MAX_DNF_TERMS
+
+        assert MAX_DNF_TERMS == 4096
+        with pytest.raises(SpecSemanticsError):
+            to_dnf(self.blowup(13))  # 2^13 = 8192 > 4096
+
+    def test_order_insensitive_conjunct_dedup(self):
+        conjuncts = atoms_of(
+            "(Time.year = '1999' AND URL.domain = 'a') OR "
+            "(URL.domain = 'a' AND Time.year = '1999')"
+        )
+        assert len(conjuncts) == 1
