@@ -4,15 +4,22 @@ Two machine-readable trajectories are produced at the repository root (or
 ``--out-dir``):
 
 * ``BENCH_reduction.json`` — op/s of the three ``reduce_mo`` backends
-  (interpretive, compiled, columnar) on the clickstream workload, plus
-  the columnar-vs-interpretive speedup;
+  (interpretive, compiled, columnar) on the clickstream workload, the
+  columnar-vs-interpretive speedup, and a **shard-scaling curve**: the
+  certificate-driven sharded path (:mod:`repro.parallel`) timed at each
+  worker count of the sweep, with its speedup over the interpretive
+  reference, its speedup over the best serial backend, and its parallel
+  efficiency (``speedup_vs_serial / workers``);
 * ``BENCH_sync.json`` — facts *examined* per synchronization step of a
-  NOW advance, incremental vs full rescan, with timings.
+  NOW advance, incremental vs full rescan, with timings, plus the
+  sharded synchronization's scaling curve over the same trajectory.
 
-Both documents carry a ``schema`` tag (``repro-bench-*/1``) so downstream
-tooling (CI trend jobs, plots) can evolve without guessing at layouts.
-``--smoke`` shrinks the workload for CI while keeping it large enough to
-exercise the columnar dispatch path.
+Both documents carry a ``schema`` tag (``repro-bench-*/2``) so downstream
+tooling (CI trend jobs, plots) can evolve without guessing at layouts,
+and an ``environment`` block (CPU count, worker sweep) so curves from
+different machines are never compared blindly.  ``--smoke`` shrinks the
+workload for CI while keeping it large enough to exercise the columnar
+dispatch path.
 """
 
 from __future__ import annotations
@@ -37,8 +44,11 @@ from .workload import (
 )
 
 #: Schema tags: bump the suffix when a document's layout changes.
-REDUCTION_SCHEMA = "repro-bench-reduction/1"
-SYNC_SCHEMA = "repro-bench-sync/1"
+REDUCTION_SCHEMA = "repro-bench-reduction/2"
+SYNC_SCHEMA = "repro-bench-sync/2"
+
+#: Worker counts the shard-scaling curves sweep by default.
+DEFAULT_WORKERS_SWEEP = (1, 2, 4)
 
 #: The full workload — identical to ``benchmarks/conftest.py``.
 FULL_CONFIG = ClickstreamConfig(
@@ -88,13 +98,30 @@ def _best_seconds(fn, repeats: int) -> float:
     return best
 
 
+#: Generated workloads, one per profile: both suites (and every point
+#: of a worker sweep) must time the *same* MO and specification, and
+#: clickstream generation is itself expensive enough to dominate smoke
+#: runs if repeated.
+_WORKLOADS: dict[str, tuple] = {}
+
+
 def _workload(profile: BenchProfile):
-    mo = build_clickstream_mo(profile.config)
-    specification = ReductionSpecification(
-        grouped_retention_actions(mo, detail_months=3, coarse_years=2),
-        mo.dimensions,
-    )
-    return mo, specification
+    cached = _WORKLOADS.get(profile.name)
+    if cached is None:
+        mo = build_clickstream_mo(profile.config)
+        specification = ReductionSpecification(
+            grouped_retention_actions(mo, detail_months=3, coarse_years=2),
+            mo.dimensions,
+        )
+        cached = _WORKLOADS[profile.name] = (mo, specification)
+    return cached
+
+
+def _environment_block(workers_sweep: tuple[int, ...]) -> dict:
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "workers_sweep": list(workers_sweep),
+    }
 
 
 def _atom_counts(cubes) -> dict[str, int]:
@@ -138,8 +165,21 @@ def _workload_block(profile: BenchProfile, mo) -> dict:
     }
 
 
-def bench_reduction(profile: BenchProfile) -> dict:
-    """Time the three ``reduce_mo`` backends on the clickstream workload."""
+def bench_reduction(
+    profile: BenchProfile,
+    workers_sweep: tuple[int, ...] = DEFAULT_WORKERS_SWEEP,
+) -> dict:
+    """Time the three ``reduce_mo`` backends on the clickstream workload,
+    then sweep the certificate-driven sharded path over *workers_sweep*.
+
+    The sharded curve carries two speedup series: ``speedup_vs_serial``
+    against the interpretive reference (the serial executable form of
+    Definition 2 — the honest "how much faster than the baseline path"
+    number), and ``speedup_vs_auto`` against the best serial backend the
+    auto dispatcher would pick, which isolates what sharding itself buys
+    on this machine.  ``efficiency`` is ``speedup_vs_serial / workers``.
+    """
+    from .parallel import ShardExecutor, reduce_mo_sharded
     from .reduction.reducer import reduce_mo
 
     mo, specification = _workload(profile)
@@ -161,13 +201,50 @@ def bench_reduction(profile: BenchProfile) -> dict:
                 "output_facts": reduced.n_facts,
             }
     interpretive = backends["interpretive"]["seconds"]
+    auto_serial = min(
+        backends[backend]["seconds"]
+        for backend in ("interpretive", "compiled", "columnar")
+    )
+    sharded: list[dict] = []
+    with obs_metrics.use_registry(registry):
+        for workers in workers_sweep:
+            executor = ShardExecutor(workers=workers)
+            seconds = _best_seconds(
+                lambda e=executor: reduce_mo_sharded(
+                    mo, specification, now, executor=e
+                ),
+                profile.repeats,
+            )
+            sharded.append(
+                {
+                    "workers": workers,
+                    "mode": (
+                        "process" if executor.uses_processes else "serial"
+                    ),
+                    "seconds": seconds,
+                    "ops_per_s": (1.0 / seconds) if seconds > 0 else None,
+                    "speedup_vs_serial": interpretive / seconds,
+                    "speedup_vs_auto": auto_serial / seconds,
+                    "efficiency": interpretive / seconds / workers,
+                }
+            )
     return {
         "schema": REDUCTION_SCHEMA,
         "metrics": registry.snapshot(),
+        "environment": _environment_block(workers_sweep),
         "workload": _workload_block(profile, mo),
         "now": now.isoformat(),
         "repeats": profile.repeats,
         "backends": backends,
+        "sharded": {
+            # What the curve is measured against: the interpretive
+            # reference path (serial Definition 2) and the best serial
+            # backend ("auto"), both timed above on this machine.
+            "baseline": "interpretive",
+            "baseline_seconds": interpretive,
+            "auto_seconds": auto_serial,
+            "curve": sharded,
+        },
         "disjoint": _disjoint_block(specification),
         "speedup": {
             "compiled_vs_interpretive": interpretive
@@ -178,10 +255,57 @@ def bench_reduction(profile: BenchProfile) -> dict:
     }
 
 
+def _bench_sync_sharded(
+    profile: BenchProfile,
+    facts: list,
+    times: tuple[dt.date, ...],
+    workers_sweep: tuple[int, ...],
+) -> dict:
+    """The sharded synchronization scaling curve.
+
+    Each point replays the same NOW trajectory on a fresh store: one
+    serial initial sync, then the advances through
+    :func:`repro.parallel.sync.synchronize_sharded`.  The baseline is
+    the production serial ``synchronize`` on an identical fresh store.
+    """
+    from .parallel import ShardExecutor
+
+    mo, specification = _workload(profile)
+    t1, *advances = times
+
+    def trajectory(executor) -> float:
+        best = float("inf")
+        for _ in range(profile.repeats):
+            store = SubcubeStore(mo, specification)
+            store.load(facts)
+            store.synchronize(t1)
+            started = time.perf_counter()
+            for at in advances:
+                store.synchronize(at, executor=executor)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    baseline = trajectory(None)
+    curve = []
+    for workers in workers_sweep:
+        executor = ShardExecutor(workers=workers)
+        seconds = trajectory(executor)
+        curve.append(
+            {
+                "workers": workers,
+                "mode": "process" if executor.uses_processes else "serial",
+                "seconds": seconds,
+                "speedup_vs_serial": baseline / seconds if seconds else None,
+            }
+        )
+    return {"baseline_seconds": baseline, "curve": curve}
+
+
 def bench_sync(
     profile: BenchProfile,
     durable_path: str | None = None,
     fsync: bool = True,
+    workers_sweep: tuple[int, ...] = DEFAULT_WORKERS_SWEEP,
 ) -> dict:
     """Measure incremental vs full-rescan synchronization work.
 
@@ -262,7 +386,11 @@ def bench_sync(
         # with --durable the journal/snapshot families too.  The full
         # store keeps its own registry (same gauge names) out of the doc.
         "metrics": registry.snapshot(),
+        "environment": _environment_block(workers_sweep),
         "workload": _workload_block(profile, mo),
+        "sharded": _bench_sync_sharded(
+            profile, facts, (t1, t2, t3), workers_sweep
+        ),
         "initial_sync": t1.isoformat(),
         "steps": steps,
         "examined": {
@@ -290,21 +418,30 @@ def run_benchmarks(
     repeats: int | None = None,
     durable_path: str | None = None,
     fsync: bool = True,
+    workers: tuple[int, ...] | None = None,
 ) -> dict[str, str]:
     """Run both suites and write the BENCH documents; returns the paths.
 
-    The documents are written atomically (temp file + rename), so an
-    interrupted benchmark run never truncates an existing trajectory.
+    *workers* sets the shard-scaling sweep; 1 is always included so the
+    curves carry their own single-worker anchor.  The documents are
+    written atomically (temp file + rename), so an interrupted benchmark
+    run never truncates an existing trajectory.
     """
     from .io import atomic_write
 
     profile = SMOKE_PROFILE if smoke else FULL_PROFILE
     if repeats is not None:
         profile = BenchProfile(profile.name, profile.config, profile.now, repeats)
+    sweep = (
+        tuple(sorted({1, *workers})) if workers else DEFAULT_WORKERS_SWEEP
+    )
     documents = {
-        "BENCH_reduction.json": bench_reduction(profile),
+        "BENCH_reduction.json": bench_reduction(profile, workers_sweep=sweep),
         "BENCH_sync.json": bench_sync(
-            profile, durable_path=durable_path, fsync=fsync
+            profile,
+            durable_path=durable_path,
+            fsync=fsync,
+            workers_sweep=sweep,
         ),
     }
     os.makedirs(out_dir, exist_ok=True)

@@ -28,16 +28,19 @@ Commands
 ``reduce MO_FILE SPEC_FILE --at YYYY-MM-DD [-o OUT_FILE] [--stats]``
     Apply a reduction specification to a stored MO at a given date and
     write the reduced MO (stdout by default).  ``--backend`` selects the
-    reducer; ``--stats`` prints an observability metrics snapshot to
+    reducer; ``--workers N`` runs the certificate-driven shard-parallel
+    path (bit-for-bit identical output; ``REPRO_WORKERS`` is the env
+    equivalent); ``--stats`` prints an observability metrics snapshot to
     stdout instead of the MO (pass ``-o`` to keep the MO too), in the
     format picked by ``--stats-format json|prom|text``.
 
 ``sync MO_FILE SPEC_FILE --at YYYY-MM-DD [--at ...] [--stats]``
     Load the MO into a subcube store and synchronize at each given date
     in order (a NOW-advance trajectory); ``--full`` forces full rescans
-    instead of incremental suspect-region syncs.  ``--stats`` prints the
-    store's metrics snapshot (examined/migrated/skipped counters, undo
-    log size, timings).
+    instead of incremental suspect-region syncs; ``--workers N`` fans
+    fact classification out over the shard executor.  ``--stats`` prints
+    the store's metrics snapshot (examined/migrated/skipped counters,
+    undo log size, timings).
 
 ``query MO_FILE SPEC_FILE --at YYYY-MM-DD --granularity Dim=cat[,...]``
     Evaluate ``a[granularity](o[predicate](O))`` over the synchronized
@@ -61,8 +64,12 @@ Commands
     ``BENCH_reduction.json`` / ``BENCH_sync.json`` trajectories;
     ``--fail-under-speedup`` exits 1 when the columnar backend's speedup
     over the interpretive reference falls below the given floor.
-    ``--durable PATH`` runs the synchronization suite through the
-    crash-safe store engine (``--no-fsync`` skips fsync for speed).
+    ``--workers N`` (repeatable) sets the shard-scaling sweep, and
+    ``--fail-under-efficiency X`` exits 1 when the sharded reduction's
+    parallel efficiency at the largest swept worker count falls below
+    the floor.  ``--durable PATH`` runs the synchronization suite
+    through the crash-safe store engine (``--no-fsync`` skips fsync for
+    speed).
 
 ``recover DURABLE_PATH [--complete] [--json]``
     Recover a durable store directory: load the latest valid snapshot,
@@ -87,10 +94,19 @@ from __future__ import annotations
 import argparse
 import datetime as dt
 import json
+import os
 import sys
 from typing import Sequence
 
 from .errors import ReproError
+
+
+def _shard_workers(workers: "int | None") -> "int | None":
+    """``--workers`` wins; otherwise ``REPRO_WORKERS`` engages sharding."""
+    if workers is not None:
+        return workers
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    return int(raw) if raw else None
 
 
 #: ``--stats-format`` / ``stats --format`` choices (see repro.obs.metrics).
@@ -196,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="reducer backend (default: auto)",
     )
+    reduce_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the reduction over this many workers "
+        "(identical output; default: serial)",
+    )
     _add_stats_options(reduce_cmd)
 
     sync_cmd = sub.add_parser(
@@ -214,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="force full rescans instead of incremental synchronization",
+    )
+    sync_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard fact classification over this many workers "
+        "(identical result; default: serial)",
     )
     _add_stats_options(sync_cmd)
 
@@ -289,6 +319,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when columnar/interpretive speedup drops below this",
     )
     bench.add_argument(
+        "--workers",
+        type=int,
+        action="append",
+        default=None,
+        help="worker count for the shard-scaling sweep (repeatable; "
+        "1 is always included; default sweep: 1 2 4)",
+    )
+    bench.add_argument(
+        "--fail-under-efficiency",
+        type=float,
+        default=None,
+        dest="fail_under_efficiency",
+        help="exit 1 when sharded-reduction parallel efficiency at the "
+        "largest swept worker count drops below this",
+    )
+    bench.add_argument(
         "--durable",
         dest="durable_path",
         default=None,
@@ -362,6 +408,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.durable_path,
                 not arguments.no_fsync,
                 arguments.backend,
+                arguments.workers,
                 *_stats_choice(arguments),
             )
         if arguments.command == "sync":
@@ -370,6 +417,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.spec_file,
                 arguments.ats,
                 arguments.full,
+                arguments.workers,
                 *_stats_choice(arguments),
             )
         if arguments.command == "query":
@@ -393,6 +441,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.fail_under_speedup,
                 arguments.durable_path,
                 not arguments.no_fsync,
+                arguments.workers,
+                arguments.fail_under_efficiency,
             )
         if arguments.command == "recover":
             return _recover(
@@ -606,6 +656,7 @@ def _reduce(
     durable_path: str | None = None,
     fsync: bool = True,
     backend: str = "auto",
+    workers: int | None = None,
     stats: bool = False,
     stats_format: str = "json",
 ) -> int:
@@ -619,8 +670,20 @@ def _reduce(
     with open(spec_file) as stream:
         specification = load_specification(stream, mo.schema, mo.dimensions)
     registry = obs_metrics.MetricsRegistry()
+    workers = _shard_workers(workers)
     with obs_metrics.use_registry(registry):
-        reduced = reduce_mo(mo, specification, when, backend=backend)
+        if workers is not None:
+            from .parallel import ShardExecutor, reduce_mo_sharded
+
+            reduced = reduce_mo_sharded(
+                mo,
+                specification,
+                when,
+                executor=ShardExecutor(workers=workers),
+                backend=backend,
+            )
+        else:
+            reduced = reduce_mo(mo, specification, when, backend=backend)
         if durable_path:
             _materialize_durable(
                 mo, specification, when, durable_path, fsync, registry
@@ -672,6 +735,7 @@ def _sync(
     spec_file: str,
     ats: list[str],
     full: bool,
+    workers: int | None = None,
     stats: bool = False,
     stats_format: str = "json",
 ) -> int:
@@ -687,12 +751,18 @@ def _sync(
         mo = load_mo(stream)
     with open(spec_file) as stream:
         specification = load_specification(stream, mo.schema, mo.dimensions)
+    executor = None
+    workers = _shard_workers(workers)
+    if workers is not None:
+        from .parallel import ShardExecutor
+
+        executor = ShardExecutor(workers=workers)
     store = SubcubeStore(mo, specification)
     store.load(_facts_of(mo))
     report = sys.stderr if stats else sys.stdout
     for at in ats:
         when = dt.date.fromisoformat(at)
-        store.synchronize(when, incremental=not full)
+        store.synchronize(when, incremental=not full, executor=executor)
         examined = int(store.metrics.value(SYNC_LAST_EXAMINED) or 0)
         migrated = int(store.metrics.value(SYNC_LAST_MIGRATED) or 0)
         print(
@@ -817,6 +887,8 @@ def _bench(
     fail_under_speedup: float | None,
     durable_path: str | None = None,
     fsync: bool = True,
+    workers: list[int] | None = None,
+    fail_under_efficiency: float | None = None,
 ) -> int:
     from .bench import run_benchmarks
 
@@ -826,6 +898,7 @@ def _bench(
         repeats=repeats,
         durable_path=durable_path,
         fsync=fsync,
+        workers=tuple(workers) if workers else None,
     )
     with open(paths["BENCH_reduction.json"]) as stream:
         reduction = json.load(stream)
@@ -837,6 +910,13 @@ def _bench(
         f"columnar {speedup:.2f}x interpretive "
         f"({reduction['backends']['columnar']['ops_per_s']:.1f} op/s)"
     )
+    curve = reduction["sharded"]["curve"]
+    for point in curve:
+        print(
+            f"sharded reduce @{point['workers']} workers "
+            f"({point['mode']}): {point['speedup_vs_serial']:.2f}x serial, "
+            f"efficiency {point['efficiency']:.2f}"
+        )
     print(
         f"sync: examined {sync['examined']['incremental']} incremental "
         f"vs {sync['examined']['full']} full "
@@ -844,14 +924,25 @@ def _bench(
     )
     for name, path in paths.items():
         print(f"wrote {path}")
+    failed = False
     if fail_under_speedup is not None and speedup < fail_under_speedup:
         print(
             f"error: columnar speedup {speedup:.2f}x is below the "
             f"{fail_under_speedup:.2f}x floor",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if fail_under_efficiency is not None and curve:
+        top = max(curve, key=lambda point: point["workers"])
+        if top["efficiency"] < fail_under_efficiency:
+            print(
+                f"error: sharded-reduction efficiency "
+                f"{top['efficiency']:.2f} at {top['workers']} workers is "
+                f"below the {fail_under_efficiency:.2f} floor",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 def _recover(durable_path: str, complete: bool, as_json: bool) -> int:

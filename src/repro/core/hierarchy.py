@@ -17,12 +17,32 @@ containment* edges (a Hasse diagram) and derives everything else from it:
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Iterator, Mapping
 
 from ..errors import HierarchyError
 
 #: Name of the distinguished top category type, written ``T_T`` in the paper.
 TOP = "__top__"
+
+#: Live hierarchy instances, tracked so forked worker processes can drop
+#: every per-instance memo in one sweep (:func:`clear_hierarchy_caches`).
+_INSTANCES: "weakref.WeakSet[Hierarchy]" = weakref.WeakSet()
+
+
+def clear_hierarchy_caches() -> None:
+    """Reset the memoized bound/shape queries of every live hierarchy.
+
+    The memos are pure functions of the immutable edge set, so this is
+    never needed for correctness in-process; it exists for fork hygiene
+    (:mod:`repro.parallel.forksafe`) so workers start with empty memos
+    instead of copies of the parent's.
+    """
+    for hierarchy in list(_INSTANCES):
+        hierarchy._glb_cache.clear()
+        hierarchy._lub_cache.clear()
+        hierarchy._linear = None
+        hierarchy._lattice = None
 
 
 def is_top(category: str) -> bool:
@@ -82,6 +102,7 @@ class Hierarchy:
         self._lub_cache: dict[frozenset[str], str] = {}
         self._linear: bool | None = None
         self._lattice: bool | None = None
+        _INSTANCES.add(self)
 
         if bottom not in parents:
             raise HierarchyError(f"bottom category {bottom!r} is not in the hierarchy")

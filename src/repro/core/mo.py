@@ -242,24 +242,41 @@ class MultidimensionalObject:
         return clone
 
     def restrict_to_facts(self, fact_ids: Iterable[str]) -> "MultidimensionalObject":
-        """The MO restricted to *fact_ids* (selection's F', R', M', Eq. 36)."""
-        keep = set(fact_ids)
-        unknown = keep - set(self._facts)
+        """The MO restricted to *fact_ids* (selection's F', R', M', Eq. 36).
+
+        Fact-iteration order of the result follows *fact_ids* (first
+        occurrence wins, duplicates ignored): a restriction of a serial
+        fact stream preserves that stream's order, which the shard-parallel
+        reducer's bit-for-bit merge relies on.  Values are copied verbatim
+        from this MO — they are already canonical, so the per-fact
+        normalization of :meth:`insert_aggregate_fact` is skipped.
+        """
+        out = self.empty_like()
+        facts = self._facts
+        out_facts = out._facts
+        relation_pairs = [
+            (out.relations[name]._value_of, self.relations[name]._value_of)
+            for name in self.schema.dimension_names
+        ]
+        measure_pairs = [
+            (out.measures[name]._values, self.measures[name]._values)
+            for name in self.schema.measure_names
+        ]
+        unknown: set[str] = set()
+        for fact_id in fact_ids:
+            if fact_id in out_facts:
+                continue
+            provenance = facts.get(fact_id)
+            if provenance is None:
+                unknown.add(fact_id)
+                continue
+            out_facts[fact_id] = provenance
+            for dst, src in relation_pairs:
+                dst[fact_id] = src[fact_id]
+            for dst, src in measure_pairs:
+                dst[fact_id] = src[fact_id]
         if unknown:
             raise FactError(f"unknown facts {sorted(unknown)!r}")
-        out = self.empty_like()
-        for fact_id in keep:
-            coordinates = {
-                name: self.relations[name].value_of(fact_id)
-                for name in self.schema.dimension_names
-            }
-            values = {
-                name: self.measures[name][fact_id]
-                for name in self.schema.measure_names
-            }
-            out.insert_aggregate_fact(
-                fact_id, coordinates, values, self._facts[fact_id]
-            )
         return out
 
     def granularity_histogram(self) -> dict[tuple[str, ...], int]:

@@ -38,6 +38,16 @@ FAILPOINTS: tuple[str, ...] = (
     "sync.migrate",  # mid synchronization, after some facts moved
 )
 
+#: Additional failpoints consulted only by the shard-parallel layer
+#: (:mod:`repro.parallel`).  Kept out of :data:`FAILPOINTS` because the
+#: serial crash-recovery reference script asserts it hits every entry of
+#: that catalogue; these sites only exist once sharding is in play.
+SHARD_FAILPOINTS: tuple[str, ...] = (
+    "shard.plan",  # after the shard plan is built, before any worker runs
+    "shard.segment.commit",  # before a worker's segment commit record
+    "shard.apply",  # mid merge, after some shard results were applied
+)
+
 
 class InjectedFault(ReproError):
     """A simulated crash raised by an armed failpoint."""
@@ -89,10 +99,9 @@ class FaultInjector:
         probability: float | None = None,
         max_fires: int | None = None,
     ) -> None:
-        if name not in FAILPOINTS:
-            raise ReproError(
-                f"unknown failpoint {name!r}; known: {', '.join(FAILPOINTS)}"
-            )
+        if name not in FAILPOINTS and name not in SHARD_FAILPOINTS:
+            known = ", ".join(FAILPOINTS + SHARD_FAILPOINTS)
+            raise ReproError(f"unknown failpoint {name!r}; known: {known}")
         if at_hit is None and probability is None:
             at_hit = 1
         self._armed[name] = _Arming(at_hit, probability, max_fires)

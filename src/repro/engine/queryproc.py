@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -47,6 +48,22 @@ QUERY_SECONDS = "repro_query_seconds"
 _HELP_HITS = "Plan-cache hits, by cache layer."
 _HELP_MISSES = "Plan-cache misses, by cache layer."
 
+# Live plan caches, tracked weakly so forked workers can drop compiled
+# plans inherited from the parent (see repro.parallel.forksafe).
+_CACHES: "weakref.WeakSet[QueryPlanCache]" = weakref.WeakSet()
+
+
+def clear_plan_caches() -> None:
+    """Clear every live :class:`QueryPlanCache`.
+
+    Compiled plans key on ``id(predicate)``; after a fork those ids refer
+    to parent-heap objects the child also inherited, so the entries are
+    *valid* but pin memory the worker will never reuse.  Workers clear
+    them and rebuild on demand.
+    """
+    for cache in list(_CACHES):
+        cache.clear()
+
 
 @dataclass(frozen=True)
 class SubcubeQuery:
@@ -74,6 +91,12 @@ class QueryPlanCache:
         self._store = store
         self._bound: dict[str, Predicate] = {}
         self._plans: dict[tuple[int, _dt.date], CompiledPredicate] = {}
+        _CACHES.add(self)
+
+    def clear(self) -> None:
+        """Drop every cached binding and plan (the store stays attached)."""
+        self._bound.clear()
+        self._plans.clear()
 
     @property
     def n_bound(self) -> int:

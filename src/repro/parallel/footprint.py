@@ -1,0 +1,183 @@
+"""Per-action footprints and fact-to-signature routing.
+
+A *footprint* is the grounded, evaluation-time-exact over-approximation
+of the bottom cells one DNF disjunct of an action predicate can admit:
+the disjunct's exact day window (:func:`~repro.spec.ranges.window_at`)
+on the time dimension times its grounded bottom region
+(:func:`~repro.spec.ranges.bottom_region`) per non-time dimension.
+Both components are *sound* over-approximations — ``in`` atoms
+contribute their convex hull, ``!=`` and unmodelled order atoms are
+ignored — so a fact outside a disjunct's footprint provably does not
+satisfy that disjunct at the evaluation time.
+
+The :class:`SignatureRouter` turns footprints into per-fact *action
+signatures*: an integer bitmask with bit ``a`` set iff action ``a``
+*might* admit the fact.  Facts with disjoint signatures can never merge
+into the same target cell through those actions, and an action absent
+from a fact's signature admits zero facts of any shard built from that
+signature — which is what lets the shard planner prune action lists per
+shard without changing results or admission telemetry.
+
+Values the grounding cannot decide (the top value, values above the
+bottom category, non-calendar time values) route to *every* action:
+over-routing costs speed, never correctness.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.dimension import ALL_VALUE, Dimension
+from ..core.hierarchy import TOP
+from ..core.mo import MultidimensionalObject
+from ..errors import ReproError
+from ..spec.action import Action, is_time_dimension_type
+from ..spec.ranges import bottom_region, profiles_of, window_at
+from ..timedim.calendar import first_day, last_day
+
+
+@dataclass(frozen=True)
+class DisjunctFootprint:
+    """One disjunct's grounded admissible region at a fixed time."""
+
+    action_index: int
+    #: Exact day-ordinal interval on the time dimension (``None`` =
+    #: unconstrained); never empty — empty disjuncts are dropped.
+    window: tuple[float, float] | None
+    #: Bottom-category values per non-time dimension (``None`` =
+    #: unconstrained).
+    regions: Mapping[str, frozenset[str]]
+
+
+def action_footprints(
+    actions: Sequence[Action],
+    dimensions: Mapping[str, Dimension],
+    now: _dt.date,
+) -> list[DisjunctFootprint]:
+    """Ground every satisfiable disjunct of every action at *now*."""
+    footprints: list[DisjunctFootprint] = []
+    for index, action in enumerate(actions):
+        for profile in profiles_of(action):
+            window = window_at(profile, now)
+            if window is not None and window[0] > window[1]:
+                continue  # provably admits nothing at this time
+            regions: dict[str, frozenset[str]] = {}
+            empty = False
+            for name in action.schema.dimension_names:
+                if is_time_dimension_type(action.schema.dimension_type(name)):
+                    continue
+                region = bottom_region(profile, dimensions[name])
+                if region is None:
+                    continue
+                if not region:
+                    empty = True
+                    break
+                regions[name] = region
+            if empty:
+                continue
+            footprints.append(DisjunctFootprint(index, window, regions))
+    return footprints
+
+
+def _value_day_span(
+    dimension: Dimension, value: str
+) -> tuple[float, float] | None:
+    """The day extent of a time-dimension value, ``None`` if unbounded."""
+    if value == ALL_VALUE:
+        return None
+    try:
+        category = dimension.category_of(value)
+    except ReproError:
+        return None
+    if category == TOP:
+        return None
+    try:
+        return (
+            float(first_day(category, value).toordinal()),
+            float(last_day(category, value).toordinal()),
+        )
+    except (ReproError, ValueError):
+        return None
+
+
+class SignatureRouter:
+    """Route facts to action-signature bitmasks via per-value verdicts.
+
+    Verdicts are computed per *distinct direct value* per dimension and
+    combined per fact with one AND over dimensions (at disjunct
+    granularity, so two disjuncts of one action never cross-pollinate a
+    verdict) followed by a memoized disjunct-mask → action-mask fold.
+    """
+
+    def __init__(
+        self,
+        mo: MultidimensionalObject,
+        actions: Sequence[Action],
+        now: _dt.date,
+    ) -> None:
+        self._mo = mo
+        self._names = mo.schema.dimension_names
+        self._dimensions = mo.dimensions
+        self._footprints = action_footprints(actions, mo.dimensions, now)
+        schema = actions[0].schema if actions else mo.schema
+        self._time_dims = frozenset(
+            name
+            for name in self._names
+            if is_time_dimension_type(schema.dimension_type(name))
+        )
+        self._all_disjuncts = (1 << len(self._footprints)) - 1
+        # dimension -> value -> disjunct bitmask, filled lazily.
+        self._value_masks: dict[str, dict[str, int]] = {
+            name: {} for name in self._names
+        }
+        self._action_mask_of: dict[int, int] = {}
+
+    def _value_mask(self, name: str, value: str) -> int:
+        cached = self._value_masks[name].get(value)
+        if cached is not None:
+            return cached
+        mask = 0
+        if name in self._time_dims:
+            span = _value_day_span(self._dimensions[name], value)
+            for bit, footprint in enumerate(self._footprints):
+                window = footprint.window
+                if (
+                    window is None
+                    or span is None
+                    or (span[0] <= window[1] and window[0] <= span[1])
+                ):
+                    mask |= 1 << bit
+        else:
+            dimension = self._dimensions[name]
+            try:
+                bottom = dimension.category_of(value) == dimension.bottom_category
+            except ReproError:
+                bottom = False
+            for bit, footprint in enumerate(self._footprints):
+                region = footprint.regions.get(name)
+                if region is None or not bottom or value in region:
+                    mask |= 1 << bit
+        self._value_masks[name][value] = mask
+        return mask
+
+    def action_signature(self, fact_id: str) -> int:
+        """Bitmask of actions that might admit *fact_id*."""
+        disjuncts = self._all_disjuncts
+        for name in self._names:
+            if not disjuncts:
+                break
+            disjuncts &= self._value_mask(
+                name, self._mo.direct_value(fact_id, name)
+            )
+        actions = self._action_mask_of.get(disjuncts)
+        if actions is None:
+            actions = 0
+            remaining = disjuncts
+            while remaining:
+                bit = (remaining & -remaining).bit_length() - 1
+                actions |= 1 << self._footprints[bit].action_index
+                remaining &= remaining - 1
+            self._action_mask_of[disjuncts] = actions
+        return actions

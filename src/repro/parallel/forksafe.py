@@ -1,0 +1,43 @@
+"""Fork-safety for module-level caches.
+
+Worker processes are forked, so they inherit every module-level cache the
+parent built: the ``lru_cache``'d spec parsers, each
+:class:`~repro.core.hierarchy.Hierarchy`'s memoized lattice operations,
+and every :class:`~repro.engine.queryproc.QueryPlanCache`.  The caches
+are pure, so inheriting them is never *incorrect* — but plan caches key
+on parent-heap object ids and pin compiled state the child will rebuild
+against its own objects anyway, and a child that mutates an inherited
+per-instance cache dict shares nothing back.  Clearing them at fork time
+gives every worker a clean, minimal cache heap.
+
+:func:`install_fork_guard` is idempotent and registered once per process
+via :func:`os.register_at_fork`; platforms without ``fork`` simply never
+call the hook.
+"""
+
+from __future__ import annotations
+
+import os
+
+_installed = False
+
+
+def clear_inherited_caches() -> None:
+    """Reset every module-level cache a forked child inherited."""
+    from ..core.hierarchy import clear_hierarchy_caches
+    from ..engine.queryproc import clear_plan_caches
+    from ..spec.parser import clear_parser_caches
+
+    clear_parser_caches()
+    clear_hierarchy_caches()
+    clear_plan_caches()
+
+
+def install_fork_guard() -> None:
+    """Arrange for caches to be cleared in every forked child (once)."""
+    global _installed
+    if _installed:
+        return
+    if hasattr(os, "register_at_fork"):
+        os.register_at_fork(after_in_child=clear_inherited_caches)
+    _installed = True

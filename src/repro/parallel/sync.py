@@ -1,0 +1,294 @@
+"""Shard-parallel NOW-advance synchronization.
+
+The serial :meth:`~repro.engine.store.SubcubeStore.synchronize` spends
+its time *classifying* facts — suspect-region checks and
+``_target_cube`` predicate walks — and almost none *moving* them.  So
+the sharded path fans the classification out and keeps the mutation
+serial (plan-then-apply):
+
+1. the parent journals ``sync_begin_sharded``, publishes the store as
+   the fork-inherited payload, and walks the cubes in order; per cube it
+   chunks the not-yet-settled facts contiguously into worker tasks;
+2. workers return per-fact *verdicts* — region-skip, stay, or a full
+   migration payload (target cube, rolled-up coordinates, measures,
+   provenance members).  A durable worker first writes its migrations
+   into a private write-ahead *segment* (``journal.shard-*.jsonl``,
+   committed with a fsynced ``shard_commit`` record) so the plan is on
+   disk before the parent mutates anything;
+3. the parent applies the migrations serially, in candidate order, and
+   finally journals ``sync_commit_sharded`` naming every segment — the
+   single commit point recovery trusts.
+
+Bit-for-bit equivalence with the serial path holds because workers only
+ever classify facts the parent has not touched since the fork: a fact
+mutated by an earlier cube's apply phase is in ``settled`` and is never
+handed to a worker.  Untouched facts are identical in parent and child,
+classification depends only on the fact's cell and ``now``, and the
+apply order (cube order, then candidate order) is exactly the serial
+examination order.  On any failure the undo log rolls every staged
+migration back, exactly as in the serial path.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import os
+import time
+from typing import Any
+
+from ..core.facts import Provenance
+from ..engine.durable import Journal
+from ..engine.faults import PASSIVE
+from ..engine.store import Migration, SubcubeStore, _rollup, _UndoLog
+from ..errors import EngineError
+from ..obs import trace
+from .executor import ShardExecutor
+from .telemetry import record_shard_plan
+
+#: Worker verdicts (index-aligned with the task's fact ids).
+_SKIP = 0  # suspect-region analysis proves the fact cannot move
+_STAY = 1  # examined; target cube is the current cube
+_MOVE = 2  # examined; a migration payload was emitted
+
+
+def _verdict_task(payload: dict, task: tuple) -> tuple:
+    """Classify one chunk of one cube's facts against the forked state."""
+    seq, cube_index, cube_name, start, fact_ids = task
+    store: SubcubeStore = payload["store"]
+    now: _dt.date = payload["now"]
+    regions = payload["regions"]
+    names = payload["names"]
+    dimensions = store._template.dimensions
+    memo: dict[tuple[str, ...], str] = payload["memo"]
+    spans: dict = payload["spans"]
+    cube = store._cubes[cube_name]
+    mo = cube.mo
+    verdicts: list[int] = []
+    migrations: list[tuple] = []
+    for offset, fact_id in enumerate(fact_ids):
+        if (
+            regions is not None
+            and fact_id not in store._dirty
+            and not store._needs_examination(mo, fact_id, regions, spans)
+        ):
+            verdicts.append(_SKIP)
+            continue
+        cell_values = mo.direct_cell(fact_id)
+        target_name = memo.get(cell_values)
+        if target_name is None:
+            cell = dict(zip(names, cell_values))
+            target_name = store._target_cube(cell, now).name
+            memo[cell_values] = target_name
+        if target_name == cube_name:
+            verdicts.append(_STAY)
+            continue
+        target = store._cubes[target_name]
+        coordinates = {
+            name: _rollup(dimensions[name], value, category)
+            for name, value, category in zip(
+                names, cell_values, target.granularity
+            )
+        }
+        measures = {
+            measure: mo.measure_value(fact_id, measure)
+            for measure in mo.schema.measure_names
+        }
+        members = sorted(mo.provenance(fact_id).members)
+        verdicts.append(_MOVE)
+        migrations.append(
+            (start + offset, fact_id, target_name, coordinates, measures,
+             members)
+        )
+    segment = None
+    if migrations and payload["journal_dir"] is not None:
+        filename = (
+            f"journal.shard-{payload['begin_lsn']:012d}-{seq:04d}.jsonl"
+        )
+        journal = Journal(
+            os.path.join(payload["journal_dir"], filename),
+            fsync=payload["fsync"],
+            faults=payload["faults"],
+        )
+        try:
+            for index, fact_id, target_name, coordinates, measures, members in migrations:
+                journal.append(
+                    "shard_migrate",
+                    {
+                        "cube_index": cube_index,
+                        "index": index,
+                        "fact": fact_id,
+                        "from": cube_name,
+                        "to": target_name,
+                        "coordinates": coordinates,
+                        "measures": measures,
+                        "members": members,
+                    },
+                )
+            payload["faults"].hit("shard.segment.commit")
+            # The segment's commit point: the migrations below it are
+            # durable (fsynced) before the parent applies any of them.
+            journal.append(
+                "shard_commit", {"records": len(migrations)}, sync=True
+            )
+        finally:
+            journal.close()
+        segment = (filename, len(migrations))
+    return verdicts, migrations, segment
+
+
+def _apply_shard_migration(
+    store: SubcubeStore, migration: Migration, undo: _UndoLog
+) -> str:
+    """Apply one planned migration (journaling happened in the worker)."""
+    source = store._cubes[migration.source]
+    target = store._cubes[migration.target]
+    undo.record(source, migration.fact_id)
+    undo.record(target, target.cell_fact_id(migration.coordinates))
+    source.remove(migration.fact_id)
+    return target.insert_at_granularity(
+        migration.coordinates, migration.measures, migration.provenance
+    )
+
+
+def synchronize_sharded(
+    store: SubcubeStore,
+    now: _dt.date,
+    *,
+    executor: ShardExecutor,
+    incremental: bool = True,
+) -> dict[str, int]:
+    """``store.synchronize(now)`` over worker shards (same result)."""
+    if store.last_sync is not None and now < store.last_sync:
+        raise EngineError(
+            f"synchronization time moved backwards ({store.last_sync} -> {now})"
+        )
+    regions = None
+    if incremental and store.last_sync is not None:
+        regions = store._suspect_regions(store.last_sync, now)
+    mode = "incremental" if regions is not None else "full"
+    faults = getattr(store, "_faults", PASSIVE)
+    begin_lsn = store._journal_sync_begin_sharded(now, incremental)
+    payload: dict[str, Any] = {
+        "store": store,
+        "now": now,
+        "regions": regions,
+        "names": store._template.schema.dimension_names,
+        "begin_lsn": begin_lsn if begin_lsn is not None else 0,
+        "journal_dir": (
+            getattr(store, "path", None) if begin_lsn is not None else None
+        ),
+        "fsync": getattr(store, "_fsync_enabled", False),
+        "faults": faults,
+        # Per-session scratch: each forked worker mutates its own copy,
+        # and both die with the payload (so no cross-run staleness).
+        "memo": {},
+        "spans": {},
+    }
+    faults.hit("shard.plan")
+    moved: dict[str, int] = {name: 0 for name in store._cubes}
+    examined = 0
+    skipped = 0
+    settled: set[str] = set()
+    undo = _UndoLog()
+    segments: list[tuple[str, int]] = []
+    task_seconds: list[float] = []
+    task_sizes: list[int] = []
+    started = time.perf_counter()
+    with trace.span(
+        "sync.sharded", mode=mode, workers=executor.workers
+    ) as sync_span:
+        try:
+            with executor.session(payload) as session:
+                seq = 0
+                for cube_index, (cube_name, cube) in enumerate(
+                    store._cubes.items()
+                ):
+                    candidates = [
+                        fact_id
+                        for fact_id in list(cube.mo.facts())
+                        if fact_id not in settled
+                    ]
+                    if not candidates:
+                        continue
+                    chunks = min(executor.workers, len(candidates))
+                    size = -(-len(candidates) // chunks)
+                    tasks = []
+                    for start in range(0, len(candidates), size):
+                        tasks.append(
+                            (
+                                seq,
+                                cube_index,
+                                cube_name,
+                                start,
+                                tuple(candidates[start : start + size]),
+                            )
+                        )
+                        seq += 1
+                    results, seconds = session.run(_verdict_task, tasks)
+                    task_seconds.extend(seconds)
+                    task_sizes.extend(len(task[4]) for task in tasks)
+                    # Apply in candidate order: tasks are contiguous
+                    # chunks, so task order x offset order is exactly
+                    # the serial examination order for this cube.
+                    for verdicts, migrations, segment in results:
+                        if segment is not None:
+                            segments.append(segment)
+                        queue = iter(migrations)
+                        for verdict in verdicts:
+                            if verdict == _SKIP:
+                                skipped += 1
+                                continue
+                            examined += 1
+                            if verdict == _STAY:
+                                continue
+                            (_, fact_id, target_name, coordinates,
+                             measures, members) = next(queue)
+                            faults.hit("shard.apply")
+                            settled.add(
+                                _apply_shard_migration(
+                                    store,
+                                    Migration(
+                                        fact_id,
+                                        cube_name,
+                                        target_name,
+                                        coordinates,
+                                        measures,
+                                        Provenance(frozenset(members)),
+                                    ),
+                                    undo,
+                                )
+                            )
+                            moved[target_name] += 1
+            store._journal_sync_commit_sharded(now, moved, examined, segments)
+        except BaseException as exc:
+            # Same all-or-nothing contract as the serial path: roll every
+            # staged migration back, then let the journal record the
+            # abort (and drop the now-meaningless segments).
+            undo.rollback(store)
+            store._journal_sync_failed_sharded(exc, segments)
+            raise
+        store.last_sync = now
+        store._dirty.clear()
+        sync_span.set_attribute("examined", examined)
+        sync_span.set_attribute("migrated", sum(moved.values()))
+        sync_span.set_attribute("skipped", skipped)
+    store._record_sync(
+        f"sharded-{mode}",
+        examined,
+        sum(moved.values()),
+        skipped,
+        len(undo),
+        time.perf_counter() - started,
+    )
+    mean = sum(task_sizes) / len(task_sizes) if task_sizes else 0.0
+    record_shard_plan(
+        "sync",
+        workers=executor.workers,
+        shards=len(task_sizes),
+        facts_routed=sum(task_sizes),
+        pruned_actions=0,
+        skew=(max(task_sizes) / mean) if mean > 0 else 1.0,
+        task_seconds=task_seconds,
+        registry=store.metrics,
+    )
+    return moved

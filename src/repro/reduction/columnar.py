@@ -48,6 +48,106 @@ def reduce_mo_columnar(
     )
     schema = mo.schema
     names = schema.dimension_names
+    table, inverse, targets, admitted_counts = _columnar_plan(mo, actions, now)
+
+    with trace.span("reduce.columnar.fold") as fold_span:
+        # Group rows by target cell, preserving first-encounter order (the
+        # same group order the row-wise reducers produce).
+        groups: dict[tuple[str, ...], list[int]] = {}
+        for row, cell_index in enumerate(inverse):
+            groups.setdefault(targets[cell_index], []).append(row)
+
+        reduced = mo.empty_like()
+        measure_names = schema.measure_names
+        fact_ids = table.fact_ids
+        provenances = table.provenances
+        value_columns = [table.values_of(name) for name in names]
+        code_columns = [table.codes[name] for name in names]
+        measure_columns = [
+            table.measure_columns[name] for name in measure_names
+        ]
+        aggregates = [table.aggregate_of(name) for name in measure_names]
+        insert = reduced.insert_aggregate_fact
+        for target_cell, rows in groups.items():
+            coordinates = dict(zip(names, target_cell))
+            if len(rows) == 1:
+                row = rows[0]
+                direct = tuple(
+                    [vc[cc[row]] for vc, cc in zip(value_columns, code_columns)]
+                )
+                if direct == target_cell:
+                    insert(
+                        fact_ids[row],
+                        coordinates,
+                        {
+                            name: column[row]
+                            for name, column in zip(
+                                measure_names, measure_columns
+                            )
+                        },
+                        provenances[row],
+                    )
+                    continue
+            # Provenance merging is a set union, hence order-insensitive:
+            # one batched union replaces the chain of pairwise merges
+            # without changing the result.
+            provenance = Provenance(
+                frozenset().union(*[provenances[row].members for row in rows])
+            )
+            measures = {
+                name: aggregate([column[row] for row in rows])
+                for name, column, aggregate in zip(
+                    measure_names, measure_columns, aggregates
+                )
+            }
+            insert(
+                aggregate_fact_id(target_cell),
+                coordinates,
+                measures,
+                provenance,
+            )
+        fold_span.set_attribute("groups", len(groups))
+    telemetry.record_admitted(actions, admitted_counts)
+    return reduced
+
+
+def reduction_groups_columnar(
+    mo: MultidimensionalObject,
+    specification: ReductionSpecification | Iterable[Action],
+    now: _dt.date,
+) -> tuple[dict[tuple[str, ...], list[str]], list[int]]:
+    """Grouping plus per-action admitted counts via the columnar plan.
+
+    Groups are keyed by target cell in first-encounter (row) order with
+    members in row order — exactly the grouping the row-wise backends
+    produce, so a parent process can materialize the merged result with
+    :func:`repro.reduction.reducer.materialize_groups`.
+    """
+    actions = (
+        list(specification.actions)
+        if isinstance(specification, ReductionSpecification)
+        else list(specification)
+    )
+    table, inverse, targets, admitted_counts = _columnar_plan(mo, actions, now)
+    fact_ids = table.fact_ids
+    groups: dict[tuple[str, ...], list[str]] = {}
+    for row, cell_index in enumerate(inverse):
+        groups.setdefault(targets[cell_index], []).append(fact_ids[row])
+    return groups, admitted_counts
+
+
+def _columnar_plan(
+    mo: MultidimensionalObject,
+    actions: list[Action],
+    now: _dt.date,
+):
+    """Phases 1-4: encode, admit, count, and plan target cells.
+
+    Returns ``(table, inverse, targets, admitted_counts)`` where
+    ``targets[inverse[row]]`` is row's target cell.
+    """
+    schema = mo.schema
+    names = schema.dimension_names
     with trace.span("reduce.columnar.encode") as encode_span:
         table = mo.to_columnar()
         inverse, distinct = table.distinct_cells()
@@ -151,63 +251,4 @@ def reduce_mo_columnar(
                 values_out.append(ancestor)
             targets.append(tuple(values_out))
         plan_span.set_attribute("decisions", len(decisions))
-
-    with trace.span("reduce.columnar.fold") as fold_span:
-        # Group rows by target cell, preserving first-encounter order (the
-        # same group order the row-wise reducers produce).
-        groups: dict[tuple[str, ...], list[int]] = {}
-        for row, cell_index in enumerate(inverse):
-            groups.setdefault(targets[cell_index], []).append(row)
-
-        reduced = mo.empty_like()
-        measure_names = schema.measure_names
-        fact_ids = table.fact_ids
-        provenances = table.provenances
-        value_columns = [table.values_of(name) for name in names]
-        code_columns = [table.codes[name] for name in names]
-        measure_columns = [
-            table.measure_columns[name] for name in measure_names
-        ]
-        aggregates = [table.aggregate_of(name) for name in measure_names]
-        insert = reduced.insert_aggregate_fact
-        for target_cell, rows in groups.items():
-            coordinates = dict(zip(names, target_cell))
-            if len(rows) == 1:
-                row = rows[0]
-                direct = tuple(
-                    [vc[cc[row]] for vc, cc in zip(value_columns, code_columns)]
-                )
-                if direct == target_cell:
-                    insert(
-                        fact_ids[row],
-                        coordinates,
-                        {
-                            name: column[row]
-                            for name, column in zip(
-                                measure_names, measure_columns
-                            )
-                        },
-                        provenances[row],
-                    )
-                    continue
-            # Provenance merging is a set union, hence order-insensitive:
-            # one batched union replaces the chain of pairwise merges
-            # without changing the result.
-            provenance = Provenance(
-                frozenset().union(*[provenances[row].members for row in rows])
-            )
-            measures = {
-                name: aggregate([column[row] for row in rows])
-                for name, column, aggregate in zip(
-                    measure_names, measure_columns, aggregates
-                )
-            }
-            insert(
-                aggregate_fact_id(target_cell),
-                coordinates,
-                measures,
-                provenance,
-            )
-        fold_span.set_attribute("groups", len(groups))
-    telemetry.record_admitted(actions, admitted_counts)
-    return reduced
+    return table, inverse, targets, admitted_counts

@@ -22,7 +22,6 @@ from __future__ import annotations
 import datetime as _dt
 from typing import Callable, Iterable, Mapping
 
-from ..core.facts import Provenance, aggregate_fact_id
 from ..core.mo import MultidimensionalObject
 from ..errors import SpecSemanticsError
 from ..query.compare import Approach, atom_compare
@@ -225,13 +224,28 @@ def reduce_mo_compiled(
     now: _dt.date,
 ) -> MultidimensionalObject:
     """Drop-in replacement for ``reduce_mo`` using compiled predicates."""
-    compiled = compile_specification(mo, specification, now)
-    schema = mo.schema
-    names = schema.dimension_names
+    from .reducer import materialize_groups
 
-    # Memoize Cell per distinct direct-value tuple: facts sharing a direct
-    # cell always land in the same target cell (and admit the same
-    # actions, so the admission telemetry rides the same memo).
+    compiled = compile_specification(mo, specification, now)
+    groups, admitted_counts = _compiled_groups(mo, compiled)
+    reduced = materialize_groups(mo, groups)
+    telemetry.record_admitted(
+        [candidate.action for candidate in compiled], admitted_counts
+    )
+    return reduced
+
+
+def _compiled_groups(
+    mo: MultidimensionalObject,
+    compiled: list[CompiledAction],
+) -> tuple[dict[tuple[str, ...], list[str]], list[int]]:
+    """Definition 2's grouping via compiled predicates.
+
+    Memoizes ``Cell`` per distinct direct-value tuple: facts sharing a
+    direct cell always land in the same target cell (and admit the same
+    actions, so the admission telemetry rides the same memo).
+    """
+    names = mo.schema.dimension_names
     target_of: dict[
         tuple[str, ...], tuple[tuple[str, ...], tuple[int, ...]]
     ] = {}
@@ -247,36 +261,21 @@ def reduce_mo_compiled(
         for index in admitted:
             admitted_counts[index] += 1
         groups.setdefault(target, []).append(fact_id)
+    return groups, admitted_counts
 
-    reduced = mo.empty_like()
-    for cell, members in groups.items():
-        coordinates = dict(zip(names, cell))
-        if len(members) == 1 and mo.direct_cell(members[0]) == cell:
-            original = members[0]
-            reduced.insert_aggregate_fact(
-                original,
-                coordinates,
-                {
-                    name: mo.measure_value(original, name)
-                    for name in schema.measure_names
-                },
-                mo.provenance(original),
-            )
-            continue
-        provenance = Provenance()
-        for member in members:
-            provenance = provenance.merge(mo.provenance(member))
-        measures = {
-            name: mo.measures[name].aggregate_over(members)
-            for name in schema.measure_names
-        }
-        reduced.insert_aggregate_fact(
-            aggregate_fact_id(cell), coordinates, measures, provenance
-        )
-    telemetry.record_admitted(
-        [candidate.action for candidate in compiled], admitted_counts
-    )
-    return reduced
+
+def reduction_groups_compiled(
+    mo: MultidimensionalObject,
+    specification: ReductionSpecification | Iterable[Action],
+    now: _dt.date,
+) -> tuple[dict[tuple[str, ...], list[str]], list[int]]:
+    """Grouping plus per-action admitted counts, without building ``O'``.
+
+    The shard-parallel reducer runs this inside workers and materializes
+    the merged grouping once in the parent.
+    """
+    compiled = compile_specification(mo, specification, now)
+    return _compiled_groups(mo, compiled)
 
 
 def _target_cell(

@@ -92,7 +92,18 @@ def _reduce_interpretive(
         if isinstance(specification, ReductionSpecification)
         else list(specification)
     )
-    schema = mo.schema
+    groups, admitted_counts = _interpretive_groups(mo, actions, now)
+    reduced = materialize_groups(mo, groups)
+    telemetry.record_admitted(actions, admitted_counts)
+    return reduced
+
+
+def _interpretive_groups(
+    mo: MultidimensionalObject,
+    actions: list[Action],
+    now: _dt.date,
+) -> tuple[dict[tuple[str, ...], list[str]], list[int]]:
+    """Definition 2's grouping plus per-action admitted counts."""
     admitted_counts = [0] * len(actions)
     groups: dict[tuple[str, ...], list[str]] = {}
     for fact_id in mo.facts():
@@ -101,7 +112,21 @@ def _reduce_interpretive(
         for index in admitted:
             admitted_counts[index] += 1
         groups.setdefault(target_cell, []).append(fact_id)
+    return groups, admitted_counts
 
+
+def materialize_groups(
+    mo: MultidimensionalObject,
+    groups: dict[tuple[str, ...], list[str]],
+) -> MultidimensionalObject:
+    """Build ``O'`` from a grouping (the second half of Definition 2).
+
+    Group insertion order determines fact-iteration order of the result,
+    and member order determines aggregation order, so callers (including
+    the shard-parallel merge) must hand both in serial fact order to get
+    the reference result bit-for-bit.
+    """
+    schema = mo.schema
     reduced = mo.empty_like()
     for target_cell, members in groups.items():
         coordinates = dict(zip(schema.dimension_names, target_cell))
@@ -126,7 +151,6 @@ def _reduce_interpretive(
         }
         fact_id = aggregate_fact_id(target_cell)
         reduced.insert_aggregate_fact(fact_id, coordinates, measures, provenance)
-    telemetry.record_admitted(actions, admitted_counts)
     return reduced
 
 

@@ -114,6 +114,20 @@ def _parse_clist_cached(source: str) -> tuple[CategoryRef, ...]:
     return tuple(refs)
 
 
+def clear_parser_caches() -> None:
+    """Drop all memoized parses.
+
+    The caches are pure (source text -> immutable AST), so clearing is
+    never required for correctness in a single process; forked worker
+    processes call this (via :mod:`repro.parallel.forksafe`) so they
+    start from a clean, minimal heap instead of a copy of the parent's
+    accumulated cache.
+    """
+    _parse_action_cached.cache_clear()
+    _parse_predicate_cached.cache_clear()
+    _parse_clist_cached.cache_clear()
+
+
 # ----------------------------------------------------------------------
 # Internals
 # ----------------------------------------------------------------------

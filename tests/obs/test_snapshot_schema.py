@@ -59,7 +59,7 @@ def test_validator_tool_accepts_bench_documents(tmp_path):
     good.write_text(
         json.dumps(
             {
-                "schema": "repro-bench-reduction/1",
+                "schema": "repro-bench-reduction/2",
                 "metrics": full_registry().snapshot(),
             }
         )

@@ -1,0 +1,63 @@
+"""Fork-safety regression: inherited module caches reset in workers.
+
+The parent's spec-parser ``lru_cache``s, memoized hierarchy lattice
+queries, and query-plan caches are all inherited by forked workers.
+``install_fork_guard`` must clear them *in the child only* — the parent
+keeps its warm caches.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.engine.queryproc import QueryPlanCache
+from repro.engine.store import SubcubeStore
+from repro.experiments.paper_example import build_paper_mo, paper_specification
+from repro.parallel import ShardExecutor
+from repro.parallel.forksafe import clear_inherited_caches, install_fork_guard
+from repro.spec.parser import _parse_action_cached, _parse_predicate_cached
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+
+
+def test_clear_inherited_caches_resets_every_cache():
+    mo = build_paper_mo()
+    store = SubcubeStore(mo, paper_specification(mo))
+    plan_cache = QueryPlanCache(store)
+    plan_cache.bound_predicate("URL.domain_grp = '.com'")
+    assert plan_cache.n_bound == 1
+
+    _parse_predicate_cached("Time.month <= NOW - 2 months")
+    assert _parse_predicate_cached.cache_info().currsize >= 1
+
+    hierarchy = mo.dimensions["URL"].dimension_type.hierarchy
+    hierarchy.glb(list(hierarchy.user_categories)[:2])
+    assert hierarchy._glb_cache
+
+    clear_inherited_caches()
+    assert plan_cache.n_bound == 0 and plan_cache.n_plans == 0
+    assert _parse_predicate_cached.cache_info().currsize == 0
+    assert _parse_action_cached.cache_info().currsize == 0
+    assert not hierarchy._glb_cache and not hierarchy._lub_cache
+
+
+def test_install_fork_guard_is_idempotent():
+    install_fork_guard()
+    install_fork_guard()  # second call must be a no-op, not a re-register
+
+
+def _parser_cache_size(payload, task):
+    return _parse_predicate_cached.cache_info().currsize
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+def test_forked_workers_start_with_clean_caches():
+    _parse_predicate_cached("URL.domain != 'site0.com'")
+    warm = _parse_predicate_cached.cache_info().currsize
+    assert warm >= 1
+    executor = ShardExecutor(workers=2, mode="process")
+    with executor.session(None) as session:
+        sizes, _ = session.run(_parser_cache_size, [0, 1])
+    assert sizes == [0, 0], "children must fork with cleared caches"
+    # The parent's caches survive untouched.
+    assert _parse_predicate_cached.cache_info().currsize == warm

@@ -509,7 +509,7 @@ class TestObservabilityCli:
         registry = MetricsRegistry()
         registry.gauge("repro_sync_last_examined").set(9)
         bench = {
-            "schema": "repro-bench-sync/1",
+            "schema": "repro-bench-sync/2",
             "metrics": registry.snapshot(),
         }
         path = tmp_path / "BENCH_sync.json"
@@ -557,7 +557,7 @@ class TestBench:
         assert "BENCH_sync.json" in out
 
         reduction = json.loads((tmp_path / "BENCH_reduction.json").read_text())
-        assert reduction["schema"] == "repro-bench-reduction/1"
+        assert reduction["schema"] == "repro-bench-reduction/2"
         assert set(reduction["backends"]) == {
             "interpretive",
             "compiled",
@@ -567,18 +567,36 @@ class TestBench:
             assert block["seconds"] > 0
             assert block["output_facts"] > 0
         assert reduction["speedup"]["columnar_vs_interpretive"] > 0
+        assert reduction["environment"]["cpu_count"] >= 1
+        assert reduction["environment"]["workers_sweep"] == [1, 2, 4]
+        curve = reduction["sharded"]["curve"]
+        assert [point["workers"] for point in curve] == [1, 2, 4]
+        for point in curve:
+            assert point["seconds"] > 0
+            assert point["mode"] in ("serial", "process")
+            assert point["efficiency"] > 0
         assert reduction["metrics"]["schema"] == "repro-metrics/1"
         runs = next(
             family
             for family in reduction["metrics"]["metrics"]
             if family["name"] == "repro_reduce_runs_total"
         )
-        # One warm-up + one timed repeat per backend.
-        assert all(sample["value"] == 2 for sample in runs["samples"])
+        # One warm-up + one timed repeat per serial backend (the sharded
+        # sweep lands under its own "sharded-*" backend label).
+        serial = [
+            sample
+            for sample in runs["samples"]
+            if not sample["labels"]["backend"].startswith("sharded-")
+        ]
+        assert len(serial) == 3
+        assert all(sample["value"] == 2 for sample in serial)
 
         sync = json.loads((tmp_path / "BENCH_sync.json").read_text())
-        assert sync["schema"] == "repro-bench-sync/1"
+        assert sync["schema"] == "repro-bench-sync/2"
         assert sync["metrics"]["schema"] == "repro-metrics/1"
+        assert sync["environment"]["workers_sweep"] == [1, 2, 4]
+        assert len(sync["sharded"]["curve"]) == 3
+        assert sync["sharded"]["baseline_seconds"] > 0
         assert len(sync["steps"]) == 2
         for step in sync["steps"]:
             assert step["incremental"]["examined"] <= step["full"]["examined"]
