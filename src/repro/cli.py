@@ -69,7 +69,17 @@ Commands
     parallel efficiency at the largest swept worker count falls below
     the floor.  ``--durable PATH`` runs the synchronization suite
     through the crash-safe store engine (``--no-fsync`` skips fsync for
-    speed).
+    speed).  ``--serving`` also runs the concurrent-serving benchmark
+    (a client fleet under continuous background sync) and writes
+    ``BENCH_serving.json``.
+
+``serve MO_FILE SPEC_FILE --at YYYY-MM-DD [--port N] [--smoke]``
+    Load the MO into a subcube store, synchronize it, and serve
+    snapshot-isolated queries over a JSON-line TCP protocol with
+    per-request deadlines, 429 backpressure, and a circuit breaker that
+    degrades to stale read-only answers when refreshes fail (see
+    ``docs/serving.md``).  ``--smoke`` runs one client round trip
+    (ping + query + sync) and exits — the CI health check.
 
 ``recover DURABLE_PATH [--complete] [--json]``
     Recover a durable store directory: load the latest valid snapshot,
@@ -346,6 +356,62 @@ def build_parser() -> argparse.ArgumentParser:
         dest="no_fsync",
         help="skip fsync calls in the durable store (faster, less durable)",
     )
+    bench.add_argument(
+        "--serving",
+        action="store_true",
+        help="also run the serving benchmark (concurrent clients under "
+        "continuous sync) and write BENCH_serving.json",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve snapshot-isolated queries over a JSON-line TCP "
+        "protocol",
+    )
+    serve.add_argument("mo_file")
+    serve.add_argument("spec_file")
+    serve.add_argument(
+        "--at", required=True, help="initial synchronization date"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: let the OS pick; printed on startup)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        dest="max_queue",
+        help="admitted-request bound before 429 backpressure (default 64)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        dest="max_inflight",
+        help="concurrently executing requests (default 8)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=5.0,
+        help="default per-request deadline in seconds (default 5)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard refresh synchronization over this many workers",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="start, run one client round trip (ping + query + sync), "
+        "and exit (CI health check)",
+    )
 
     recover = sub.add_parser(
         "recover", help="recover a crash-safe durable store directory"
@@ -443,6 +509,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                 not arguments.no_fsync,
                 arguments.workers,
                 arguments.fail_under_efficiency,
+                arguments.serving,
+            )
+        if arguments.command == "serve":
+            return _serve(
+                arguments.mo_file,
+                arguments.spec_file,
+                arguments.at,
+                arguments.host,
+                arguments.port,
+                arguments.max_queue,
+                arguments.max_inflight,
+                arguments.deadline,
+                arguments.workers,
+                arguments.smoke,
             )
         if arguments.command == "recover":
             return _recover(
@@ -889,6 +969,7 @@ def _bench(
     fsync: bool = True,
     workers: list[int] | None = None,
     fail_under_efficiency: float | None = None,
+    serving: bool = False,
 ) -> int:
     from .bench import run_benchmarks
 
@@ -922,6 +1003,8 @@ def _bench(
         f"vs {sync['examined']['full']} full "
         f"(saved {sync['examined']['saved']})"
     )
+    if serving:
+        paths["BENCH_serving.json"] = _bench_serving(out_dir, smoke)
     for name, path in paths.items():
         print(f"wrote {path}")
     failed = False
@@ -943,6 +1026,118 @@ def _bench(
             )
             failed = True
     return 1 if failed else 0
+
+
+def _bench_serving(out_dir: str, smoke: bool) -> str:
+    """Run the serving benchmark and write ``BENCH_serving.json``."""
+    from .bench import FULL_PROFILE, SMOKE_PROFILE
+    from .io import atomic_write
+    from .serving.bench import run_serving_bench
+
+    document = run_serving_bench(SMOKE_PROFILE if smoke else FULL_PROFILE)
+    path = os.path.join(out_dir, "BENCH_serving.json")
+    with atomic_write(path) as stream:
+        json.dump(document, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    results = document["results"]
+    latency = document["latency"]
+    p99 = latency["p99_seconds"]
+    print(
+        f"serving: {results['requests_ok']} requests at "
+        f"{results['qps']:.0f} QPS over "
+        f"{results['syncs']['published']} background syncs, "
+        f"p99 {p99 * 1000.0:.2f} ms"
+        if p99 is not None
+        else "serving: no latency samples recorded"
+    )
+    return path
+
+
+def _serve(
+    mo_file: str,
+    spec_file: str,
+    at: str,
+    host: str,
+    port: int,
+    max_queue: int,
+    max_inflight: int,
+    deadline: float,
+    workers: int | None,
+    smoke: bool,
+) -> int:
+    import asyncio
+
+    from .engine.faults import FaultInjector
+    from .engine.store import SubcubeStore
+    from .io import load_mo, load_specification
+    from .serving import (
+        QueryServer,
+        ServerConfig,
+        ServingClient,
+        ServingService,
+    )
+
+    when = dt.date.fromisoformat(at)
+    with open(mo_file) as stream:
+        mo = load_mo(stream)
+    with open(spec_file) as stream:
+        specification = load_specification(stream, mo.schema, mo.dimensions)
+    executor = None
+    workers = _shard_workers(workers)
+    if workers is not None:
+        from .parallel import ShardExecutor
+
+        executor = ShardExecutor(workers=workers)
+    store = SubcubeStore(mo, specification)
+    store.load(_facts_of(mo))
+    store.synchronize(when, executor=executor)
+    # The chaos CI job drives failpoints through the environment, same
+    # as the crash-recovery suites (REPRO_FAILPOINTS / REPRO_FAULT_SEED).
+    service = ServingService(
+        store, faults=FaultInjector.from_environment(), executor=executor
+    )
+    config = ServerConfig(
+        host=host,
+        port=port,
+        max_queue=max_queue,
+        max_inflight=max_inflight,
+        deadline_seconds=deadline,
+    )
+
+    async def run() -> int:
+        server = QueryServer(service, config)
+        await server.start()
+        bound_host, bound_port = server.address
+        print(
+            f"serving {store.total_facts()} facts on "
+            f"{bound_host}:{bound_port} (version {service.version})",
+            file=sys.stderr,
+        )
+        if smoke:
+            try:
+                async with ServingClient(bound_host, bound_port) as client:
+                    ping = await client.ping()
+                    queried = await client.query(at)
+                    synced = await client.sync(at)
+                ok = bool(
+                    ping.get("ok") and queried.get("ok") and synced.get("ok")
+                )
+                print(
+                    f"smoke round trip: version {queried.get('version')}, "
+                    f"{len(queried.get('rows', []))} rows, "
+                    f"breaker {synced.get('breaker')}",
+                    file=sys.stderr,
+                )
+                return 0 if ok else 1
+            finally:
+                await server.stop()
+        try:
+            await server.serve_until_closed()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            await server.stop()
+        return 0
+
+    return asyncio.run(run())
 
 
 def _recover(durable_path: str, complete: bool, as_json: bool) -> int:

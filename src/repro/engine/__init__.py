@@ -8,7 +8,15 @@ from .durable import (
     RecoveryReport,
     open_durable,
 )
-from .faults import FAILPOINTS, FaultInjector, InjectedFault
+from .faults import (
+    FAILPOINTS,
+    SERVING_FAILPOINTS,
+    SHARD_FAILPOINTS,
+    DiskFault,
+    FaultInjector,
+    InjectedFault,
+    SlowFault,
+)
 from .planner import CubePlanStep, QueryPlan, explain_plan
 from .queryproc import (
     QueryPlanCache,
@@ -32,10 +40,14 @@ __all__ = [
     "AuditReport",
     "CubePlanStep",
     "DisjointAction",
+    "DiskFault",
     "DurableStore",
     "FAILPOINTS",
     "FaultInjector",
     "InjectedFault",
+    "SERVING_FAILPOINTS",
+    "SHARD_FAILPOINTS",
+    "SlowFault",
     "Journal",
     "JournalRecord",
     "Migration",

@@ -155,6 +155,11 @@ class Journal:
             self._stream.flush()
             raise
         try:
+            # Disk failpoints model the write itself failing (full disk,
+            # I/O error), so they raise from inside the same handler a
+            # real OSError would.
+            self._faults.hit("disk.enospc")
+            self._faults.hit("disk.eio")
             self._stream.write(line)
             self._stream.flush()
         except OSError as exc:
@@ -572,6 +577,11 @@ class DurableStore(SubcubeStore):
         filename = f"snap-{lsn:012d}.json"
         final_path = os.path.join(directory, filename)
         tmp_path = final_path + ".tmp"
+        # A full or failing disk surfaces here as a realistic OSError
+        # (never a half-published snapshot: the write-temp → rename
+        # protocol below leaves the previous snapshot untouched).
+        self._faults.hit("disk.enospc")
+        self._faults.hit("disk.eio")
         with open(tmp_path, "w", encoding="utf-8") as stream:
             json.dump({"crc": crc, "snapshot": body}, stream, sort_keys=True)
             stream.flush()

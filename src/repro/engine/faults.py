@@ -9,16 +9,32 @@ reproducible), or a bounded number of times.  Firing raises
 moment the process died: nothing after the raise may be assumed to have
 happened, and recovery from disk must land on a consistent state.
 
+Beyond simulated crashes, a failpoint can carry a *payload* that shapes
+what firing does:
+
+* :class:`DiskFault` raises a realistic ``OSError`` with the given
+  ``errno`` (ENOSPC, EIO, ...) instead of :class:`InjectedFault`, so the
+  durable engine's error handling sees exactly what a full or failing
+  disk would produce;
+* :class:`SlowFault` injects latency (a blocking sleep) and lets the
+  call proceed — the model of a stalling disk or an overloaded sync,
+  which the serving layer's deadline and backpressure machinery must
+  absorb rather than crash on.
+
 Failpoints can also be armed from the environment
 (``REPRO_FAILPOINTS="journal.append=2,sync.migrate=p0.25"`` with
-``REPRO_FAULT_SEED=1``), which is how the CI fault-injection job drives
-the property suite without code changes.
+``REPRO_FAULT_SEED=1``), which is how the CI fault-injection and
+serving-chaos jobs drive the property suites without code changes.
+Disk and slow failpoints armed from the environment pick up their
+default payloads from :data:`DEFAULT_PAYLOADS`.
 """
 
 from __future__ import annotations
 
+import errno as _errno
 import os
 import random
+import time
 from dataclasses import dataclass, field
 
 from ..errors import ReproError
@@ -48,6 +64,51 @@ SHARD_FAILPOINTS: tuple[str, ...] = (
     "shard.apply",  # mid merge, after some shard results were applied
 )
 
+#: Disk- and server-level failpoints for the serving layer's chaos
+#: suite (:mod:`repro.serving`).  The ``disk.*`` sites sit inside the
+#: durable engine's write paths and default to realistic ``OSError``
+#: payloads; the ``serve.*`` and ``sync.slow`` sites model a crashing
+#: handler and a stalling synchronization, which the server must absorb
+#: (degraded stale-snapshot serving) instead of exiting.
+SERVING_FAILPOINTS: tuple[str, ...] = (
+    "disk.enospc",  # journal append / snapshot publish hits a full disk
+    "disk.eio",  # journal append / snapshot publish hits an I/O error
+    "sync.slow",  # synchronization stalls (latency, not a crash)
+    "serve.handler",  # a request handler dies mid-request
+    "serve.slow",  # a request handler stalls past its deadline
+)
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """A failpoint payload that raises ``OSError(errno, ...)`` on fire."""
+
+    errno: int
+
+    def raise_for(self, name: str, hit: int) -> None:
+        code = _errno.errorcode.get(self.errno, str(self.errno))
+        raise OSError(
+            self.errno, f"injected {code} at {name!r} (hit {hit})"
+        )
+
+
+@dataclass(frozen=True)
+class SlowFault:
+    """A failpoint payload that sleeps instead of raising: the call
+    proceeds, late — a stalling disk or sync, not a dead process."""
+
+    seconds: float
+
+
+#: Payloads failpoints armed without an explicit one default to (used
+#: by :meth:`FaultInjector.arm` and environment-driven arming).
+DEFAULT_PAYLOADS: dict[str, object] = {
+    "disk.enospc": DiskFault(_errno.ENOSPC),
+    "disk.eio": DiskFault(_errno.EIO),
+    "sync.slow": SlowFault(0.05),
+    "serve.slow": SlowFault(0.05),
+}
+
 
 class InjectedFault(ReproError):
     """A simulated crash raised by an armed failpoint."""
@@ -68,6 +129,9 @@ class _Arming:
     probability: float | None = None
     #: Stop firing after this many fires; ``None`` = unbounded.
     max_fires: int | None = None
+    #: What firing does: ``None`` raises :class:`InjectedFault`, a
+    #: :class:`DiskFault` raises ``OSError``, a :class:`SlowFault` sleeps.
+    payload: object | None = None
     hits: int = 0
     fires: int = 0
 
@@ -98,13 +162,17 @@ class FaultInjector:
         at_hit: int | None = None,
         probability: float | None = None,
         max_fires: int | None = None,
+        payload: object | None = None,
     ) -> None:
-        if name not in FAILPOINTS and name not in SHARD_FAILPOINTS:
-            known = ", ".join(FAILPOINTS + SHARD_FAILPOINTS)
+        known_names = FAILPOINTS + SHARD_FAILPOINTS + SERVING_FAILPOINTS
+        if name not in known_names:
+            known = ", ".join(known_names)
             raise ReproError(f"unknown failpoint {name!r}; known: {known}")
         if at_hit is None and probability is None:
             at_hit = 1
-        self._armed[name] = _Arming(at_hit, probability, max_fires)
+        if payload is None:
+            payload = DEFAULT_PAYLOADS.get(name)
+        self._armed[name] = _Arming(at_hit, probability, max_fires, payload)
 
     def disarm(self, name: str | None = None) -> None:
         """Disarm one failpoint, or all of them when *name* is None."""
@@ -129,6 +197,11 @@ class FaultInjector:
         ):
             return
         arming.fires += 1
+        if isinstance(arming.payload, SlowFault):
+            time.sleep(arming.payload.seconds)
+            return
+        if isinstance(arming.payload, DiskFault):
+            arming.payload.raise_for(name, arming.hits)
         raise InjectedFault(name, arming.hits)
 
     def hit_count(self, name: str) -> int:

@@ -146,6 +146,27 @@ class QueryPlanCache:
     def plan_for_text(self, text: str, now: _dt.date) -> CompiledPredicate:
         return self.plan_for(self.bound_predicate(text), now)
 
+    def note_sync(self, moved: Mapping[str, int], now: _dt.date) -> None:
+        """Scoped invalidation after a committed synchronization.
+
+        Bound predicates (text -> schema-bound AST) depend only on the
+        schema and dimension values, which synchronization never touches
+        — they are *always* kept warm, so snapshot readers and repeated
+        queries keep their parsed plans across NOW advances.  Compiled
+        verdict tables are keyed by ``(predicate, time)`` and stay
+        correct too; what a sync changes is which evaluation times are
+        still *reachable*: once facts actually migrated at *now*, plans
+        compiled for earlier times belong to store versions no live
+        query will combine with this store again, so they are released
+        (otherwise a long NOW trajectory grows the cache without bound).
+        A synchronization that migrated nothing releases nothing.
+        """
+        if not any(moved.values()):
+            return
+        stale = [key for key in self._plans if key[1] < now]
+        for key in stale:
+            del self._plans[key]
+
 
 def plan_cache(store: SubcubeStore) -> QueryPlanCache:
     """The store's plan cache (created and attached on first use)."""

@@ -415,6 +415,7 @@ class SubcubeStore:
                 raise
             self.last_sync = now
             self._dirty.clear()
+            self._invalidate_query_plans(moved, now)
             sync_span.set_attribute("examined", examined)
             sync_span.set_attribute("migrated", sum(moved.values()))
             sync_span.set_attribute("skipped", skipped)
@@ -476,6 +477,22 @@ class SubcubeStore:
             buckets=obs_metrics.TIME_BUCKETS,
             help="Synchronization duration in seconds, by scan mode.",
         ).observe(seconds)
+
+    def _invalidate_query_plans(
+        self, moved: Mapping[str, int], now: _dt.date
+    ) -> None:
+        """Release attached query-plan state a committed sync made stale.
+
+        Scoped, not wholesale: bound predicate ASTs survive every
+        synchronization (they depend only on schema and dimensions), and
+        compiled verdict tables are only released for evaluation times
+        before *now*, and only when some cube actually received migrated
+        facts — see :meth:`QueryPlanCache.note_sync`.  A store with no
+        attached cache is untouched.
+        """
+        cache = getattr(self, "_plan_cache", None)
+        if cache is not None:
+            cache.note_sync(moved, now)
 
     def _apply_migration(self, migration: Migration, undo: _UndoLog) -> str:
         """Journal (via hook), undo-record, and apply one migration."""
@@ -661,6 +678,12 @@ class SubcubeStore:
             raise
         self.last_sync = now
         self._dirty.clear()
+        # A rebuild replaces the cube set wholesale, so unlike a sync the
+        # attached plan cache is cleared completely (bound ASTs included:
+        # the new specification may bind the same text differently).
+        cache = getattr(self, "_plan_cache", None)
+        if cache is not None:
+            cache.clear()
         self._journal_rebuild(now)
         self.metrics.counter(
             STORE_REBUILDS,

@@ -87,6 +87,12 @@ class RecoveryError(DurabilityError):
     """A durable store directory cannot be recovered to a valid state."""
 
 
+class ServingError(ReproError):
+    """The serving layer refused or failed a request (no snapshot
+    published yet, deadline exceeded, admission queue full, or the
+    refresh circuit breaker is open)."""
+
+
 class ObsError(ReproError):
     """An observability primitive was misused (bad metric name, label, or
     bucket layout) or a metrics snapshot document is malformed."""

@@ -115,6 +115,30 @@ class Histogram:
         out.append((math.inf, running + self.counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the *q*-quantile (Prometheus ``histogram_quantile``
+        style: linear interpolation inside the owning bucket, the last
+        finite bound for observations in the ``+Inf`` bucket).  ``None``
+        when the histogram is empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            if running >= rank:
+                if count == 0:
+                    return bound
+                fraction = (rank - (running - count)) / count
+                return lower + (bound - lower) * fraction
+            lower = bound
+        # The quantile falls in the +Inf bucket: the last finite bound is
+        # the best (conservative) point estimate available.
+        return self.bounds[-1] if self.bounds else None
+
 
 class _Family:
     """All children of one metric name (one per distinct label set)."""

@@ -269,6 +269,7 @@ def synchronize_sharded(
             raise
         store.last_sync = now
         store._dirty.clear()
+        store._invalidate_query_plans(moved, now)
         sync_span.set_attribute("examined", examined)
         sync_span.set_attribute("migrated", sum(moved.values()))
         sync_span.set_attribute("skipped", skipped)

@@ -1,0 +1,196 @@
+"""Sustained-QPS-under-continuous-sync benchmark (``BENCH_serving.json``).
+
+A fleet of concurrent JSON-line clients hammers a :class:`QueryServer`
+while a background refresher continuously advances NOW and publishes
+new snapshot versions — the exact contention MVCC snapshot isolation
+exists to absorb.  The document (schema ``repro-bench-serving/1``)
+reports sustained QPS, latency quantiles straight from the
+``repro_serving_request_seconds`` histogram in the metrics registry,
+backpressure/retry counts, and the snapshot-version churn the run rode
+through, plus the standard ``environment`` block so runs from different
+machines are never compared blindly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import datetime as _dt
+import time
+
+from ..bench import BenchProfile, _environment_block, _workload, _workload_block
+from ..engine.store import SubcubeStore
+from ..obs import metrics as obs_metrics
+from . import telemetry
+from .client import RetryPolicy, ServingClient
+from .server import QueryServer, ServerConfig
+from .service import ServingService
+
+#: Schema tag of the serving benchmark document.
+SERVING_SCHEMA = "repro-bench-serving/1"
+
+#: The two request shapes the client mix alternates between: the grand
+#: total (all dimensions at TOP, no predicate) and a selective rollup
+#: that exercises predicate parsing, the plan cache, and aggregation.
+_ROLLUP_GRANULARITY = {"Time": "year", "URL": "domain_grp"}
+_ROLLUP_PREDICATE = "URL.domain_grp = '.com'"
+
+
+async def _client_task(
+    index: int,
+    host: str,
+    port: int,
+    requests: int,
+    now: _dt.date,
+) -> dict:
+    """One client's request loop; returns its outcome tally."""
+    policy = RetryPolicy(seed=index)  # distinct, reproducible jitter
+    tally = {"ok": 0, "failed": 0, "retried_rejections": 0, "degraded": 0}
+    async with ServingClient(host, port, policy) as client:
+        for n in range(requests):
+            if (index + n) % 2:
+                response = await client.query(
+                    now.isoformat(),
+                    predicate=_ROLLUP_PREDICATE,
+                    granularity=_ROLLUP_GRANULARITY,
+                )
+            else:
+                response = await client.query(now.isoformat())
+            if response.get("ok"):
+                tally["ok"] += 1
+                if response.get("degraded"):
+                    tally["degraded"] += 1
+            else:
+                tally["failed"] += 1
+        tally["retried_rejections"] = client.retried_rejections
+    return tally
+
+
+async def _refresher_task(
+    client: ServingClient,
+    start: _dt.date,
+    step_days: int,
+    stop: asyncio.Event,
+) -> dict:
+    """Advance NOW through ``sync`` ops until the fleet finishes."""
+    now = start
+    syncs = {"published": 0, "held": 0}
+    while not stop.is_set():
+        now = now + _dt.timedelta(days=step_days)
+        response = await client.sync(now.isoformat())
+        if response.get("ok") and response.get("published"):
+            syncs["published"] += 1
+        else:
+            syncs["held"] += 1
+        # Yield so client traffic interleaves with the sync stream.
+        await asyncio.sleep(0)
+    return syncs
+
+
+async def _run_fleet(
+    server: QueryServer,
+    profile: BenchProfile,
+    clients: int,
+    requests_per_client: int,
+) -> dict:
+    host, port = server.address
+    stop = asyncio.Event()
+    async with ServingClient(host, port) as sync_client:
+        refresher = asyncio.create_task(
+            _refresher_task(sync_client, profile.now, 7, stop)
+        )
+        started = time.perf_counter()
+        tallies = await asyncio.gather(
+            *(
+                _client_task(
+                    index, host, port, requests_per_client, profile.now
+                )
+                for index in range(clients)
+            )
+        )
+        elapsed = time.perf_counter() - started
+        stop.set()
+        syncs = await refresher
+    total_ok = sum(t["ok"] for t in tallies)
+    return {
+        "elapsed_seconds": elapsed,
+        "requests_ok": total_ok,
+        "requests_failed": sum(t["failed"] for t in tallies),
+        "responses_degraded": sum(t["degraded"] for t in tallies),
+        "rejections_retried": sum(
+            t["retried_rejections"] for t in tallies
+        ),
+        "qps": (total_ok / elapsed) if elapsed > 0 else None,
+        "syncs": syncs,
+    }
+
+
+def _latency_block(registry: obs_metrics.MetricsRegistry) -> dict:
+    histogram = telemetry.request_histogram(registry)
+    return {
+        "count": histogram.count,
+        "mean_seconds": (
+            histogram.sum / histogram.count if histogram.count else None
+        ),
+        "p50_seconds": histogram.quantile(0.50),
+        "p95_seconds": histogram.quantile(0.95),
+        "p99_seconds": histogram.quantile(0.99),
+    }
+
+
+def run_serving_bench(
+    profile: BenchProfile,
+    clients: int = 32,
+    requests_per_client: int | None = None,
+) -> dict:
+    """Run the serving benchmark and return its document."""
+    if requests_per_client is None:
+        requests_per_client = 4 if profile.name == "smoke" else 12
+    mo, specification = _workload(profile)
+    registry = obs_metrics.MetricsRegistry()
+    store = SubcubeStore(mo, specification, metrics=registry)
+    store.load(
+        (
+            fact_id,
+            dict(zip(mo.schema.dimension_names, mo.direct_cell(fact_id))),
+            {
+                name: mo.measure_value(fact_id, name)
+                for name in mo.schema.measure_names
+            },
+        )
+        for fact_id in mo.facts()
+    )
+    store.synchronize(profile.now)
+    service = ServingService(store)
+    config = ServerConfig(max_queue=max(clients * 2, 64))
+
+    async def run() -> dict:
+        server = QueryServer(service, config)
+        await server.start()
+        try:
+            return await _run_fleet(
+                server, profile, clients, requests_per_client
+            )
+        finally:
+            await server.stop()
+
+    results = asyncio.run(run())
+    document = {
+        "schema": SERVING_SCHEMA,
+        "metrics": registry.snapshot(),
+        "environment": {
+            **_environment_block(()),
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "max_queue": config.max_queue,
+            "max_inflight": config.max_inflight,
+        },
+        "workload": _workload_block(profile, mo),
+        "now": profile.now.isoformat(),
+        "results": results,
+        "latency": _latency_block(registry),
+        "snapshots": {
+            "final_version": service.version,
+            "live_versions": service.snapshots.live_versions(),
+        },
+    }
+    return document

@@ -1,0 +1,146 @@
+"""A deterministic circuit breaker guarding the refresh path.
+
+States follow the classic pattern: *closed* (refreshes flow),
+*open* (refreshes rejected; the server keeps serving the last good
+snapshot read-only), *half-open* (after the cooldown, exactly one probe
+is admitted — success closes the breaker, failure re-opens it and
+restarts the cooldown).
+
+Determinism is a test requirement, not an aspiration: the clock is
+injectable (tests pass a fake), transitions depend only on the sequence
+of ``allow``/``record_*`` calls and the clock readings, and every
+transition is counted in the metrics registry, so the chaos suite can
+assert the exact closed → open → half-open → closed trajectory under a
+seeded fault schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..errors import ServingError
+from ..obs import metrics as obs_metrics
+from . import telemetry
+
+#: The three breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; probe again after a cooldown."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: obs_metrics.MetricsRegistry | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServingError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ServingError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_inflight = False
+        self.metrics = (
+            metrics if metrics is not None else obs_metrics.MetricsRegistry()
+        )
+        self._set_state_gauge(CLOSED)
+
+    @property
+    def state(self) -> str:
+        """The current state, with open→half-open promotion applied."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt the guarded operation now.
+
+        In half-open state only the *first* caller gets the probe slot;
+        concurrent callers are rejected until the probe resolves via
+        ``record_success``/``record_failure``.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The guarded operation succeeded: close from any state."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """The guarded operation failed: count toward the threshold, or
+        re-open immediately if this was the half-open probe."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._probe_inflight = False
+                self._open()
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._open()
+            elif self._state == OPEN:
+                # A straggler failure while already open restarts the
+                # cooldown — the dependency is still unhealthy.
+                self._opened_at = self._clock()
+
+    # ------------------------------------------------------------------
+    # Internals (callers hold the lock)
+    # ------------------------------------------------------------------
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._transition(OPEN)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._probe_inflight = False
+            self._transition(HALF_OPEN)
+
+    def _transition(self, to: str) -> None:
+        if to == self._state:
+            return
+        self.metrics.counter(
+            telemetry.BREAKER_TRANSITIONS,
+            {"from": self._state, "to": to},
+            help="Circuit-breaker state transitions.",
+        ).inc()
+        self._state = to
+        self._set_state_gauge(to)
+
+    def _set_state_gauge(self, state: str) -> None:
+        self.metrics.gauge(
+            telemetry.BREAKER_STATE,
+            help="Breaker state: 0 closed, 1 open, 2 half-open.",
+        ).set(telemetry.BREAKER_STATE_CODES[state])

@@ -1,0 +1,188 @@
+"""Deterministic circuit-breaker transitions under an injected clock."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving import telemetry
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("cooldown", 5.0)
+    breaker = CircuitBreaker(clock=clock, **kwargs)
+    return breaker, clock
+
+
+class TestValidation:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ServingError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(ServingError, match="cooldown"):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestTrajectory:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.consecutive_failures == 2
+
+    def test_threshold_failures_open(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_promotes_open_to_half_open(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.999)
+        assert breaker.state == OPEN
+        clock.advance(0.001)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()  # concurrent caller: rejected
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert breaker.state == OPEN  # cooldown restarted at the re-open
+        clock.advance(0.1)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_straggler_failure_while_open_restarts_cooldown(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        # A refresh that was already in flight when the breaker opened
+        # reports its failure late: the dependency is still unhealthy.
+        breaker.record_failure()
+        clock.advance(4.0)  # 8s after open, but only 4s after straggler
+        assert breaker.state == OPEN
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_success_closes_from_open(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_trajectory_is_reproducible(self):
+        """The same call/clock schedule yields the same state sequence."""
+
+        def run():
+            breaker, clock = make_breaker(failure_threshold=2, cooldown=1.0)
+            states = [breaker.state]
+            for step in (
+                "fail", "fail", "tick", "probe", "fail", "tick", "probe", "ok"
+            ):
+                if step == "fail":
+                    breaker.record_failure()
+                elif step == "ok":
+                    breaker.record_success()
+                elif step == "tick":
+                    clock.advance(1.0)
+                elif step == "probe":
+                    breaker.allow()
+                states.append(breaker.state)
+            return states
+
+        first, second = run(), run()
+        assert first == second
+        assert first == [
+            CLOSED, CLOSED, OPEN, HALF_OPEN, HALF_OPEN,
+            OPEN, HALF_OPEN, HALF_OPEN, CLOSED,
+        ]
+
+
+class TestMetrics:
+    def test_transitions_and_state_gauge_are_recorded(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown=2.0, clock=clock, metrics=registry
+        )
+        breaker.record_failure()  # closed -> open
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN  # open -> half_open
+        assert breaker.allow()
+        breaker.record_success()  # half_open -> closed
+
+        def transitions(src, dst):
+            return registry.value(
+                telemetry.BREAKER_TRANSITIONS, {"from": src, "to": dst}
+            )
+
+        assert transitions(CLOSED, OPEN) == 1
+        assert transitions(OPEN, HALF_OPEN) == 1
+        assert transitions(HALF_OPEN, CLOSED) == 1
+        assert registry.value(telemetry.BREAKER_STATE) == (
+            telemetry.BREAKER_STATE_CODES[CLOSED]
+        )

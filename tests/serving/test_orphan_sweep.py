@@ -1,0 +1,129 @@
+"""Orphan shard-segment sweep racing a reader on a pinned snapshot.
+
+Recovery deletes ``journal.shard-*.jsonl`` segments no committed sharded
+sync references (:func:`repro.engine.durable._sweep_orphan_segments`).
+A serving reader may at that very moment hold a pinned snapshot taken
+*before* the crash — snapshots are deep in-memory copies, so the disk
+sweep must be invisible to them: the pinned version still verifies its
+fingerprint and still answers queries, while the recovered store lands
+on exactly the committed state and keeps only referenced segments.
+"""
+
+import os
+
+import pytest
+
+from repro.core.hierarchy import TOP
+from repro.engine.durable import DurableStore, open_durable
+from repro.engine.faults import FaultInjector, InjectedFault
+from repro.engine.queryproc import SubcubeQuery
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.parallel import ShardExecutor
+from repro.serving import SnapshotManager, store_fingerprint
+
+from ..engine.durableutil import facts_of
+
+GRAND_TOTAL = SubcubeQuery(None, {"Time": TOP, "URL": TOP})
+
+
+def segments_in(path):
+    return {
+        name
+        for name in os.listdir(path)
+        if name.startswith("journal.shard-") and name.endswith(".jsonl")
+    }
+
+
+def rows_of(mo):
+    return sorted(
+        (mo.direct_cell(f), mo.measure_value(f, "Number_of"))
+        for f in mo.facts()
+    )
+
+
+def test_sweep_races_a_pinned_reader(tmp_path):
+    path = tmp_path / "store"
+    mo = build_paper_mo()
+    faults = FaultInjector()
+    store = DurableStore.create(
+        str(path), mo, paper_specification(mo), fsync=False, faults=faults
+    )
+    store.load(facts_of(mo))
+    executor = ShardExecutor(workers=2, mode="serial")
+
+    # A committed sharded sync: its segments are referenced and durable.
+    store.synchronize(SNAPSHOT_TIMES[1], executor=executor)
+    committed = segments_in(path)
+    assert committed, "sharded sync must write WAL segments"
+
+    # The serving layer publishes, and a reader pins this version.
+    manager = SnapshotManager()
+    manager.publish(store)
+    pinned = manager.acquire()
+    baseline = rows_of(pinned.query(GRAND_TOTAL, SNAPSHOT_TIMES[1]))
+
+    # The next sharded sync dies mid-flight (a simulated process kill
+    # after some shard work), leaving orphan segments on disk.
+    faults.arm("shard.apply", at_hit=1)
+    with pytest.raises(InjectedFault):
+        store.synchronize(SNAPSHOT_TIMES[2], executor=executor)
+    store.close()
+    orphaned = segments_in(path) - committed
+    assert orphaned, "the interrupted sync must leave orphan segments"
+
+    # Recovery sweeps the orphans while the reader still holds its pin.
+    recovered, report = open_durable(str(path), faults=FaultInjector())
+    assert segments_in(path) == committed, "referenced segments swept"
+    assert not (segments_in(path) & orphaned), "orphans survived the sweep"
+
+    # The recovered store is the committed pre-crash state — exactly
+    # what the pinned snapshot froze.
+    assert store_fingerprint(recovered) == pinned.fingerprint
+
+    # The racing reader never noticed: its snapshot still hashes clean
+    # and still answers the same rows after the sweep deleted files.
+    assert pinned.verify_integrity()
+    assert rows_of(pinned.query(GRAND_TOTAL, SNAPSHOT_TIMES[1])) == baseline
+
+    # Re-running the interrupted sync converges; the old pinned version
+    # survives the new publication until released.
+    recovered.synchronize(SNAPSHOT_TIMES[2], executor=executor)
+    fresh = manager.publish(recovered)
+    assert manager.live_versions() == [1, 2]
+    assert fresh.fingerprint != pinned.fingerprint
+    manager.release(pinned)
+    assert manager.live_versions() == [2]
+    recovered.close()
+
+
+def test_sweep_spares_segments_of_every_committed_sync(tmp_path):
+    path = tmp_path / "store"
+    mo = build_paper_mo()
+    store = DurableStore.create(
+        str(path),
+        mo,
+        paper_specification(mo),
+        fsync=False,
+        faults=FaultInjector(),
+    )
+    store.load(facts_of(mo))
+    executor = ShardExecutor(workers=2, mode="serial")
+    store.synchronize(SNAPSHOT_TIMES[0], executor=executor)
+    store.synchronize(SNAPSHOT_TIMES[1], executor=executor)
+    committed = segments_in(path)
+    store.close()
+
+    # Plant orphans that lexically sort before and after the real ones.
+    early = path / "journal.shard-000000000000-0000.jsonl"
+    late = path / "journal.shard-999999999999-0099.jsonl"
+    early.write_text("")
+    late.write_text("")
+
+    recovered, _ = open_durable(str(path), faults=FaultInjector())
+    recovered.close()
+    assert segments_in(path) == committed
+    assert not early.exists() and not late.exists()

@@ -1,0 +1,234 @@
+"""Chaos suite: the service degrades under injected faults, never dies.
+
+Three properties, each driven by seeded deterministic injection:
+
+* a kill during synchronization (``sync.migrate``) leaves the service
+  serving version N — the failed refresh publishes nothing;
+* ENOSPC at snapshot publication degrades the service to stale
+  read-only answers, and it recovers automatically once the disk
+  "heals" and the breaker re-closes;
+* no request ever observes a torn version: every snapshot handed to a
+  reader re-hashes to its publication fingerprint, under an arbitrary
+  seeded schedule of mid-sync and disk faults.
+"""
+
+import datetime as dt
+import os
+
+import pytest
+
+from repro.core.hierarchy import TOP
+from repro.engine.durable import DurableStore
+from repro.engine.faults import FaultInjector
+from repro.engine.queryproc import SubcubeQuery
+from repro.errors import ServingError
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.serving import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving import telemetry
+from repro.serving.service import ServingService
+from repro.serving.snapshots import store_fingerprint
+
+from ..engine.durableutil import facts_of
+from .test_breaker import FakeClock
+
+GRAND_TOTAL = SubcubeQuery(None, {"Time": TOP, "URL": TOP})
+
+#: The chaos schedule's seed; the CI serving-chaos job sweeps this.
+CHAOS_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+def make_service(tmp_path, **breaker_kwargs):
+    """A durable-store service with hermetic faults and a fake clock."""
+    mo = build_paper_mo()
+    faults = FaultInjector(seed=CHAOS_SEED)
+    store = DurableStore.create(
+        str(tmp_path / "store"),
+        mo,
+        paper_specification(mo),
+        fsync=False,
+        faults=faults,
+    )
+    store.load(facts_of(mo))
+    clock = FakeClock()
+    breaker_kwargs.setdefault("failure_threshold", 3)
+    breaker_kwargs.setdefault("cooldown", 5.0)
+    breaker = CircuitBreaker(
+        clock=clock, metrics=store.metrics, **breaker_kwargs
+    )
+    service = ServingService(store, breaker=breaker, faults=faults)
+    return service, faults, clock
+
+
+class TestKillDuringSync:
+    # SNAPSHOT_TIMES[1] (2000/6/5) is the first paper snapshot at which
+    # facts actually migrate, so ``sync.migrate`` is guaranteed a hit.
+
+    def test_failed_sync_keeps_version_n_published(self, tmp_path):
+        service, faults, _ = make_service(tmp_path)
+        held = service.snapshots.current().fingerprint
+        faults.arm("sync.migrate", at_hit=1)
+
+        assert service.refresh(SNAPSHOT_TIMES[1]) is None
+
+        assert faults.fire_count("sync.migrate") == 1, "fault never fired"
+        assert service.version == 1
+        assert service.snapshots.current().fingerprint == held
+        assert service.snapshots.current().verify_integrity()
+        assert "InjectedFault" in service.status()["last_refresh_error"]
+        # One failure is below the threshold: not degraded yet.
+        assert not service.degraded
+
+        # Readers were never interrupted, and the retry converges.
+        result, snapshot, degraded = service.query(
+            GRAND_TOTAL, SNAPSHOT_TIMES[1]
+        )
+        assert snapshot.version == 1 and not degraded
+        faults.disarm("sync.migrate")
+        fresh = service.refresh(SNAPSHOT_TIMES[1])
+        assert fresh is not None and fresh.version == 2
+        assert service.status()["last_refresh_error"] is None
+
+    def test_require_refresh_surfaces_the_failure(self, tmp_path):
+        service, faults, _ = make_service(tmp_path)
+        faults.arm("sync.migrate", at_hit=1)
+        with pytest.raises(ServingError, match="did not publish"):
+            service.require_refresh(SNAPSHOT_TIMES[1])
+
+
+def enospc_hits_per_refresh(service, faults, at):
+    """How many times one refresh cycle consults ``disk.enospc``.
+
+    Counted live (huge ``at_hit``, so nothing fires): the last hit of a
+    cycle is the snapshot publication — the journal appends come first.
+    """
+    faults.arm("disk.enospc", at_hit=10**9)
+    assert service.refresh(at) is not None
+    per_cycle = faults.hit_count("disk.enospc")
+    faults.disarm("disk.enospc")
+    assert per_cycle >= 1
+    return per_cycle
+
+
+class TestDiskFaultDegradation:
+    def test_enospc_on_snapshot_publish_degrades_then_recovers(
+        self, tmp_path
+    ):
+        service, faults, clock = make_service(tmp_path)
+        at = SNAPSHOT_TIMES[0]
+        assert service.refresh(at) is not None  # v2: a clean baseline
+        per_cycle = enospc_hits_per_refresh(service, faults, at)  # v3
+        held_version = service.version
+        held_fingerprint = service.snapshots.current().fingerprint
+
+        # Three refreshes die of a full disk at snapshot publication
+        # (re-arming resets the hit counter, so each cycle fails on its
+        # last consult — the durable snapshot write).
+        for _ in range(3):
+            faults.arm("disk.enospc", at_hit=per_cycle)
+            assert service.refresh(at) is None
+        assert "ENOSPC" in service.status()["last_refresh_error"]
+        assert service.breaker.state == OPEN
+        assert service.degraded
+
+        # Degraded, not dead: stale read-only answers keep flowing.
+        result, snapshot, degraded = service.query(GRAND_TOTAL, at)
+        assert degraded
+        assert snapshot.version == held_version
+        assert snapshot.fingerprint == held_fingerprint
+        assert service.refresh(at) is None  # breaker rejects outright
+        assert service.metrics.value(
+            telemetry.REFRESHES, {"status": "rejected"}
+        ) == 1
+
+        # The disk "heals"; after the cooldown the half-open probe
+        # succeeds and the service recovers without intervention.
+        faults.disarm("disk.enospc")
+        clock.advance(5.0)
+        assert service.breaker.state == HALF_OPEN
+        recovered = service.refresh(at)
+        assert recovered is not None
+        assert recovered.version == held_version + 1
+        assert service.breaker.state == CLOSED
+        assert not service.degraded
+
+        # The exact closed -> open -> half-open -> closed trajectory.
+        def transitions(src, dst):
+            return service.metrics.value(
+                telemetry.BREAKER_TRANSITIONS, {"from": src, "to": dst}
+            )
+
+        assert transitions(CLOSED, OPEN) == 1
+        assert transitions(OPEN, HALF_OPEN) == 1
+        assert transitions(HALF_OPEN, CLOSED) == 1
+
+    def test_failed_probe_reopens_deterministically(self, tmp_path):
+        service, faults, clock = make_service(tmp_path)
+        at = SNAPSHOT_TIMES[0]
+        assert service.refresh(at) is not None
+        per_cycle = enospc_hits_per_refresh(service, faults, at)
+
+        for _ in range(3):
+            faults.arm("disk.enospc", at_hit=per_cycle)
+            assert service.refresh(at) is None
+        clock.advance(5.0)
+        assert service.breaker.state == HALF_OPEN
+        # The probe fails too: straight back to open, cooldown restarted.
+        faults.arm("disk.enospc", at_hit=per_cycle)
+        assert service.refresh(at) is None
+        assert service.breaker.state == OPEN
+        clock.advance(4.9)
+        assert service.breaker.state == OPEN
+        clock.advance(0.1)
+        faults.disarm("disk.enospc")
+        assert service.refresh(at) is not None
+        assert service.breaker.state == CLOSED
+
+
+class TestTornVersionProperty:
+    def test_no_reader_observes_a_torn_version(self, tmp_path):
+        """Under a seeded schedule of mid-sync and disk faults, every
+        snapshot a reader acquires re-hashes to its publication
+        fingerprint, versions only move forward, and pinned superseded
+        versions stay intact until released."""
+        service, faults, _ = make_service(
+            tmp_path, failure_threshold=10**6  # chaos without the breaker
+        )
+        faults.arm("sync.migrate", probability=0.25)
+        faults.arm("disk.enospc", probability=0.05)
+
+        pinned = [service.acquire()]
+        last_version = service.version
+        published = failed = 0
+        now = SNAPSHOT_TIMES[0]
+        for _ in range(40):
+            now += dt.timedelta(days=11)
+            snapshot = service.refresh(now)
+            if snapshot is None:
+                failed += 1
+            else:
+                published += 1
+                pinned.append(service.acquire())
+
+            assert service.version >= last_version
+            last_version = service.version
+
+            # The read path: what a request sees must hash clean.
+            result, seen, _ = service.query(GRAND_TOTAL, now)
+            assert seen.version == service.version
+            assert seen.fingerprint == store_fingerprint(seen.store)
+
+            # Every version still pinned by a straggling reader too.
+            for held in pinned:
+                assert held.verify_integrity(), (
+                    f"version {held.version} torn under seed {CHAOS_SEED}"
+                )
+
+        assert failed > 0, "the schedule injected no faults; weak test"
+        assert published > 0, "no refresh ever succeeded; weak test"
+        for held in pinned:
+            service.release(held)
+        assert service.snapshots.live_versions() == [service.version]
