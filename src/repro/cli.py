@@ -189,6 +189,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("-o", "--output", help="write the report to a file")
 
+    selfcheck = sub.add_parser(
+        "selfcheck",
+        help="concurrency-safety static analysis of the repro tree itself",
+    )
+    selfcheck.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    selfcheck.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    selfcheck.add_argument(
+        "--select",
+        action="append",
+        help="only report these rule-code prefixes (comma-separable)",
+    )
+    selfcheck.add_argument(
+        "--ignore",
+        action="append",
+        help="suppress these rule-code prefixes (comma-separable)",
+    )
+    selfcheck.add_argument(
+        "--fail-on",
+        dest="fail_on",
+        action="append",
+        help="exit 1 only when one of these rule-code prefixes fires "
+        "(comma-separable; default: any error)",
+    )
+    selfcheck.add_argument(
+        "-o", "--output", help="write the report to a file"
+    )
+
     analyze = sub.add_parser(
         "analyze", help="semantic analysis of a specification"
     )
@@ -458,6 +492,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.ignore,
                 arguments.output,
             )
+        if arguments.command == "selfcheck":
+            return _selfcheck(
+                arguments.paths,
+                arguments.format,
+                arguments.select,
+                arguments.ignore,
+                arguments.fail_on,
+                arguments.output,
+            )
         if arguments.command == "analyze":
             return _analyze(
                 arguments.spec_file,
@@ -673,6 +716,45 @@ def _lint(
             stream.write(report + "\n")
     else:
         print(report)
+    return 1 if result.has_errors() else 0
+
+
+def _selfcheck(
+    paths: list[str],
+    format: str,
+    select: list[str] | None,
+    ignore: list[str] | None,
+    fail_on: list[str] | None,
+    output: str | None,
+) -> int:
+    from pathlib import Path
+
+    from .devlint import RULES, run_selfcheck
+    from .io import atomic_write
+    from .lint import render
+
+    resolved = [Path(p) for p in (paths or ["src"])]
+    missing = [str(p) for p in resolved if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+    result = run_selfcheck(resolved).filter(select, ignore)
+    report = render(
+        result,
+        format,
+        tool_name="repro-selfcheck",
+        catalog=RULES,
+        information_uri="https://example.invalid/repro/docs/selfcheck",
+    )
+    if output:
+        with atomic_write(output) as stream:
+            stream.write(report + "\n")
+    else:
+        print(report)
+    if fail_on:
+        return 1 if result.filter(select=fail_on).has_errors() else 0
     return 1 if result.has_errors() else 0
 
 

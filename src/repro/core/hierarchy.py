@@ -20,6 +20,7 @@ from __future__ import annotations
 import weakref
 from typing import Iterable, Iterator, Mapping
 
+from .._forkreg import register_cache
 from ..errors import HierarchyError
 
 #: Name of the distinguished top category type, written ``T_T`` in the paper.
@@ -43,6 +44,23 @@ def clear_hierarchy_caches() -> None:
         hierarchy._lub_cache.clear()
         hierarchy._linear = None
         hierarchy._lattice = None
+
+
+def _hierarchy_memo_entries() -> int:
+    return sum(
+        len(hierarchy._glb_cache)
+        + len(hierarchy._lub_cache)
+        + (hierarchy._linear is not None)
+        + (hierarchy._lattice is not None)
+        for hierarchy in list(_INSTANCES)
+    )
+
+
+register_cache(
+    "repro.core.hierarchy:memos",
+    clear_hierarchy_caches,
+    _hierarchy_memo_entries,
+)
 
 
 def is_top(category: str) -> bool:

@@ -22,6 +22,10 @@ from .schema import FactSchema
 class MultidimensionalObject:
     """An instance ``O = (S, F, D, R, M)`` of a fact schema."""
 
+    #: Set (per instance) by the mutation sanitizer when this MO belongs
+    #: to a published snapshot; mutators then raise instead of writing.
+    _sealed = False
+
     def __init__(
         self,
         schema: FactSchema,
@@ -108,6 +112,10 @@ class MultidimensionalObject:
         bottom_only: bool,
         provenance: Provenance | None = None,
     ) -> str:
+        if self._sealed:
+            from ..sanitize import check_unsealed
+
+            check_unsealed(self, f"insert of fact {fact_id!r}")
         if fact_id in self._facts:
             raise FactError(f"fact {fact_id!r} already exists")
         missing_dims = set(self.schema.dimension_names) - set(coordinates)
@@ -140,6 +148,10 @@ class MultidimensionalObject:
         return fact_id
 
     def delete_fact(self, fact_id: str) -> None:
+        if self._sealed:
+            from ..sanitize import check_unsealed
+
+            check_unsealed(self, f"delete of fact {fact_id!r}")
         if fact_id not in self._facts:
             raise FactError(f"unknown fact {fact_id!r}")
         for relation in self.relations.values():

@@ -1,0 +1,20 @@
+"""Self-analysis of the reproduction: the ``RL`` concurrency-safety lint.
+
+The spec lint (:mod:`repro.lint`) checks the *inputs* of the system;
+this package checks the *system*.  ``run_selfcheck`` parses the repro
+tree with :mod:`ast` and enforces the invariants the serving, parallel,
+and durability layers depend on — no blocking calls on the event loop,
+fork-swept caches, immutable published snapshots, injectable clocks and
+seeds, a single registry per metric, and test coverage for every
+failpoint.  Findings reuse the lint diagnostic model, so the text,
+JSON, and SARIF reporters apply unchanged (``repro selfcheck``).
+
+Runtime companions to the static rules live in :mod:`repro.sanitize`
+(``REPRO_SANITIZE=mutation,block,fork``).
+"""
+
+from .engine import run_selfcheck
+from .model import SelfCheckConfig
+from .rules import RULES
+
+__all__ = ["RULES", "SelfCheckConfig", "run_selfcheck"]

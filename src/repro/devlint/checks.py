@@ -1,0 +1,638 @@
+"""The RL rule implementations: AST checks over the repro tree.
+
+Per-module rules (``RL001``–``RL004``) scope themselves by path — the
+serving layer for event-loop discipline, the worker-imported packages
+for fork hygiene, the deterministic-replay modules for clock/randomness
+— so a fixture corpus that mirrors the layout exercises them without
+special configuration.  Tree-wide rules (``RL005``/``RL006``) need the
+whole module collection plus the docs/tests ground truth from
+:class:`~repro.devlint.model.SelfCheckConfig`.
+
+Every check is a pure function from parsed sources to
+:class:`~repro.lint.diagnostics.Diagnostic` values; suppression
+filtering happens in :mod:`repro.devlint.engine`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from ..lint.diagnostics import Diagnostic, Region
+from .model import PyModule, SelfCheckConfig
+from .rules import RULES
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _region(node: ast.AST) -> Region:
+    end_line = getattr(node, "end_lineno", None) or node.lineno
+    end_col = getattr(node, "end_col_offset", None)
+    if end_col is None:
+        end_col = node.col_offset + 1
+    return Region(node.lineno, node.col_offset + 1, end_line, end_col + 1)
+
+
+def _diag(code: str, module: PyModule, node: ast.AST, message: str) -> Diagnostic:
+    rule = RULES[code]
+    return Diagnostic(
+        code=code,
+        severity=rule.severity,
+        message=message,
+        file=module.rel,
+        region=_region(node),
+        hint=rule.hint,
+    )
+
+
+def _functions_of(tree: ast.Module) -> dict[str, list[ast.AST]]:
+    """Every (async) function definition in *tree*, keyed by bare name.
+
+    Methods of different classes share a key; for reachability that
+    over-approximates (a false edge at worst), which is the right bias
+    for a safety lint.
+    """
+    out: dict[str, list[ast.AST]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.setdefault(node.name, []).append(node)
+    return out
+
+
+def _own_statements(fn: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of *fn*'s own body, not descending into nested scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # separate scope: to_thread targets, callbacks
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _referenced_names(nodes: Iterable[ast.AST]) -> set[str]:
+    out: set[str] = set()
+    for node in nodes:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                out.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                out.add(sub.attr)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RL001 — blocking calls reachable from async defs in the serving layer
+# ---------------------------------------------------------------------------
+
+#: Module-function calls that park the calling thread (and with it, the
+#: event loop, when the caller is a coroutine).
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "os.fsync",
+    "os.replace",
+    "os.rename",
+    "os.link",
+    "os.remove",
+    "os.unlink",
+    "socket.socket",
+    "socket.create_connection",
+    "shutil.rmtree",
+    "shutil.copyfile",
+}
+#: Builtins that perform file I/O.
+_BLOCKING_BARE = {"open"}
+#: Method names of the durable engine's write path (journal appends and
+#: snapshot publication fsync/rename under the hood).
+_BLOCKING_METHOD_PREFIXES = ("_journal_",)
+_BLOCKING_METHODS = {"fsync", "write_snapshot"}
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    dotted = _dotted(call.func)
+    if dotted is not None:
+        if dotted in _BLOCKING_DOTTED or dotted in _BLOCKING_BARE:
+            return dotted
+        last = dotted.rsplit(".", 1)[-1]
+        if last in _BLOCKING_METHODS or last.startswith(
+            _BLOCKING_METHOD_PREFIXES
+        ):
+            return dotted
+    return None
+
+
+def check_blocking_async(module: PyModule) -> list[Diagnostic]:
+    """RL001: the serving event loop must never run blocking calls."""
+    if "serving" not in module.segments:
+        return []
+    functions = _functions_of(module.tree)
+
+    # Per function: its own blocking call sites and its local call edges.
+    blocking: dict[str, list[tuple[ast.Call, str]]] = {}
+    edges: dict[str, set[str]] = {}
+    for name, defs in functions.items():
+        for fn in defs:
+            for node in _own_statements(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = _blocking_reason(node)
+                if reason is not None:
+                    blocking.setdefault(name, []).append((node, reason))
+                    continue
+                target = None
+                if isinstance(node.func, ast.Name):
+                    target = node.func.id
+                elif isinstance(node.func, ast.Attribute) and isinstance(
+                    node.func.value, ast.Name
+                ) and node.func.value.id in ("self", "cls"):
+                    target = node.func.attr
+                if target in functions:
+                    edges.setdefault(name, set()).add(target)
+
+    out: list[Diagnostic] = []
+    reported: set[int] = set()
+    for name, defs in functions.items():
+        if not any(isinstance(fn, ast.AsyncFunctionDef) for fn in defs):
+            continue
+        # Reachability from this async entry point over direct local
+        # calls only — a function *referenced* (handed to to_thread or
+        # run_in_executor) is not called on the loop, so no edge exists.
+        seen = {name}
+        queue = [name]
+        while queue:
+            current = queue.pop()
+            for node, reason in blocking.get(current, ()):
+                if id(node) in reported:
+                    continue
+                reported.add(id(node))
+                via = "" if current == name else f" via {current}()"
+                out.append(
+                    _diag(
+                        "RL001",
+                        module,
+                        node,
+                        f"blocking call {reason}() reachable from "
+                        f"async def {name}(){via}; the event loop stalls "
+                        "for its full duration",
+                    )
+                )
+            for callee in edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    queue.append(callee)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RL002 — fork-unsafe module-level caches in worker-imported packages
+# ---------------------------------------------------------------------------
+
+#: Packages imported inside forked shard workers (directly or via the
+#: task payload); caches here survive the fork and must be registered.
+_WORKER_PACKAGES = {"core", "spec", "engine", "reduction", "parallel", "timedim"}
+
+_CACHE_NAME_RE = re.compile(r"(?i)cache|memo|instances")
+_CACHE_FACTORIES = {
+    "dict",
+    "list",
+    "set",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "WeakSet",
+    "WeakValueDictionary",
+    "WeakKeyDictionary",
+}
+_CACHE_DECORATORS = {
+    "lru_cache",
+    "functools.lru_cache",
+    "cache",
+    "functools.cache",
+}
+
+
+def _is_cache_decorator(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        node = node.func
+    return _dotted(node) in _CACHE_DECORATORS
+
+
+def _is_mutable_container(value: ast.expr | None) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        dotted = _dotted(value.func)
+        if dotted is not None:
+            return dotted.rsplit(".", 1)[-1] in _CACHE_FACTORIES
+    return False
+
+
+def _module_caches(module: PyModule) -> list[tuple[str, ast.AST, str]]:
+    """(name, node, kind) of every module-level cache in *module*."""
+    out: list[tuple[str, ast.AST, str]] = []
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(_is_cache_decorator(d) for d in node.decorator_list):
+                out.append((node.name, node, "memoized function"))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and _CACHE_NAME_RE.search(target.id)
+                    and _is_mutable_container(node.value)
+                ):
+                    out.append((target.id, node, "module-level container"))
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and _CACHE_NAME_RE.search(node.target.id)
+                and _is_mutable_container(node.value)
+            ):
+                out.append((node.target.id, node, "module-level container"))
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and any(
+                    _is_cache_decorator(d) for d in stmt.decorator_list
+                ):
+                    out.append(
+                        (stmt.name, stmt, "memoized method")
+                    )
+    return out
+
+
+def _swept_names(module: PyModule) -> set[str]:
+    """Names the module's registered fork sweep can reach.
+
+    Ground truth is the ``register_cache(...)`` calls: every local
+    function they reference (clearer, size probe) is an entry point;
+    the sweep set is the closure of names those functions mention,
+    expanded through module-level aliases (e.g. a ``_CACHED_FUNCTIONS``
+    tuple listing the memoized functions the clearer iterates).
+    """
+    functions = _functions_of(module.tree)
+    entry: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] == (
+                "register_cache"
+            ):
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        entry.add(arg.id)
+
+    # Module-level aliases: global name -> names its value references.
+    aliases: dict[str, set[str]] = {}
+    for node in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and value is not None:
+                aliases[target.id] = _referenced_names([value])
+
+    swept = set(entry)
+    frontier = set(entry)
+    while frontier:
+        name = frontier.pop()
+        for fn in functions.get(name, ()):
+            for referenced in _referenced_names([fn]):
+                if referenced not in swept:
+                    swept.add(referenced)
+                    frontier.add(referenced)
+        for referenced in aliases.get(name, ()):
+            if referenced not in swept:
+                swept.add(referenced)
+                frontier.add(referenced)
+    return swept
+
+
+def check_fork_caches(module: PyModule) -> list[Diagnostic]:
+    """RL002: forked workers must not inherit unsweepable caches."""
+    if not _WORKER_PACKAGES & set(module.segments):
+        return []
+    caches = _module_caches(module)
+    if not caches:
+        return []
+    swept = _swept_names(module)
+    out = []
+    for name, node, kind in caches:
+        if name in swept:
+            continue
+        out.append(
+            _diag(
+                "RL002",
+                module,
+                node,
+                f"{kind} {name!r} is not reachable from any "
+                "register_cache(...) clearer in this module; forked "
+                "shard workers inherit it populated",
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RL003 — mutation of frozen snapshot state outside the snapshot module
+# ---------------------------------------------------------------------------
+
+
+def _snapshotish(part: str) -> bool:
+    return part in ("snapshot", "snap", "_snapshot") or part.endswith(
+        "_snapshot"
+    )
+
+
+def _base_chain(node: ast.expr) -> list[str]:
+    """Name parts of the object being mutated (``x.y[k].z`` -> x, y, z)."""
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return parts
+        else:
+            return parts
+
+
+def check_snapshot_mutation(module: PyModule) -> list[Diagnostic]:
+    """RL003: published snapshots are immutable outside snapshots.py."""
+    if module.basename == "snapshots.py":
+        return []
+    out: list[Diagnostic] = []
+    for node in ast.walk(module.tree):
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                continue
+            chain = _base_chain(target.value)
+            hit = next((p for p in chain if _snapshotish(p)), None)
+            if hit is not None:
+                out.append(
+                    _diag(
+                        "RL003",
+                        module,
+                        node,
+                        f"assignment mutates state of {hit!r}, which "
+                        "names a published snapshot; versions are "
+                        "frozen at publish",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RL004 — nondeterminism in deterministic-replay modules
+# ---------------------------------------------------------------------------
+
+#: Modules whose behaviour must replay bit-identically from a seed (the
+#: fault injector, circuit breaker, shard executor, durable engine).
+_REPLAY_BASENAMES = {"breaker.py", "faults.py", "executor.py", "durable.py"}
+
+_CLOCK_ROOTS = {"datetime", "date", "_dt", "dt"}
+
+
+def _nondet_reason(call: ast.Call) -> str | None:
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if dotted == "time.time":
+        return "wall-clock time.time()"
+    if parts[-1] in ("now", "today", "utcnow") and (
+        set(parts[:-1]) & _CLOCK_ROOTS
+    ):
+        return f"wall-clock {dotted}()"
+    if parts[0] == "random" and len(parts) > 1:
+        if parts[-1] == "Random":
+            if not call.args and not call.keywords:
+                return "unseeded random.Random()"
+            return None
+        return f"shared-state random.{parts[-1]}()"
+    return None
+
+
+def check_nondeterminism(module: PyModule) -> list[Diagnostic]:
+    """RL004: replayed modules take clocks and seeds as parameters."""
+    if module.basename not in _REPLAY_BASENAMES:
+        return []
+    out = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            reason = _nondet_reason(node)
+            if reason is not None:
+                out.append(
+                    _diag(
+                        "RL004",
+                        module,
+                        node,
+                        f"{reason} in a deterministic-replay module; "
+                        "fault schedules and recovery traces must "
+                        "replay from the recorded seed alone",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RL005 — telemetry drift (tree-wide)
+# ---------------------------------------------------------------------------
+
+METRIC_NAME_RE = re.compile(r"repro_[a-z0-9]+(?:_[a-z0-9]+)+")
+
+
+def _is_registry(module: PyModule) -> bool:
+    return module.basename == "telemetry.py" or "obs" in module.segments
+
+
+def _metric_constants(module: PyModule) -> Iterator[tuple[str, ast.AST]]:
+    """Module-level ``NAME = "repro_..."`` declarations."""
+    for node in module.tree.body:
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            value = node.value
+        if (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and METRIC_NAME_RE.fullmatch(value.value)
+        ):
+            yield value.value, node
+
+
+def _metric_literals(module: PyModule) -> Iterator[tuple[str, ast.AST]]:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and METRIC_NAME_RE.fullmatch(node.value)
+        ):
+            yield node.value, node
+
+
+def check_telemetry(
+    modules: list[PyModule], config: SelfCheckConfig
+) -> list[Diagnostic]:
+    """RL005: one registry declaration per metric, and docs that match."""
+    out: list[Diagnostic] = []
+    declared: dict[str, list[tuple[PyModule, ast.AST]]] = {}
+    for module in modules:
+        if not _is_registry(module):
+            continue
+        for name, node in _metric_constants(module):
+            declared.setdefault(name, []).append((module, node))
+
+    for module in modules:
+        if _is_registry(module):
+            continue
+        for name, node in _metric_literals(module):
+            if name in declared:
+                message = (
+                    f"metric literal {name!r} duplicates its registry "
+                    "declaration; import the constant instead"
+                )
+            else:
+                message = (
+                    f"metric literal {name!r} is declared in no "
+                    "telemetry/obs registry module"
+                )
+            out.append(_diag("RL005", module, node, message))
+
+    for name, sites in declared.items():
+        if len(sites) > 1:
+            for module, node in sites:
+                out.append(
+                    _diag(
+                        "RL005",
+                        module,
+                        node,
+                        f"metric {name!r} is declared in "
+                        f"{len(sites)} registry modules; exactly one "
+                        "may own it",
+                    )
+                )
+
+    if config.docs_path is not None:
+        docs_text = config.docs_path.read_text(encoding="utf-8")
+        for name, sites in declared.items():
+            if name not in docs_text:
+                module, node = sites[0]
+                out.append(
+                    _diag(
+                        "RL005",
+                        module,
+                        node,
+                        f"metric {name!r} is missing from "
+                        f"{config.docs_path.name}",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RL006 — failpoint coverage (tree-wide)
+# ---------------------------------------------------------------------------
+
+_CATALOG_NAMES = ("FAILPOINTS", "SHARD_FAILPOINTS", "SERVING_FAILPOINTS")
+
+
+def _catalogs(module: PyModule) -> Iterator[tuple[str, ast.expr]]:
+    for node in module.tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id in _CATALOG_NAMES
+            and isinstance(value, (ast.Tuple, ast.List, ast.Set))
+        ):
+            yield target.id, value
+
+
+def _word_present(word: str, text: str) -> bool:
+    return (
+        re.search(
+            rf"(?<![A-Za-z0-9_]){re.escape(word)}(?![A-Za-z0-9_])", text
+        )
+        is not None
+    )
+
+
+def check_failpoints(
+    modules: list[PyModule], config: SelfCheckConfig
+) -> list[Diagnostic]:
+    """RL006: every registered failpoint is exercised by some test."""
+    if config.tests_path is None:
+        return []
+    texts = []
+    for path in sorted(config.tests_path.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        texts.append(path.read_text(encoding="utf-8"))
+    tests_text = "\n".join(texts)
+
+    out: list[Diagnostic] = []
+    for module in modules:
+        for catalog_name, value in _catalogs(module):
+            # Iterating the catalog variable in a test (e.g.
+            # ``for name in FAILPOINTS``) covers every entry at once.
+            if _word_present(catalog_name, tests_text):
+                continue
+            for element in value.elts:
+                if not (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ):
+                    continue
+                if element.value in tests_text:
+                    continue
+                out.append(
+                    _diag(
+                        "RL006",
+                        module,
+                        element,
+                        f"failpoint {element.value!r} "
+                        f"({catalog_name}) is never exercised by any "
+                        "test under "
+                        f"{config.tests_path.name}/",
+                    )
+                )
+    return out

@@ -1,0 +1,116 @@
+"""The self-check driver: load a tree, run every RL rule, filter.
+
+``run_selfcheck`` is the single entry point the CLI and the tests use.
+It parses every Python file under the given paths, runs the per-module
+rules on each, the tree-wide rules on the collection, drops findings
+silenced by an inline ``# devlint: allow[RLxxx] reason`` on the same
+line, and returns a sorted :class:`~repro.lint.diagnostics.LintResult`
+— the same aggregate the spec lint produces, so all three reporters
+(text/JSON/SARIF) apply unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..lint.diagnostics import Diagnostic, LintResult, Region, Severity
+from . import checks
+from .model import (
+    PyModule,
+    SelfCheckConfig,
+    iter_python_files,
+    load_module,
+)
+
+#: The per-module rules, run on every parsed file independently.
+MODULE_CHECKS = (
+    checks.check_blocking_async,
+    checks.check_fork_caches,
+    checks.check_snapshot_mutation,
+    checks.check_nondeterminism,
+)
+
+#: The tree-wide rules, run once over the whole module collection.
+TREE_CHECKS = (
+    checks.check_telemetry,
+    checks.check_failpoints,
+)
+
+
+def load_tree(
+    paths: Iterable[Path], root: Path
+) -> tuple[list[PyModule], list[Diagnostic]]:
+    """Parse every Python file under *paths*; syntax errors become RL000."""
+    modules: list[PyModule] = []
+    failures: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        loaded = load_module(path, root)
+        if isinstance(loaded, SyntaxError):
+            try:
+                rel = str(path.relative_to(root))
+            except ValueError:
+                rel = str(path)
+            line = loaded.lineno or 1
+            column = (loaded.offset or 1) or 1
+            failures.append(
+                Diagnostic(
+                    code="RL000",
+                    severity=Severity.ERROR,
+                    message=f"cannot parse: {loaded.msg}",
+                    file=rel,
+                    region=None
+                    if loaded.lineno is None
+                    else Region(line, column, line, column + 1),
+                )
+            )
+        else:
+            modules.append(loaded)
+    return modules, failures
+
+
+def _apply_suppressions(
+    diagnostics: Iterable[Diagnostic], modules: Sequence[PyModule]
+) -> list[Diagnostic]:
+    by_rel = {module.rel: module for module in modules}
+    kept = []
+    for diagnostic in diagnostics:
+        module = by_rel.get(diagnostic.file or "")
+        if (
+            module is not None
+            and diagnostic.region is not None
+            and module.suppressed(
+                diagnostic.region.start_line, diagnostic.code
+            )
+        ):
+            continue
+        kept.append(diagnostic)
+    return kept
+
+
+def run_selfcheck(
+    paths: Iterable[Path | str],
+    config: SelfCheckConfig | None = None,
+) -> LintResult:
+    """Run every RL rule over the Python tree rooted at *paths*."""
+    resolved = [Path(p) for p in paths]
+    if config is None:
+        anchor = resolved[0] if resolved else Path.cwd()
+        base = anchor if anchor.is_dir() else anchor.parent
+        config = SelfCheckConfig.for_repo(_find_repo_root(base))
+    modules, diagnostics = load_tree(resolved, config.root)
+    for module in modules:
+        for check in MODULE_CHECKS:
+            diagnostics.extend(check(module))
+    for tree_check in TREE_CHECKS:
+        diagnostics.extend(tree_check(modules, config))
+    return LintResult.of(_apply_suppressions(diagnostics, modules))
+
+
+def _find_repo_root(start: Path) -> Path:
+    """The nearest ancestor holding ``pyproject.toml`` (else *start*)."""
+    current = start.resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current

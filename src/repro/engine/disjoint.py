@@ -25,12 +25,13 @@ from ..spec.action import Action
 from ..spec.ast import Not, Predicate, TruePredicate, conjunction, disjunction
 from ..spec.specification import ReductionSpecification
 
-#: Negation terms considered per cube, labelled kept/pruned.
-DISJOINT_NEGATIONS = "repro_disjoint_negation_terms_total"
-#: Atom count of each cube's final disjoint predicate.
-DISJOINT_ATOMS = "repro_disjoint_predicate_atoms"
-#: Wall-clock seconds spent building the disjoint action set.
-DISJOINT_BUILD_SECONDS = "repro_disjoint_build_seconds"
+# Registered in engine/telemetry.py, catalogued in
+# docs/observability.md.
+from .telemetry import (  # noqa: E402
+    DISJOINT_ATOMS,
+    DISJOINT_BUILD_SECONDS,
+    DISJOINT_NEGATIONS,
+)
 
 _HELP_NEGATIONS = (
     "Negation terms of disjoint predicates by outcome (kept or statically "

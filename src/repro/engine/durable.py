@@ -69,14 +69,17 @@ from .store import SYNC_LAST_EXAMINED, Migration, SubcubeStore
 
 FORMAT_VERSION = 1
 
-# Durability metric families (catalogued in docs/observability.md).
-JOURNAL_RECORDS = "repro_journal_records_total"
-JOURNAL_BYTES = "repro_journal_bytes_total"
-JOURNAL_FSYNC = "repro_journal_fsync_total"
-SNAPSHOT_WRITES = "repro_snapshot_writes_total"
-RECOVERY_REPLAYED = "repro_recovery_replayed_records"
-RECOVERY_DISCARDED = "repro_recovery_discarded_records"
-RECOVERY_ABORTED = "repro_recovery_aborted_transactions"
+# Durability metric families (registered in engine/telemetry.py,
+# catalogued in docs/observability.md).
+from .telemetry import (  # noqa: E402
+    JOURNAL_BYTES,
+    JOURNAL_FSYNC,
+    JOURNAL_RECORDS,
+    RECOVERY_ABORTED,
+    RECOVERY_DISCARDED,
+    RECOVERY_REPLAYED,
+    SNAPSHOT_WRITES,
+)
 
 META_FILE = "meta.json"
 TEMPLATE_FILE = "template.json"

@@ -19,6 +19,7 @@ import weakref
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from .._forkreg import register_cache
 from ..core.facts import Provenance, aggregate_fact_id
 from ..core.mo import MultidimensionalObject
 from ..obs import metrics as obs_metrics
@@ -32,18 +33,21 @@ from ..spec.predicate import satisfies
 from .store import SubcubeStore
 from .subcube import SubCube
 
-# Query metric families (catalogued in docs/observability.md).  The plan
-# cache has two layers, distinguished by the ``cache`` label: ``bound``
-# (predicate text -> bound AST) and ``plan`` ((predicate, time) ->
-# compiled verdict tables).  Row counters carry a ``stage`` label naming
-# the operator: ``scanned`` (facts each subquery saw), ``subresult``
-# (rows the per-cube select+aggregate produced), ``result`` (rows after
-# the final combination).
-QUERY_RUNS = "repro_query_runs_total"
-QUERY_CACHE_HITS = "repro_query_plan_cache_hits_total"
-QUERY_CACHE_MISSES = "repro_query_plan_cache_misses_total"
-QUERY_ROWS = "repro_query_rows_total"
-QUERY_SECONDS = "repro_query_seconds"
+# Query metric families (registered in engine/telemetry.py, catalogued
+# in docs/observability.md).  The plan cache has two layers,
+# distinguished by the ``cache`` label: ``bound`` (predicate text ->
+# bound AST) and ``plan`` ((predicate, time) -> compiled verdict
+# tables).  Row counters carry a ``stage`` label naming the operator:
+# ``scanned`` (facts each subquery saw), ``subresult`` (rows the
+# per-cube select+aggregate produced), ``result`` (rows after the final
+# combination).
+from .telemetry import (  # noqa: E402
+    QUERY_CACHE_HITS,
+    QUERY_CACHE_MISSES,
+    QUERY_ROWS,
+    QUERY_RUNS,
+    QUERY_SECONDS,
+)
 
 _HELP_HITS = "Plan-cache hits, by cache layer."
 _HELP_MISSES = "Plan-cache misses, by cache layer."
@@ -63,6 +67,17 @@ def clear_plan_caches() -> None:
     """
     for cache in list(_CACHES):
         cache.clear()
+
+
+def _plan_cache_entries() -> int:
+    return sum(
+        cache.n_bound + cache.n_plans for cache in list(_CACHES)
+    )
+
+
+register_cache(
+    "repro.engine.queryproc:plans", clear_plan_caches, _plan_cache_entries
+)
 
 
 @dataclass(frozen=True)

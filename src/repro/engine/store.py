@@ -40,18 +40,21 @@ from .subcube import SubCube
 SuspectRegions = "dict[str, list[tuple[float, float]]] | None"
 
 # Metric families the store reports into its per-instance registry
-# (catalogued in docs/observability.md).
-SYNC_RUNS = "repro_sync_runs_total"
-SYNC_EXAMINED = "repro_sync_facts_examined_total"
-SYNC_MIGRATED = "repro_sync_facts_migrated_total"
-SYNC_SKIPPED = "repro_sync_facts_skipped_total"
-SYNC_LAST_EXAMINED = "repro_sync_last_examined"
-SYNC_LAST_MIGRATED = "repro_sync_last_migrated"
-SYNC_LAST_SKIPPED = "repro_sync_last_skipped"
-SYNC_UNDO_LOG = "repro_sync_undo_log_size"
-SYNC_SECONDS = "repro_sync_seconds"
-STORE_LOADED = "repro_store_facts_loaded_total"
-STORE_REBUILDS = "repro_store_rebuilds_total"
+# (registered in engine/telemetry.py, catalogued in
+# docs/observability.md).
+from .telemetry import (  # noqa: E402
+    STORE_LOADED,
+    STORE_REBUILDS,
+    SYNC_EXAMINED,
+    SYNC_LAST_EXAMINED,
+    SYNC_LAST_MIGRATED,
+    SYNC_LAST_SKIPPED,
+    SYNC_MIGRATED,
+    SYNC_RUNS,
+    SYNC_SECONDS,
+    SYNC_SKIPPED,
+    SYNC_UNDO_LOG,
+)
 
 _HELP_LAST_EXAMINED = "Facts the most recent synchronize() examined."
 
@@ -157,6 +160,24 @@ class _UndoLog:
 
 class SubcubeStore:
     """A warehouse physically organized as disjoint subcubes."""
+
+    #: Set (per instance) by the mutation sanitizer when this store is a
+    #: published snapshot; attribute writes and the load/synchronize/
+    #: rebuild entry points then raise (see :mod:`repro.sanitize`).
+    _sealed = False
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if self._sealed:
+            from ..sanitize import check_unsealed
+
+            check_unsealed(self, f"assignment of {name!r}")
+        super().__setattr__(name, value)
+
+    def _check_writable(self, action: str) -> None:
+        if self._sealed:
+            from ..sanitize import check_unsealed
+
+            check_unsealed(self, action)
 
     def __init__(
         self,
@@ -267,6 +288,7 @@ class SubcubeStore:
         rolled back and ``_dirty`` is left exactly as it was — a partial
         batch is never observable.
         """
+        self._check_writable("load")
         staged = [
             (fact_id, dict(coordinates), dict(measures))
             for fact_id, coordinates, measures in facts
@@ -327,6 +349,7 @@ class SubcubeStore:
         is bit-for-bit the serial one — see
         :func:`repro.parallel.sync.synchronize_sharded`.
         """
+        self._check_writable("synchronize")
         if executor is not None:
             from ..parallel.sync import synchronize_sharded
 
@@ -624,6 +647,7 @@ class SubcubeStore:
         so a mid-rebuild failure (e.g. the irreversibility check) leaves
         the store exactly as it was.
         """
+        self._check_writable("rebuild")
         old_state = (
             self._specification,
             self._definitions,

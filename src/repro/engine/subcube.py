@@ -18,6 +18,10 @@ from .disjoint import DisjointAction
 class SubCube:
     """One subcube ``K_i`` of the Section 7 architecture."""
 
+    #: Set (per instance) by the mutation sanitizer when this cube
+    #: belongs to a published snapshot (see :mod:`repro.sanitize`).
+    _sealed = False
+
     def __init__(
         self,
         definition: DisjointAction,
@@ -122,6 +126,10 @@ class SubCube:
         self._mo.delete_fact(fact_id)
 
     def clear(self) -> None:
+        if self._sealed:
+            from ..sanitize import check_unsealed
+
+            check_unsealed(self, f"clear of cube {self.name!r}")
         self._mo = self._mo.empty_like()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

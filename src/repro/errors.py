@@ -112,3 +112,15 @@ class AuditError(ReproError):
         if count > 3:
             summary += f"; ... ({count - 3} more)"
         super().__init__(f"store audit failed ({count} violations): {summary}")
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer (``REPRO_SANITIZE``) detected an invariant
+    violation: a write to a published snapshot, a fork-inherited cache
+    that survived the fork-time sweep, or a misconfigured sanitizer
+    name."""
+
+
+class SnapshotMutationError(SanitizerError):
+    """The mutation sanitizer caught a write to a frozen, published
+    :class:`~repro.serving.snapshots.StoreSnapshot` store."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 
 from .diagnostics import Diagnostic, LintResult
-from .rules import RULES
+from .rules import Rule
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
@@ -73,19 +73,38 @@ def _sarif_result(diagnostic: Diagnostic, rule_index: dict[str, int]) -> dict:
     return out
 
 
-def sarif_log(result: LintResult) -> dict:
-    """The SARIF 2.1.0 log document as a plain dict."""
+def _default_catalog() -> "dict[str, Rule]":
+    from .rules import RULES
+
+    return RULES
+
+
+def sarif_log(
+    result: LintResult,
+    *,
+    tool_name: str = "repro-lint",
+    catalog: "dict[str, Rule] | None" = None,
+    information_uri: str = "https://example.invalid/repro/docs/linting",
+) -> dict:
+    """The SARIF 2.1.0 log document as a plain dict.
+
+    The defaults render the specification lint catalog; the self-check
+    engine (:mod:`repro.devlint`) reuses the exact same rendering with
+    its own *tool_name* and ``RL`` rule *catalog*.
+    """
     from .. import __version__
 
+    if catalog is None:
+        catalog = _default_catalog()
     rules = []
     rule_index: dict[str, int] = {}
-    for index, rule in enumerate(RULES.values()):
+    for index, rule in enumerate(catalog.values()):
         rule_index[rule.code] = index
         entry = {
             "id": rule.code,
             "name": rule.name,
             "shortDescription": {"text": rule.summary},
-            "help": {"text": f"Paper reference: {rule.paper}"},
+            "help": {"text": f"Reference: {rule.paper}"},
             "defaultConfiguration": {
                 "level": rule.severity.sarif_level
             },
@@ -98,11 +117,9 @@ def sarif_log(result: LintResult) -> dict:
             {
                 "tool": {
                     "driver": {
-                        "name": "repro-lint",
+                        "name": tool_name,
                         "version": __version__,
-                        "informationUri": (
-                            "https://example.invalid/repro/docs/linting"
-                        ),
+                        "informationUri": information_uri,
                         "rules": rules,
                     }
                 },
@@ -114,16 +131,24 @@ def sarif_log(result: LintResult) -> dict:
     }
 
 
-def render_sarif(result: LintResult) -> str:
-    return json.dumps(sarif_log(result), indent=2, sort_keys=True)
+def render_sarif(result: LintResult, **sarif_options: object) -> str:
+    return json.dumps(
+        sarif_log(result, **sarif_options),  # type: ignore[arg-type]
+        indent=2,
+        sort_keys=True,
+    )
 
 
-def render(result: LintResult, format: str) -> str:
-    """Dispatch on a ``--format`` value (``text``/``json``/``sarif``)."""
+def render(result: LintResult, format: str, **sarif_options: object) -> str:
+    """Dispatch on a ``--format`` value (``text``/``json``/``sarif``).
+
+    ``sarif_options`` (``tool_name``/``catalog``/``information_uri``)
+    are forwarded to :func:`sarif_log` and ignored by the other formats.
+    """
     if format == TEXT:
         return render_text(result)
     if format == JSON:
         return render_json(result)
     if format == SARIF:
-        return render_sarif(result)
+        return render_sarif(result, **sarif_options)
     raise ValueError(f"unknown report format {format!r}")

@@ -33,8 +33,8 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 from ..engine.faults import InjectedFault
-from ..errors import ReproError
-from .forksafe import install_fork_guard
+from ..errors import ReproError, SanitizerError
+from .forksafe import install_fork_guard, pending_fork_violation
 
 #: The fork-inherited task payload (set only inside an active session).
 _PAYLOAD: Any = None
@@ -54,6 +54,12 @@ def _invoke(fn: Callable[[Any, Any], Any], task: Any) -> tuple:
     """Run one task against the inherited payload, marker-encoding errors."""
     started = time.perf_counter()
     try:
+        violation = pending_fork_violation()
+        if violation is not None:
+            # The fork sanitizer (REPRO_SANITIZE=fork) found a cache that
+            # survived the fork-time sweep; at-fork hooks cannot raise,
+            # so the worker surfaces it at its first task instead.
+            raise SanitizerError(violation)
         result = fn(_PAYLOAD, task)
     except InjectedFault as fault:
         return (

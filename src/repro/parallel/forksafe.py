@@ -1,36 +1,78 @@
 """Fork-safety for module-level caches.
 
-Worker processes are forked, so they inherit every module-level cache the
-parent built: the ``lru_cache``'d spec parsers, each
-:class:`~repro.core.hierarchy.Hierarchy`'s memoized lattice operations,
-and every :class:`~repro.engine.queryproc.QueryPlanCache`.  The caches
-are pure, so inheriting them is never *incorrect* — but plan caches key
-on parent-heap object ids and pin compiled state the child will rebuild
-against its own objects anyway, and a child that mutates an inherited
-per-instance cache dict shares nothing back.  Clearing them at fork time
-gives every worker a clean, minimal cache heap.
+Worker processes are forked, so they inherit every module-level cache
+the parent built: the ``lru_cache``'d spec parsers and calendar memos,
+each :class:`~repro.core.hierarchy.Hierarchy`'s memoized lattice
+operations, and every :class:`~repro.engine.queryproc.QueryPlanCache`.
+The caches are pure, so inheriting them is never *incorrect* — but plan
+caches key on parent-heap object ids and pin compiled state the child
+will rebuild against its own objects anyway, and a child that mutates
+an inherited per-instance cache dict shares nothing back.  Clearing
+them at fork time gives every worker a clean, minimal cache heap.
 
-:func:`install_fork_guard` is idempotent and registered once per process
-via :func:`os.register_at_fork`; platforms without ``fork`` simply never
-call the hook.
+The set of caches to clear is not maintained here: every module that
+owns one registers it with :mod:`repro._forkreg` at import time
+(clearer + size probe), and :func:`clear_inherited_caches` sweeps the
+whole registry.  The static ``RL002`` self-check rule
+(:mod:`repro.devlint`) enforces the registration side: a module-level
+cache in a worker-imported package that never calls
+``register_cache`` is flagged as fork-unsafe.
+
+With ``REPRO_SANITIZE=fork`` the fork hook additionally *verifies* the
+sweep: a registered cache whose size probe is non-zero right after
+clearing means its clearer is broken.  ``os.register_at_fork`` hooks
+cannot usefully raise (the exception would be unraisable in the brand
+new child), so the violation is recorded and re-raised by the shard
+executor at the worker's first task (:func:`pending_fork_violation`).
+
+:func:`install_fork_guard` is idempotent and registered once per
+process via :func:`os.register_at_fork`; platforms without ``fork``
+simply never call the hook.
 """
 
 from __future__ import annotations
 
 import os
 
+from .. import _forkreg, sanitize
+from ..errors import SanitizerError
+
 _installed = False
+
+#: The fork sanitizer's finding, recorded by the at-fork hook for the
+#: executor to surface (at-fork hooks cannot raise usefully).
+_fork_violation: str | None = None
 
 
 def clear_inherited_caches() -> None:
-    """Reset every module-level cache a forked child inherited."""
-    from ..core.hierarchy import clear_hierarchy_caches
-    from ..engine.queryproc import clear_plan_caches
-    from ..spec.parser import clear_parser_caches
+    """Reset every registered module-level cache a forked child inherited.
 
-    clear_parser_caches()
-    clear_hierarchy_caches()
-    clear_plan_caches()
+    Importing the registering modules here (rather than at module
+    import) keeps this package import-light; any module the parent
+    never imported has no cache to clear.
+    """
+    from ..core import hierarchy  # noqa: F401  (registers its caches)
+    from ..engine import queryproc  # noqa: F401
+    from ..spec import parser  # noqa: F401
+    from ..timedim import calendar  # noqa: F401
+
+    _forkreg.clear_all()
+
+
+def _after_in_child() -> None:
+    """The at-fork hook: sweep the caches, then (optionally) verify."""
+    global _fork_violation
+    clear_inherited_caches()
+    if sanitize.enabled(sanitize.FORK):
+        try:
+            sanitize.assert_fork_caches_clear()
+        except SanitizerError as exc:
+            _fork_violation = str(exc)
+
+
+def pending_fork_violation() -> str | None:
+    """The fork sanitizer's recorded violation, if any (per process)."""
+    return _fork_violation
 
 
 def install_fork_guard() -> None:
@@ -39,5 +81,5 @@ def install_fork_guard() -> None:
     if _installed:
         return
     if hasattr(os, "register_at_fork"):
-        os.register_at_fork(after_in_child=clear_inherited_caches)
+        os.register_at_fork(after_in_child=_after_in_child)
     _installed = True

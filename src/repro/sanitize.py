@@ -1,0 +1,227 @@
+"""Opt-in runtime sanitizers for the concurrent layers.
+
+``REPRO_SANITIZE`` is a comma-separated list of sanitizer names:
+
+``mutation``
+    Seal every published :class:`~repro.serving.snapshots.StoreSnapshot`
+    store: any write to it — attribute assignment on the store, a fact
+    insert/delete on one of its MOs, a cube clear — raises
+    :class:`~repro.errors.SnapshotMutationError` instead of silently
+    corrupting the version (which readers would only notice later as a
+    fingerprint mismatch).
+
+``block``
+    Watch the serving event loop with a heartbeat thread.  When a
+    callback holds the loop longer than the threshold
+    (``REPRO_SANITIZE_BLOCK_MS``, default 100 ms) the monitor emits an
+    :class:`EventLoopBlockedWarning` and bumps the
+    ``repro_serving_loop_stalls_total`` counter — the runtime companion
+    of the static ``RL001`` blocking-call rule.
+
+``fork``
+    After every fork, assert that the fork-time cache sweep
+    (:mod:`repro.parallel.forksafe`) actually emptied every cache in
+    the :mod:`repro._forkreg` registry.  A cache that survives the
+    sweep means its clearer is wrong or it was never registered — the
+    runtime companion of the static ``RL002`` rule.
+
+Sanitizers are strictly opt-in: with ``REPRO_SANITIZE`` unset the
+guards reduce to a false flag test and nothing is sealed, watched, or
+asserted.  The static companions live in :mod:`repro.devlint`; the
+rule catalog is documented in ``docs/selfcheck.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from typing import Any, Callable
+
+from . import _forkreg
+from .errors import SanitizerError, SnapshotMutationError
+
+MUTATION = "mutation"
+BLOCK = "block"
+FORK = "fork"
+
+#: Every sanitizer name ``REPRO_SANITIZE`` accepts.
+SANITIZERS = frozenset({MUTATION, BLOCK, FORK})
+
+ENV_VAR = "REPRO_SANITIZE"
+BLOCK_THRESHOLD_ENV = "REPRO_SANITIZE_BLOCK_MS"
+DEFAULT_BLOCK_THRESHOLD_MS = 100.0
+
+
+class EventLoopBlockedWarning(RuntimeWarning):
+    """The block sanitizer saw the event loop stall past its threshold."""
+
+
+def parse_sanitizers(raw: str) -> frozenset[str]:
+    """Parse a ``REPRO_SANITIZE`` value, rejecting unknown names."""
+    names = {chunk.strip() for chunk in raw.split(",") if chunk.strip()}
+    unknown = names - SANITIZERS
+    if unknown:
+        raise SanitizerError(
+            f"unknown sanitizer(s) {sorted(unknown)!r} in {ENV_VAR}; "
+            f"valid names: {sorted(SANITIZERS)}"
+        )
+    return frozenset(names)
+
+
+def enabled_sanitizers() -> frozenset[str]:
+    """The sanitizers the environment currently enables."""
+    return parse_sanitizers(os.environ.get(ENV_VAR, ""))
+
+
+def enabled(name: str) -> bool:
+    """Whether sanitizer *name* is enabled by ``REPRO_SANITIZE``."""
+    return name in enabled_sanitizers()
+
+
+def block_threshold_seconds() -> float:
+    """The loop-stall threshold of the block sanitizer, in seconds."""
+    raw = os.environ.get(BLOCK_THRESHOLD_ENV, "").strip()
+    try:
+        millis = float(raw) if raw else DEFAULT_BLOCK_THRESHOLD_MS
+    except ValueError:
+        raise SanitizerError(
+            f"{BLOCK_THRESHOLD_ENV} must be a number, got {raw!r}"
+        ) from None
+    if millis <= 0:
+        raise SanitizerError(f"{BLOCK_THRESHOLD_ENV} must be positive")
+    return millis / 1000.0
+
+
+# ----------------------------------------------------------------------
+# mutation — frozen-snapshot sealing
+# ----------------------------------------------------------------------
+
+def seal_snapshot_store(store: Any) -> None:
+    """Mark a frozen snapshot store and all its state immutable.
+
+    Guards fire at the mutation choke points (``MO._insert`` /
+    ``MO.delete_fact`` / ``SubCube.clear`` / ``SubcubeStore`` attribute
+    writes and ``load``/``synchronize``/``rebuild``), so any write to
+    the sealed version raises :class:`SnapshotMutationError`.  The store
+    is sealed last: once its flag is set, even ``_sealed`` itself can no
+    longer be re-assigned.
+    """
+    for cube in store._cubes.values():
+        cube._mo._sealed = True
+        cube._sealed = True
+    store._sealed = True
+
+
+def seal_if_enabled(store: Any) -> bool:
+    """Seal *store* when the mutation sanitizer is on; report whether."""
+    if not enabled(MUTATION):
+        return False
+    seal_snapshot_store(store)
+    return True
+
+
+def check_unsealed(obj: Any, action: str) -> None:
+    """Raise when *obj* is a sealed snapshot component (guard helper)."""
+    if getattr(obj, "_sealed", False):
+        raise SnapshotMutationError(
+            f"{action} on a frozen snapshot store "
+            f"({type(obj).__name__}); published versions are immutable — "
+            "mutate the live store and publish a new version instead"
+        )
+
+
+# ----------------------------------------------------------------------
+# block — event-loop stall detection
+# ----------------------------------------------------------------------
+
+class LoopBlockMonitor:
+    """A heartbeat watchdog for one asyncio event loop.
+
+    A daemon thread periodically schedules a no-op callback on the loop
+    with ``call_soon_threadsafe`` and measures how long the loop takes
+    to run it.  A healthy loop answers in microseconds; a loop held by
+    a blocking call answers only once the offender returns, so the
+    heartbeat latency is a direct measurement of the stall.  Every
+    stall past ``threshold`` invokes ``on_stall(seconds)`` (default: an
+    :class:`EventLoopBlockedWarning`).
+    """
+
+    def __init__(
+        self,
+        loop: Any,
+        threshold: float | None = None,
+        on_stall: Callable[[float], None] | None = None,
+        interval: float | None = None,
+    ) -> None:
+        self._loop = loop
+        self.threshold = (
+            threshold if threshold is not None else block_threshold_seconds()
+        )
+        self._interval = (
+            interval if interval is not None else max(self.threshold / 2, 0.01)
+        )
+        self._on_stall = on_stall
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-block-sanitizer", daemon=True
+        )
+        #: Stalls observed so far, and the worst one (seconds).
+        self.stalls = 0
+        self.worst_stall = 0.0
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            beat = threading.Event()
+            sent = time.perf_counter()
+            try:
+                self._loop.call_soon_threadsafe(beat.set)
+            except RuntimeError:
+                return  # the loop closed; nothing left to watch
+            beat.wait(timeout=max(self.threshold * 20, 1.0))
+            elapsed = time.perf_counter() - sent
+            if beat.is_set() and elapsed > self.threshold:
+                self._record(elapsed)
+            self._stop.wait(self._interval)
+
+    def _record(self, elapsed: float) -> None:
+        self.stalls += 1
+        self.worst_stall = max(self.worst_stall, elapsed)
+        if self._on_stall is not None:
+            self._on_stall(elapsed)
+        else:
+            warnings.warn(
+                f"event loop blocked for {elapsed * 1000:.1f} ms "
+                f"(threshold {self.threshold * 1000:.1f} ms); move the "
+                "blocking call into asyncio.to_thread or an executor",
+                EventLoopBlockedWarning,
+                stacklevel=2,
+            )
+
+
+# ----------------------------------------------------------------------
+# fork — inherited-cache emptiness
+# ----------------------------------------------------------------------
+
+def assert_fork_caches_clear() -> None:
+    """Raise when any registered cache survived the fork-time sweep."""
+    leftovers = dict(_forkreg.iter_nonempty())
+    if leftovers:
+        listing = ", ".join(
+            f"{name} ({count} entries)"
+            for name, count in sorted(leftovers.items())
+        )
+        raise SanitizerError(
+            f"fork sanitizer: caches survived the fork-time sweep: "
+            f"{listing}; their clearers are broken or the caches were "
+            "registered with a stale size probe"
+        )

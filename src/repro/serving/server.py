@@ -28,9 +28,11 @@ import asyncio
 import datetime as _dt
 import json
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Mapping
 
+from .. import sanitize
 from ..core.hierarchy import TOP
 from ..engine.queryproc import SubcubeQuery
 from ..errors import ReproError
@@ -70,6 +72,7 @@ class QueryServer:
         self.config = config if config is not None else ServerConfig()
         self.metrics = service.metrics
         self._server: asyncio.AbstractServer | None = None
+        self._block_monitor: sanitize.LoopBlockMonitor | None = None
         self._admitted = 0
         self._slots: asyncio.Semaphore | None = None
         self._closing = asyncio.Event()
@@ -93,8 +96,34 @@ class QueryServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if sanitize.enabled(sanitize.BLOCK):
+            self._block_monitor = sanitize.LoopBlockMonitor(
+                asyncio.get_running_loop(), on_stall=self._note_loop_stall
+            )
+            self._block_monitor.start()
+
+    def _note_loop_stall(self, elapsed: float) -> None:
+        """The block sanitizer caught a handler holding the event loop."""
+        self.metrics.counter(
+            telemetry.LOOP_STALLS,
+            help="Event-loop stalls past the block-sanitizer threshold.",
+        ).inc()
+        worst = self.metrics.gauge(
+            telemetry.LOOP_STALL_SECONDS,
+            help="Worst event-loop stall observed, seconds.",
+        )
+        worst.set(max(worst.value, elapsed))
+        warnings.warn(
+            f"serving event loop blocked for {elapsed * 1000:.1f} ms; "
+            "blocking work belongs in asyncio.to_thread",
+            sanitize.EventLoopBlockedWarning,
+            stacklevel=2,
+        )
 
     async def stop(self) -> None:
+        if self._block_monitor is not None:
+            self._block_monitor.stop()
+            self._block_monitor = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

@@ -22,6 +22,7 @@ import zlib
 from contextlib import contextmanager
 from typing import Iterator
 
+from .. import sanitize
 from ..core.mo import MultidimensionalObject
 from ..engine.queryproc import SubcubeQuery, plan_cache, query_store
 from ..engine.store import SubcubeStore
@@ -86,6 +87,11 @@ class StoreSnapshot:
         self.fingerprint = store_fingerprint(self._store)
         self.last_sync: _dt.date | None = self._store.last_sync
         self.pins = 0
+        # The plan cache must exist before the mutation sanitizer seals
+        # the frozen store: sealing blocks the lazy attach, and queries
+        # against the sealed version still need somewhere to put plans.
+        plan_cache(self._store)
+        sanitize.seal_if_enabled(self._store)
 
     @property
     def store(self) -> SubcubeStore:

@@ -65,6 +65,12 @@ LATENCY_BUCKETS = (
     5.0,
 )
 
+# Block sanitizer ----------------------------------------------------------
+#: Event-loop stalls past the ``REPRO_SANITIZE=block`` threshold.
+LOOP_STALLS = "repro_serving_loop_stalls_total"
+#: Worst event-loop stall the block sanitizer has observed, seconds.
+LOOP_STALL_SECONDS = "repro_serving_loop_stall_seconds"
+
 #: Numeric encoding of breaker states for the gauge.
 BREAKER_STATE_CODES = {"closed": 0, "open": 1, "half_open": 2}
 

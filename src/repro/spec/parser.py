@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from .._forkreg import register_cache
 from ..core.dimension import ALL_VALUE
 from ..core.hierarchy import TOP
 from ..errors import SpecSyntaxError
@@ -126,6 +127,19 @@ def clear_parser_caches() -> None:
     _parse_action_cached.cache_clear()
     _parse_predicate_cached.cache_clear()
     _parse_clist_cached.cache_clear()
+
+
+def _parser_cache_entries() -> int:
+    return (
+        _parse_action_cached.cache_info().currsize
+        + _parse_predicate_cached.cache_info().currsize
+        + _parse_clist_cached.cache_info().currsize
+    )
+
+
+register_cache(
+    "repro.spec.parser:parse", clear_parser_caches, _parser_cache_entries
+)
 
 
 # ----------------------------------------------------------------------

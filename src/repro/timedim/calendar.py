@@ -23,6 +23,7 @@ import datetime as _dt
 import functools
 import re
 
+from .._forkreg import register_cache
 from ..errors import DimensionError
 from .granularity import DAY, MONTH, QUARTER, WEEK, YEAR
 
@@ -237,3 +238,28 @@ def iter_days(start: _dt.date, end: _dt.date):
     while current <= end:
         yield current
         current += one
+
+
+# ----------------------------------------------------------------------
+# Fork hygiene
+# ----------------------------------------------------------------------
+
+#: The memoized calendar functions (pure: value text -> date/ordinal).
+_CACHED_FUNCTIONS = (parse_day, parse_value, ordinal, first_day, last_day)
+
+
+def clear_calendar_caches() -> None:
+    """Drop every memoized calendar lookup (fork hygiene only)."""
+    for function in _CACHED_FUNCTIONS:
+        function.cache_clear()
+
+
+def _calendar_cache_entries() -> int:
+    return sum(f.cache_info().currsize for f in _CACHED_FUNCTIONS)
+
+
+register_cache(
+    "repro.timedim.calendar:memos",
+    clear_calendar_caches,
+    _calendar_cache_entries,
+)

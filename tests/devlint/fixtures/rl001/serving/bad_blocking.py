@@ -1,0 +1,14 @@
+"""RL001 fixture: blocking calls reachable from an async handler."""
+
+import asyncio
+import time
+
+
+def _flush():
+    time.sleep(0.5)  # line 8: reachable from handler() via _flush()
+
+
+async def handler():
+    time.sleep(0.1)  # line 12: blocks the loop directly
+    _flush()
+    await asyncio.to_thread(_flush)  # a reference, not a call: exempt

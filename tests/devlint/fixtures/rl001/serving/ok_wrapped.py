@@ -1,0 +1,13 @@
+"""RL001 negative control: blocking work is handed to worker threads."""
+
+import asyncio
+import time
+
+
+def _flush():
+    time.sleep(0.5)
+
+
+async def handler():
+    await asyncio.to_thread(_flush)
+    await asyncio.get_running_loop().run_in_executor(None, _flush)

@@ -1,0 +1,10 @@
+"""RL002 fixture: module-level caches with no fork-sweep registration."""
+
+from functools import lru_cache
+
+_RESULT_CACHE: dict = {}  # line 5: a mutable module global
+
+
+@lru_cache(maxsize=64)
+def lookup(key):  # line 9: memoized, never registered
+    return key

@@ -1,0 +1,24 @@
+"""RL002 negative control: both caches reachable from the registration."""
+
+from functools import lru_cache
+
+from repro._forkreg import register_cache
+
+_MEMO_CACHE: dict = {}
+
+
+@lru_cache(maxsize=64)
+def lookup(key):
+    return key
+
+
+def _clear():
+    _MEMO_CACHE.clear()
+    lookup.cache_clear()
+
+
+def _entries():
+    return len(_MEMO_CACHE) + lookup.cache_info().currsize
+
+
+register_cache("devlint-fixture:ok", _clear, _entries)

@@ -1,0 +1,8 @@
+"""RL003 fixture: writes into published snapshot state."""
+
+
+def corrupt(snapshot, current_snapshot, manager):
+    snapshot.pins = 5  # line 5
+    snapshot._store.cubes["c"] = None  # line 6
+    current_snapshot.facts += 1  # line 7
+    manager._snapshot = snapshot  # rebinding a reference: exempt

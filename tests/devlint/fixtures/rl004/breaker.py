@@ -1,0 +1,21 @@
+"""RL004 fixture: wall clocks and shared randomness in a replay module."""
+
+import datetime as _dt
+import random
+import time
+
+
+def jitter():
+    return random.random()  # line 9: shared-state RNG
+
+
+def stamp():
+    return time.time(), _dt.datetime.now()  # line 13: two wall clocks
+
+
+def fresh_rng():
+    return random.Random()  # line 17: unseeded
+
+
+def seeded_rng(seed):
+    return random.Random(seed)  # seeded: exempt

@@ -1,0 +1,4 @@
+"""RL005 fixture registry: one documented metric, one undocumented."""
+
+GOOD = "repro_fixture_good_total"
+UNDOCUMENTED = "repro_fixture_undocumented_total"  # line 4: not in docs.md

@@ -1,0 +1,7 @@
+"""RL005 fixture use site: stray and duplicated metric literals."""
+
+STRAY = "repro_fixture_stray_total"  # line 3: declared outside any registry
+
+
+def report(metrics):
+    metrics.counter("repro_fixture_good_total").inc()  # line 7: duplicate

@@ -1,0 +1,6 @@
+"""RL006 fixture catalog: one covered failpoint, one uncovered."""
+
+FAILPOINTS = (
+    "fixture.covered",
+    "fixture.uncovered",  # line 5: no test mentions this name
+)

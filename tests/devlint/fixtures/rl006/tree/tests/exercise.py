@@ -1,0 +1,5 @@
+"""The fixture 'test suite' RL006 scans: exercises fixture.covered only."""
+
+
+def exercise_covered(faults):
+    faults.arm("fixture.covered", at_hit=1)

@@ -1,0 +1,11 @@
+"""Suppression fixture: one justified allow, one reason-less marker."""
+
+import time
+
+
+async def paced_handler():
+    time.sleep(0.01)  # devlint: allow[RL001] fixture: deliberate pacing
+
+
+async def sloppy_handler():
+    time.sleep(0.01)  # devlint: allow[RL001]

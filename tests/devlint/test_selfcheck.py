@@ -1,0 +1,206 @@
+"""The self-check pass: every RL rule fires on its bad fixture, the
+real tree is clean, and the reporters round-trip RL findings.
+
+The fixture corpus under ``fixtures/`` mirrors the path scoping of the
+rules (``serving/`` for RL001, ``core/`` for RL002, replay basenames
+for RL004), so each rule runs exactly as it does on the real tree.
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.cli import main
+from repro.devlint import RULES, SelfCheckConfig, run_selfcheck
+from repro.lint.reporters import render, sarif_log
+
+from ..lint.test_reporters import SARIF_SUBSET_SCHEMA
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def check(relative, **config_overrides):
+    """Run the self-check over one fixture subtree."""
+    config = SelfCheckConfig(root=FIXTURES, **config_overrides)
+    return run_selfcheck([FIXTURES / relative], config)
+
+
+class TestRuleCatalog:
+    def test_codes_are_stable(self):
+        assert set(RULES) == {
+            "RL000",
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+        }
+
+    def test_every_rule_has_reference_and_summary(self):
+        for rule in RULES.values():
+            assert rule.paper
+            assert rule.summary
+
+
+class TestRL001BlockingAsync:
+    def test_fires_on_direct_and_transitive_blocking(self):
+        result = check("rl001/serving/bad_blocking.py")
+        assert result.codes() == {"RL001"}
+        lines = sorted(d.region.start_line for d in result)
+        assert lines == [8, 12]  # the sleep in _flush, then the direct one
+        direct = next(d for d in result if d.region.start_line == 12)
+        assert "async def handler()" in direct.message
+        transitive = next(d for d in result if d.region.start_line == 8)
+        assert "via _flush()" in transitive.message
+
+    def test_to_thread_and_executor_handoffs_are_exempt(self):
+        assert len(check("rl001/serving/ok_wrapped.py")) == 0
+
+
+class TestRL002ForkCaches:
+    def test_fires_on_unregistered_caches(self):
+        result = check("rl002/core/bad_cache.py")
+        assert result.codes() == {"RL002"}
+        assert len(result) == 2
+        messages = " ".join(d.message for d in result)
+        assert "_RESULT_CACHE" in messages
+        assert "lookup" in messages
+
+    def test_registered_caches_pass(self):
+        assert len(check("rl002/core/ok_registered.py")) == 0
+
+
+class TestRL003SnapshotMutation:
+    def test_fires_on_attribute_item_and_augmented_writes(self):
+        result = check("rl003/app/bad_mutation.py")
+        assert result.codes() == {"RL003"}
+        lines = sorted(d.region.start_line for d in result)
+        assert lines == [5, 6, 7]  # the rebind on line 8 is exempt
+
+
+class TestRL004Nondeterminism:
+    def test_fires_on_clocks_and_shared_randomness(self):
+        result = check("rl004/breaker.py")
+        assert result.codes() == {"RL004"}
+        reasons = sorted(d.message.split(" in ")[0] for d in result)
+        assert reasons == [
+            "shared-state random.random()",
+            "unseeded random.Random()",
+            "wall-clock _dt.datetime.now()",
+            "wall-clock time.time()",
+        ]
+
+
+class TestRL005TelemetryDrift:
+    def test_stray_duplicate_and_undocumented_metrics(self):
+        result = check(
+            "rl005/tree",
+            docs_path=FIXTURES / "rl005" / "tree" / "docs.md",
+        )
+        assert result.codes() == {"RL005"}
+        messages = sorted(d.message for d in result)
+        assert len(messages) == 3
+        assert any("declared in no" in m for m in messages)
+        assert any("duplicates its registry declaration" in m for m in messages)
+        assert any("missing from docs.md" in m for m in messages)
+
+
+class TestRL006FailpointCoverage:
+    def test_uncovered_failpoint_is_flagged(self):
+        result = check(
+            "rl006/tree",
+            tests_path=FIXTURES / "rl006" / "tree" / "tests",
+        )
+        assert result.codes() == {"RL006"}
+        (finding,) = result
+        assert "'fixture.uncovered'" in finding.message
+
+    def test_without_a_test_tree_the_rule_is_silent(self):
+        assert len(check("rl006/tree")) == 0
+
+
+class TestSuppressions:
+    def test_allow_with_reason_silences_without_reason_fires(self):
+        result = check("suppressed/serving/mixed.py")
+        assert [d.region.start_line for d in result] == [11]
+
+    def test_suppression_is_code_specific(self):
+        # The justified allow names RL001; the finding it silences is
+        # the only one on that line, so nothing else leaks through.
+        result = check("suppressed/serving/mixed.py")
+        assert result.codes() == {"RL001"}
+
+
+class TestCleanTree:
+    def test_src_tree_has_no_findings(self):
+        config = SelfCheckConfig.for_repo(REPO_ROOT)
+        result = run_selfcheck([REPO_ROOT / "src"], config)
+        assert len(result) == 0, [d.format() for d in result]
+
+    def test_cli_selfcheck_exits_zero_on_src(self, capsys):
+        assert main(["selfcheck", str(REPO_ROOT / "src")]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+
+class TestReporters:
+    def test_sarif_round_trip_for_rl_findings(self, tmp_path):
+        out = tmp_path / "selfcheck.sarif"
+        status = main(
+            [
+                "selfcheck",
+                str(FIXTURES / "rl001" / "serving" / "bad_blocking.py"),
+                "--format",
+                "sarif",
+                "-o",
+                str(out),
+            ]
+        )
+        assert status == 1
+        log = json.loads(out.read_text())
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-selfcheck"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == sorted(
+            RULES
+        ) or {r["id"] for r in run["tool"]["driver"]["rules"]} == set(RULES)
+        assert len(run["results"]) == 2
+        for found in run["results"]:
+            assert found["ruleId"] == "RL001"
+            region = found["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] in (8, 12)
+            assert region["startColumn"] >= 1
+
+    def test_python_and_cli_agree(self):
+        result = check("rl003/app/bad_mutation.py")
+        log = sarif_log(
+            result, tool_name="repro-selfcheck", catalog=RULES
+        )
+        assert len(log["runs"][0]["results"]) == len(result)
+
+    def test_text_and_json_render_rl_findings(self):
+        result = check("rl004/breaker.py")
+        text = render(result, "text")
+        assert "error[RL004]" in text
+        payload = json.loads(render(result, "json"))
+        assert payload["summary"]["errors"] == len(result)
+
+
+class TestCLIFilters:
+    def test_fail_on_limits_the_failing_codes(self):
+        bad = str(FIXTURES / "rl004" / "breaker.py")
+        assert main(["selfcheck", bad, "--fail-on", "RL005"]) == 0
+        assert main(["selfcheck", bad, "--fail-on", "RL004"]) == 1
+        assert main(["selfcheck", bad]) == 1
+
+    def test_ignore_silences_a_family(self, capsys):
+        bad = str(FIXTURES / "rl004" / "breaker.py")
+        assert main(["selfcheck", bad, "--ignore", "RL004"]) == 0
+        capsys.readouterr()
+
+    def test_missing_path_is_a_usage_error(self, capsys):
+        assert main(["selfcheck", "no/such/tree"]) == 2
+        assert "no such path" in capsys.readouterr().err

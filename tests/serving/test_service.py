@@ -14,12 +14,13 @@ Three properties, each driven by seeded deterministic injection:
 
 import datetime as dt
 import os
+import time
 
 import pytest
 
 from repro.core.hierarchy import TOP
 from repro.engine.durable import DurableStore
-from repro.engine.faults import FaultInjector
+from repro.engine.faults import FaultInjector, SlowFault
 from repro.engine.queryproc import SubcubeQuery
 from repro.errors import ServingError
 from repro.experiments.paper_example import (
@@ -232,3 +233,48 @@ class TestTornVersionProperty:
         for held in pinned:
             service.release(held)
         assert service.snapshots.live_versions() == [service.version]
+
+
+class TestEIOAndSlowSync:
+    def test_eio_on_journal_write_fails_refresh_cleanly(self, tmp_path):
+        """``disk.eio``: an I/O error during the journal append kills the
+        refresh, not the service — version N stays published intact and
+        the next healthy refresh publishes N+1."""
+        service, faults, _ = make_service(tmp_path)
+        at = SNAPSHOT_TIMES[0]
+        assert service.refresh(at) is not None
+        held_version = service.version
+        held_fingerprint = service.snapshots.current().fingerprint
+
+        faults.arm("disk.eio", at_hit=1)
+        assert service.refresh(at) is None
+        assert faults.fire_count("disk.eio") == 1, "fault never fired"
+        assert "EIO" in service.status()["last_refresh_error"]
+        assert service.version == held_version
+        assert service.snapshots.current().fingerprint == held_fingerprint
+        assert service.snapshots.current().verify_integrity()
+
+        faults.disarm("disk.eio")
+        recovered = service.refresh(at)
+        assert recovered is not None
+        assert recovered.version == held_version + 1
+
+    def test_slow_sync_publishes_late_but_correct(self, tmp_path):
+        """``sync.slow``: a stalling synchronization is latency, not a
+        failure — the refresh still publishes, the breaker stays closed,
+        and the published version hashes clean."""
+        service, faults, _ = make_service(tmp_path)
+        at = SNAPSHOT_TIMES[1]
+        faults.arm("sync.slow", at_hit=1, payload=SlowFault(0.05))
+
+        started = time.perf_counter()
+        snapshot = service.refresh(at)
+        elapsed = time.perf_counter() - started
+
+        assert snapshot is not None
+        assert faults.fire_count("sync.slow") == 1, "fault never fired"
+        assert elapsed >= 0.05
+        assert snapshot.verify_integrity()
+        assert not service.degraded
+        assert service.breaker.state == CLOSED
+        assert service.status()["last_refresh_error"] is None

@@ -5,7 +5,8 @@ import pytest
 from repro.core.hierarchy import TOP
 from repro.engine.queryproc import SubcubeQuery, plan_cache
 from repro.engine.store import SubcubeStore
-from repro.errors import ServingError
+from repro import sanitize
+from repro.errors import ServingError, SnapshotMutationError
 from repro.experiments.paper_example import (
     SNAPSHOT_TIMES,
     build_paper_mo,
@@ -142,9 +143,16 @@ class TestIsolation:
         snapshot = manager.publish(store)
         snapshot.store.bottom_cube.mo  # reads are fine
         assert snapshot.verify_integrity()
-        # Simulate corruption: write into the frozen store.
-        snapshot.store.last_sync = SNAPSHOT_TIMES[-1]
-        assert not snapshot.verify_integrity()
+        # Simulate corruption: write into the frozen store.  With the
+        # mutation sanitizer armed the write itself is refused; without
+        # it the tamper lands and the fingerprint check catches it.
+        if sanitize.enabled(sanitize.MUTATION):
+            with pytest.raises(SnapshotMutationError):
+                snapshot.store.last_sync = SNAPSHOT_TIMES[-1]
+            assert snapshot.verify_integrity()
+        else:
+            snapshot.store.last_sync = SNAPSHOT_TIMES[-1]
+            assert not snapshot.verify_integrity()
 
     def test_snapshot_queries_do_not_touch_the_live_plan_cache(self, store):
         manager = SnapshotManager()

@@ -1,0 +1,196 @@
+"""Runtime sanitizers (``REPRO_SANITIZE``): mutation, block, and fork.
+
+Each sanitizer is the runtime companion of a static RL rule
+(``repro selfcheck``): mutation ↔ RL003 (frozen snapshots), block ↔
+RL001 (event-loop discipline), fork ↔ RL002 (cache sweeping).  These
+tests prove each one catches its violation *and* stays silent on the
+corresponding healthy behaviour.
+"""
+
+import asyncio
+import multiprocessing
+import time
+
+import pytest
+
+from repro import _forkreg, sanitize
+from repro.core.hierarchy import TOP
+from repro.engine.queryproc import SubcubeQuery
+from repro.engine.store import SubcubeStore
+from repro.errors import SanitizerError, SnapshotMutationError
+from repro.experiments.paper_example import (
+    SNAPSHOT_TIMES,
+    build_paper_mo,
+    paper_specification,
+)
+from repro.parallel.executor import ShardExecutor
+from repro.serving import SnapshotManager
+
+from .engine.durableutil import facts_of
+
+GRAND_TOTAL = SubcubeQuery(None, {"Time": TOP, "URL": TOP})
+
+
+def make_store():
+    mo = build_paper_mo()
+    store = SubcubeStore(mo, paper_specification(mo))
+    store.load(facts_of(mo))
+    store.synchronize(SNAPSHOT_TIMES[0])
+    return store
+
+
+class TestEnvParsing:
+    def test_parse_accepts_known_names(self):
+        assert sanitize.parse_sanitizers("mutation, block,fork") == {
+            "mutation",
+            "block",
+            "fork",
+        }
+        assert sanitize.parse_sanitizers("") == frozenset()
+
+    def test_parse_rejects_unknown_names(self):
+        with pytest.raises(SanitizerError, match="unknown sanitizer"):
+            sanitize.parse_sanitizers("mutation,typo")
+
+    def test_enabled_reads_the_environment(self, monkeypatch):
+        monkeypatch.delenv(sanitize.ENV_VAR, raising=False)
+        assert not sanitize.enabled(sanitize.MUTATION)
+        monkeypatch.setenv(sanitize.ENV_VAR, "mutation,fork")
+        assert sanitize.enabled(sanitize.MUTATION)
+        assert sanitize.enabled(sanitize.FORK)
+        assert not sanitize.enabled(sanitize.BLOCK)
+
+    def test_block_threshold_parsing(self, monkeypatch):
+        monkeypatch.setenv(sanitize.BLOCK_THRESHOLD_ENV, "250")
+        assert sanitize.block_threshold_seconds() == 0.25
+        monkeypatch.setenv(sanitize.BLOCK_THRESHOLD_ENV, "nope")
+        with pytest.raises(SanitizerError, match="must be a number"):
+            sanitize.block_threshold_seconds()
+        monkeypatch.setenv(sanitize.BLOCK_THRESHOLD_ENV, "-1")
+        with pytest.raises(SanitizerError, match="must be positive"):
+            sanitize.block_threshold_seconds()
+
+
+class TestMutationSanitizer:
+    @pytest.fixture
+    def sealed(self, monkeypatch):
+        """A live store and a snapshot published with sealing on."""
+        monkeypatch.setenv(sanitize.ENV_VAR, "mutation")
+        store = make_store()
+        manager = SnapshotManager()
+        snapshot = manager.publish(store)
+        return store, snapshot
+
+    def test_every_mutation_path_raises(self, sealed):
+        _, snapshot = sealed
+        frozen = snapshot.store
+        with pytest.raises(SnapshotMutationError, match="immutable"):
+            frozen.last_sync = None
+        with pytest.raises(SnapshotMutationError):
+            frozen.synchronize(SNAPSHOT_TIMES[1])
+        with pytest.raises(SnapshotMutationError):
+            frozen.load([])
+        cube = next(iter(frozen.cubes.values()))
+        some_fact = next(iter(cube.mo.facts()))
+        with pytest.raises(SnapshotMutationError):
+            cube.mo.delete_fact(some_fact)
+        with pytest.raises(SnapshotMutationError):
+            cube.clear()
+
+    def test_live_store_stays_writable_and_snapshot_queryable(self, sealed):
+        store, snapshot = sealed
+        store.synchronize(SNAPSHOT_TIMES[1])  # the live side is untouched
+        result = snapshot.query(GRAND_TOTAL, SNAPSHOT_TIMES[0])
+        assert result is not None
+        assert snapshot.verify_integrity()
+
+    def test_without_the_sanitizer_nothing_is_sealed(self, monkeypatch):
+        monkeypatch.delenv(sanitize.ENV_VAR, raising=False)
+        snapshot = SnapshotManager().publish(make_store())
+        snapshot.store.last_sync = snapshot.store.last_sync  # no raise
+
+
+class TestBlockSanitizer:
+    def run_loop_with_monitor(self, blocker, threshold=0.05):
+        """Run *blocker* on a monitored loop; return the monitor."""
+        stalls = []
+
+        async def scenario():
+            monitor = sanitize.LoopBlockMonitor(
+                asyncio.get_running_loop(),
+                threshold=threshold,
+                on_stall=stalls.append,
+                interval=0.01,
+            )
+            monitor.start()
+            try:
+                await asyncio.sleep(0.05)  # let the heartbeat settle
+                blocker()
+                await asyncio.sleep(0.05)  # deliver the late heartbeat
+            finally:
+                monitor.stop()
+            return monitor
+
+        monitor = asyncio.run(scenario())
+        return monitor, stalls
+
+    def test_blocking_the_loop_is_detected(self):
+        monitor, stalls = self.run_loop_with_monitor(
+            lambda: time.sleep(0.3)
+        )
+        assert monitor.stalls >= 1
+        assert monitor.worst_stall >= 0.2
+        assert stalls and max(stalls) >= 0.2
+
+    def test_healthy_loop_is_silent(self):
+        monitor, stalls = self.run_loop_with_monitor(lambda: None)
+        assert monitor.stalls == 0
+        assert stalls == []
+
+
+def _echo(payload, task):
+    return task
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+class TestForkSanitizer:
+    @pytest.fixture
+    def broken_cache(self):
+        """A registered cache whose clearer does not actually clear."""
+        name = "test-sanitize:broken"
+        _forkreg.register_cache(name, lambda: None, lambda: 1)
+        yield name
+        _forkreg._REGISTRY.pop(name, None)
+
+    def test_surviving_cache_fails_the_workers_first_task(
+        self, monkeypatch, broken_cache
+    ):
+        monkeypatch.setenv(sanitize.ENV_VAR, "fork")
+        executor = ShardExecutor(workers=2, mode="process")
+        with executor.session(None) as session:
+            with pytest.raises(SanitizerError, match="survived"):
+                session.run(_echo, [1, 2, 3])
+
+    def test_clean_sweep_passes(self, monkeypatch):
+        monkeypatch.setenv(sanitize.ENV_VAR, "fork")
+        executor = ShardExecutor(workers=2, mode="process")
+        with executor.session(None) as session:
+            results, seconds = session.run(_echo, [1, 2, 3])
+        assert results == [1, 2, 3]
+        assert len(seconds) == 3
+
+    def test_off_by_default_even_with_a_broken_cache(
+        self, monkeypatch, broken_cache
+    ):
+        monkeypatch.delenv(sanitize.ENV_VAR, raising=False)
+        executor = ShardExecutor(workers=2, mode="process")
+        with executor.session(None) as session:
+            results, _ = session.run(_echo, [7])
+        assert results == [7]
+
+    def test_assert_helper_reports_the_leftover(self, broken_cache):
+        with pytest.raises(SanitizerError, match=broken_cache):
+            sanitize.assert_fork_caches_clear()
