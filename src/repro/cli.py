@@ -396,6 +396,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the serving benchmark (concurrent clients under "
         "continuous sync) and write BENCH_serving.json",
     )
+    bench.add_argument(
+        "--ingest",
+        action="store_true",
+        help="also run the streaming-ingest benchmark (group-commit "
+        "throughput and fsync amortization) and write BENCH_ingest.json",
+    )
+
+    load = sub.add_parser(
+        "load",
+        help="stream facts from a JSONL/CSV file into a durable store "
+        "with batched group commit",
+    )
+    load.add_argument(
+        "durable_path",
+        help="durable store directory (existing, or created with --mo)",
+    )
+    load.add_argument(
+        "--facts",
+        required=True,
+        dest="facts_file",
+        help="fact rows: JSONL ({'id','coordinates','measures'} per "
+        "line) or CSV (id + one column per dimension and measure)",
+    )
+    load.add_argument(
+        "--format",
+        choices=("auto", "jsonl", "csv"),
+        default="auto",
+        help="source format (default: auto — by file extension)",
+    )
+    load.add_argument(
+        "--mo",
+        dest="mo_file",
+        default=None,
+        help="template MO document: create the store from it when the "
+        "directory does not exist yet (requires --spec)",
+    )
+    load.add_argument(
+        "--spec",
+        dest="spec_file",
+        default=None,
+        help="reduction specification for --mo store creation",
+    )
+    load.add_argument(
+        "--batch-size",
+        type=int,
+        default=4096,
+        dest="batch_size",
+        help="facts per group commit (default 4096)",
+    )
+    load.add_argument(
+        "--flush-ms",
+        type=float,
+        default=None,
+        dest="flush_ms",
+        help="also flush a partial batch this many ms after its oldest "
+        "row (latency bound for trickle streams)",
+    )
+    load.add_argument(
+        "--on-error",
+        choices=("reject", "skip", "dead-letter"),
+        default="reject",
+        dest="on_error",
+        help="per-row error policy (default: reject aborts the stream)",
+    )
+    load.add_argument(
+        "--dead-letter",
+        dest="dead_letter_path",
+        default=None,
+        help="dead-letter JSONL file (implies --on-error dead-letter)",
+    )
+    load.add_argument(
+        "--queue-size",
+        type=int,
+        default=None,
+        dest="queue_size",
+        help="parse and commit in a two-stage pipeline through a "
+        "bounded queue of this many rows (backpressure)",
+    )
+    load.add_argument(
+        "--no-fsync",
+        action="store_true",
+        dest="no_fsync",
+        help="skip fsync calls in the durable store (faster, less durable)",
+    )
+    load.add_argument(
+        "--fail-under",
+        type=float,
+        default=None,
+        dest="fail_under",
+        help="exit 1 when committed facts/sec falls below this floor",
+    )
+    _add_stats_options(load)
 
     serve = sub.add_parser(
         "serve",
@@ -553,6 +645,23 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.workers,
                 arguments.fail_under_efficiency,
                 arguments.serving,
+                arguments.ingest,
+            )
+        if arguments.command == "load":
+            return _load(
+                arguments.durable_path,
+                arguments.facts_file,
+                arguments.format,
+                arguments.mo_file,
+                arguments.spec_file,
+                arguments.batch_size,
+                arguments.flush_ms,
+                arguments.on_error,
+                arguments.dead_letter_path,
+                arguments.queue_size,
+                not arguments.no_fsync,
+                arguments.fail_under,
+                *_stats_choice(arguments),
             )
         if arguments.command == "serve":
             return _serve(
@@ -1052,6 +1161,7 @@ def _bench(
     workers: list[int] | None = None,
     fail_under_efficiency: float | None = None,
     serving: bool = False,
+    ingest: bool = False,
 ) -> int:
     from .bench import run_benchmarks
 
@@ -1087,6 +1197,8 @@ def _bench(
     )
     if serving:
         paths["BENCH_serving.json"] = _bench_serving(out_dir, smoke)
+    if ingest:
+        paths["BENCH_ingest.json"] = _bench_ingest(out_dir, smoke)
     for name, path in paths.items():
         print(f"wrote {path}")
     failed = False
@@ -1133,6 +1245,145 @@ def _bench_serving(out_dir: str, smoke: bool) -> str:
         else "serving: no latency samples recorded"
     )
     return path
+
+
+def _bench_ingest(out_dir: str, smoke: bool) -> str:
+    """Run the ingest benchmark and write ``BENCH_ingest.json``."""
+    from .ingest.bench import run_ingest_bench
+    from .io import atomic_write
+
+    document = run_ingest_bench(smoke=smoke)
+    path = os.path.join(out_dir, "BENCH_ingest.json")
+    with atomic_write(path) as stream:
+        json.dump(document, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    batched = document["batched"]
+    amortization = document["fsync_amortization"]
+    ratio = amortization["ratio"]
+    print(
+        f"ingest: {batched['facts']} facts in {batched['batches']} "
+        f"group commits at {batched['facts_per_s']:.0f} facts/s, "
+        f"{batched['fsyncs']} fsyncs "
+        f"({ratio:.0f}x fewer per fact than per-fact journaling)"
+        if ratio is not None
+        else f"ingest: {batched['facts']} facts, fsync disabled"
+    )
+    return path
+
+
+def _load(
+    durable_path: str,
+    facts_file: str,
+    source_format: str,
+    mo_file: str | None,
+    spec_file: str | None,
+    batch_size: int,
+    flush_ms: float | None,
+    on_error: str,
+    dead_letter_path: str | None,
+    queue_size: int | None,
+    fsync: bool,
+    fail_under: float | None,
+    stats: bool = False,
+    stats_format: str = "json",
+) -> int:
+    import time
+
+    from .engine.durable import DurableStore, open_durable
+    from .engine.faults import FaultInjector
+    from .errors import IngestError
+    from .ingest import (
+        DeadLetterFile,
+        ErrorPolicy,
+        StreamingLoader,
+        open_source,
+    )
+    from .io import load_mo, load_specification
+    from .obs import metrics as obs_metrics
+
+    faults = FaultInjector.from_environment()
+    if os.path.exists(os.path.join(durable_path, "meta.json")):
+        store, report = open_durable(durable_path, fsync=fsync, faults=faults)
+        if report.replayed:
+            print(
+                f"recovered {durable_path}: replayed "
+                f"{report.replayed} journal records"
+            )
+    else:
+        if mo_file is None or spec_file is None:
+            raise IngestError(
+                f"{durable_path!r} is not a durable store; pass --mo and "
+                "--spec to create one"
+            )
+        with open(mo_file) as stream:
+            template = load_mo(stream)
+        with open(spec_file) as stream:
+            specification = load_specification(
+                stream, template.schema, template.dimensions
+            )
+        store = DurableStore.create(
+            durable_path,
+            template.empty_like(),
+            specification,
+            fsync=fsync,
+            faults=faults,
+        )
+    template_mo = store.bottom_cube.mo
+    dead_letter = None
+    if dead_letter_path is not None:
+        on_error = "dead-letter"
+        dead_letter = DeadLetterFile(dead_letter_path, faults=faults)
+    policy = ErrorPolicy(on_error, dead_letter=dead_letter)
+    loader = StreamingLoader(
+        store, batch_size=batch_size, flush_ms=flush_ms, faults=faults
+    )
+    stream, rows = open_source(
+        facts_file,
+        template_mo.schema.dimension_names,
+        template_mo.schema.measure_names,
+        source_format,
+    )
+    started = time.perf_counter()
+    try:
+        if queue_size is not None:
+            tally = loader.ingest_pipelined(
+                rows, policy=policy, queue_size=queue_size
+            )
+        else:
+            tally = loader.ingest(rows, policy=policy)
+    finally:
+        stream.close()
+        if dead_letter is not None:
+            dead_letter.close()
+        store.close()
+    seconds = time.perf_counter() - started
+    rate = tally["committed"] / seconds if seconds > 0 else float("inf")
+    print(
+        f"loaded {tally['committed']} facts in "
+        f"{loader.committed_batches} group commits "
+        f"({rate:.0f} facts/s, batch size {batch_size})"
+    )
+    if tally["skipped"]:
+        print(f"skipped {tally['skipped']} bad rows")
+    if tally["dead_lettered"]:
+        print(
+            f"dead-lettered {tally['dead_lettered']} bad rows "
+            f"to {dead_letter_path}"
+        )
+    if stats:
+        print(
+            obs_metrics.render_snapshot(
+                store.metrics.snapshot(), stats_format
+            )
+        )
+    if fail_under is not None and rate < fail_under:
+        print(
+            f"error: ingest rate {rate:.0f} facts/s is below the "
+            f"{fail_under:.0f} facts/s floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _serve(

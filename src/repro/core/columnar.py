@@ -125,6 +125,93 @@ class ColumnarFactTable:
             column_m.extend(value_map[fact_id] for fact_id in fact_ids)
         return table
 
+    def extend_codes(self, dimension_name: str, values: Iterable[str]) -> int:
+        """Append one interned code per value to a dimension's code column.
+
+        The batch form of the per-fact interning loop in :meth:`from_mo`:
+        values are canonical dimension values (callers validate), codes
+        are assigned first-seen order.  Cached roll-up columns for the
+        dimension are extended in place for any values the interner has
+        not seen before, so a warm cache survives appends.
+        """
+        column = self.codes[dimension_name]
+        interner = self._values[dimension_name]
+        index = self._indexes[dimension_name]
+        append = column.append
+        first_new = len(interner)
+        appended = 0
+        for value in values:
+            code = index.get(value)
+            if code is None:
+                code = len(interner)
+                index[value] = code
+                interner.append(value)
+            append(code)
+            appended += 1
+        if len(interner) > first_new and self._rollups:
+            fresh = interner[first_new:]
+            dimension = self.dimensions[dimension_name]
+            for (name, category), cached in self._rollups.items():
+                if name == dimension_name:
+                    cached.extend(
+                        dimension.try_ancestor_at(value, category)
+                        for value in fresh
+                    )
+        return appended
+
+    def append_rows(
+        self,
+        fact_ids: Sequence[str],
+        coordinates: Mapping[str, Sequence[str]],
+        measures: Mapping[str, Sequence[object]],
+        provenances: Sequence[Provenance] | None = None,
+    ) -> int:
+        """Append a column batch of facts in insertion order.
+
+        *coordinates* and *measures* are column-oriented — one value
+        sequence per dimension/measure, every sequence exactly
+        ``len(fact_ids)`` long.  Coordinate values must already be
+        canonical (the batch buffer validates before flushing); no
+        per-fact Python objects are created beyond default provenances.
+        Returns the number of rows appended.
+        """
+        n = len(fact_ids)
+        for name in self.schema.dimension_names:
+            column = coordinates.get(name)
+            if column is None:
+                raise FactError(
+                    f"append_rows lacks a coordinate column for {name!r}"
+                )
+            if len(column) != n:
+                raise FactError(
+                    f"coordinate column {name!r} has {len(column)} values "
+                    f"for {n} facts"
+                )
+        for name in self.schema.measure_names:
+            column = measures.get(name)
+            if column is None:
+                raise FactError(
+                    f"append_rows lacks a measure column for {name!r}"
+                )
+            if len(column) != n:
+                raise FactError(
+                    f"measure column {name!r} has {len(column)} values "
+                    f"for {n} facts"
+                )
+        if provenances is None:
+            provenances = [Provenance.of(fact_id) for fact_id in fact_ids]
+        elif len(provenances) != n:
+            raise FactError(
+                f"append_rows got {len(provenances)} provenances for {n} facts"
+            )
+        self.fact_ids.extend(fact_ids)
+        self.provenances.extend(provenances)
+        for name in self.schema.dimension_names:
+            self.extend_codes(name, coordinates[name])
+        for name in self.schema.measure_names:
+            self.measure_columns[name].extend(measures[name])
+        return n
+
     def to_mo(self, template=None):
         """Rebuild a row-wise MO (``template.empty_like()`` shaped, or a
         fresh MO over this table's schema and dimensions)."""

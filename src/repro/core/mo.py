@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
-from ..errors import FactError, MeasureError, QueryError, SchemaError
+from ..errors import FactError, QueryError, SchemaError
 from .dimension import ALL_VALUE, Dimension
 from .facts import FactDimensionRelation, Provenance
-from .hierarchy import TOP
 from .measures import Measure
+from .rowcheck import RowValidator
 from .schema import FactSchema
 
 
@@ -25,6 +25,10 @@ class MultidimensionalObject:
     #: Set (per instance) by the mutation sanitizer when this MO belongs
     #: to a published snapshot; mutators then raise instead of writing.
     _sealed = False
+
+    #: Lazily attached per instance on first insert: the shared
+    #: memoizing row validator (one code path with bulk ingest).
+    _validator: RowValidator | None = None
 
     def __init__(
         self,
@@ -118,28 +122,14 @@ class MultidimensionalObject:
             check_unsealed(self, f"insert of fact {fact_id!r}")
         if fact_id in self._facts:
             raise FactError(f"fact {fact_id!r} already exists")
-        missing_dims = set(self.schema.dimension_names) - set(coordinates)
-        if missing_dims:
-            raise FactError(
-                f"fact {fact_id!r} lacks coordinates for {sorted(missing_dims)!r}; "
-                "the model disallows missing values"
+        validator = self._validator
+        if validator is None:
+            validator = self._validator = RowValidator(
+                self.schema, self.dimensions
             )
-        missing_measures = set(self.schema.measure_names) - set(measure_values)
-        if missing_measures:
-            raise MeasureError(
-                f"fact {fact_id!r} lacks measures {sorted(missing_measures)!r}"
-            )
-        canonical: dict[str, str] = {}
-        for name in self.schema.dimension_names:
-            dimension = self.dimensions[name]
-            value = dimension.normalize_value(coordinates[name])
-            category = dimension.category_of(value)
-            if bottom_only and category not in (dimension.bottom_category, TOP):
-                raise FactError(
-                    f"fact {fact_id!r}: user facts map to bottom-category "
-                    f"values; {value!r} is in {category!r} of {name!r}"
-                )
-            canonical[name] = value
+        canonical = validator.validate_row(
+            fact_id, coordinates, measure_values, bottom_only=bottom_only
+        )
         for name in self.schema.dimension_names:
             self.relations[name].link(fact_id, canonical[name])
         for name in self.schema.measure_names:

@@ -1,0 +1,97 @@
+"""Shared, memoizing fact-row validation.
+
+Single-fact insertion (:meth:`MultidimensionalObject.insert_fact`) and
+the streaming ingest buffer (:class:`repro.ingest.batch.FactBatchBuffer`)
+run the same checks in the same order — missing coordinates, missing
+measures, value normalization, bottom-granularity enforcement — through
+one :class:`RowValidator`, so a fact rejected on one path is rejected
+with the identical error on the other.
+
+The validator memoizes ``normalize_value``/``category_of`` per distinct
+raw value: dimension hierarchies are immutable after construction, so
+the hierarchy walk is paid once per value, not once per fact.  That is
+the fix for the historical per-call rescan in ``MO._insert`` and the
+reason bulk ingest over low-cardinality dimensions stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import FactError, MeasureError
+from .dimension import Dimension
+from .hierarchy import TOP
+from .schema import FactSchema
+
+
+class RowValidator:
+    """Validates ``(fact_id, coordinates, measures)`` rows for a schema.
+
+    One instance per MO or ingest stream; the per-dimension memo maps a
+    raw coordinate value to its ``(canonical, category)`` pair.  Safe to
+    keep only while the bound dimensions stay unmutated (they are, by
+    construction, after build).
+    """
+
+    def __init__(
+        self,
+        schema: FactSchema,
+        dimensions: Mapping[str, Dimension],
+    ) -> None:
+        self.schema = schema
+        self.dimensions = dict(dimensions)
+        self._canonical: dict[str, dict[str, tuple[str, str]]] = {
+            name: {} for name in schema.dimension_names
+        }
+
+    def canonical_value(
+        self, dimension_name: str, value: str
+    ) -> tuple[str, str]:
+        """``(canonical value, category)`` of a raw coordinate, memoized."""
+        memo = self._canonical[dimension_name]
+        hit = memo.get(value)
+        if hit is None:
+            dimension = self.dimensions[dimension_name]
+            canonical = dimension.normalize_value(value)
+            hit = (canonical, dimension.category_of(canonical))
+            memo[value] = hit
+        return hit
+
+    def validate_row(
+        self,
+        fact_id: str,
+        coordinates: Mapping[str, str],
+        measure_values: Mapping[str, object],
+        *,
+        bottom_only: bool = True,
+    ) -> dict[str, str]:
+        """Check one row; return its canonical coordinates.
+
+        Raises :class:`FactError`/:class:`MeasureError` with the exact
+        messages ``MO._insert`` historically raised, so every caller of
+        the single-fact API sees unchanged behavior.
+        """
+        missing_dims = set(self.schema.dimension_names) - set(coordinates)
+        if missing_dims:
+            raise FactError(
+                f"fact {fact_id!r} lacks coordinates for {sorted(missing_dims)!r}; "
+                "the model disallows missing values"
+            )
+        missing_measures = set(self.schema.measure_names) - set(measure_values)
+        if missing_measures:
+            raise MeasureError(
+                f"fact {fact_id!r} lacks measures {sorted(missing_measures)!r}"
+            )
+        canonical: dict[str, str] = {}
+        for name in self.schema.dimension_names:
+            value, category = self.canonical_value(name, coordinates[name])
+            if bottom_only and category not in (
+                self.dimensions[name].bottom_category,
+                TOP,
+            ):
+                raise FactError(
+                    f"fact {fact_id!r}: user facts map to bottom-category "
+                    f"values; {value!r} is in {category!r} of {name!r}"
+                )
+            canonical[name] = value
+        return canonical

@@ -568,7 +568,12 @@ def check_telemetry(
 # RL006 — failpoint coverage (tree-wide)
 # ---------------------------------------------------------------------------
 
-_CATALOG_NAMES = ("FAILPOINTS", "SHARD_FAILPOINTS", "SERVING_FAILPOINTS")
+_CATALOG_NAMES = (
+    "FAILPOINTS",
+    "SHARD_FAILPOINTS",
+    "SERVING_FAILPOINTS",
+    "INGEST_FAILPOINTS",
+)
 
 
 def _catalogs(module: PyModule) -> Iterator[tuple[str, ast.expr]]:

@@ -78,6 +78,19 @@ SERVING_FAILPOINTS: tuple[str, ...] = (
     "serve.slow",  # a request handler stalls past its deadline
 )
 
+#: Failpoints consulted by the streaming ingest path
+#: (:mod:`repro.ingest`).  ``ingest.batch`` sits just before a group
+#: commit reaches the journal (a crash there loses the whole in-flight
+#: batch, never part of it), ``ingest.commit`` just after the commit
+#: record is durable (a crash there must replay the full batch), and
+#: ``ingest.deadletter`` before a rejected row is appended to the
+#: dead-letter file.
+INGEST_FAILPOINTS: tuple[str, ...] = (
+    "ingest.batch",  # before the group-commit journal record is written
+    "ingest.commit",  # after the batch committed, before the ack
+    "ingest.deadletter",  # before a bad row reaches the dead-letter file
+)
+
 
 @dataclass(frozen=True)
 class DiskFault:
@@ -164,7 +177,12 @@ class FaultInjector:
         max_fires: int | None = None,
         payload: object | None = None,
     ) -> None:
-        known_names = FAILPOINTS + SHARD_FAILPOINTS + SERVING_FAILPOINTS
+        known_names = (
+            FAILPOINTS
+            + SHARD_FAILPOINTS
+            + SERVING_FAILPOINTS
+            + INGEST_FAILPOINTS
+        )
         if name not in known_names:
             known = ", ".join(known_names)
             raise ReproError(f"unknown failpoint {name!r}; known: {known}")

@@ -93,6 +93,12 @@ class ServingError(ReproError):
     refresh circuit breaker is open)."""
 
 
+class IngestError(ReproError):
+    """The streaming ingest path rejected a source row or stream (bad
+    row format under the ``reject`` error policy, a malformed source
+    file, or a closed/overflowing ingest queue)."""
+
+
 class ObsError(ReproError):
     """An observability primitive was misused (bad metric name, label, or
     bucket layout) or a metrics snapshot document is malformed."""

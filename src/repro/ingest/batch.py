@@ -1,0 +1,117 @@
+"""Column-oriented fact accumulation for the ingest hot path.
+
+A :class:`FactBatchBuffer` validates rows through the same
+:class:`~repro.core.rowcheck.RowValidator` that single-fact
+``MO.insert_fact`` uses (one code path, identical errors) and
+accumulates them as parallel columns — one id list, one value list per
+dimension, one per measure.  Nothing per-fact is allocated beyond the
+list slots: no staging dicts, no intermediate fact objects.
+
+Two drains serve the two consumers:
+
+* :meth:`flush_to_table` appends the columns straight into a
+  :class:`~repro.core.columnar.ColumnarFactTable` via the vectorized
+  ``append_rows``/``extend_codes`` kernels (the pure columnar path);
+* :meth:`drain` returns ``(id, coordinates, measures)`` triples — the
+  shape ``SubcubeStore.load`` journals — for the group-commit path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.columnar import ColumnarFactTable
+from ..core.dimension import Dimension
+from ..core.rowcheck import RowValidator
+from ..core.schema import FactSchema
+from ..errors import FactError
+
+
+class FactBatchBuffer:
+    """Validated, column-oriented accumulation of fact rows.
+
+    Validation happens on :meth:`add` — a refused row never touches the
+    buffer, so the error policy composes cleanly with batching: a batch
+    only ever contains admissible facts.  Duplicate ids are tracked per
+    *stream* (across flushes), mirroring the store's duplicate check.
+    """
+
+    def __init__(
+        self,
+        schema: FactSchema,
+        dimensions: Mapping[str, Dimension],
+        validator: RowValidator | None = None,
+    ) -> None:
+        self.schema = schema
+        self.validator = validator or RowValidator(schema, dimensions)
+        self._seen: set[str] = set()
+        self._ids: list[str] = []
+        self._coordinates: dict[str, list[str]] = {
+            name: [] for name in schema.dimension_names
+        }
+        self._measures: dict[str, list[object]] = {
+            name: [] for name in schema.measure_names
+        }
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def add(
+        self,
+        fact_id: str,
+        coordinates: Mapping[str, str],
+        measures: Mapping[str, object],
+    ) -> None:
+        """Validate one row and append its columns.
+
+        Raises exactly what ``MO.insert_fact`` would; on raise the
+        buffer is unchanged.
+        """
+        if fact_id in self._seen:
+            raise FactError(f"fact {fact_id!r} already exists")
+        canonical = self.validator.validate_row(
+            fact_id, coordinates, measures, bottom_only=True
+        )
+        self._seen.add(fact_id)
+        self._ids.append(fact_id)
+        for name in self.schema.dimension_names:
+            self._coordinates[name].append(canonical[name])
+        for name in self.schema.measure_names:
+            self._measures[name].append(measures[name])
+
+    def flush_to_table(self, table: ColumnarFactTable) -> int:
+        """Append the buffered columns into *table* and clear the buffer."""
+        appended = table.append_rows(
+            self._ids, self._coordinates, self._measures
+        )
+        self._clear()
+        return appended
+
+    def drain(self) -> list[tuple[str, dict[str, str], dict[str, object]]]:
+        """The buffered rows as store-load triples; clears the buffer."""
+        ids = self._ids
+        coordinate_columns = [
+            (name, self._coordinates[name])
+            for name in self.schema.dimension_names
+        ]
+        measure_columns = [
+            (name, self._measures[name])
+            for name in self.schema.measure_names
+        ]
+        rows = [
+            (
+                ids[row],
+                {name: column[row] for name, column in coordinate_columns},
+                {name: column[row] for name, column in measure_columns},
+            )
+            for row in range(len(ids))
+        ]
+        self._clear()
+        return rows
+
+    def _clear(self) -> None:
+        self._ids = []
+        for column in self._coordinates.values():
+            del column[:]
+        for column in self._measures.values():
+            del column[:]

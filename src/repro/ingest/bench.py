@@ -1,0 +1,176 @@
+"""The ingest throughput benchmark behind ``repro bench --ingest``.
+
+Writes ``BENCH_ingest.json``: facts/sec of the streaming group-commit
+path at ≥100k-fact scale, against two references on the same workload —
+
+* **per-fact journaling** — one ``store.load`` call per fact (one
+  journal record and one fsync each), timed on a documented slice of
+  the stream because the full run would be dominated by fsync alone;
+* **one-shot load** — the pre-existing bulk path: the entire fact set
+  in a single ``store.load`` (one fsync, but the whole stream resident
+  in memory first).
+
+The headline claim is the ``fsync_amortization`` block: fsyncs *per
+fact* on the per-fact path vs the batched path, measured from the
+``repro_journal_fsync_total`` counter, not inferred.  The document
+carries the batched run's full metrics snapshot plus the standard
+environment/workload blocks, and validates against
+``docs/schemas/bench-ingest.schema.json``.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import os
+import tempfile
+import time
+from dataclasses import replace
+
+from ..bench import _environment_block
+from ..engine.durable import DurableStore
+from ..engine.telemetry import JOURNAL_FSYNC
+from ..obs import metrics as obs_metrics
+from ..spec.specification import ReductionSpecification
+from ..workload import (
+    ClickstreamConfig,
+    build_clickstream_mo,
+    generate_clicks,
+    grouped_retention_actions,
+)
+from .commit import StreamingLoader
+
+INGEST_SCHEMA = "repro-bench-ingest/1"
+
+#: The full workload: 731 days x 140 clicks/day = 102,340 facts — the
+#: ≥100k-fact scale the acceptance criteria name.
+FULL_CONFIG = ClickstreamConfig(
+    start=dt.date(1999, 1, 1),
+    end=dt.date(2000, 12, 31),
+    domains_per_group=3,
+    urls_per_domain=3,
+    clicks_per_day=140,
+    seed=1234,
+)
+
+#: CI-sized: 90 days x 40 clicks/day = 3,640 facts.
+SMOKE_CONFIG = ClickstreamConfig(
+    start=dt.date(1999, 1, 1),
+    end=dt.date(1999, 3, 31),
+    domains_per_group=3,
+    urls_per_domain=3,
+    clicks_per_day=40,
+    seed=1234,
+)
+
+
+def _fresh_store(root: str, name: str, template, specification, fsync):
+    registry = obs_metrics.MetricsRegistry()
+    store = DurableStore.create(
+        os.path.join(root, name),
+        template,
+        specification,
+        fsync=fsync,
+        metrics=registry,
+    )
+    return store, registry
+
+
+def run_ingest_bench(
+    smoke: bool = False,
+    *,
+    batch_size: int = 4096,
+    fsync: bool = True,
+    per_fact_facts: int = 2000,
+) -> dict:
+    """Run the three ingest modes; return the BENCH document."""
+    config = SMOKE_CONFIG if smoke else FULL_CONFIG
+    facts = list(generate_clicks(config))
+    template = build_clickstream_mo(replace(config, clicks_per_day=0))
+    specification = ReductionSpecification(
+        grouped_retention_actions(template, detail_months=3, coarse_years=2),
+        template.dimensions,
+    )
+    per_fact_slice = min(per_fact_facts, len(facts))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as root:
+        # Batched group commit over the whole stream.
+        store, registry = _fresh_store(
+            root, "batched", template, specification, fsync
+        )
+        loader = StreamingLoader(store, batch_size=batch_size)
+        started = time.perf_counter()
+        tally = loader.ingest(iter(facts))
+        batched_seconds = time.perf_counter() - started
+        batched_fsyncs = int(registry.value(JOURNAL_FSYNC) or 0)
+        snapshot = registry.snapshot()
+        store.close()
+
+        # Per-fact journaling on a documented slice of the same stream.
+        store, per_fact_registry = _fresh_store(
+            root, "per_fact", template, specification, fsync
+        )
+        started = time.perf_counter()
+        for triple in facts[:per_fact_slice]:
+            store.load([triple])
+        per_fact_seconds = time.perf_counter() - started
+        per_fact_fsyncs = int(per_fact_registry.value(JOURNAL_FSYNC) or 0)
+        store.close()
+
+        # One-shot load: the pre-existing bulk path, whole stream at once.
+        store, one_shot_registry = _fresh_store(
+            root, "one_shot", template, specification, fsync
+        )
+        started = time.perf_counter()
+        store.load(facts)
+        one_shot_seconds = time.perf_counter() - started
+        one_shot_fsyncs = int(one_shot_registry.value(JOURNAL_FSYNC) or 0)
+        store.close()
+
+    per_fact_rate = per_fact_fsyncs / per_fact_slice if per_fact_slice else 0.0
+    batched_rate = batched_fsyncs / len(facts) if facts else 0.0
+    return {
+        "schema": INGEST_SCHEMA,
+        "metrics": snapshot,
+        "environment": {**_environment_block(()), "fsync": fsync},
+        "workload": {
+            "profile": "smoke" if smoke else "full",
+            "facts": len(facts),
+            "start": config.start.isoformat(),
+            "end": config.end.isoformat(),
+            "domains_per_group": config.domains_per_group,
+            "urls_per_domain": config.urls_per_domain,
+            "clicks_per_day": config.clicks_per_day,
+            "seed": config.seed,
+        },
+        "batched": {
+            "batch_size": batch_size,
+            "facts": tally["committed"],
+            "batches": loader.committed_batches,
+            "seconds": batched_seconds,
+            "facts_per_s": tally["committed"] / batched_seconds,
+            "fsyncs": batched_fsyncs,
+        },
+        "per_fact": {
+            "facts": per_fact_slice,
+            "seconds": per_fact_seconds,
+            "facts_per_s": (
+                per_fact_slice / per_fact_seconds
+                if per_fact_seconds > 0
+                else None
+            ),
+            "fsyncs": per_fact_fsyncs,
+        },
+        "one_shot": {
+            "facts": len(facts),
+            "seconds": one_shot_seconds,
+            "facts_per_s": len(facts) / one_shot_seconds,
+            "fsyncs": one_shot_fsyncs,
+        },
+        "fsync_amortization": {
+            # Fsyncs per fact, measured from the journal counter on each
+            # run; the ratio is the group-commit claim (>= 10x fewer).
+            "per_fact_fsyncs_per_fact": per_fact_rate,
+            "batched_fsyncs_per_fact": batched_rate,
+            "ratio": (per_fact_rate / batched_rate) if batched_rate else None,
+        },
+    }

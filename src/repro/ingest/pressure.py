@@ -1,0 +1,141 @@
+"""Bounded-queue backpressure for the ingest pipeline.
+
+The admission pattern of the serving layer (finite queue, explicit
+refusal, never unbounded buffering) applied to the producer side: a
+:class:`BoundedBuffer` sits between the row parser and the group
+committer, so a slow disk stalls the producer (blocking :meth:`put`)
+instead of ballooning memory, and admission-controlled producers can
+:meth:`try_put` and get an immediate refusal — the 429 shape — instead
+of blocking an event loop.
+
+Telemetry is event-driven, not per-row: stall and rejection counters
+tick when backpressure actually engages, and the queue-depth gauge is
+sampled at those same events (plus close), matching the per-operation
+design rule of ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from ..engine.telemetry import (
+    INGEST_FACTS,
+    INGEST_QUEUE_DEPTH,
+    INGEST_STALLS,
+)
+from ..errors import IngestError
+from ..obs import metrics as obs_metrics
+
+_FACTS_HELP = (
+    "Facts seen by the ingest path, by outcome "
+    "(committed|skipped|dead_lettered|rejected)."
+)
+
+
+class BoundedBuffer:
+    """A thread-safe FIFO with a hard capacity.
+
+    * :meth:`put` blocks while full — the producer stalls (counted);
+    * :meth:`try_put` refuses while full — the caller sheds load;
+    * :meth:`get` blocks while empty, returning ``None`` only after
+      :meth:`close` once the queue has drained.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        metrics: obs_metrics.MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise IngestError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.metrics = (
+            metrics if metrics is not None else obs_metrics.MetricsRegistry()
+        )
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.stalls = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def _gauge_depth_locked(self) -> None:
+        self.metrics.gauge(
+            INGEST_QUEUE_DEPTH,
+            help="Rows waiting in the bounded ingest queue.",
+        ).set(len(self._items))
+
+    def put(self, item: object, timeout: float | None = None) -> bool:
+        """Enqueue, stalling while the queue is full.
+
+        Returns ``False`` only when *timeout* elapsed with the queue
+        still full; raises :class:`IngestError` if the queue is closed.
+        """
+        with self._not_full:
+            if self._closed:
+                raise IngestError("ingest queue is closed")
+            if len(self._items) >= self.capacity:
+                self.stalls += 1
+                self.metrics.counter(
+                    INGEST_STALLS,
+                    help="Producer stalls on a full ingest queue.",
+                ).inc()
+                self._gauge_depth_locked()
+                if not self._not_full.wait_for(
+                    lambda: self._closed
+                    or len(self._items) < self.capacity,
+                    timeout=timeout,
+                ):
+                    return False
+                if self._closed:
+                    raise IngestError("ingest queue is closed")
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    def try_put(self, item: object) -> bool:
+        """Enqueue without blocking; ``False`` refuses an overfull queue."""
+        with self._not_full:
+            if self._closed:
+                raise IngestError("ingest queue is closed")
+            if len(self._items) >= self.capacity:
+                self.rejected += 1
+                self.metrics.counter(
+                    INGEST_FACTS, {"outcome": "rejected"}, help=_FACTS_HELP
+                ).inc()
+                self._gauge_depth_locked()
+                return False
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: float | None = None) -> object | None:
+        """Dequeue, blocking while empty.
+
+        Returns ``None`` when the queue is closed and drained, or when
+        *timeout* elapsed on an empty, still-open queue.
+        """
+        with self._not_empty:
+            if not self._not_empty.wait_for(
+                lambda: self._items or self._closed, timeout=timeout
+            ):
+                return None
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Refuse further puts; pending items stay consumable."""
+        with self._lock:
+            self._closed = True
+            self._gauge_depth_locked()
+            self._not_full.notify_all()
+            self._not_empty.notify_all()

@@ -1,0 +1,251 @@
+"""Fact-row source adapters: JSONL and CSV, typed, with error policy.
+
+Both adapters turn a text stream into a stream of parsed rows without
+ever materializing the file: each yielded item is either a
+:class:`SourceRow` (shape-checked and type-checked, ready for the model
+validator) or a :class:`BadRow` carrying the line number and the reason.
+What happens to bad rows is the :class:`ErrorPolicy`'s decision —
+``reject`` (raise, the default), ``skip`` (count and drop), or
+``dead-letter`` (append to a JSONL side file that survives the run).
+
+Typed validation here is *format*-level: the fact id and coordinate
+values must be strings, measure values JSON scalars (so the group-commit
+journal record can serialize them canonically).  *Model*-level
+validation — unknown dimension values, non-bottom coordinates, missing
+measures — happens in :class:`~repro.ingest.batch.FactBatchBuffer`
+through the shared :class:`~repro.core.rowcheck.RowValidator`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from typing import IO, Iterator
+
+from ..engine.faults import PASSIVE, FaultInjector
+from ..errors import IngestError
+
+#: Measure values the journal can serialize canonically.
+_SCALARS = (str, int, float, bool)
+
+#: The error-policy modes ``--on-error`` accepts.
+ERROR_POLICIES = ("reject", "skip", "dead-letter")
+
+
+@dataclass(frozen=True)
+class SourceRow:
+    """One well-formed source row, not yet model-validated."""
+
+    line: int
+    fact_id: str
+    coordinates: dict[str, str]
+    measures: dict[str, object]
+
+
+@dataclass(frozen=True)
+class BadRow:
+    """One row the adapters or the model validator refused."""
+
+    line: int
+    reason: str
+    raw: str
+
+
+class DeadLetterFile:
+    """An append-only JSONL side file of refused rows.
+
+    One object per refused row — ``{"line", "reason", "raw"}`` — flushed
+    per write, so rows dead-lettered before a crash survive the restart
+    (the ``ingest.deadletter`` failpoint sits just before the write).
+    """
+
+    def __init__(self, path: str, faults: FaultInjector = PASSIVE) -> None:
+        self.path = path
+        self.count = 0
+        self._faults = faults
+        self._stream: IO[str] | None = open(path, "a", encoding="utf-8")
+
+    def write(self, row: BadRow) -> None:
+        if self._stream is None:
+            raise IngestError(f"dead-letter file {self.path!r} is closed")
+        self._faults.hit("ingest.deadletter")
+        record = {"line": row.line, "reason": row.reason, "raw": row.raw}
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "DeadLetterFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ErrorPolicy:
+    """What ingest does with a refused row.
+
+    ``reject`` raises :class:`IngestError` (stream aborts, store keeps
+    every batch committed so far); ``skip`` counts and drops; ``dead-
+    letter`` appends to the configured :class:`DeadLetterFile`.  The
+    counters feed the ``repro_ingest_facts_total`` outcomes.
+    """
+
+    def __init__(
+        self,
+        mode: str = "reject",
+        dead_letter: DeadLetterFile | None = None,
+    ) -> None:
+        if mode not in ERROR_POLICIES:
+            known = ", ".join(ERROR_POLICIES)
+            raise IngestError(f"unknown error policy {mode!r}; known: {known}")
+        if mode == "dead-letter" and dead_letter is None:
+            raise IngestError(
+                "error policy 'dead-letter' needs a dead-letter file"
+            )
+        self.mode = mode
+        self.dead_letter = dead_letter
+        self.skipped = 0
+        self.dead_lettered = 0
+
+    def handle(self, row: BadRow) -> str:
+        """Apply the policy; returns the outcome label for telemetry."""
+        if self.mode == "reject":
+            raise IngestError(f"line {row.line}: {row.reason}")
+        if self.mode == "skip":
+            self.skipped += 1
+            return "skipped"
+        assert self.dead_letter is not None
+        self.dead_letter.write(row)
+        self.dead_lettered += 1
+        return "dead_lettered"
+
+
+def _shape_check(
+    line: int, raw: str, payload: object
+) -> SourceRow | BadRow:
+    """Typed shape validation shared by the JSONL and CSV adapters."""
+    if not isinstance(payload, dict):
+        return BadRow(line, "row is not an object", raw)
+    fact_id = payload.get("id")
+    if not isinstance(fact_id, str) or not fact_id:
+        return BadRow(line, "missing or non-string 'id'", raw)
+    coordinates = payload.get("coordinates")
+    if not isinstance(coordinates, dict):
+        return BadRow(line, "missing or non-object 'coordinates'", raw)
+    for name, value in coordinates.items():
+        if not isinstance(value, str):
+            return BadRow(
+                line, f"coordinate {name!r} is not a string", raw
+            )
+    measures = payload.get("measures")
+    if not isinstance(measures, dict):
+        return BadRow(line, "missing or non-object 'measures'", raw)
+    for name, value in measures.items():
+        if not isinstance(value, _SCALARS):
+            return BadRow(
+                line, f"measure {name!r} is not a JSON scalar", raw
+            )
+    return SourceRow(line, fact_id, dict(coordinates), dict(measures))
+
+
+def parse_jsonl(stream: IO[str]) -> Iterator[SourceRow | BadRow]:
+    """Parse a JSONL fact stream: one
+    ``{"id", "coordinates", "measures"}`` object per line (the same fact
+    shape the write-ahead journal's load records use).  Blank lines are
+    ignored; malformed lines come out as :class:`BadRow`.
+    """
+    for line_number, line in enumerate(stream, start=1):
+        raw = line.rstrip("\n")
+        if not raw.strip():
+            continue
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            yield BadRow(line_number, f"invalid JSON: {exc}", raw)
+            continue
+        yield _shape_check(line_number, raw, payload)
+
+
+def parse_csv(
+    stream: IO[str],
+    dimension_names: tuple[str, ...],
+    measure_names: tuple[str, ...],
+) -> Iterator[SourceRow | BadRow]:
+    """Parse a CSV fact stream with an ``id`` column, one column per
+    dimension, and one per measure (header row required).
+
+    Measure cells are typed numerically when they parse as ``int`` or
+    ``float``, kept as strings otherwise.  A header missing a required
+    column is a stream-level :class:`IngestError` — there is no way to
+    build any row from it.
+    """
+    reader = csv.DictReader(stream)
+    header = reader.fieldnames or []
+    required = ["id", *dimension_names, *measure_names]
+    missing = [name for name in required if name not in header]
+    if missing:
+        raise IngestError(
+            f"CSV header lacks required columns {missing!r} "
+            f"(found {list(header)!r})"
+        )
+    for record in reader:
+        line_number = reader.line_num
+        raw = ",".join(
+            "" if record.get(name) is None else str(record.get(name))
+            for name in header
+        )
+        fact_id = record.get("id") or ""
+        if not fact_id:
+            yield BadRow(line_number, "missing or empty 'id'", raw)
+            continue
+        short = [
+            name for name in required if record.get(name) in (None, "")
+        ]
+        if short:
+            yield BadRow(
+                line_number, f"missing values for columns {short!r}", raw
+            )
+            continue
+        coordinates = {name: record[name] for name in dimension_names}
+        measures: dict[str, object] = {}
+        for name in measure_names:
+            cell = record[name]
+            try:
+                measures[name] = int(cell)
+            except ValueError:
+                try:
+                    measures[name] = float(cell)
+                except ValueError:
+                    measures[name] = cell
+        yield SourceRow(line_number, fact_id, coordinates, measures)
+
+
+def open_source(
+    path: str,
+    dimension_names: tuple[str, ...],
+    measure_names: tuple[str, ...],
+    source_format: str = "auto",
+):
+    """Open *path* and return ``(stream, row_iterator)`` for its format.
+
+    ``auto`` resolves by extension: ``.csv`` is CSV, everything else is
+    JSONL.  The caller owns closing the returned stream.
+    """
+    if source_format == "auto":
+        source_format = "csv" if path.endswith(".csv") else "jsonl"
+    if source_format not in ("jsonl", "csv"):
+        raise IngestError(
+            f"unknown source format {source_format!r}; known: jsonl, csv"
+        )
+    stream = open(path, "r", encoding="utf-8", newline="")
+    if source_format == "csv":
+        rows = parse_csv(stream, dimension_names, measure_names)
+    else:
+        rows = parse_jsonl(stream)
+    return stream, rows

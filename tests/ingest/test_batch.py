@@ -1,0 +1,204 @@
+"""The batch buffer and the columnar append kernels.
+
+Includes the single-insert/bulk-ingest parity suite: both paths run
+through one :class:`~repro.core.rowcheck.RowValidator`, so a fact
+refused on one path is refused with the byte-identical error on the
+other (the regression guard for the historical per-call rescan in
+``MO._insert``).
+"""
+
+import pytest
+
+from repro.core.columnar import ColumnarFactTable
+from repro.core.rowcheck import RowValidator
+from repro.errors import DimensionError, FactError, MeasureError
+from repro.experiments.paper_example import build_paper_mo
+from repro.ingest import FactBatchBuffer
+from tests.engine.durableutil import facts_of
+
+MO = build_paper_mo()
+ALL_FACTS = facts_of(MO)
+
+
+def make_buffer():
+    return FactBatchBuffer(MO.schema, MO.dimensions)
+
+
+class TestFactBatchBuffer:
+    def test_drain_returns_store_load_triples(self):
+        buffer = make_buffer()
+        for fact_id, coordinates, measures in ALL_FACTS:
+            buffer.add(fact_id, coordinates, measures)
+        assert len(buffer) == len(ALL_FACTS)
+        drained = buffer.drain()
+        assert drained == [tuple(triple) for triple in ALL_FACTS]
+        assert len(buffer) == 0
+
+    def test_drain_emits_canonical_coordinates(self):
+        buffer = make_buffer()
+        fact_id, coordinates, measures = ALL_FACTS[0]
+        raw = dict(coordinates)
+        canonical = MO.dimensions["Time"].normalize_value(raw["Time"])
+        buffer.add(fact_id, raw, measures)
+        ((_, drained_coordinates, _),) = buffer.drain()
+        assert drained_coordinates["Time"] == canonical
+
+    def test_refused_row_leaves_buffer_unchanged(self):
+        buffer = make_buffer()
+        fact_id, coordinates, measures = ALL_FACTS[0]
+        buffer.add(fact_id, coordinates, measures)
+        with pytest.raises(MeasureError):
+            buffer.add("bad", coordinates, {"Number_of": 1})
+        assert len(buffer) == 1
+        (triple,) = buffer.drain()
+        assert triple[0] == fact_id
+
+    def test_duplicates_tracked_across_flushes(self):
+        buffer = make_buffer()
+        fact_id, coordinates, measures = ALL_FACTS[0]
+        buffer.add(fact_id, coordinates, measures)
+        buffer.drain()
+        with pytest.raises(FactError, match="already exists"):
+            buffer.add(fact_id, coordinates, measures)
+
+
+class TestSingleInsertParity:
+    """Satellite: one validated code path for insert_fact and ingest."""
+
+    BAD_ROWS = (
+        ("missing-dim", {"Time": "1999/11/23"}, {"Number_of": 1}),
+        ("missing-measure",
+         {"Time": "1999/11/23", "URL": "http://www.cnn.com/"},
+         {"Number_of": 1}),
+        ("non-bottom",
+         {"Time": "1999/11", "URL": "http://www.cnn.com/"},
+         {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1}),
+        ("unknown-value",
+         {"Time": "2525/01/01", "URL": "http://www.cnn.com/"},
+         {"Number_of": 1, "Dwell_time": 1, "Delivery_time": 1, "Datasize": 1}),
+    )
+
+    @pytest.mark.parametrize(
+        "fact_id,coordinates,measures",
+        BAD_ROWS,
+        ids=[row[0] for row in BAD_ROWS],
+    )
+    def test_errors_are_byte_identical(self, fact_id, coordinates, measures):
+        mo = MO.empty_like()
+        with pytest.raises(
+            (DimensionError, FactError, MeasureError)
+        ) as via_insert:
+            mo.insert_fact(fact_id, coordinates, measures)
+        buffer = make_buffer()
+        with pytest.raises(
+            (DimensionError, FactError, MeasureError)
+        ) as via_buffer:
+            buffer.add(fact_id, coordinates, measures)
+        assert type(via_buffer.value) is type(via_insert.value)
+        assert str(via_buffer.value) == str(via_insert.value)
+
+    def test_batch_of_one_equals_single_insert(self):
+        singly = MO.empty_like()
+        batched = MO.empty_like()
+        buffer = FactBatchBuffer(batched.schema, batched.dimensions)
+        table = ColumnarFactTable.from_mo(batched)
+        for fact_id, coordinates, measures in ALL_FACTS:
+            singly.insert_fact(fact_id, coordinates, measures)
+            buffer.add(fact_id, coordinates, measures)
+            buffer.flush_to_table(table)
+        rebuilt = table.to_mo(template=batched)
+        assert list(rebuilt.facts()) == list(singly.facts())
+        for fact_id in singly.facts():
+            assert rebuilt.direct_cell(fact_id) == singly.direct_cell(fact_id)
+            for name in singly.schema.measure_names:
+                assert rebuilt.measure_value(
+                    fact_id, name
+                ) == singly.measure_value(fact_id, name)
+
+    def test_insert_reuses_one_validator(self):
+        mo = MO.empty_like()
+        assert mo._validator is None
+        fact_id, coordinates, measures = ALL_FACTS[0]
+        mo.insert_fact(fact_id, coordinates, measures)
+        validator = mo._validator
+        assert isinstance(validator, RowValidator)
+        other = ALL_FACTS[1]
+        mo.insert_fact(*other)
+        assert mo._validator is validator
+
+    def test_validator_memoizes_normalization(self, monkeypatch):
+        validator = RowValidator(MO.schema, MO.dimensions)
+        dimension = validator.dimensions["Time"]
+        calls = []
+        original = dimension.normalize_value
+
+        def counting(value):
+            calls.append(value)
+            return original(value)
+
+        monkeypatch.setattr(dimension, "normalize_value", counting)
+        for _ in range(5):
+            validator.canonical_value("Time", "1999/11/23")
+        assert calls == ["1999/11/23"]
+
+
+class TestColumnarKernels:
+    def test_append_rows_matches_from_mo(self):
+        reference = ColumnarFactTable.from_mo(MO)
+        table = ColumnarFactTable.from_mo(MO.empty_like())
+        buffer = make_buffer()
+        for triple in ALL_FACTS:
+            buffer.add(*triple)
+        assert buffer.flush_to_table(table) == len(ALL_FACTS)
+        assert table.fact_ids == reference.fact_ids
+        for row in range(len(reference)):
+            assert table.row_cell(row) == reference.row_cell(row)
+            assert table.row_measures(row) == reference.row_measures(row)
+        for name in MO.schema.dimension_names:
+            assert list(table.values_of(name)) == list(
+                reference.values_of(name)
+            )
+
+    def test_extend_codes_interns_first_seen(self):
+        table = ColumnarFactTable.from_mo(MO.empty_like())
+        assert table.extend_codes("Time", ["1999/11/23", "1999/12/04"]) == 2
+        assert table.extend_codes("Time", ["1999/12/04", "1999/11/23"]) == 2
+        values = list(table.values_of("Time"))
+        assert values == ["1999/11/23", "1999/12/04"]
+        assert list(table.codes["Time"]) == [0, 1, 1, 0]
+
+    def test_extend_codes_extends_warm_rollup_cache(self):
+        table = ColumnarFactTable.from_mo(MO.empty_like())
+        buffer = make_buffer()
+        half = len(ALL_FACTS) // 2
+        for triple in ALL_FACTS[:half]:
+            buffer.add(*triple)
+        buffer.flush_to_table(table)
+        # Warm the cache, then append the second half on top of it.
+        warm = table.rollup_column("Time", "month")
+        assert ("Time", "month") in table._rollups
+        for triple in ALL_FACTS[half:]:
+            buffer.add(*triple)
+        buffer.flush_to_table(table)
+        cold = ColumnarFactTable.from_mo(MO)
+        assert warm is table.rollup_column("Time", "month")
+        assert table.rollup_column("Time", "month") == cold.rollup_column(
+            "Time", "month"
+        )
+
+    def test_append_rows_validates_column_shapes(self):
+        table = ColumnarFactTable.from_mo(MO.empty_like())
+        coordinates = {"Time": ["1999/11/23"], "URL": ["http://www.cnn.com/"]}
+        measures = {
+            name: [1] for name in MO.schema.measure_names
+        }
+        with pytest.raises(FactError, match="lacks a coordinate column"):
+            table.append_rows(["f"], {"Time": ["1999/11/23"]}, measures)
+        with pytest.raises(FactError, match="has 1 values for 2 facts"):
+            table.append_rows(["f", "g"], coordinates, measures)
+        with pytest.raises(FactError, match="lacks a measure column"):
+            table.append_rows(["f"], coordinates, {"Number_of": [1]})
+        with pytest.raises(FactError, match="2 provenances for 1 facts"):
+            table.append_rows(
+                ["f"], coordinates, measures, provenances=[None, None]
+            )

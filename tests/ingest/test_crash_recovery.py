@@ -1,0 +1,246 @@
+"""Crash safety of streaming ingest: kill-and-recover at every failpoint.
+
+The scripted stream — seven good facts with two unparseable rows mixed
+in, batch size 3, dead-letter policy — runs against a durable store
+while a deterministic injector kills the "process" at every
+``ingest.*`` failpoint, at every hit index it sees.  Recovery must land
+exactly on a batch boundary:
+
+* ``ingest.batch`` fires *before* the commit record — the in-flight
+  batch is lost whole, never a prefix of it;
+* ``ingest.commit`` fires *after* the store committed — the batch
+  survives whole;
+* ``ingest.deadletter`` fires before a dead-letter append — the store
+  is untouched and previously dead-lettered rows survive restart.
+
+After every crash, resuming the stream from the recovered state must
+converge to the fault-free final state — the operational proof that a
+partial batch is never replayed.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.engine.durable import DurableStore, open_durable
+from repro.engine.faults import INGEST_FAILPOINTS, FaultInjector, InjectedFault
+from repro.experiments.paper_example import build_paper_mo, paper_specification
+from repro.ingest import BadRow, DeadLetterFile, ErrorPolicy, StreamingLoader
+from tests.engine.durableutil import facts_of, fingerprint
+
+MO = build_paper_mo()
+SPEC = paper_specification(MO)
+GOOD = facts_of(MO)
+BATCH_SIZE = 3
+
+#: The scripted stream: batches land as 3 + 3 + 1, with one bad row
+#: after each of the first two batches.
+STREAM = (
+    *GOOD[:3],
+    BadRow(4, "invalid JSON", "{oops"),
+    *GOOD[3:6],
+    BadRow(8, "invalid JSON", "<html>"),
+    GOOD[6],
+)
+
+#: Good facts committed after 0, 1, 2, 3 batches.
+BATCH_PREFIX = (0, 3, 6, 7)
+
+#: Dead-letter records already on disk when the n-th ``ingest.deadletter``
+#: hit fires (hits come after batches 1 and 2 respectively).
+DEAD_BEFORE_HIT = {1: 0, 2: 1}
+
+
+def make_store(path, faults):
+    return DurableStore.create(str(path), MO.empty_like(), SPEC, faults=faults)
+
+
+def run_script(store, faults, dead_path):
+    """Ingest the scripted stream; returns the loader's tally."""
+    loader = StreamingLoader(store, batch_size=BATCH_SIZE, faults=faults)
+    with DeadLetterFile(str(dead_path), faults=faults) as dead:
+        policy = ErrorPolicy("dead-letter", dead_letter=dead)
+        return loader.ingest(iter(STREAM), policy)
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """Fault-free run: the fingerprint after each batch boundary, plus
+    each ingest failpoint's total hit count over the script."""
+    counter = FaultInjector()
+    for name in INGEST_FAILPOINTS:
+        counter.arm(name, probability=0.0)  # count hits, never fire
+    root = tmp_path_factory.mktemp("reference")
+    store = make_store(root / "d", counter)
+    states = [fingerprint(store)]
+    loader = StreamingLoader(store, batch_size=BATCH_SIZE, faults=counter)
+    with DeadLetterFile(str(root / "dead.jsonl"), faults=counter) as dead:
+        policy = ErrorPolicy("dead-letter", dead_letter=dead)
+        for row in STREAM:
+            before = loader.committed_batches
+            loader._ingest_one(row, policy)
+            if loader.committed_batches > before:
+                states.append(fingerprint(store))
+        loader.flush()
+        states.append(fingerprint(store))
+    tally = {
+        "committed": loader.committed_facts,
+        "dead_lettered": policy.dead_lettered,
+    }
+    hits = {name: counter.hit_count(name) for name in INGEST_FAILPOINTS}
+    store.close()
+    assert tally == {"committed": 7, "dead_lettered": 2}
+    assert hits == {
+        "ingest.batch": 3,
+        "ingest.commit": 3,
+        "ingest.deadletter": 2,
+    }
+    assert len(states) == len(BATCH_PREFIX)
+    return states, hits
+
+
+def crash_scenarios():
+    """Every (failpoint, hit index) the scripted stream reaches: three
+    batches and two dead-letter writes, known statically."""
+    totals = {"ingest.batch": 3, "ingest.commit": 3, "ingest.deadletter": 2}
+    return [
+        (name, hit)
+        for name in INGEST_FAILPOINTS
+        for hit in range(1, totals[name] + 1)
+    ]
+
+
+@pytest.mark.parametrize("failpoint,hit", crash_scenarios())
+def test_crash_at_every_failpoint_lands_on_a_batch_boundary(
+    failpoint, hit, reference, tmp_path
+):
+    states, hit_totals = reference
+    assert hit <= hit_totals[failpoint]
+    faults = FaultInjector()
+    faults.arm(failpoint, at_hit=hit)
+    store = make_store(tmp_path / "d", faults)
+    dead_path = tmp_path / "dead.jsonl"
+    with pytest.raises(InjectedFault):
+        run_script(store, faults, dead_path)
+    store.close()  # the fd, not the state: everything durable is on disk
+
+    recovered, report = open_durable(str(tmp_path / "d"), faults=FaultInjector())
+    observed = fingerprint(recovered)
+    if failpoint == "ingest.batch":
+        # Crash before the commit record: the in-flight batch is lost
+        # whole; the journal holds exactly the previous batches.
+        expected = states[hit - 1]
+        committed_batches = hit - 1
+    elif failpoint == "ingest.commit":
+        # Crash after the store committed: the batch survives whole.
+        expected = states[hit]
+        committed_batches = hit
+    else:  # ingest.deadletter — the store is between batches 'hit' and +1
+        expected = states[hit]
+        committed_batches = hit
+        dead_lines = [
+            json.loads(line)
+            for line in dead_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(dead_lines) == DEAD_BEFORE_HIT[hit]
+    assert observed == expected, (
+        f"crash at {failpoint} hit {hit} recovered off a batch boundary"
+    )
+    # A partial batch is never journaled: one replayed record per
+    # committed batch, nothing torn, nothing discarded.
+    assert report.replayed == committed_batches
+    assert report.discarded == 0
+    audit = recovered.verify()
+    assert audit.ok, audit.violations
+
+    # Resume the stream past what already committed; it must converge on
+    # the fault-free final state (no replays, no holes).
+    remaining = GOOD[BATCH_PREFIX[committed_batches]:]
+    loader = StreamingLoader(recovered, batch_size=BATCH_SIZE)
+    loader.ingest(iter(remaining))
+    assert fingerprint(recovered) == states[-1]
+    final = recovered.verify()
+    assert final.ok, final.violations
+    recovered.close()
+
+
+#: The fallback schedule when the environment sets none: probabilistic
+#: crashes around both commit edges plus one dead-letter crash.
+DEFAULT_SCHEDULE = "ingest.batch=p0.25,ingest.commit=p0.25,ingest.deadletter=1"
+MAX_CRASHES = 200
+
+
+def test_scheduled_crashes_always_converge(reference, tmp_path):
+    """Crash-recover-resume under the CI failpoint schedule until done.
+
+    The injector persists across retries (its RNG keeps advancing), so
+    any schedule eventually lets the stream finish; every recovery must
+    land on a batch boundary, and resuming from that boundary must
+    converge on the fault-free final state.
+    """
+    states, _ = reference
+    facts_at_state = {state: BATCH_PREFIX[i] for i, state in enumerate(states)}
+    schedule = os.environ.get("REPRO_FAILPOINTS") or DEFAULT_SCHEDULE
+    seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+    injector = FaultInjector.from_environment(schedule, seed=seed)
+
+    store = make_store(tmp_path / "d", injector)
+    dead_path = tmp_path / "dead.jsonl"
+    crashes = 0
+    position = 0
+    first_attempt = True
+    while True:
+        loader = StreamingLoader(store, batch_size=BATCH_SIZE, faults=injector)
+        # Bad rows ride along only on the first attempt; replaying them
+        # after a crash would double-write the dead-letter file.
+        rows = STREAM if first_attempt else GOOD[position:]
+        try:
+            with DeadLetterFile(str(dead_path), faults=injector) as dead:
+                loader.ingest(
+                    iter(rows), ErrorPolicy("dead-letter", dead_letter=dead)
+                )
+            break
+        except InjectedFault:
+            crashes += 1
+            assert crashes <= MAX_CRASHES, (
+                f"schedule {schedule!r} seed {seed} did not converge"
+            )
+            store.close()
+            store, report = open_durable(str(tmp_path / "d"), faults=FaultInjector())
+            observed = fingerprint(store)
+            assert observed in facts_at_state, (
+                f"crash {crashes} recovered off a batch boundary"
+            )
+            assert report.discarded == 0
+            position = facts_at_state[observed]
+            first_attempt = position == 0 and first_attempt
+
+    assert fingerprint(store) == states[-1]
+    audit = store.verify()
+    assert audit.ok, audit.violations
+    store.close()
+
+
+def test_dead_letter_file_survives_restart(tmp_path):
+    """Rows dead-lettered before a crash stay on disk afterwards."""
+    faults = FaultInjector()
+    faults.arm("ingest.batch", at_hit=3)  # crash during the final batch
+    store = make_store(tmp_path / "d", faults)
+    dead_path = tmp_path / "dead.jsonl"
+    with pytest.raises(InjectedFault):
+        run_script(store, faults, dead_path)
+    store.close()
+
+    recovered, _ = open_durable(str(tmp_path / "d"), faults=FaultInjector())
+    recovered.close()
+    records = [
+        json.loads(line) for line in dead_path.read_text().splitlines()
+    ]
+    assert [record["line"] for record in records] == [4, 8]
+    assert all(record["reason"] == "invalid JSON" for record in records)
+    # Restarted ingest appends to the same file rather than clobbering it.
+    with DeadLetterFile(str(dead_path)) as dead:
+        dead.write(BadRow(12, "late", "raw"))
+    assert len(dead_path.read_text().splitlines()) == 3

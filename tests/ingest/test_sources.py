@@ -1,0 +1,147 @@
+"""The source adapters: typed parsing, error policy, dead-letter files."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import (
+    BadRow,
+    DeadLetterFile,
+    ErrorPolicy,
+    SourceRow,
+    open_source,
+    parse_csv,
+    parse_jsonl,
+)
+
+DIMS = ("Time", "URL")
+MEASURES = ("Number_of", "Dwell_time")
+
+
+def good_line(fact_id="f1"):
+    return json.dumps(
+        {
+            "id": fact_id,
+            "coordinates": {"Time": "1999/11/23", "URL": "http://x/"},
+            "measures": {"Number_of": 1, "Dwell_time": 42},
+        }
+    )
+
+
+class TestParseJsonl:
+    def test_good_rows_parse_typed(self):
+        stream = io.StringIO(good_line("a") + "\n\n" + good_line("b") + "\n")
+        rows = list(parse_jsonl(stream))
+        assert [type(row) for row in rows] == [SourceRow, SourceRow]
+        assert rows[0].fact_id == "a"
+        assert rows[0].line == 1
+        assert rows[1].line == 3  # blank lines keep their line numbers
+        assert rows[0].coordinates == {
+            "Time": "1999/11/23",
+            "URL": "http://x/",
+        }
+        assert rows[0].measures == {"Number_of": 1, "Dwell_time": 42}
+
+    @pytest.mark.parametrize(
+        "line,reason_part",
+        [
+            ("not json", "invalid JSON"),
+            ("[1, 2]", "not an object"),
+            ('{"coordinates": {}, "measures": {}}', "'id'"),
+            ('{"id": 7, "coordinates": {}, "measures": {}}', "'id'"),
+            ('{"id": "x", "measures": {}}', "'coordinates'"),
+            ('{"id": "x", "coordinates": {"Time": 3}, "measures": {}}',
+             "not a string"),
+            ('{"id": "x", "coordinates": {}}', "'measures'"),
+            ('{"id": "x", "coordinates": {}, "measures": {"n": [1]}}',
+             "not a JSON scalar"),
+        ],
+    )
+    def test_bad_rows_carry_line_and_reason(self, line, reason_part):
+        rows = list(parse_jsonl(io.StringIO(line + "\n")))
+        assert len(rows) == 1
+        (row,) = rows
+        assert isinstance(row, BadRow)
+        assert row.line == 1
+        assert reason_part in row.reason
+
+
+class TestParseCsv:
+    HEADER = "id,Time,URL,Number_of,Dwell_time\n"
+
+    def test_good_rows_parse_with_numeric_measures(self):
+        stream = io.StringIO(
+            self.HEADER + "c1,1999/11/23,http://x/,1,4.5\n"
+        )
+        (row,) = list(parse_csv(stream, DIMS, MEASURES))
+        assert isinstance(row, SourceRow)
+        assert row.fact_id == "c1"
+        assert row.coordinates == {"Time": "1999/11/23", "URL": "http://x/"}
+        assert row.measures == {"Number_of": 1, "Dwell_time": 4.5}
+
+    def test_missing_header_column_is_a_stream_error(self):
+        stream = io.StringIO("id,Time,Number_of,Dwell_time\nc1,t,1,2\n")
+        with pytest.raises(IngestError, match="URL"):
+            list(parse_csv(stream, DIMS, MEASURES))
+
+    def test_empty_id_and_missing_cells_are_bad_rows(self):
+        stream = io.StringIO(
+            self.HEADER
+            + ",1999/11/23,http://x/,1,2\n"
+            + "c2,,http://x/,1,2\n"
+        )
+        rows = list(parse_csv(stream, DIMS, MEASURES))
+        assert [type(row) for row in rows] == [BadRow, BadRow]
+        assert "'id'" in rows[0].reason
+        assert "Time" in rows[1].reason
+
+
+class TestOpenSource:
+    def test_auto_format_by_extension(self, tmp_path):
+        jsonl = tmp_path / "facts.jsonl"
+        jsonl.write_text(good_line() + "\n")
+        stream, rows = open_source(str(jsonl), DIMS, MEASURES)
+        with stream:
+            assert isinstance(next(iter(rows)), SourceRow)
+        csv_path = tmp_path / "facts.csv"
+        csv_path.write_text("id,Time,URL,Number_of,Dwell_time\n")
+        stream, rows = open_source(str(csv_path), DIMS, MEASURES)
+        with stream:
+            assert list(rows) == []
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="unknown source format"):
+            open_source(str(tmp_path / "x"), DIMS, MEASURES, "parquet")
+
+
+class TestErrorPolicy:
+    BAD = BadRow(3, "broken", "raw text")
+
+    def test_reject_raises_with_line(self):
+        with pytest.raises(IngestError, match="line 3: broken"):
+            ErrorPolicy("reject").handle(self.BAD)
+
+    def test_skip_counts(self):
+        policy = ErrorPolicy("skip")
+        assert policy.handle(self.BAD) == "skipped"
+        assert policy.handle(self.BAD) == "skipped"
+        assert policy.skipped == 2
+
+    def test_dead_letter_appends_jsonl(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        with DeadLetterFile(str(path)) as dead:
+            policy = ErrorPolicy("dead-letter", dead_letter=dead)
+            assert policy.handle(self.BAD) == "dead_lettered"
+            assert policy.dead_lettered == 1 and dead.count == 1
+        record = json.loads(path.read_text())
+        assert record == {"line": 3, "reason": "broken", "raw": "raw text"}
+
+    def test_dead_letter_mode_requires_file(self):
+        with pytest.raises(IngestError, match="dead-letter"):
+            ErrorPolicy("dead-letter")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(IngestError, match="unknown error policy"):
+            ErrorPolicy("explode")

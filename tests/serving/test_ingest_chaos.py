@@ -1,0 +1,176 @@
+"""Serving under ingest: pinned readers stay consistent, floods get 429.
+
+Chaos shape: a background thread streams ~10k clickstream facts into
+the live store through the group-committing loader, publishing a new
+snapshot version after every few batches, while the foreground
+
+* holds version-1 pinned and re-verifies its fingerprint throughout —
+  published snapshots are frozen, so live-store mutation must never
+  leak into them;
+* keeps acquiring the newest snapshot and verifying *its* integrity
+  mid-publish;
+* (second test) floods a zero-queue server and expects the admission
+  layer to shed load with 429 + retry-after while ingest is running.
+"""
+
+import asyncio
+import datetime as dt
+import threading
+
+from repro.engine.faults import FaultInjector
+from repro.engine.store import SubcubeStore
+from repro.ingest import StreamingLoader
+from repro.obs import metrics as obs_metrics
+from repro.serving import QueryServer, ServerConfig, ServingService
+from repro.spec.specification import ReductionSpecification
+from repro.workload import (
+    ClickstreamConfig,
+    build_clickstream_mo,
+    generate_clicks,
+    grouped_retention_actions,
+)
+
+from .test_server import raw_request
+
+#: 365 days x 30 clicks = 10,950 facts for the background stream.
+CONFIG = ClickstreamConfig(
+    start=dt.date(1999, 1, 1),
+    end=dt.date(1999, 12, 31),
+    domains_per_group=3,
+    urls_per_domain=3,
+    clicks_per_day=30,
+    seed=99,
+)
+
+SEED_FACTS = 500
+BATCH_SIZE = 512
+PUBLISH_EVERY = 4  # batches per published version
+
+
+def make_chaos_service():
+    """A serving service over a store seeded with the first 500 facts."""
+    template = build_clickstream_mo(
+        ClickstreamConfig(
+            start=CONFIG.start,
+            end=CONFIG.end,
+            domains_per_group=CONFIG.domains_per_group,
+            urls_per_domain=CONFIG.urls_per_domain,
+            clicks_per_day=0,
+            seed=CONFIG.seed,
+        )
+    )
+    specification = ReductionSpecification(
+        grouped_retention_actions(template, detail_months=6, coarse_years=2),
+        template.dimensions,
+    )
+    store = SubcubeStore(
+        template, specification, metrics=obs_metrics.MetricsRegistry()
+    )
+    facts = list(generate_clicks(CONFIG))
+    store.load(facts[:SEED_FACTS])
+    store.synchronize(CONFIG.start + dt.timedelta(days=30))
+    service = ServingService(store, faults=FaultInjector())
+    return service, facts[SEED_FACTS:]
+
+
+def ingest_in_background(service, facts, failures, published):
+    """Stream *facts* into the live store, publishing as versions land."""
+    loader = StreamingLoader(service.store, batch_size=BATCH_SIZE)
+    sync_at = CONFIG.start + dt.timedelta(days=31)
+    try:
+        batches = 0
+        for triple in facts:
+            if loader.add(*triple):
+                batches += 1
+                if batches % PUBLISH_EVERY == 0:
+                    sync_at += dt.timedelta(days=7)
+                    snapshot = service.refresh(sync_at)
+                    assert snapshot is not None
+                    published.append(snapshot.version)
+        loader.flush()
+        snapshot = service.refresh(sync_at + dt.timedelta(days=7))
+        assert snapshot is not None
+        published.append(snapshot.version)
+    except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+        failures.append(exc)
+
+
+def test_pinned_readers_stay_consistent_under_ingest():
+    service, facts = make_chaos_service()
+    assert len(facts) >= 10_000
+
+    pinned = service.acquire()  # version 1, held across the whole run
+    baseline = pinned.fingerprint
+    failures: list[BaseException] = []
+    published: list[int] = []
+    thread = threading.Thread(
+        target=ingest_in_background,
+        args=(service, facts, failures, published),
+    )
+    thread.start()
+    verified = 0
+    try:
+        while thread.is_alive():
+            # The long-pinned reader: immutable no matter what lands.
+            assert pinned.verify_integrity()
+            assert pinned.fingerprint == baseline
+            assert pinned.version == 1
+            # A fresh reader pinned mid-publish verifies too.
+            fresh = service.acquire()
+            try:
+                assert fresh.verify_integrity()
+            finally:
+                service.release(fresh)
+            verified += 1
+    finally:
+        thread.join(timeout=60)
+    assert not failures, failures
+    assert verified > 0
+
+    # Every published version advanced monotonically past the seed.
+    assert published, "background ingest never published"
+    assert published == sorted(published)
+    assert service.version == published[-1] > 1
+    # The long-held pin survived every publish and retire in between.
+    assert pinned.verify_integrity()
+    assert pinned.fingerprint == baseline
+    service.release(pinned)
+    final = service.acquire()
+    try:
+        assert final.verify_integrity()
+        assert final.total_facts() > SEED_FACTS
+    finally:
+        service.release(final)
+
+
+def test_admission_flood_during_ingest_returns_429():
+    service, facts = make_chaos_service()
+    failures: list[BaseException] = []
+    published: list[int] = []
+
+    async def body():
+        server = QueryServer(
+            service, ServerConfig(max_queue=0, retry_after_ms=25)
+        )
+        await server.start()
+        thread = threading.Thread(
+            target=ingest_in_background,
+            args=(service, facts[:4096], failures, published),
+        )
+        thread.start()
+        try:
+            rejected = 0
+            while thread.is_alive() or rejected == 0:
+                response = await raw_request(server, {"op": "ping"})
+                assert not response["ok"]
+                assert response["error"]["code"] == 429
+                assert response["retry_after_ms"] == 25
+                rejected += 1
+            return rejected
+        finally:
+            thread.join(timeout=60)
+            await server.stop()
+
+    rejected = asyncio.run(body())
+    assert rejected > 0
+    assert not failures, failures

@@ -25,6 +25,13 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCHEMA_PATH = os.path.join(
     REPO_ROOT, "docs", "schemas", "metrics-snapshot.schema.json"
 )
+#: Benchmark documents with a whole-document schema of their own, on
+#: top of the embedded-snapshot check every BENCH_*.json gets.
+DOCUMENT_SCHEMAS = {
+    "repro-bench-ingest/1": os.path.join(
+        REPO_ROOT, "docs", "schemas", "bench-ingest.schema.json"
+    ),
+}
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.errors import ObsError  # noqa: E402
@@ -68,6 +75,16 @@ def check(path: str, json_schema: dict) -> list[str]:
             jsonschema.validate(snapshot, json_schema)
         except jsonschema.ValidationError as exc:
             problems.append(f"{path}: schema violation: {exc.message}")
+        document_schema_path = DOCUMENT_SCHEMAS.get(document.get("schema"))
+        if document_schema_path is not None:
+            with open(document_schema_path) as stream:
+                document_schema = json.load(stream)
+            try:
+                jsonschema.validate(document, document_schema)
+            except jsonschema.ValidationError as exc:
+                problems.append(
+                    f"{path}: document schema violation: {exc.message}"
+                )
     return problems
 
 
